@@ -1,0 +1,64 @@
+; checksum.s — a hand-written benchmark for the textual assembler.
+;
+; Computes an 8-bit rotating checksum over a message held in RAM (the
+; fault-susceptible region) against an expected value held in ROM (the
+; immune region), and reports PASS/FAIL plus the checksum digits.
+;
+;   dune exec bin/fi_cli.exe -- run asm/checksum.s
+;   dune exec bin/fi_cli.exe -- campaign asm/checksum.s
+;
+; The message bytes live in RAM from reset until the checksum loop reads
+; them — long lifetimes, so most of this program's failure mass sits in
+; the message buffer, a miniature of the paper's "critical data" story.
+
+.ram 64
+.data
+message:  .ascii "fault injection"
+msg_len:  .word 15
+.rodata
+expected: .word 49
+
+.text
+main:
+    li   r1, message       ; cursor
+    lw   r2, msg_len       ; remaining
+    li   r3, 0             ; checksum accumulator
+loop:
+    lb   r4, 0(r1)
+    add  r3, r3, r4        ; sum += byte
+    shli r5, r3, 1         ; rotate-ish: sum = ((sum<<1) | (sum>>7)) & 0xFF
+    shri r6, r3, 7
+    or   r3, r5, r6
+    andi r3, r3, 0xFF
+    addi r1, r1, 1
+    subi r2, r2, 1
+    bne  r2, r0, loop
+
+    ; compare with the expected value from ROM
+    li   r7, expected
+    lw   r8, 0(r7)
+    li   r9, 0x300000      ; serial port
+    beq  r3, r8, pass
+    li   r10, 'F'
+    sb   r10, 0(r9)
+    jmp  digits
+pass:
+    li   r10, 'P'
+    sb   r10, 0(r9)
+digits:
+    ; print the checksum as three decimal digits
+    li   r11, 100
+    divu r12, r3, r11
+    addi r12, r12, 48
+    sb   r12, 0(r9)
+    remu r12, r3, r11
+    li   r11, 10
+    divu r5, r12, r11
+    addi r5, r5, 48
+    sb   r5, 0(r9)
+    remu r5, r12, r11
+    addi r5, r5, 48
+    sb   r5, 0(r9)
+    li   r5, 10
+    sb   r5, 0(r9)         ; newline
+    halt

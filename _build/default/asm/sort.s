@@ -1,0 +1,48 @@
+; sort.s — bubble sort over a RAM-resident array, then print it.
+;
+;   dune exec bin/fi_cli.exe -- run asm/sort.s
+;   dune exec bin/fi_cli.exe -- trace asm/sort.s
+;
+; Sorting is a classic FI workload: array cells are written and read many
+; times, producing short def/use lifetimes early and long tails late —
+; the opposite lifetime profile of checksum.s.
+
+.ram 96
+.data
+values: .word 7 3 9 1 8 2 6 4
+count:  .word 8
+
+.text
+main:
+    lw   r1, count        ; n
+outer:
+    subi r1, r1, 1
+    beq  r1, r0, print
+    li   r2, 0            ; i = 0
+    li   r3, values
+inner:
+    lw   r4, 0(r3)
+    lw   r5, 4(r3)
+    bge  r5, r4, no_swap  ; already ordered
+    sw   r5, 0(r3)
+    sw   r4, 4(r3)
+no_swap:
+    addi r3, r3, 4
+    addi r2, r2, 1
+    blt  r2, r1, inner
+    jmp  outer
+
+print:
+    lw   r1, count
+    li   r3, values
+    li   r9, 0x300000     ; serial port
+emit:
+    lw   r4, 0(r3)
+    addi r4, r4, 48       ; single digits by construction
+    sb   r4, 0(r9)
+    addi r3, r3, 4
+    subi r1, r1, 1
+    bne  r1, r0, emit
+    li   r4, 10
+    sb   r4, 0(r9)
+    halt

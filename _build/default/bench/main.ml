@@ -1,0 +1,388 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md's experiment index) and runs Bechamel micro-benchmarks
+   of the substrate.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1 figure3 perf
+
+   Campaign results are cached as CSV under _artifacts/ so re-running
+   reports is cheap; delete the directory to force fresh campaigns. *)
+
+let cache_dir = "_artifacts"
+
+let ensure_cache_dir () =
+  if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755
+
+let progress label ~done_ ~total =
+  if done_ = total || done_ mod 500 = 0 then begin
+    Printf.eprintf "\r[campaign %s] %d/%d classes" label done_ total;
+    if done_ = total then Printf.eprintf "\n";
+    flush stderr
+  end
+
+let section title =
+  Printf.printf "\n%s\n%s\n" (String.make 72 '=') title;
+  Printf.printf "%s\n" (String.make 72 '=')
+
+(* ------------------------------------------------------------------ *)
+(* Campaign-backed data (cached)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let paper_scans =
+  lazy
+    (ensure_cache_dir ();
+     List.map
+       (fun (name, baseline, hardened) ->
+         let sb, sh =
+           Figures.run_pair ~cache_dir ~progress ~name ~baseline ~hardened ()
+         in
+         (name, sb, sh))
+       Suite.paper_pairs)
+
+let extra_scan ~name ~variant build =
+  ensure_cache_dir ();
+  let path = Filename.concat cache_dir (Printf.sprintf "%s-%s.csv" name variant) in
+  if Sys.file_exists path then
+    match Csv_io.load path with
+    | Ok scan -> scan
+    | Error _ ->
+        let scan = Scan.pruned ~variant (Golden.run (build ())) in
+        Csv_io.save path scan;
+        scan
+  else begin
+    let scan =
+      Scan.pruned ~variant
+        ~progress:(fun ~done_ ~total ->
+          progress (name ^ "/" ^ variant) ~done_ ~total)
+        (Golden.run (build ()))
+    in
+    Csv_io.save path scan;
+    scan
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Artifacts                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  section "T1 | Table I";
+  print_string (Figures.table1 ())
+
+let run_figure1 () =
+  section "F1 | Figure 1: def/use pruning";
+  print_string (Figures.figure1 ())
+
+let run_figure3 () =
+  section "F3 | Figure 3 / Section IV: the dilution delusion";
+  print_string (Figures.figure3 ())
+
+let run_figure2 () =
+  section "F2 | Figure 2: bin_sem2 and sync2, baseline vs SUM+DMR";
+  print_string (Figures.figure2 (Lazy.force paper_scans))
+
+let run_pruning () =
+  section "S3C | Section III-C: pruning effectiveness";
+  let goldens =
+    List.map
+      (fun (e : Suite.entry) ->
+        ( Printf.sprintf "%s/%s" e.Suite.benchmark
+            (Suite.variant_name e.Suite.variant),
+          Golden.run (e.Suite.build ()) ))
+      (List.filter (fun e -> e.Suite.variant <> Suite.Tmr) Suite.all)
+  in
+  print_string (Figures.pruning_stats (("hi", Golden.run (Hi.program ())) :: goldens))
+
+let run_pitfall2 () =
+  section "P2 | Pitfall 2: biased sampling";
+  (* Ground truth from the cached bin_sem2 baseline campaign. *)
+  let scans = Lazy.force paper_scans in
+  let _, sb, _ = List.hd scans in
+  let golden = Golden.run (Bin_sem2.baseline ()) in
+  print_string (Figures.pitfall2 sb golden);
+  print_string "\nAnd maximally on the Hi program (every def/use class fails):\n";
+  let hi_g = Golden.run (Hi.program ()) in
+  print_string (Figures.pitfall2 ~samples:1024 (Scan.pruned hi_g) hi_g)
+
+let run_pitfall3 () =
+  section "P3 | Pitfall 3 (corollary 2): extrapolation";
+  let scans = Lazy.force paper_scans in
+  let entries =
+    List.concat_map
+      (fun (name, sb, sh) ->
+        let baseline_golden, hardened_golden =
+          match name with
+          | "bin_sem2" ->
+              (Golden.run (Bin_sem2.baseline ()), Golden.run (Bin_sem2.sum_dmr ()))
+          | _ -> (Golden.run (Sync2.baseline ()), Golden.run (Sync2.sum_dmr ()))
+        in
+        [
+          (name ^ "/baseline", sb, baseline_golden);
+          (name ^ "/sum+dmr", sh, hardened_golden);
+        ])
+      scans
+  in
+  print_string (Figures.pitfall3_extrapolation entries)
+
+let run_figure2_sampled () =
+  section "F2s | Figure 2(e) via sampling (common practice, done right)";
+  print_string (Figures.figure2_sampled (Lazy.force paper_scans))
+
+let run_ratios () =
+  section "R | Comparison ratios (Section V)";
+  List.iter
+    (fun (name, sb, sh) ->
+      let p3 = Pitfalls.analyze_pitfall3 ~baseline:sb ~hardened:sh in
+      Format.printf "%-10s %a@." name Pitfalls.pp_pitfall3 p3;
+      Format.printf "%-10s MWTF ratio (hardened/baseline): %.3f@." ""
+        (Mwtf.relative ~baseline:sb ~hardened:sh ()))
+    (Lazy.force paper_scans)
+
+let run_ablation () =
+  section "X2 | Hardening ablation: baseline vs SUM+DMR vs TMR";
+  let entries =
+    List.concat_map
+      (fun (benchmark, builders) ->
+        List.map
+          (fun (variant, build) ->
+            ( Printf.sprintf "%s/%s" benchmark variant,
+              extra_scan ~name:benchmark ~variant build ))
+          builders)
+      [
+        ( "bin_sem2",
+          [ ("baseline", fun () -> Bin_sem2.baseline ());
+            ("sum+dmr", fun () -> Bin_sem2.sum_dmr ());
+            ("tmr", fun () -> Bin_sem2.tmr ()) ] );
+        ( "mutex1",
+          [ ("baseline", fun () -> Mutex1.baseline ());
+            ("sum+dmr", fun () -> Mutex1.sum_dmr ());
+            ("tmr", fun () -> Mutex1.tmr ()) ] );
+        ( "mbox1",
+          [ ("baseline", fun () -> Mbox1.baseline ());
+            ("sum+dmr", fun () -> Mbox1.sum_dmr ());
+            ("tmr", fun () -> Mbox1.tmr ()) ] );
+        ( "flag1",
+          [ ("baseline", fun () -> Flag1.baseline ());
+            ("sum+dmr", fun () -> Flag1.sum_dmr ());
+            ("tmr", fun () -> Flag1.tmr ()) ] );
+      ]
+  in
+  print_string (Figures.ablation entries);
+  (* The objective verdict per benchmark and mechanism. *)
+  let find name = List.assoc name entries in
+  List.iter
+    (fun benchmark ->
+      let base = find (benchmark ^ "/baseline") in
+      List.iter
+        (fun variant ->
+          let hardened = find (Printf.sprintf "%s/%s" benchmark variant) in
+          let p3 = Pitfalls.analyze_pitfall3 ~baseline:base ~hardened in
+          Format.printf "%-10s %-8s %a@." benchmark variant
+            Pitfalls.pp_pitfall3 p3)
+        [ "sum+dmr"; "tmr" ])
+    [ "bin_sem2"; "mutex1"; "mbox1"; "flag1" ]
+
+let run_optimization () =
+  section "X4 | Compilation ablation: optimisation changes the fault space";
+  (* A naively-written filter kernel, as a source-to-source generator
+     would emit it: constant expressions spelled out, helper temporaries
+     kept alive "for debugging".  const-fold + DSE removes the dead
+     stores and resolves the constant branches. *)
+  let source =
+    let open Builder in
+    prog ~name:"filter" ~stack:128
+      [ array "samples" 12 ~init:[ 9; 2; 14; 7; 31; 4; 18; 25; 6; 11; 3; 28 ];
+        array "out" 12; global "count" ]
+      ([
+         func "main" ~locals:[ "k"; "v"; "dbg"; "threshold" ]
+           ([
+              set "threshold" (i 2 *: i 5 +: i 2) (* constant: 12 *);
+            ]
+           @ for_ "k" ~from:(i 0) ~below:(i 12)
+               [
+                 set "v" (elem "samples" (l "k"));
+                 set "dbg" (l "v" *: i 1000 +: l "k") (* dead *);
+                 Mir.If
+                   ( Mir.Cmp (Mir.Ltu, l "threshold", l "v"),
+                     [
+                       set_elem "out" (g "count") (l "v");
+                       setg "count" (g "count" +: i 1);
+                       set "dbg" (l "dbg" +: i 1) (* dead *);
+                     ],
+                     [] );
+               ]
+           @ [ out_str "kept "; call_ out_dec [ g "count" ];
+               out_str "\n"; ret_unit ]);
+       ]
+      @ stdlib)
+  in
+  let entries =
+    [
+      ("filter -O0", Scan.pruned (Golden.run (Codegen.compile source)));
+      ( "filter -O1",
+        Scan.pruned ~variant:"optimized"
+          (Golden.run (Codegen.compile (Optimize.optimize source))) );
+    ]
+  in
+  print_string (Figures.ablation entries);
+  print_string
+    "\nThe compiler changes runtime and data lifetimes, so susceptibility\n\
+     is a property of the binary, not the source (compare the F column);\n\
+     any FI comparison must therefore fix the toolchain.\n"
+
+let run_registers () =
+  section "X3 | Register fault space (Sections VI-B/VI-C extension)";
+  print_string
+    (Figures.cross_layer
+       [
+         ("hi", Regspace.analyze (Hi.program ()));
+         ("mbox1", Regspace.analyze (Mbox1.baseline ()));
+         ("mutex1", Regspace.analyze (Mutex1.baseline ()));
+       ])
+
+let run_engine () =
+  section "ENG | Campaign-engine ablation: checkpoint vs. restart strategy";
+  let golden = Golden.run (Mbox1.baseline ()) in
+  let time label strategy =
+    let t0 = Sys.time () in
+    let scan = Scan.pruned ~strategy golden in
+    Printf.printf "%-12s %6.2f s  (F = %d)\n" label (Sys.time () -. t0)
+      (Metrics.failure_count scan);
+    scan
+  in
+  let a = time "checkpoint" Injector.Checkpoint in
+  let b = time "restart" Injector.Restart in
+  Printf.printf "identical results: %b\n"
+    (Metrics.failure_count a = Metrics.failure_count b
+    && Metrics.coverage a = Metrics.coverage b)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let perf_tests () =
+  let open Bechamel in
+  let hi_golden = Golden.run (Hi.program ()) in
+  let bin_image = Bin_sem2.baseline () in
+  let bin_golden = Golden.run bin_image in
+  let rng = Prng.create ~seed:1L in
+  let sample_words =
+    Array.init 256 (fun _ -> Int64.to_int32 (Prng.next_int64 rng))
+  in
+  [
+    (* One Test.make per reproduced artifact's dominant kernel, plus the
+       substrate primitives. *)
+    Test.make ~name:"T1-poisson-pmf"
+      (Staged.stage (fun () -> ignore (Poisson.pmf ~lambda:1.66e-14 1)));
+    Test.make ~name:"F1-defuse-analysis"
+      (Staged.stage (fun () -> ignore (Defuse.analyze bin_golden.Golden.trace)));
+    Test.make ~name:"F3-hi-full-scan"
+      (Staged.stage (fun () -> ignore (Scan.pruned hi_golden)));
+    Test.make ~name:"F2-golden-run-bin-sem2"
+      (Staged.stage (fun () ->
+           let m = Machine.create bin_image in
+           ignore (Machine.run m ~limit:10_000_000)));
+    Test.make ~name:"F2-one-experiment"
+      (Staged.stage
+         (let coord =
+            { Faultspace.cycle = bin_golden.Golden.cycles / 2; bit = 64 }
+          in
+          fun () -> ignore (Injector.run_at bin_golden coord)));
+    Test.make ~name:"P2-sampling-256"
+      (Staged.stage (fun () ->
+           let rng = Prng.create ~seed:7L in
+           ignore (Sampler.uniform_raw rng ~samples:256 hi_golden)));
+    Test.make ~name:"substrate-encode-decode"
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun w ->
+               match Encoding.decode w with
+               | Ok i -> ignore (Encoding.encode i)
+               | Error _ -> ())
+             sample_words));
+    Test.make ~name:"substrate-snapshot-restore"
+      (Staged.stage
+         (let m = Machine.create bin_image in
+          Machine.run_until m ~cycle:1000;
+          let snap = Machine.Snapshot.capture m in
+          fun () -> ignore (Machine.Snapshot.restore snap ~tracer:None)));
+  ]
+
+let run_perf () =
+  section "PERF | Bechamel micro-benchmarks of the substrate";
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"fipitfalls" ~fmt:"%s %s" (perf_tests ()))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let t =
+    Table.create
+      ~columns:
+        [ ("benchmark", Table.Left); ("time/run", Table.Right);
+          ("r^2", Table.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.sprintf "%.1f ns" est
+        | Some _ | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      rows := (name, estimate, r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, estimate, r2) -> Table.row t [ name; estimate; r2 ])
+    (List.sort compare !rows);
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ("table1", run_table1);
+    ("figure1", run_figure1);
+    ("figure3", run_figure3);
+    ("figure2", run_figure2);
+    ("pruning", run_pruning);
+    ("pitfall2", run_pitfall2);
+    ("pitfall3", run_pitfall3);
+    ("figure2-sampled", run_figure2_sampled);
+    ("ratios", run_ratios);
+    ("ablation", run_ablation);
+    ("registers", run_registers);
+    ("engine", run_engine);
+    ("optimization", run_optimization);
+    ("perf", run_perf);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst artifacts
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name artifacts with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown artifact %S; available: %s\n" name
+            (String.concat ", " (List.map fst artifacts));
+          exit 1)
+    requested

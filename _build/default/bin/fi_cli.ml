@@ -1,0 +1,395 @@
+(* fi-cli: command-line front-end to the fault-injection toolkit.
+
+   Subcommands:
+     run       execute a benchmark (or an .s file) and show its behaviour
+     trace     golden run + def/use statistics
+     campaign  full pruned FI campaign, optionally saved as CSV
+     sample    sampling-based estimation with confidence intervals
+     compare   objective comparison of a baseline/hardened pair
+     asm       assemble / disassemble / encode a .s file
+     poisson   Table-I style Poisson fault-count probabilities
+     list      available benchmarks and variants *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark lookup                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let builders =
+  [
+    ("hi", fun () -> Hi.program ());
+    ("hi+dft", fun () -> Hi.dft ());
+    ("hi+dft'", fun () -> Hi.dft' ());
+    ("hi+pad", fun () -> Hi.dft_memory ());
+  ]
+  @ List.map
+      (fun (e : Suite.entry) ->
+        ( Printf.sprintf "%s/%s" e.Suite.benchmark
+            (Suite.variant_name e.Suite.variant),
+          e.Suite.build ))
+      Suite.all
+
+let program_names = List.map fst builders
+
+let load_program spec =
+  match List.assoc_opt spec builders with
+  | Some build -> Ok (build ())
+  | None ->
+      if Sys.file_exists spec then begin
+        let ic = open_in spec in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Assembler.assemble ~name:(Filename.basename spec) text with
+        | Ok image -> Ok image
+        | Error e ->
+            Error (Format.asprintf "%s: %a" spec Assembler.pp_error e)
+      end
+      else
+        Error
+          (Printf.sprintf
+             "unknown program %S (try `fi-cli list`, or pass a .s file)" spec)
+
+let program_arg =
+  let doc =
+    "Benchmark name (e.g. bin_sem2/baseline, sync2/sum+dmr, hi) or path to \
+     an assembly file."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Printf.eprintf "fi-cli: %s\n" msg;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let listing =
+    Arg.(value & flag & info [ "listing" ] ~doc:"Print the disassembly first.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 50_000_000
+      & info [ "limit" ] ~docv:"CYCLES" ~doc:"Watchdog cycle limit.")
+  in
+  let action spec listing limit =
+    let image = or_die (load_program spec) in
+    if listing then Format.printf "%a@." Program.pp_listing image;
+    let m = Machine.create image in
+    let reason = Machine.run m ~limit in
+    Format.printf "stop     : %a@." Machine.pp_stop_reason reason;
+    Format.printf "cycles   : %d@." (Machine.cycle m);
+    Format.printf "output   : %S@." (Machine.serial_output m);
+    List.iter
+      (fun (cycle, code) ->
+        Format.printf "event    : cycle %d, %a@." cycle Event_codes.pp code)
+      (Machine.detection_events m)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program and report its behaviour.")
+    Term.(const action $ program_arg $ listing $ limit)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let map_flag =
+    Arg.(
+      value & flag
+      & info [ "map" ]
+          ~doc:"Render the fault-space map (tiny programs only).")
+  in
+  let action spec map_flag =
+    let image = or_die (load_program spec) in
+    let golden = Golden.run image in
+    Format.printf "%a@." Golden.pp_summary golden;
+    let d = golden.Golden.defuse in
+    Format.printf "accesses           : %d@." (Trace.length golden.Golden.trace);
+    Format.printf "def/use classes    : %d@." (Array.length (Defuse.classes d));
+    Format.printf "experiment classes : %d (x8 bits = %d experiments)@."
+      (Array.length (Defuse.experiment_classes d))
+      (Defuse.experiment_count d);
+    Format.printf "a-priori benign    : %d bit-cycles@."
+      (Defuse.known_benign_weight d);
+    if map_flag then print_string (Faultmap.access_map_golden golden)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Golden run and def/use pruning statistics.")
+    Term.(const action $ program_arg $ map_flag)
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save results as CSV.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress.") in
+  let registers =
+    Arg.(
+      value & flag
+      & info [ "registers" ]
+          ~doc:
+            "Campaign over the register fault space (Section VI-B) instead \
+             of main memory.")
+  in
+  let breakdown =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ]
+          ~doc:"Also attribute the failure mass to data regions.")
+  in
+  let action spec out quiet registers breakdown =
+    let image = or_die (load_program spec) in
+    let golden = Golden.run image in
+    Format.printf "%a@." Golden.pp_summary golden;
+    let progress ~done_ ~total =
+      if not quiet then begin
+        if done_ mod 500 = 0 || done_ = total then begin
+          Printf.eprintf "\r%d/%d classes" done_ total;
+          if done_ = total then prerr_newline ();
+          flush stderr
+        end
+      end
+    in
+    let scan =
+      if registers then Regspace.scan ~progress (Regspace.analyze image)
+      else Scan.pruned ~progress golden
+    in
+    if registers then
+      Format.printf "register fault space: w = %d bit-cycles@."
+        (Scan.fault_space_size scan);
+    let t =
+      Table.create
+        ~columns:
+          [ ("metric", Table.Left); ("weighted/full", Table.Right);
+            ("unweighted (pitfall 1)", Table.Right) ]
+    in
+    Table.row t
+      [ "fault coverage";
+        Printf.sprintf "%.3f%%" (100.0 *. Metrics.coverage scan);
+        Printf.sprintf "%.3f%%"
+          (100.0 *. Metrics.coverage ~policy:Accounting.pitfall1 scan) ];
+    Table.row t
+      [ "failure count";
+        string_of_int (Metrics.failure_count scan);
+        string_of_int (Metrics.failure_count ~policy:Accounting.pitfall1 scan) ];
+    Table.print t;
+    Format.printf "@.P(Failure) per run at %.3f FIT/Mbit: %.3e  (MWTF %.3e runs)@."
+      (Fit_rate.to_float Fit_rate.mean_published)
+      (Metrics.failure_probability scan)
+      (Mwtf.runs_to_failure scan);
+    Format.printf "outcome histogram (weighted, full space):@.";
+    List.iter
+      (fun (o, n) -> Format.printf "  %-20s %12d@." (Outcome.to_string o) n)
+      (Metrics.outcome_histogram scan);
+    if breakdown && not registers then
+      print_string (Figures.breakdown scan image);
+    match out with
+    | Some path ->
+        Csv_io.save path scan;
+        Format.printf "results written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a full pruned fault-injection campaign.")
+    Term.(const action $ program_arg $ out $ quiet $ registers $ breakdown)
+
+(* ------------------------------------------------------------------ *)
+(* sample                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_cmd =
+  let samples =
+    Arg.(
+      value & opt int 10_000
+      & info [ "n"; "samples" ] ~docv:"N" ~doc:"Number of samples.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let biased =
+    Arg.(
+      value & flag
+      & info [ "biased" ]
+          ~doc:"Sample def/use classes uniformly instead (Pitfall 2) — for \
+                demonstration only.")
+  in
+  let action spec samples seed biased =
+    let image = or_die (load_program spec) in
+    let golden = Golden.run image in
+    Format.printf "%a@." Golden.pp_summary golden;
+    let rng = Prng.create ~seed:(Int64.of_int seed) in
+    let est =
+      if biased then Sampler.biased_per_class rng ~samples golden
+      else Sampler.uniform_raw rng ~samples golden
+    in
+    let interval =
+      Confidence.wilson ~fails:est.Sampler.failures ~trials:est.Sampler.samples
+        ~confidence:0.95
+    in
+    Format.printf "sampler            : %s@."
+      (if biased then "per-class (BIASED, pitfall 2)" else "uniform raw space");
+    Format.printf "samples            : %d (%d experiments conducted)@."
+      est.Sampler.samples est.Sampler.conducted;
+    Format.printf "failure fraction   : %.5f  95%% CI %a@."
+      (Sampler.failure_fraction est)
+      Confidence.pp_interval interval;
+    Format.printf "extrapolated F     : %.0f  (corollary 2 of pitfall 3)@."
+      (Metrics.extrapolated_failures est)
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Sampling-based campaign with extrapolation.")
+    Term.(const action $ program_arg $ samples $ seed $ biased)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let hardened_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"HARDENED" ~doc:"Hardened variant.")
+  in
+  let action base_spec hard_spec =
+    let base = or_die (load_program base_spec) in
+    let hard = or_die (load_program hard_spec) in
+    let scan_of name image =
+      let golden = Golden.run image in
+      Printf.eprintf "[%s] %d experiments...\n%!" name
+        (Defuse.experiment_count golden.Golden.defuse);
+      Scan.pruned ~variant:name golden
+    in
+    let sb = scan_of "baseline" base in
+    let sh = scan_of "hardened" hard in
+    let p3 = Pitfalls.analyze_pitfall3 ~baseline:sb ~hardened:sh in
+    Format.printf "%a@." Pitfalls.pp_pitfall3 p3;
+    Format.printf "pitfall 1 view of the baseline: %a@." Pitfalls.pp_pitfall1
+      (Pitfalls.analyze_pitfall1 sb);
+    Format.printf "pitfall 1 view of the hardened: %a@." Pitfalls.pp_pitfall1
+      (Pitfalls.analyze_pitfall1 sh);
+    Format.printf "MWTF ratio: %.3f@." (Mwtf.relative ~baseline:sb ~hardened:sh ())
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare a baseline and a hardened program with the objective \
+             metric.")
+    Term.(const action $ program_arg $ hardened_arg)
+
+(* ------------------------------------------------------------------ *)
+(* asm                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let asm_cmd =
+  let encode =
+    Arg.(value & flag & info [ "encode" ] ~doc:"Also dump binary encoding.")
+  in
+  let action spec encode =
+    let image = or_die (load_program spec) in
+    Format.printf "%a@." Program.pp_listing image;
+    if encode then
+      match Encoding.encode_program image.Program.code with
+      | Ok words ->
+          Array.iteri (fun i w -> Format.printf "%4d: %08lx@." i w) words
+      | Error e -> Format.printf "encoding error: %a@." Encoding.pp_error e
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble and list a program.")
+    Term.(const action $ program_arg $ encode)
+
+(* ------------------------------------------------------------------ *)
+(* poisson                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let poisson_cmd =
+  let cycles =
+    Arg.(
+      value
+      & opt int 1_000_000_000
+      & info [ "cycles" ] ~docv:"N" ~doc:"Benchmark runtime in cycles.")
+  in
+  let bytes_ =
+    Arg.(
+      value & opt int 131072
+      & info [ "bytes" ] ~docv:"N" ~doc:"Benchmark memory usage in bytes.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.057
+      & info [ "fit" ] ~docv:"RATE" ~doc:"Soft-error rate in FIT/Mbit.")
+  in
+  let action cycles bytes_ rate =
+    let rate = Fit_rate.of_fit_per_mbit rate in
+    let lambda =
+      Fit_rate.lambda rate ~cycles ~ns_per_cycle:1.0 ~bits:(8 * bytes_)
+    in
+    Format.printf "lambda = %.4e@." lambda;
+    for k = 0 to 5 do
+      Format.printf "P(%d faults) = %.4e@." k (Poisson.pmf ~lambda k)
+    done
+  in
+  Cmd.v
+    (Cmd.info "poisson"
+       ~doc:"Poisson fault-count probabilities for a benchmark (Table I).")
+    Term.(const action $ cycles $ bytes_ $ rate)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let which =
+    Arg.(
+      value
+      & pos_all (enum [ ("table1", `Table1); ("figure1", `Figure1);
+                        ("figure3", `Figure3) ])
+          [ `Table1; `Figure1; `Figure3 ]
+      & info [] ~docv:"ARTIFACT"
+          ~doc:"Artifacts to print: table1, figure1, figure3 (the cheap, \
+                campaign-free ones; the full set lives in bench/main.exe).")
+  in
+  let action which =
+    List.iter
+      (fun artifact ->
+        print_string
+          (match artifact with
+          | `Table1 -> Figures.table1 ()
+          | `Figure1 -> Figures.figure1 ()
+          | `Figure3 -> Figures.figure3 ()))
+      which
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Print campaign-free paper artifacts.")
+    Term.(const action $ which)
+
+(* ------------------------------------------------------------------ *)
+(* list                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let action () =
+    List.iter print_endline program_names
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List built-in benchmarks and variants.")
+    Term.(const action $ const ())
+
+let () =
+  let doc =
+    "fault-injection campaigns, metrics and pitfall analyses on the \
+     deterministic RISC simulator"
+  in
+  let info = Cmd.info "fi-cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ run_cmd; trace_cmd; campaign_cmd; sample_cmd; compare_cmd; asm_cmd;
+      poisson_cmd; report_cmd; list_cmd ]))

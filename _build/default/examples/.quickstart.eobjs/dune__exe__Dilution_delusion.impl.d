@@ -1,0 +1,1 @@
+examples/dilution_delusion.ml: Faultmap Format Golden Hi List Metrics Pitfalls Scan

@@ -1,0 +1,1 @@
+examples/dilution_delusion.mli:

@@ -1,0 +1,1 @@
+examples/hardening_comparison.ml: Builder Codegen Figures Format Golden Harden List Mir Pitfalls Scan

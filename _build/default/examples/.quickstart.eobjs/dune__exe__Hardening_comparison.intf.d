@@ -1,0 +1,1 @@
+examples/hardening_comparison.mli:

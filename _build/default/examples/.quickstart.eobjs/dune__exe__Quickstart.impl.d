@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accounting Assembler Format Golden List Machine Metrics Outcome Scan

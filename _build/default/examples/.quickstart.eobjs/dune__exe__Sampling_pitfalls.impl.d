@@ -1,0 +1,1 @@
+examples/sampling_pitfalls.ml: Compare Confidence Format Golden List Mbox1 Metrics Prng Sampler Scan

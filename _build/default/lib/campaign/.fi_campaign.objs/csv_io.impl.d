@@ -1,0 +1,1 @@
+lib/campaign/csv_io.ml: Array Buffer Hashtbl List Outcome Printf Result Scan String

@@ -1,0 +1,1 @@
+lib/campaign/golden.ml: Defuse Format List Machine Program Trace

@@ -1,0 +1,1 @@
+lib/campaign/golden.mli: Defuse Format Machine Program Trace

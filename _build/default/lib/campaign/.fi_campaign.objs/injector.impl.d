@@ -1,0 +1,1 @@
+lib/campaign/injector.ml: Faultspace Format Golden List Machine Outcome Program

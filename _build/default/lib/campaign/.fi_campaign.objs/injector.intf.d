@@ -1,0 +1,1 @@
+lib/campaign/injector.mli: Faultspace Golden Machine Outcome

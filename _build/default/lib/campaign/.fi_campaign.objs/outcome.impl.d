@@ -1,0 +1,1 @@
+lib/campaign/outcome.ml: Format Machine String

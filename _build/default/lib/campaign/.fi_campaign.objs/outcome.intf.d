@@ -1,0 +1,1 @@
+lib/campaign/outcome.mli: Format Machine

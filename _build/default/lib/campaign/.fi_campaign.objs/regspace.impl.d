@@ -1,0 +1,1 @@
+lib/campaign/regspace.ml: Array Defuse Format Golden Injector Isa List Machine Program Scan Trace

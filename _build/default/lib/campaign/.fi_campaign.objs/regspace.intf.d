@@ -1,0 +1,1 @@
+lib/campaign/regspace.mli: Defuse Golden Isa Program Scan

@@ -1,0 +1,1 @@
+lib/campaign/sampler.ml: Array Defuse Faultspace Golden Hashtbl Injector List Option Outcome Prng Program

@@ -1,0 +1,1 @@
+lib/campaign/sampler.mli: Golden Outcome Prng

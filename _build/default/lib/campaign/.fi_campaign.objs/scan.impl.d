@@ -1,0 +1,1 @@
+lib/campaign/scan.ml: Array Defuse Faultspace Golden Hashtbl Injector List Option Outcome Program

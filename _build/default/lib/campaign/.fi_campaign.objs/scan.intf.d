@@ -1,0 +1,1 @@
+lib/campaign/scan.mli: Faultspace Golden Injector Outcome

@@ -1,0 +1,109 @@
+let to_string (scan : Scan.t) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# name,%s\n" scan.Scan.name;
+  add "# variant,%s\n" scan.Scan.variant;
+  add "# cycles,%d\n" scan.Scan.cycles;
+  add "# ram_bytes,%d\n" scan.Scan.ram_bytes;
+  add "# benign_weight,%d\n" scan.Scan.benign_weight;
+  add "byte,t_start,t_end,bit,outcome\n";
+  Array.iter
+    (fun (e : Scan.experiment) ->
+      add "%d,%d,%d,%d,%s\n" e.Scan.byte e.Scan.t_start e.Scan.t_end
+        e.Scan.bit_in_byte
+        (Outcome.to_string e.Scan.outcome))
+    scan.Scan.experiments;
+  Buffer.contents buf
+
+let save path scan =
+  let oc = open_out path in
+  (try output_string oc (to_string scan)
+   with exn ->
+     close_out_noerr oc;
+     raise exn);
+  close_out oc
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let meta = Hashtbl.create 8 in
+  let rows = ref [] in
+  let* () =
+    List.fold_left
+      (fun acc line ->
+        let* () = acc in
+        if String.length line > 2 && line.[0] = '#' then begin
+          match String.split_on_char ',' (String.sub line 2 (String.length line - 2)) with
+          | [ key; value ] ->
+              Hashtbl.replace meta key value;
+              Ok ()
+          | _ -> Error (Printf.sprintf "bad header line: %s" line)
+        end
+        else if String.length line > 4 && String.sub line 0 4 = "byte" then Ok ()
+        else begin
+          rows := line :: !rows;
+          Ok ()
+        end)
+      (Ok ()) lines
+  in
+  let lookup key =
+    match Hashtbl.find_opt meta key with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing header field %S" key)
+  in
+  let int_field key =
+    let* v = lookup key in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "header field %S is not an integer" key)
+  in
+  let* name = lookup "name" in
+  let* variant = lookup "variant" in
+  let* cycles = int_field "cycles" in
+  let* ram_bytes = int_field "ram_bytes" in
+  let* benign_weight = int_field "benign_weight" in
+  let parse_row line =
+    match String.split_on_char ',' line with
+    | [ byte; t_start; t_end; bit; outcome ] -> (
+        match
+          ( int_of_string_opt byte,
+            int_of_string_opt t_start,
+            int_of_string_opt t_end,
+            int_of_string_opt bit,
+            Outcome.of_string outcome )
+        with
+        | Some byte, Some t_start, Some t_end, Some bit_in_byte, Some outcome
+          ->
+            Ok { Scan.byte; t_start; t_end; bit_in_byte; outcome }
+        | _ -> Error (Printf.sprintf "bad row: %s" line))
+    | _ -> Error (Printf.sprintf "bad row: %s" line)
+  in
+  let* experiments =
+    List.fold_left
+      (fun acc line ->
+        let* items = acc in
+        let* row = parse_row line in
+        Ok (row :: items))
+      (Ok []) !rows
+  in
+  Ok
+    {
+      Scan.name;
+      variant;
+      cycles;
+      ram_bytes;
+      experiments = Array.of_list experiments;
+      benign_weight;
+    }
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      of_string text

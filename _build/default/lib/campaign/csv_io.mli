@@ -1,0 +1,14 @@
+(** Persistence of campaign results as CSV, so long campaigns can be run
+    once and re-analysed offline (FAIL* stores results in a database; a
+    flat file suffices here). *)
+
+val save : string -> Scan.t -> unit
+(** [save path scan] writes a header block and one row per experiment. *)
+
+val load : string -> (Scan.t, string) result
+(** Inverse of {!save}. *)
+
+val to_string : Scan.t -> string
+(** The serialised form, without touching the filesystem. *)
+
+val of_string : string -> (Scan.t, string) result

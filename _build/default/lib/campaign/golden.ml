@@ -1,0 +1,49 @@
+type t = {
+  program : Program.t;
+  output : string;
+  cycles : int;
+  event_count : int;
+  trace : Trace.t;
+  defuse : Defuse.t;
+}
+
+exception Golden_failed of Program.t * Machine.stop_reason
+
+let run ?(limit = 50_000_000) program =
+  let trace = Trace.create ~ram_size:program.Program.ram_size in
+  let tracer ~cycle ~addr ~width ~kind =
+    let kind =
+      match (kind : Machine.access_kind) with
+      | Machine.Read -> Trace.Read
+      | Machine.Write -> Trace.Write
+    in
+    Trace.add trace ~cycle ~addr ~width ~kind
+  in
+  let machine = Machine.create ~tracer program in
+  match Machine.run machine ~limit with
+  | Machine.Halted ->
+      let cycles = Machine.cycle machine in
+      Trace.seal trace ~total_cycles:cycles;
+      {
+        program;
+        output = Machine.serial_output machine;
+        cycles;
+        event_count = List.length (Machine.detection_events machine);
+        trace;
+        defuse = Defuse.analyze trace;
+      }
+  | (Machine.Trapped _ | Machine.Panicked _ | Machine.Cycle_limit) as reason ->
+      raise (Golden_failed (program, reason))
+
+let fault_space_size g = Defuse.fault_space_size g.defuse
+
+let timeout_limit g = (2 * g.cycles) + 2048
+
+let pp_summary ppf g =
+  Format.fprintf ppf
+    "%s: %d cycles, %d bytes RAM, fault space w = %d bit-cycles, %d pruned \
+     experiments (factor %.0f)"
+    g.program.Program.name g.cycles g.program.Program.ram_size
+    (fault_space_size g)
+    (Defuse.experiment_count g.defuse)
+    (Defuse.pruning_factor g.defuse)

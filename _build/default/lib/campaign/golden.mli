@@ -1,0 +1,36 @@
+(** The golden (fault-free) reference run.
+
+    Every campaign starts with one traced, fault-free execution that
+    defines correct behaviour (serial output), the benchmark's runtime Δt,
+    and the memory-access trace from which def/use pruning derives the
+    experiment plan. *)
+
+type t = private {
+  program : Program.t;
+  output : string;  (** Correct serial output. *)
+  cycles : int;  (** Δt: the benchmark's runtime in CPU cycles. *)
+  event_count : int;  (** Detection events during the fault-free run (normally 0). *)
+  trace : Trace.t;  (** Sealed access trace. *)
+  defuse : Defuse.t;  (** Fault-space partition. *)
+}
+
+exception Golden_failed of Program.t * Machine.stop_reason
+(** The fault-free run did not halt normally — the benchmark itself is
+    broken (or the [limit] too small). *)
+
+val run : ?limit:int -> Program.t -> t
+(** [run program] executes the fault-free run with tracing.  [limit]
+    bounds the run (default [50_000_000] cycles).
+
+    @raise Golden_failed if the program does not halt normally. *)
+
+val fault_space_size : t -> int
+(** Raw fault-space size [w = Δt × 8·Δm]. *)
+
+val timeout_limit : t -> int
+(** Watchdog budget for experiment runs: [2×] the golden runtime plus a
+    constant — generous enough for detection/correction detours, short
+    enough to catch corrupted loop bounds. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: name, cycles, RAM, fault-space size, experiments. *)

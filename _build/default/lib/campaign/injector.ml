@@ -1,0 +1,50 @@
+type strategy = Restart | Checkpoint
+
+let check_coord golden coord =
+  let total_cycles = golden.Golden.cycles in
+  let ram_size = golden.Golden.program.Program.ram_size in
+  if not (Faultspace.contains ~total_cycles ~ram_size coord) then
+    invalid_arg
+      (Format.asprintf "Injector: coordinate %a outside fault space"
+         Faultspace.pp_coord coord)
+
+let finish golden machine =
+  let stop = Machine.run machine ~limit:(Golden.timeout_limit golden) in
+  Outcome.classify ~golden_output:golden.Golden.output
+    ~golden_event_count:golden.Golden.event_count ~stop
+    ~output:(Machine.serial_output machine)
+    ~event_count:(List.length (Machine.detection_events machine))
+
+let run_at golden coord =
+  check_coord golden coord;
+  let machine = Machine.create golden.Golden.program in
+  Machine.run_until machine ~cycle:(coord.Faultspace.cycle - 1);
+  Machine.flip_bit machine coord.Faultspace.bit;
+  finish golden machine
+
+type session = {
+  golden : Golden.t;
+  pristine : Machine.t;
+  mutable at : int; (* cycles executed on the pristine machine *)
+}
+
+let session golden =
+  { golden; pristine = Machine.create golden.Golden.program; at = 0 }
+
+let session_run_flip s ~cycle ~flip =
+  let target = cycle - 1 in
+  if target < s.at then
+    invalid_arg "Injector.session_run_at: injection cycles must not decrease";
+  if target > s.at then begin
+    Machine.run_until s.pristine ~cycle:target;
+    s.at <- target
+  end;
+  let snapshot = Machine.Snapshot.capture s.pristine in
+  let machine = Machine.Snapshot.restore snapshot ~tracer:None in
+  flip machine;
+  finish s.golden machine
+
+let session_run_at s coord =
+  check_coord s.golden coord;
+  session_run_flip s ~cycle:coord.Faultspace.cycle ~flip:(fun machine ->
+      Machine.flip_bit machine coord.Faultspace.bit)

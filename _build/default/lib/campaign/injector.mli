@@ -1,0 +1,43 @@
+(** Single-experiment execution.
+
+    One FI experiment: run the benchmark from reset until just before the
+    injection cycle, flip one RAM bit, resume to completion (or watchdog),
+    and classify the outcome against the golden run — the procedure of
+    Section III-B of the paper.
+
+    Two execution strategies are provided.  [Restart] re-executes from
+    reset for every experiment (the textbook procedure).  [Checkpoint]
+    keeps a pristine machine advanced monotonically through injection
+    times and forks experiment runs from snapshots — observably identical
+    (the machine is deterministic; property-tested) but much faster for
+    campaigns with many injection points. *)
+
+type strategy = Restart | Checkpoint
+
+val run_at : Golden.t -> Faultspace.coord -> Outcome.t
+(** [run_at golden coord] conducts a single experiment at an arbitrary
+    fault-space coordinate (Restart strategy).
+
+    @raise Invalid_argument if [coord] lies outside the fault space. *)
+
+type session
+(** Checkpointed injection session over monotonically non-decreasing
+    injection cycles. *)
+
+val session : Golden.t -> session
+(** Fresh session positioned at reset. *)
+
+val session_run_at : session -> Faultspace.coord -> Outcome.t
+(** Like {!run_at} but reusing the session's pristine machine.  Injection
+    cycles must be presented in non-decreasing order.
+
+    @raise Invalid_argument on a decreasing injection cycle. *)
+
+val session_run_flip :
+  session -> cycle:int -> flip:(Machine.t -> unit) -> Outcome.t
+(** Generalised injection: advance to [cycle − 1], fork, apply [flip]
+    (any state mutation — e.g. a register bit flip for the Section-VI-B
+    extension) and classify the resumed run.  Same monotonicity
+    requirement as {!session_run_at}.
+
+    @raise Invalid_argument on a decreasing injection cycle. *)

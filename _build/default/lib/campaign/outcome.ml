@@ -1,0 +1,61 @@
+type t =
+  | No_effect
+  | Corrected
+  | Sdc
+  | Output_truncated
+  | Detected_fail_stop
+  | Trap_memory
+  | Trap_cpu
+  | Timeout
+
+let all =
+  [ No_effect; Corrected; Sdc; Output_truncated; Detected_fail_stop;
+    Trap_memory; Trap_cpu; Timeout ]
+
+let to_string = function
+  | No_effect -> "no_effect"
+  | Corrected -> "corrected"
+  | Sdc -> "sdc"
+  | Output_truncated -> "output_truncated"
+  | Detected_fail_stop -> "detected_fail_stop"
+  | Trap_memory -> "trap_memory"
+  | Trap_cpu -> "trap_cpu"
+  | Timeout -> "timeout"
+
+let of_string = function
+  | "no_effect" -> Some No_effect
+  | "corrected" -> Some Corrected
+  | "sdc" -> Some Sdc
+  | "output_truncated" -> Some Output_truncated
+  | "detected_fail_stop" -> Some Detected_fail_stop
+  | "trap_memory" -> Some Trap_memory
+  | "trap_cpu" -> Some Trap_cpu
+  | "timeout" -> Some Timeout
+  | _ -> None
+
+let pp ppf o = Format.pp_print_string ppf (to_string o)
+
+let is_benign = function
+  | No_effect | Corrected -> true
+  | Sdc | Output_truncated | Detected_fail_stop | Trap_memory | Trap_cpu
+  | Timeout ->
+      false
+
+let is_failure o = not (is_benign o)
+
+let is_prefix ~prefix s =
+  String.length prefix < String.length s
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+let classify ~golden_output ~golden_event_count ~stop ~output ~event_count =
+  match (stop : Machine.stop_reason) with
+  | Machine.Trapped (Misaligned_access _ | Unmapped_access _ | Rom_write _) ->
+      Trap_memory
+  | Machine.Trapped (Bad_pc _ | Division_by_zero) -> Trap_cpu
+  | Machine.Panicked _ -> Detected_fail_stop
+  | Machine.Cycle_limit -> Timeout
+  | Machine.Halted ->
+      if String.equal output golden_output then
+        if event_count > golden_event_count then Corrected else No_effect
+      else if is_prefix ~prefix:output golden_output then Output_truncated
+      else Sdc

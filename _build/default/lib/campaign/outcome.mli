@@ -1,0 +1,56 @@
+(** Experiment-outcome classification.
+
+    The paper's campaigns (Section II-D) distinguish eight experiment
+    outcome types, two of which — "No Effect" and "Detected & Corrected"
+    — are benign (no externally visible deviation); the other six are
+    coalesced into "Failure".  This module defines the same taxonomy for
+    our machine. *)
+
+type t =
+  | No_effect
+      (** Run indistinguishable from the golden run. *)
+  | Corrected
+      (** Output correct, but a fault-tolerance mechanism reported a
+          detected-and-corrected event: benign. *)
+  | Sdc
+      (** Silent data corruption: run terminated normally but the serial
+          output differs from the golden run. *)
+  | Output_truncated
+      (** Terminated normally with a proper prefix of the golden output —
+          separated from {!Sdc} because it usually indicates a skipped
+          computation rather than corrupted data. *)
+  | Detected_fail_stop
+      (** A mechanism detected an unrecoverable error and stopped the
+          machine through the panic port. *)
+  | Trap_memory
+      (** CPU exception: unmapped/misaligned access or ROM write. *)
+  | Trap_cpu
+      (** CPU exception: bad jump target or division by zero. *)
+  | Timeout
+      (** Watchdog expired (e.g. a corrupted loop bound). *)
+
+val all : t list
+(** All outcomes, in the order above. *)
+
+val to_string : t -> string
+(** Stable identifier, e.g. ["sdc"]; inverse of {!of_string}. *)
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val is_benign : t -> bool
+(** [No_effect] and [Corrected] — "can be interpreted as a benign
+    behavior that has no visible effect from the outside". *)
+
+val is_failure : t -> bool
+(** Negation of {!is_benign}; the paper's coalesced "Failure" type. *)
+
+val classify :
+  golden_output:string ->
+  golden_event_count:int ->
+  stop:Machine.stop_reason ->
+  output:string ->
+  event_count:int ->
+  t
+(** Classify one finished experiment run against its golden run. *)

@@ -1,0 +1,100 @@
+let register_count = 15
+let pseudo_ram_bytes = 4 * register_count
+
+let non_zero r = Isa.reg_index r <> 0
+
+let defs_uses (instr : Isa.instr) =
+  let writes, reads =
+    match instr with
+    | Isa.Nop | Isa.Halt -> ([], [])
+    | Isa.Li (rd, _) -> ([ rd ], [])
+    | Isa.Alu (_, rd, rs1, rs2) -> ([ rd ], [ rs1; rs2 ])
+    | Isa.Alui (_, rd, rs1, _) -> ([ rd ], [ rs1 ])
+    | Isa.Lb (rd, rs, _) | Isa.Lw (rd, rs, _) -> ([ rd ], [ rs ])
+    | Isa.Sb (rv, rs, _) | Isa.Sw (rv, rs, _) -> ([], [ rv; rs ])
+    | Isa.Beq (rs1, rs2, _, _) -> ([], [ rs1; rs2 ])
+    | Isa.Jmp _ -> ([], [])
+    | Isa.Jal (rd, _) -> ([ rd ], [])
+    | Isa.Jr rs -> ([], [ rs ])
+  in
+  (List.filter non_zero writes, List.filter non_zero reads)
+
+type t = { golden : Golden.t; reg_defuse : Defuse.t }
+
+let pseudo_addr r = 4 * (Isa.reg_index r - 1)
+
+let analyze ?limit program =
+  let golden = Golden.run ?limit program in
+  let trace = Trace.create ~ram_size:pseudo_ram_bytes in
+  let exec_tracer ~cycle instr =
+    let writes, reads = defs_uses instr in
+    (* Reads happen before the write within the cycle; Defuse relies on
+       that ordering for same-cycle read+write of one register. *)
+    List.iter
+      (fun r ->
+        Trace.add trace ~cycle ~addr:(pseudo_addr r) ~width:4 ~kind:Trace.Read)
+      reads;
+    List.iter
+      (fun r ->
+        Trace.add trace ~cycle ~addr:(pseudo_addr r) ~width:4 ~kind:Trace.Write)
+      writes
+  in
+  let machine = Machine.create ~exec_tracer program in
+  (match Machine.run machine ~limit:(golden.Golden.cycles + 1) with
+  | Machine.Halted -> ()
+  | reason ->
+      (* The machine is deterministic; a divergence here is a bug. *)
+      invalid_arg
+        (Format.asprintf "Regspace.analyze: register trace run stopped with %a"
+           Machine.pp_stop_reason reason));
+  Trace.seal trace ~total_cycles:golden.Golden.cycles;
+  { golden; reg_defuse = Defuse.analyze trace }
+
+let fault_space_size t = Defuse.fault_space_size t.reg_defuse
+
+let coord_of_bit bit =
+  let reg = 1 + (bit / 32) in
+  (reg, bit mod 32)
+
+let scan ?(variant = "registers") ?(progress = fun ~done_:_ ~total:_ -> ()) t =
+  let classes = Defuse.experiment_classes t.reg_defuse in
+  let order = Array.init (Array.length classes) (fun i -> i) in
+  Array.sort
+    (fun a b -> compare classes.(a).Defuse.t_end classes.(b).Defuse.t_end)
+    order;
+  let session = Injector.session t.golden in
+  let total = Array.length classes in
+  let results = Array.make (8 * total) None in
+  Array.iteri
+    (fun rank class_index ->
+      let c = classes.(class_index) in
+      for bit_in_byte = 0 to 7 do
+        let pseudo_bit = (c.Defuse.byte * 8) + bit_in_byte in
+        let reg, bit = coord_of_bit pseudo_bit in
+        let outcome =
+          Injector.session_run_flip session ~cycle:c.Defuse.t_end
+            ~flip:(fun machine -> Machine.flip_reg_bit machine ~reg ~bit)
+        in
+        results.((class_index * 8) + bit_in_byte) <-
+          Some
+            {
+              Scan.byte = c.Defuse.byte;
+              t_start = c.Defuse.t_start;
+              t_end = c.Defuse.t_end;
+              bit_in_byte;
+              outcome;
+            }
+      done;
+      progress ~done_:(rank + 1) ~total)
+    order;
+  let experiments =
+    Array.map (function Some e -> e | None -> assert false) results
+  in
+  {
+    Scan.name = t.golden.Golden.program.Program.name;
+    variant;
+    cycles = t.golden.Golden.cycles;
+    ram_bytes = pseudo_ram_bytes;
+    experiments;
+    benign_weight = Defuse.known_benign_weight t.reg_defuse;
+  }

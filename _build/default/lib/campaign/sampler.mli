@@ -1,0 +1,41 @@
+(** Fault sampling (Sections III-B, III-E and V-C of the paper).
+
+    Three samplers are provided:
+
+    - {!uniform_raw} — the correct procedure: coordinates drawn uniformly
+      from the raw, unpruned fault space.  Samples landing in the same
+      def/use class share one conducted experiment, but {e every sample
+      counts} in the estimate (avoiding Pitfall 2).
+    - {!uniform_effective} — the Corollary-1-aware refinement: the
+      population is reduced to the coordinates {e not} known a-priori
+      benign (w′ ≤ w); results must then be extrapolated to w′.
+    - {!biased_per_class} — the {e wrong} procedure that Pitfall 2 warns
+      about: def/use classes sampled uniformly, ignoring their weights.
+      Included to reproduce the bias quantitatively. *)
+
+type estimate = {
+  population : int;
+      (** Size of the sampled population: w for {!uniform_raw} and
+          {!biased_per_class}, w′ for {!uniform_effective}. *)
+  samples : int;  (** Number of samples drawn, N_sampled. *)
+  failures : int;  (** Failing samples, F_sampled. *)
+  outcome_counts : (Outcome.t * int) list;
+      (** Sample counts per outcome (sums to [samples]). *)
+  conducted : int;
+      (** Distinct FI experiments actually executed (≤ samples, thanks to
+          class memoisation and a-priori-benign skipping). *)
+}
+
+val failure_fraction : estimate -> float
+(** F_sampled / N_sampled. *)
+
+val uniform_raw : Prng.t -> samples:int -> Golden.t -> estimate
+(** Correct raw-space sampling. *)
+
+val uniform_effective : Prng.t -> samples:int -> Golden.t -> estimate
+(** Sampling restricted to the effective population w′ (experiment
+    classes only), weighted by class size. *)
+
+val biased_per_class : Prng.t -> samples:int -> Golden.t -> estimate
+(** Pitfall 2: classes drawn uniformly regardless of weight.  The
+    [population] reported is w (what a naive evaluator would assume). *)

@@ -1,0 +1,120 @@
+type experiment = {
+  byte : int;
+  t_start : int;
+  t_end : int;
+  bit_in_byte : int;
+  outcome : Outcome.t;
+}
+
+let experiment_weight e = e.t_end - e.t_start + 1
+
+type t = {
+  name : string;
+  variant : string;
+  cycles : int;
+  ram_bytes : int;
+  experiments : experiment array;
+  benign_weight : int;
+}
+
+let fault_space_size t = t.cycles * t.ram_bytes * 8
+
+let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
+    ?(progress = fun ~done_:_ ~total:_ -> ()) golden =
+  let defuse = golden.Golden.defuse in
+  let classes = Defuse.experiment_classes defuse in
+  (* The checkpoint session requires non-decreasing injection cycles;
+     classes are sorted by (byte, t_start), so sort a copy by t_end. *)
+  let order = Array.init (Array.length classes) (fun i -> i) in
+  Array.sort
+    (fun a b -> compare classes.(a).Defuse.t_end classes.(b).Defuse.t_end)
+    order;
+  let session =
+    match strategy with
+    | Injector.Checkpoint -> Some (Injector.session golden)
+    | Injector.Restart -> None
+  in
+  let total = Array.length classes in
+  let results = Array.make (8 * total) None in
+  Array.iteri
+    (fun rank class_index ->
+      let c = classes.(class_index) in
+      for bit_in_byte = 0 to 7 do
+        let coord = Faultspace.canonical_injection c ~bit_in_byte in
+        let outcome =
+          match session with
+          | Some s -> Injector.session_run_at s coord
+          | None -> Injector.run_at golden coord
+        in
+        results.((class_index * 8) + bit_in_byte) <-
+          Some
+            {
+              byte = c.Defuse.byte;
+              t_start = c.Defuse.t_start;
+              t_end = c.Defuse.t_end;
+              bit_in_byte;
+              outcome;
+            }
+      done;
+      progress ~done_:(rank + 1) ~total)
+    order;
+  let experiments =
+    Array.map
+      (function
+        | Some e -> e
+        | None -> assert false (* every slot is filled above *))
+      results
+  in
+  {
+    name = golden.Golden.program.Program.name;
+    variant;
+    cycles = golden.Golden.cycles;
+    ram_bytes = golden.Golden.program.Program.ram_size;
+    experiments;
+    benign_weight = Defuse.known_benign_weight defuse;
+  }
+
+let brute_force ?variant:_ golden =
+  let total_cycles = golden.Golden.cycles in
+  let ram_size = golden.Golden.program.Program.ram_size in
+  let out = ref [] in
+  Faultspace.iter ~total_cycles ~ram_size (fun coord ->
+      out := (coord, Injector.run_at golden coord) :: !out);
+  Array.of_list (List.rev !out)
+
+let expander t =
+  (* Index experiments per byte, sorted by t_start, for binary search. *)
+  let per_byte = Hashtbl.create 256 in
+  Array.iter
+    (fun e ->
+      let key = (e.byte, e.bit_in_byte) in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt per_byte key) in
+      Hashtbl.replace per_byte key (e :: existing))
+    t.experiments;
+  let sorted = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun key items ->
+      let arr = Array.of_list items in
+      Array.sort (fun a b -> compare a.t_start b.t_start) arr;
+      Hashtbl.replace sorted key arr)
+    per_byte;
+  fun (coord : Faultspace.coord) ->
+    let byte = coord.Faultspace.bit / 8 in
+    let bit_in_byte = coord.Faultspace.bit mod 8 in
+    let cycle = coord.Faultspace.cycle in
+    match Hashtbl.find_opt sorted (byte, bit_in_byte) with
+    | None -> Outcome.No_effect
+    | Some arr ->
+        (* Binary search for t_start <= cycle <= t_end. *)
+        let rec search lo hi =
+          if lo >= hi then Outcome.No_effect
+          else
+            let mid = (lo + hi) / 2 in
+            let e = arr.(mid) in
+            if cycle < e.t_start then search lo mid
+            else if cycle > e.t_end then search (mid + 1) hi
+            else e.outcome
+        in
+        search 0 (Array.length arr)
+
+let outcome_at t coord = expander t coord

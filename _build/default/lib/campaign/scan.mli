@@ -1,0 +1,60 @@
+(** Campaign execution: full fault-space scans.
+
+    A {e pruned scan} conducts one experiment per def/use equivalence
+    class and bit — everything a full fault-space scan can learn, at a
+    tiny fraction of the cost (Section III-C).  A {e brute-force scan}
+    conducts one experiment per raw fault-space coordinate; it exists to
+    validate pruning losslessly on small programs and as the ground truth
+    for the "Hi" Gedankenexperiment of Section IV. *)
+
+type experiment = {
+  byte : int;  (** RAM byte offset of the class. *)
+  t_start : int;  (** First cycle of the class interval. *)
+  t_end : int;  (** Last cycle — also the canonical injection cycle. *)
+  bit_in_byte : int;  (** 0–7. *)
+  outcome : Outcome.t;
+}
+
+val experiment_weight : experiment -> int
+(** Equivalence-class size [t_end − t_start + 1] — the weight Pitfall 1
+    requires each result to carry. *)
+
+type t = {
+  name : string;  (** Program name. *)
+  variant : string;  (** e.g. ["baseline"] or ["sum+dmr"]. *)
+  cycles : int;  (** Benchmark runtime Δt. *)
+  ram_bytes : int;  (** Benchmark memory usage Δm in bytes. *)
+  experiments : experiment array;  (** All conducted experiments. *)
+  benign_weight : int;
+      (** Fault-space coordinates (bit·cycles) known a-priori benign
+          (overwritten or dormant), {e not} conducted. *)
+}
+
+val fault_space_size : t -> int
+(** w = Δt × 8·Δm; equals the sum of all experiment weights plus
+    [benign_weight] (invariant, property-tested). *)
+
+val pruned :
+  ?variant:string ->
+  ?strategy:Injector.strategy ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  Golden.t ->
+  t
+(** [pruned golden] runs the complete pruned campaign: one experiment per
+    (experiment-class, bit).  Default strategy is [Checkpoint]; the
+    [Restart] strategy is observably identical but slower.  [progress] is
+    called after every class. *)
+
+val brute_force :
+  ?variant:string -> Golden.t -> (Faultspace.coord * Outcome.t) array
+(** One experiment per raw coordinate, cycle-major.  Cost is
+    [w] full machine runs — only for tiny validation programs. *)
+
+val outcome_at : t -> Faultspace.coord -> Outcome.t
+(** Expand pruned results back over the raw fault space: the outcome at
+    any coordinate (a-priori-benign coordinates yield [No_effect]).
+    Builds a lookup table on first use per call — for repeated queries use
+    {!expander}. *)
+
+val expander : t -> Faultspace.coord -> Outcome.t
+(** Pre-indexed version of {!outcome_at} for bulk queries. *)

@@ -1,0 +1,1 @@
+lib/core/accounting.ml: Format

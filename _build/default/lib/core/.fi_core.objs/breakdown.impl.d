@@ -1,0 +1,1 @@
+lib/core/breakdown.ml: Array List Outcome Program Scan

@@ -1,0 +1,1 @@
+lib/core/breakdown.mli: Program Scan

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Accounting Float Format Metrics

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Accounting Array Fit_rate Hashtbl List Option Outcome Sampler Scan

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Accounting Fit_rate Outcome Sampler Scan

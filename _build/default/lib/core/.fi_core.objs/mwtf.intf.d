@@ -1,0 +1,1 @@
+lib/core/mwtf.mli: Fit_rate Scan

@@ -1,0 +1,1 @@
+lib/core/pitfalls.ml: Accounting Compare Float Format Metrics Sampler Scan

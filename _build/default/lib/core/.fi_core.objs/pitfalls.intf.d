@@ -1,0 +1,1 @@
+lib/core/pitfalls.mli: Compare Format Sampler Scan

@@ -1,0 +1,15 @@
+type weighting = Weighted | Unweighted
+type population = Full_space | Conducted_only
+
+type t = { weighting : weighting; population : population }
+
+let correct = { weighting = Weighted; population = Full_space }
+let pitfall1 = { weighting = Unweighted; population = Conducted_only }
+let activated_only = { weighting = Weighted; population = Conducted_only }
+
+let pp ppf { weighting; population } =
+  Format.fprintf ppf "%s/%s"
+    (match weighting with Weighted -> "weighted" | Unweighted -> "unweighted")
+    (match population with
+    | Full_space -> "full-space"
+    | Conducted_only -> "conducted-only")

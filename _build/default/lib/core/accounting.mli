@@ -1,0 +1,35 @@
+(** Result-accounting policies.
+
+    How raw campaign results are turned into numbers is exactly where the
+    paper's pitfalls live, so the policy is an explicit value rather than
+    an implicit convention:
+
+    - [weighting]: whether each def/use experiment result is multiplied by
+      its equivalence-class size (the data lifetime).  [Unweighted] is
+      Pitfall 1; [Weighted] is correct for the uniform fault model.
+    - [population]: which coordinates form the denominator of coverage-
+      style metrics.  [Full_space] includes the a-priori benign
+      coordinates (the paper argues there is no plausible reason to omit
+      them); [Conducted_only] restricts to conducted experiments — the
+      restriction advocated by Barbosa et al. that Section IV-B shows to
+      be gameable (DFT′). *)
+
+type weighting = Weighted | Unweighted
+type population = Full_space | Conducted_only
+
+type t = { weighting : weighting; population : population }
+
+val correct : t
+(** [{ weighting = Weighted; population = Full_space }] — the only policy
+    under which coverage is a faithful estimate of
+    P(No Effect | 1 fault) for the uniform fault model. *)
+
+val pitfall1 : t
+(** [{ weighting = Unweighted; population = Conducted_only }] — raw
+    experiment counting, as criticised in Section III-D. *)
+
+val activated_only : t
+(** [{ weighting = Weighted; population = Conducted_only }] — weighted,
+    but counting only "activated" faults (Barbosa et al.). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type region = {
+  name : string;
+  first_byte : int;
+  bytes : int;
+  failure_mass : int;
+  byte_equivalents : float;
+}
+
+let regions_of (image : Program.t) =
+  let syms =
+    (* ROM symbols (rodata labels) are outside the fault space. *)
+    List.filter (fun (_, off) -> off < image.Program.ram_size)
+      image.Program.data_symbols
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  (* Consecutive symbols bound each region; the __stack sentinel (when
+     present) separates globals from the stack. *)
+  let rec spans = function
+    | (name, off) :: ((_, next) :: _ as rest) -> (name, off, next) :: spans rest
+    | [ (name, off) ] -> [ (name, off, image.Program.ram_size) ]
+    | [] -> [ ("<all ram>", 0, image.Program.ram_size) ]
+  in
+  List.map
+    (fun (name, lo, hi) ->
+      ((if name = "__stack" then "<stack>" else name), lo, hi))
+    (spans syms)
+
+let by_region (scan : Scan.t) (image : Program.t) =
+  let spans = Array.of_list (regions_of image) in
+  let mass = Array.make (Array.length spans) 0 in
+  let index_of byte =
+    let rec search lo hi =
+      if lo >= hi then None
+      else
+        let mid = (lo + hi) / 2 in
+        let _, l, h = spans.(mid) in
+        if byte < l then search lo mid
+        else if byte >= h then search (mid + 1) hi
+        else Some mid
+    in
+    search 0 (Array.length spans)
+  in
+  Array.iter
+    (fun (e : Scan.experiment) ->
+      if Outcome.is_failure e.Scan.outcome then
+        match index_of e.Scan.byte with
+        | Some k -> mass.(k) <- mass.(k) + Scan.experiment_weight e
+        | None -> ())
+    scan.Scan.experiments;
+  let denom = float_of_int (8 * scan.Scan.cycles) in
+  Array.to_list
+    (Array.mapi
+       (fun k (name, lo, hi) ->
+         {
+           name;
+           first_byte = lo;
+           bytes = hi - lo;
+           failure_mass = mass.(k);
+           byte_equivalents = float_of_int mass.(k) /. denom;
+         })
+       spans)
+  |> List.sort (fun a b -> compare b.failure_mass a.failure_mass)

@@ -1,0 +1,27 @@
+(** Failure-mass attribution: which data is actually vulnerable?
+
+    Campaign totals say *how much* a program fails; this analysis says
+    *where*: the weighted failure mass of every data region (global
+    variables, and the stack above them).  It is the tool that explains
+    the benchmark shapes in EXPERIMENTS.md — e.g. that hardened sync2's
+    failures concentrate in the unprotected result log whose lifetimes
+    the hardening overhead stretched. *)
+
+type region = {
+  name : string;  (** Data symbol, or ["<stack>"]. *)
+  first_byte : int;  (** RAM offset of the region start. *)
+  bytes : int;  (** Region extent. *)
+  failure_mass : int;  (** Weighted failing bit·cycles inside the region. *)
+  byte_equivalents : float;
+      (** [failure_mass / (8·Δt)]: how many always-failing bytes the mass
+          amounts to — comparable across variants with different
+          runtimes. *)
+}
+
+val by_region : Scan.t -> Program.t -> region list
+(** Regions in decreasing [failure_mass] order.  Region extents come from
+    consecutive data symbols; compiled programs and assembled sources
+    carry a ["__stack"] sentinel marking where the globals end.  Regions
+    with zero failure mass are included (with zeroes) so reports show
+    protected data going quiet.  Rendering lives in
+    {!Figures.breakdown}. *)

@@ -1,0 +1,29 @@
+type verdict = Improves | Worsens | Indistinguishable
+
+let pp_verdict ppf = function
+  | Improves -> Format.pp_print_string ppf "improves"
+  | Worsens -> Format.pp_print_string ppf "worsens"
+  | Indistinguishable -> Format.pp_print_string ppf "indistinguishable"
+
+let ratio ~baseline ~hardened =
+  let fb = float_of_int (Metrics.failure_count baseline) in
+  let fh = float_of_int (Metrics.failure_count hardened) in
+  fh /. fb
+
+let ratio_sampled ~baseline ~hardened =
+  Metrics.extrapolated_failures hardened
+  /. Metrics.extrapolated_failures baseline
+
+let verdict_of_ratio r =
+  if Float.is_nan r then Indistinguishable
+  else if r < 1.0 then Improves
+  else if r > 1.0 then Worsens
+  else Indistinguishable
+
+let coverage_comparison ?(policy = Accounting.correct) ~baseline ~hardened () =
+  let cb = Metrics.coverage ~policy baseline in
+  let ch = Metrics.coverage ~policy hardened in
+  if ch > cb then Improves else if ch < cb then Worsens else Indistinguishable
+
+let failure_comparison ~baseline ~hardened =
+  verdict_of_ratio (ratio ~baseline ~hardened)

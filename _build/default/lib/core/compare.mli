@@ -1,0 +1,38 @@
+(** Benchmark comparison (Section V of the paper).
+
+    The ground truth for "did hardening help?" is the ratio of absolute
+    failure probabilities, r = P(Failure)_hardened / P(Failure)_baseline,
+    which by Equation 6 reduces to the ratio of (extrapolated) absolute
+    failure counts.  [r < 1] means the hardened variant improves on the
+    baseline. *)
+
+type verdict = Improves | Worsens | Indistinguishable
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val ratio : baseline:Scan.t -> hardened:Scan.t -> float
+(** r = F_hardened / F_baseline using weighted full-scan failure counts —
+    the paper's Section V summary formula with w = N.  [infinity] when the
+    baseline has zero failures but the hardened variant does not; [nan]
+    when both are zero. *)
+
+val ratio_sampled :
+  baseline:Sampler.estimate -> hardened:Sampler.estimate -> float
+(** The sampled form:
+    r = (w_h · F_h / N_h) / (w_b · F_b / N_b), i.e. the ratio of
+    extrapolated failure counts (avoiding Corollary 2 of Pitfall 3). *)
+
+val verdict_of_ratio : float -> verdict
+(** [Improves] below 1, [Worsens] above, [Indistinguishable] at exactly 1
+    (or [nan]). *)
+
+val coverage_comparison :
+  ?policy:Accounting.t -> baseline:Scan.t -> hardened:Scan.t -> unit -> verdict
+(** What the (unsound) fault-coverage metric would conclude: [Improves]
+    iff hardened coverage exceeds baseline coverage.  Exposed so reports
+    can show coverage-based and failure-count-based verdicts side by side
+    — their disagreement on programs like sync2 is the paper's headline
+    result. *)
+
+val failure_comparison : baseline:Scan.t -> hardened:Scan.t -> verdict
+(** The correct verdict, [verdict_of_ratio (ratio ...)]. *)

@@ -1,0 +1,7 @@
+let runs_to_failure ?rate ?ns_per_cycle scan =
+  let p = Metrics.failure_probability ?rate ?ns_per_cycle scan in
+  if p <= 0.0 then infinity else 1.0 /. p
+
+let relative ?rate ?ns_per_cycle ~baseline ~hardened () =
+  runs_to_failure ?rate ?ns_per_cycle hardened
+  /. runs_to_failure ?rate ?ns_per_cycle baseline

@@ -1,0 +1,27 @@
+(** Mean Work To Failure (Reis et al. [41]), provided as the related-work
+    metric the paper discusses: it captures the performance/reliability
+    tradeoff by normalising failures to completed {e work units} rather
+    than to time or fault counts.
+
+    We instantiate "one work unit" as one completed benchmark run, so
+    MWTF = 1 / P(Failure per run), with P(Failure) from Equation 5 of the
+    paper.  Unlike fault coverage, MWTF correctly penalises hardening
+    overhead (a longer run accumulates more faults per unit of work) — it
+    orders variants the same way as the paper's absolute-failure-count
+    metric when the work definition matches the benchmark run. *)
+
+val runs_to_failure :
+  ?rate:Fit_rate.t -> ?ns_per_cycle:float -> Scan.t -> float
+(** Expected number of benchmark runs until the first failure,
+    1 / P(Failure).  [infinity] for failure-free scans. *)
+
+val relative :
+  ?rate:Fit_rate.t ->
+  ?ns_per_cycle:float ->
+  baseline:Scan.t ->
+  hardened:Scan.t ->
+  unit ->
+  float
+(** MWTF_hardened / MWTF_baseline: above 1 means hardening pays off per
+    unit of work.  Equal to 1/r of {!Compare.ratio} up to the (tiny)
+    e^{−gw} correction. *)

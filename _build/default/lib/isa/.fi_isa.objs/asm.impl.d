@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Format Hashtbl Int32 Isa List Result

@@ -1,0 +1,1 @@
+lib/isa/assembler.ml: Array Asm Buffer Bytes Char Format Hashtbl Int32 Isa List Memmap Printf Program Stdlib String

@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Array Format Int32 Isa Result

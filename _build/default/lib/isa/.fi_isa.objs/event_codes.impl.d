@@ -1,0 +1,1 @@
+lib/isa/event_codes.ml: Format Int32

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Bytes Format Hashtbl Isa List Option Printf

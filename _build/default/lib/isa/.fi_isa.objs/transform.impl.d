@@ -1,0 +1,1 @@
+lib/isa/transform.ml: Array Int32 Isa List Printf Program

@@ -1,0 +1,1 @@
+lib/isa/transform.mli: Isa Program

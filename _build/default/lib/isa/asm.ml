@@ -1,0 +1,84 @@
+type stmt =
+  | Label of string
+  | Ins of Isa.instr
+  | Branch of Isa.cond * Isa.reg * Isa.reg * string
+  | Jump of string
+  | Call of string
+  | Jal_to of Isa.reg * string
+  | Comment of string
+
+type error = Duplicate_label of string | Undefined_label of string
+
+let pp_error ppf = function
+  | Duplicate_label l -> Format.fprintf ppf "duplicate label %S" l
+  | Undefined_label l -> Format.fprintf ppf "undefined label %S" l
+
+let resolve stmts =
+  let table = Hashtbl.create 64 in
+  (* Pass 1: assign instruction indices to labels. *)
+  let rec index_labels pos = function
+    | [] -> Ok ()
+    | Label name :: rest ->
+        if Hashtbl.mem table name then Error (Duplicate_label name)
+        else begin
+          Hashtbl.add table name pos;
+          index_labels pos rest
+        end
+    | Comment _ :: rest -> index_labels pos rest
+    | (Ins _ | Branch _ | Jump _ | Call _ | Jal_to _) :: rest ->
+        index_labels (pos + 1) rest
+  in
+  let ( let* ) = Result.bind in
+  let* () = index_labels 0 stmts in
+  let lookup name =
+    match Hashtbl.find_opt table name with
+    | Some idx -> Ok idx
+    | None -> Error (Undefined_label name)
+  in
+  let rec emit acc = function
+    | [] -> Ok (List.rev acc)
+    | (Label _ | Comment _) :: rest -> emit acc rest
+    | Ins i :: rest -> emit (i :: acc) rest
+    | Branch (c, rs1, rs2, l) :: rest ->
+        let* t = lookup l in
+        emit (Isa.Beq (rs1, rs2, t, c) :: acc) rest
+    | Jump l :: rest ->
+        let* t = lookup l in
+        emit (Isa.Jmp t :: acc) rest
+    | Call l :: rest ->
+        let* t = lookup l in
+        emit (Isa.Jal (Isa.ra, t) :: acc) rest
+    | Jal_to (rd, l) :: rest ->
+        let* t = lookup l in
+        emit (Isa.Jal (rd, t) :: acc) rest
+  in
+  let* instrs = emit [] stmts in
+  let symbols =
+    Hashtbl.fold (fun name idx acc -> (name, idx) :: acc) table []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  Ok (Array.of_list instrs, symbols)
+
+let resolve_exn stmts =
+  match resolve stmts with
+  | Ok result -> result
+  | Error e -> invalid_arg (Format.asprintf "Asm.resolve: %a" pp_error e)
+
+let label name = Label name
+let nop = Ins Isa.Nop
+let halt = Ins Isa.Halt
+let li rd imm = Ins (Isa.Li (rd, imm))
+let lii rd imm = Ins (Isa.Li (rd, Int32.of_int imm))
+let alu op rd rs1 rs2 = Ins (Isa.Alu (op, rd, rs1, rs2))
+let alui op rd rs1 imm = Ins (Isa.Alui (op, rd, rs1, Int32.of_int imm))
+let mov rd rs = Ins (Isa.Alu (Isa.Add, rd, rs, Isa.r0))
+let lb rd rs off = Ins (Isa.Lb (rd, rs, Int32.of_int off))
+let lw rd rs off = Ins (Isa.Lw (rd, rs, Int32.of_int off))
+let sb rd rs off = Ins (Isa.Sb (rd, rs, Int32.of_int off))
+let sw rd rs off = Ins (Isa.Sw (rd, rs, Int32.of_int off))
+let branch c rs1 rs2 l = Branch (c, rs1, rs2, l)
+let jump l = Jump l
+let call l = Call l
+let ret = Ins (Isa.Jr Isa.ra)
+let jr rs = Ins (Isa.Jr rs)
+let comment text = Comment text

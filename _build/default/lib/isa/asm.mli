@@ -1,0 +1,59 @@
+(** Label-based assembly builder.
+
+    Code generators (the MIR compiler, the hand-written kernel stubs, the
+    textual assembler) emit a statement list in which control transfers
+    name labels; {!resolve} performs the classic two-pass assembly into an
+    [Isa.instr array] with absolute instruction indices. *)
+
+type stmt =
+  | Label of string  (** Defines a code position; emits no instruction. *)
+  | Ins of Isa.instr
+      (** A concrete instruction.  Control-flow instructions with already-
+          absolute targets are allowed but rarely useful here. *)
+  | Branch of Isa.cond * Isa.reg * Isa.reg * string
+      (** Conditional branch to a label. *)
+  | Jump of string  (** Unconditional jump to a label. *)
+  | Call of string  (** [jal ra, label]. *)
+  | Jal_to of Isa.reg * string  (** [jal rd, label] with explicit link register. *)
+  | Comment of string  (** Ignored by {!resolve}; kept for listings. *)
+
+type error =
+  | Duplicate_label of string
+  | Undefined_label of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val resolve : stmt list -> (Isa.instr array * (string * int) list, error) result
+(** [resolve stmts] assembles the statements, returning the instruction
+    array and the label table (label → instruction index). *)
+
+val resolve_exn : stmt list -> Isa.instr array * (string * int) list
+(** Like {!resolve}.
+    @raise Invalid_argument on assembly errors. *)
+
+(** Convenience constructors, so emitters read like assembly text. *)
+
+val label : string -> stmt
+val nop : stmt
+val halt : stmt
+val li : Isa.reg -> int32 -> stmt
+val lii : Isa.reg -> int -> stmt
+(** [li] taking an OCaml [int] immediate. *)
+
+val alu : Isa.alu_op -> Isa.reg -> Isa.reg -> Isa.reg -> stmt
+val alui : Isa.alu_op -> Isa.reg -> Isa.reg -> int -> stmt
+val mov : Isa.reg -> Isa.reg -> stmt
+(** [mov rd rs] is [add rd, rs, r0]. *)
+
+val lb : Isa.reg -> Isa.reg -> int -> stmt
+val lw : Isa.reg -> Isa.reg -> int -> stmt
+val sb : Isa.reg -> Isa.reg -> int -> stmt
+val sw : Isa.reg -> Isa.reg -> int -> stmt
+val branch : Isa.cond -> Isa.reg -> Isa.reg -> string -> stmt
+val jump : string -> stmt
+val call : string -> stmt
+val ret : stmt
+(** [jr ra]. *)
+
+val jr : Isa.reg -> stmt
+val comment : string -> stmt

@@ -1,0 +1,400 @@
+type error = { line : int; message : string }
+
+let pp_error ppf { line; message } =
+  Format.fprintf ppf "line %d: %s" line message
+
+exception Fail of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Fail { line; message })) fmt
+
+type section = Text | Data | Rodata
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment s =
+  (* Remove ;- or #-comments, but not inside string literals. *)
+  let buf = Buffer.create (String.length s) in
+  let in_string = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then begin
+           in_string := not !in_string;
+           Buffer.add_char buf c
+         end
+         else if (c = ';' || c = '#') && not !in_string then raise Exit
+         else Buffer.add_char buf c)
+       s
+   with Exit -> ());
+  Buffer.contents buf
+
+let split_tokens line_no s =
+  (* Split on whitespace and commas; keep "..." strings and off(reg)
+     together. *)
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let in_string = ref false in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        Buffer.add_char buf c;
+        if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' ->
+            Buffer.add_char buf c;
+            in_string := true
+        | ' ' | '\t' | ',' -> flush ()
+        | c -> Buffer.add_char buf c)
+    s;
+  if !in_string then fail line_no "unterminated string literal";
+  flush ();
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Operand parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_reg line tok =
+  match String.lowercase_ascii tok with
+  | "sp" -> Isa.sp
+  | "fp" -> Isa.fp
+  | "ra" -> Isa.ra
+  | "zero" -> Isa.r0
+  | s when String.length s >= 2 && s.[0] = 'r' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some i when i >= 0 && i <= 15 -> Isa.reg i
+      | Some _ | None -> fail line "bad register %S" tok)
+  | _ -> fail line "expected register, got %S" tok
+
+let parse_imm ~data_labels line tok =
+  let literal t =
+    if String.length t >= 3 && t.[0] = '\'' && t.[String.length t - 1] = '\''
+    then
+      if String.length t = 3 then Some (Char.code t.[1])
+      else if t = "'\\n'" then Some (Char.code '\n')
+      else if t = "'\\t'" then Some (Char.code '\t')
+      else if t = "'\\0'" then Some 0
+      else if t = "'\\''" then Some (Char.code '\'')
+      else None
+    else int_of_string_opt t
+  in
+  match literal tok with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt data_labels tok with
+      | Some addr -> addr
+      | None -> fail line "bad immediate or unknown data label %S" tok)
+
+let parse_mem ~data_labels line tok =
+  (* "off(reg)" or "(reg)" or "label" (absolute, base r0). *)
+  match String.index_opt tok '(' with
+  | Some open_paren ->
+      if tok.[String.length tok - 1] <> ')' then
+        fail line "bad memory operand %S" tok;
+      let off_str = String.sub tok 0 open_paren in
+      let reg_str =
+        String.sub tok (open_paren + 1) (String.length tok - open_paren - 2)
+      in
+      let off =
+        if off_str = "" then 0 else parse_imm ~data_labels line off_str
+      in
+      (parse_reg line reg_str, off)
+  | None -> (Isa.r0, parse_imm ~data_labels line tok)
+
+(* ------------------------------------------------------------------ *)
+(* Data directives                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_string line tok =
+  if String.length tok < 2 || tok.[0] <> '"' || tok.[String.length tok - 1] <> '"'
+  then fail line "expected string literal, got %S" tok;
+  let body = String.sub tok 1 (String.length tok - 2) in
+  (* Handle the escapes we need: \n \t \0 \\ *)
+  let buf = Buffer.create (String.length body) in
+  let i = ref 0 in
+  while !i < String.length body do
+    (if body.[!i] = '\\' && !i + 1 < String.length body then begin
+       (match body.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 't' -> Buffer.add_char buf '\t'
+       | '0' -> Buffer.add_char buf '\000'
+       | '\\' -> Buffer.add_char buf '\\'
+       | c -> fail line "unknown escape '\\%c'" c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf body.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type line_item = { no : int; label : option_label; body : string list }
+and option_label = string option
+
+let assemble ~name source =
+  try
+    let raw_lines = String.split_on_char '\n' source in
+    (* Phase 0: normalise into (line_no, optional label, tokens). *)
+    let items =
+      List.mapi
+        (fun idx raw ->
+          let no = idx + 1 in
+          let tokens = split_tokens no (strip_comment raw) in
+          match tokens with
+          | [] -> { no; label = None; body = [] }
+          | first :: rest when String.length first > 1
+                               && first.[String.length first - 1] = ':' ->
+              let label = String.sub first 0 (String.length first - 1) in
+              { no; label = Some label; body = rest }
+          | body -> { no; label = None; body })
+        raw_lines
+    in
+    (* Phase 1: lay out .data (RAM) and .rodata (ROM); collect data labels
+       as absolute addresses.  Also note declared RAM size. *)
+    let data_labels = Hashtbl.create 32 in
+    let data_buf = Buffer.create 64 in
+    let rodata_buf = Buffer.create 64 in
+    let ram_decl = ref None in
+    let section = ref Text in
+    let align4 buf =
+      while Buffer.length buf mod 4 <> 0 do
+        Buffer.add_char buf '\000'
+      done
+    in
+    let add_word buf v =
+      align4 buf;
+      let v = Int32.of_int v in
+      Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand v 0xFFl)));
+      Buffer.add_char buf
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xFFl)));
+      Buffer.add_char buf
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xFFl)));
+      Buffer.add_char buf
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xFFl)))
+    in
+    let current_data_addr () =
+      match !section with
+      | Data -> Buffer.length data_buf
+      | Rodata -> Memmap.rom_base + Buffer.length rodata_buf
+      | Text -> 0
+    in
+    let data_directive no = function
+      | ".word" :: values ->
+          let buf = if !section = Data then data_buf else rodata_buf in
+          align4 buf;
+          List.iter
+            (fun v -> add_word buf (parse_imm ~data_labels no v))
+            values
+      | ".byte" :: values ->
+          let buf = if !section = Data then data_buf else rodata_buf in
+          List.iter
+            (fun v ->
+              Buffer.add_char buf
+                (Char.chr (parse_imm ~data_labels no v land 0xFF)))
+            values
+      | [ ".space"; n ] ->
+          let buf = if !section = Data then data_buf else rodata_buf in
+          let n = parse_imm ~data_labels no n in
+          if n < 0 then fail no ".space with negative size";
+          Buffer.add_string buf (String.make n '\000')
+      | [ ".ascii"; s ] ->
+          let buf = if !section = Data then data_buf else rodata_buf in
+          Buffer.add_string buf (parse_string no s)
+      | [ ".align" ] ->
+          align4 (if !section = Data then data_buf else rodata_buf)
+      | tok :: _ -> fail no "unknown data directive %S" tok
+      | [] -> ()
+    in
+    List.iter
+      (fun { no; label; body } ->
+        match body with
+        | [ ".ram"; n ] -> ram_decl := Some (parse_imm ~data_labels no n)
+        | [ ".data" ] -> section := Data
+        | [ ".rodata" ] -> section := Rodata
+        | [ ".text" ] -> section := Text
+        | body -> (
+            match !section with
+            | Text -> () (* handled in phase 2 *)
+            | Data | Rodata ->
+                (match label with
+                | Some l ->
+                    (* .word alignment happens before the label would point
+                       at the padding; align eagerly for word directives. *)
+                    (match body with
+                    | ".word" :: _ | ".align" :: _ ->
+                        align4 (if !section = Data then data_buf else rodata_buf)
+                    | _ -> ());
+                    if Hashtbl.mem data_labels l then
+                      fail no "duplicate data label %S" l;
+                    Hashtbl.add data_labels l (current_data_addr ())
+                | None -> ());
+                data_directive no body))
+      items;
+    (* Phase 2: parse .text into Asm statements. *)
+    let stmts = ref [] in
+    let push s = stmts := s :: !stmts in
+    let section = ref Text in
+    let imm no tok = parse_imm ~data_labels no tok in
+    let alu_ops =
+      [ ("add", Isa.Add); ("sub", Isa.Sub); ("mul", Isa.Mul);
+        ("divu", Isa.Divu); ("remu", Isa.Remu); ("and", Isa.And);
+        ("or", Isa.Or); ("xor", Isa.Xor); ("shl", Isa.Shl); ("shr", Isa.Shr);
+        ("sar", Isa.Sar); ("slt", Isa.Slt); ("sltu", Isa.Sltu) ]
+    in
+    let conds =
+      [ ("beq", Isa.Eq); ("bne", Isa.Ne); ("blt", Isa.Lt); ("bge", Isa.Ge);
+        ("bltu", Isa.Ltu); ("bgeu", Isa.Geu) ]
+    in
+    let parse_instr no mnemonic operands =
+      let m = String.lowercase_ascii mnemonic in
+      match (m, operands) with
+      | "nop", [] -> push Asm.nop
+      | "halt", [] -> push Asm.halt
+      | ("li" | "la"), [ rd; v ] ->
+          push (Asm.lii (parse_reg no rd) (imm no v))
+      | "mov", [ rd; rs ] -> push (Asm.mov (parse_reg no rd) (parse_reg no rs))
+      | "lb", [ rd; mem ] ->
+          let base, off = parse_mem ~data_labels no mem in
+          push (Asm.lb (parse_reg no rd) base off)
+      | "lw", [ rd; mem ] ->
+          let base, off = parse_mem ~data_labels no mem in
+          push (Asm.lw (parse_reg no rd) base off)
+      | "sb", [ rd; mem ] ->
+          let base, off = parse_mem ~data_labels no mem in
+          push (Asm.sb (parse_reg no rd) base off)
+      | "sw", [ rd; mem ] ->
+          let base, off = parse_mem ~data_labels no mem in
+          push (Asm.sw (parse_reg no rd) base off)
+      | "jmp", [ l ] -> push (Asm.jump l)
+      | "call", [ l ] -> push (Asm.call l)
+      | "jal", [ rd; l ] -> push (Asm.Jal_to (parse_reg no rd, l))
+      | "jr", [ rs ] -> push (Asm.jr (parse_reg no rs))
+      | "ret", [] -> push Asm.ret
+      | _ -> (
+          match List.assoc_opt m conds with
+          | Some c -> (
+              match operands with
+              | [ rs1; rs2; l ] ->
+                  push (Asm.branch c (parse_reg no rs1) (parse_reg no rs2) l)
+              | _ -> fail no "branch %s expects: rs1, rs2, label" m)
+          | None -> (
+              match List.assoc_opt m alu_ops with
+              | Some op -> (
+                  match operands with
+                  | [ rd; rs1; rs2 ] ->
+                      push
+                        (Asm.alu op (parse_reg no rd) (parse_reg no rs1)
+                           (parse_reg no rs2))
+                  | _ -> fail no "%s expects: rd, rs1, rs2" m)
+              | None -> (
+                  (* Immediate ALU forms: "addi" etc. *)
+                  let n = String.length m in
+                  if n > 1 && m.[n - 1] = 'i' then
+                    match List.assoc_opt (String.sub m 0 (n - 1)) alu_ops with
+                    | Some op -> (
+                        match operands with
+                        | [ rd; rs1; v ] ->
+                            push
+                              (Asm.alui op (parse_reg no rd) (parse_reg no rs1)
+                                 (imm no v))
+                        | _ -> fail no "%s expects: rd, rs1, imm" m)
+                    | None -> fail no "unknown mnemonic %S" mnemonic
+                  else fail no "unknown mnemonic %S" mnemonic)))
+    in
+    List.iter
+      (fun { no; label; body } ->
+        match body with
+        | [ ".ram"; _ ] -> ()
+        | [ ".data" ] | [ ".rodata" ] -> section := Data
+        | [ ".text" ] -> section := Text
+        | body -> (
+            match !section with
+            | Data | Rodata -> ()
+            | Text -> (
+                (match label with Some l -> push (Asm.label l) | None -> ());
+                match body with
+                | [] -> ()
+                | mnemonic :: operands -> parse_instr no mnemonic operands)))
+      items;
+    let code, symbols =
+      match Asm.resolve (List.rev !stmts) with
+      | Ok result -> result
+      | Error e -> fail 0 "%s" (Format.asprintf "%a" Asm.pp_error e)
+    in
+    if Array.length code = 0 then fail 0 "no .text instructions";
+    let data = Buffer.to_bytes data_buf in
+    let default_ram =
+      let used = Bytes.length data in
+      let rounded = ((used + 64 + 3) / 4) * 4 in
+      Stdlib.max 64 rounded
+    in
+    let ram_size =
+      match !ram_decl with
+      | Some n -> n
+      | None -> default_ram
+    in
+    if Bytes.length data > ram_size then
+      fail 0 ".data section (%d bytes) exceeds .ram size (%d bytes)"
+        (Bytes.length data) ram_size;
+    let ram_init = if Bytes.length data = 0 then [] else [ (0, data) ] in
+    let data_symbols =
+      Hashtbl.fold (fun l addr acc -> (l, addr) :: acc) data_labels []
+      |> List.cons ("__stack", Bytes.length data)
+      |> List.sort (fun (_, a) (_, b) -> compare a b)
+    in
+    Ok
+      (Program.make ~name ~code ~rom:(Buffer.to_bytes rodata_buf) ~ram_init
+         ~symbols ~data_symbols ~ram_size ())
+  with
+  | Fail e -> Error e
+  | Invalid_argument msg -> Error { line = 0; message = msg }
+
+let assemble_exn ~name source =
+  match assemble ~name source with
+  | Ok p -> p
+  | Error e ->
+      invalid_arg (Format.asprintf "Assembler.assemble(%s): %a" name pp_error e)
+
+let disassemble (p : Program.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "; %s\n.ram %d\n" p.name p.ram_size;
+  if p.ram_init <> [] then begin
+    add ".data\n";
+    List.iter
+      (fun (off, data) ->
+        add "; chunk at offset %d\n" off;
+        Bytes.iter (fun c -> add ".byte %d\n" (Char.code c)) data)
+      p.ram_init
+  end;
+  if Bytes.length p.rom > 0 then begin
+    add ".rodata\n";
+    Bytes.iter (fun c -> add ".byte %d\n" (Char.code c)) p.rom
+  end;
+  add ".text\n";
+  let labels_at = Hashtbl.create 16 in
+  List.iter (fun (l, idx) -> Hashtbl.replace labels_at idx l) p.symbols;
+  Array.iteri
+    (fun idx instr ->
+      (match Hashtbl.find_opt labels_at idx with
+      | Some l -> add "%s:\n" l
+      | None -> ());
+      add "    %s\n" (Format.asprintf "%a" Isa.pp_instr instr))
+    p.code;
+  Buffer.contents buf

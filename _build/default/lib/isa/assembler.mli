@@ -1,0 +1,46 @@
+(** Textual assembler.
+
+    Parses a small but complete assembly language into a {!Program.t}:
+
+    {v
+    ; comments start with ';' or '#'
+    .ram 256                 ; fault-susceptible RAM size in bytes
+    .data                    ; initialised RAM data (part of the fault space)
+    counter:  .word 0
+    buffer:   .space 16
+    greeting: .ascii "Hi"
+    .rodata                  ; ROM constants (immune to faults)
+    table:    .word 1 2 3 4
+    .text
+    main:
+        li   r1, greeting    ; data labels are usable as immediates
+        lb   r2, 0(r1)
+        li   r3, 0xF00000    ; serial port
+        sb   r2, 0(r3)
+        beq  r2, r0, done
+        jmp  main
+    done:
+        halt
+    v}
+
+    Mnemonics: [nop halt li la mov] / [add sub mul divu remu and or xor shl
+    shr sar slt sltu] (and their [...i] immediate forms) / [lb lw sb sw] /
+    [beq bne blt bge bltu bgeu] / [jmp jal jr call ret].
+    Registers: [r0]–[r15] with aliases [sp]=r13, [fp]=r14, [ra]=r15.
+    Immediates: decimal, [0x] hex, ['c'] character, or a data label. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+(** Prints as ["line N: message"]. *)
+
+val assemble : name:string -> string -> (Program.t, error) result
+(** [assemble ~name source] parses and assembles [source]. *)
+
+val assemble_exn : name:string -> string -> Program.t
+(** Like {!assemble}.
+    @raise Invalid_argument with a rendered error on failure. *)
+
+val disassemble : Program.t -> string
+(** Round-trippable textual listing of a program's code section (data
+    sections are emitted as [.word] dumps). *)

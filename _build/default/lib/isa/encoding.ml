@@ -1,0 +1,231 @@
+type error =
+  | Immediate_out_of_range of Isa.instr
+  | Target_out_of_range of Isa.instr
+  | Bad_opcode of int32
+  | Bad_field of int32 * string
+
+let pp_error ppf = function
+  | Immediate_out_of_range i ->
+      Format.fprintf ppf "immediate out of range in: %a" Isa.pp_instr i
+  | Target_out_of_range i ->
+      Format.fprintf ppf "branch target out of range in: %a" Isa.pp_instr i
+  | Bad_opcode w -> Format.fprintf ppf "bad opcode in word 0x%08lx" w
+  | Bad_field (w, what) ->
+      Format.fprintf ppf "bad %s field in word 0x%08lx" what w
+
+(* Opcodes. *)
+let op_nop = 0
+let op_halt = 1
+let op_li = 2
+let op_alu = 3
+let op_alui = 4
+let op_lb = 5
+let op_lw = 6
+let op_sb = 7
+let op_sw = 8
+let op_branch = 9
+let op_jmp = 10
+let op_jal = 11
+let op_jr = 12
+
+let alu_code : Isa.alu_op -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Divu -> 3
+  | Remu -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shr -> 9
+  | Sar -> 10
+  | Slt -> 11
+  | Sltu -> 12
+
+let alu_of_code : int -> Isa.alu_op option = function
+  | 0 -> Some Add
+  | 1 -> Some Sub
+  | 2 -> Some Mul
+  | 3 -> Some Divu
+  | 4 -> Some Remu
+  | 5 -> Some And
+  | 6 -> Some Or
+  | 7 -> Some Xor
+  | 8 -> Some Shl
+  | 9 -> Some Shr
+  | 10 -> Some Sar
+  | 11 -> Some Slt
+  | 12 -> Some Sltu
+  | _ -> None
+
+let cond_code : Isa.cond -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ge -> 3
+  | Ltu -> 4
+  | Geu -> 5
+
+let cond_of_code : int -> Isa.cond option = function
+  | 0 -> Some Eq
+  | 1 -> Some Ne
+  | 2 -> Some Lt
+  | 3 -> Some Ge
+  | 4 -> Some Ltu
+  | 5 -> Some Geu
+  | _ -> None
+
+let fits_signed ~bits (v : int32) =
+  let lo = Int32.neg (Int32.shift_left 1l (bits - 1)) in
+  let hi = Int32.sub (Int32.shift_left 1l (bits - 1)) 1l in
+  Int32.compare v lo >= 0 && Int32.compare v hi <= 0
+
+let fits_unsigned ~bits v = v >= 0 && v < 1 lsl bits
+
+let encodable (i : Isa.instr) =
+  match i with
+  | Nop | Halt | Alu _ | Jr _ -> true
+  | Li (_, imm) -> fits_signed ~bits:23 imm
+  | Alui (_, _, _, imm) -> fits_signed ~bits:15 imm
+  | Lb (_, _, off) | Lw (_, _, off) | Sb (_, _, off) | Sw (_, _, off) ->
+      fits_signed ~bits:19 off
+  | Beq (_, _, t, _) -> fits_unsigned ~bits:16 t
+  | Jmp t -> fits_unsigned ~bits:18 t
+  | Jal (_, t) -> fits_unsigned ~bits:23 t
+
+(* Field packing helpers working on plain ints (words fit in 62 bits). *)
+let mask bits = (1 lsl bits) - 1
+let put value ~at ~bits word = word lor ((value land mask bits) lsl at)
+let get word ~at ~bits = (word lsr at) land mask bits
+
+let signed_of ~bits raw =
+  if raw land (1 lsl (bits - 1)) <> 0 then raw - (1 lsl bits) else raw
+
+let to_word i = Int32.of_int (i land 0xFFFFFFFF)
+let of_word w = Int32.to_int w land 0xFFFFFFFF
+
+let encode (i : Isa.instr) =
+  if not (encodable i) then
+    match i with
+    | Beq _ | Jmp _ | Jal _ -> Error (Target_out_of_range i)
+    | _ -> Error (Immediate_out_of_range i)
+  else
+    let op o = o lsl 27 in
+    let r (rg : Isa.reg) = Isa.reg_index rg in
+    let word =
+      match i with
+      | Nop -> op op_nop
+      | Halt -> op op_halt
+      | Li (rd, imm) ->
+          op op_li |> put (r rd) ~at:23 ~bits:4
+          |> put (Int32.to_int imm) ~at:0 ~bits:23
+      | Alu (o, rd, rs1, rs2) ->
+          op op_alu |> put (r rd) ~at:23 ~bits:4
+          |> put (r rs1) ~at:19 ~bits:4
+          |> put (r rs2) ~at:15 ~bits:4
+          |> put (alu_code o) ~at:11 ~bits:4
+      | Alui (o, rd, rs1, imm) ->
+          op op_alui |> put (r rd) ~at:23 ~bits:4
+          |> put (r rs1) ~at:19 ~bits:4
+          |> put (alu_code o) ~at:15 ~bits:4
+          |> put (Int32.to_int imm) ~at:0 ~bits:15
+      | Lb (rd, rs, off) ->
+          op op_lb |> put (r rd) ~at:23 ~bits:4
+          |> put (r rs) ~at:19 ~bits:4
+          |> put (Int32.to_int off) ~at:0 ~bits:19
+      | Lw (rd, rs, off) ->
+          op op_lw |> put (r rd) ~at:23 ~bits:4
+          |> put (r rs) ~at:19 ~bits:4
+          |> put (Int32.to_int off) ~at:0 ~bits:19
+      | Sb (rd, rs, off) ->
+          op op_sb |> put (r rd) ~at:23 ~bits:4
+          |> put (r rs) ~at:19 ~bits:4
+          |> put (Int32.to_int off) ~at:0 ~bits:19
+      | Sw (rd, rs, off) ->
+          op op_sw |> put (r rd) ~at:23 ~bits:4
+          |> put (r rs) ~at:19 ~bits:4
+          |> put (Int32.to_int off) ~at:0 ~bits:19
+      | Beq (rs1, rs2, t, c) ->
+          op op_branch |> put (r rs1) ~at:23 ~bits:4
+          |> put (r rs2) ~at:19 ~bits:4
+          |> put (cond_code c) ~at:16 ~bits:3
+          |> put t ~at:0 ~bits:16
+      | Jmp t -> op op_jmp |> put t ~at:0 ~bits:18
+      | Jal (rd, t) ->
+          op op_jal |> put (r rd) ~at:23 ~bits:4 |> put t ~at:0 ~bits:23
+      | Jr rs -> op op_jr |> put (r rs) ~at:23 ~bits:4
+    in
+    Ok (to_word word)
+
+let decode (w : int32) =
+  let word = of_word w in
+  let opcode = get word ~at:27 ~bits:5 in
+  let rd () = Isa.reg (get word ~at:23 ~bits:4) in
+  let rs1 () = Isa.reg (get word ~at:19 ~bits:4) in
+  let rs2 () = Isa.reg (get word ~at:15 ~bits:4) in
+  let ( let* ) = Result.bind in
+  if opcode = op_nop then Ok Isa.Nop
+  else if opcode = op_halt then Ok Isa.Halt
+  else if opcode = op_li then
+    Ok (Isa.Li (rd (), Int32.of_int (signed_of ~bits:23 (get word ~at:0 ~bits:23))))
+  else if opcode = op_alu then
+    let* o =
+      match alu_of_code (get word ~at:11 ~bits:4) with
+      | Some o -> Ok o
+      | None -> Error (Bad_field (w, "alu subop"))
+    in
+    Ok (Isa.Alu (o, rd (), rs1 (), rs2 ()))
+  else if opcode = op_alui then
+    let* o =
+      match alu_of_code (get word ~at:15 ~bits:4) with
+      | Some o -> Ok o
+      | None -> Error (Bad_field (w, "alu subop"))
+    in
+    Ok (Isa.Alui (o, rd (), rs1 (), Int32.of_int (signed_of ~bits:15 (get word ~at:0 ~bits:15))))
+  else if opcode = op_lb || opcode = op_lw || opcode = op_sb || opcode = op_sw
+  then
+    let off = Int32.of_int (signed_of ~bits:19 (get word ~at:0 ~bits:19)) in
+    let rs = rs1 () in
+    let rd = rd () in
+    if opcode = op_lb then Ok (Isa.Lb (rd, rs, off))
+    else if opcode = op_lw then Ok (Isa.Lw (rd, rs, off))
+    else if opcode = op_sb then Ok (Isa.Sb (rd, rs, off))
+    else Ok (Isa.Sw (rd, rs, off))
+  else if opcode = op_branch then
+    let* c =
+      match cond_of_code (get word ~at:16 ~bits:3) with
+      | Some c -> Ok c
+      | None -> Error (Bad_field (w, "branch condition"))
+    in
+    Ok (Isa.Beq (rd (), rs1 (), get word ~at:0 ~bits:16, c))
+  else if opcode = op_jmp then Ok (Isa.Jmp (get word ~at:0 ~bits:18))
+  else if opcode = op_jal then Ok (Isa.Jal (rd (), get word ~at:0 ~bits:23))
+  else if opcode = op_jr then Ok (Isa.Jr (rd ()))
+  else Error (Bad_opcode w)
+
+let encode_program instrs =
+  let out = Array.make (Array.length instrs) 0l in
+  let rec loop i =
+    if i = Array.length instrs then Ok out
+    else
+      match encode instrs.(i) with
+      | Ok w ->
+          out.(i) <- w;
+          loop (i + 1)
+      | Error e -> Error e
+  in
+  loop 0
+
+let decode_program words =
+  let out = Array.make (Array.length words) Isa.Nop in
+  let rec loop i =
+    if i = Array.length words then Ok out
+    else
+      match decode words.(i) with
+      | Ok instr ->
+          out.(i) <- instr;
+          loop (i + 1)
+      | Error e -> Error e
+  in
+  loop 0

@@ -1,0 +1,42 @@
+(** Binary encoding of instructions into 32-bit words.
+
+    The encoding exists so that programs have a concrete machine
+    representation (useful for hashing, storage, and the textual
+    assembler's object output) and is exercised by round-trip property
+    tests.  Field layout (bit 31 is the MSB):
+
+    {v
+    opcode : [31:27]            (5 bits)
+    Li     : rd [26:23], imm [22:0]  signed 23-bit
+    Alu    : rd [26:23], rs1 [22:19], rs2 [18:15], subop [14:11]
+    Alui   : rd [26:23], rs1 [22:19], subop [18:15], imm [14:0] signed
+    Ld/St  : rd [26:23], rs  [22:19], off [18:0] signed 19-bit
+    Branch : rs1 [26:23], rs2 [22:19], cond [18:16], target [15:0]
+    Jmp    : target [17:0]
+    Jal    : rd [26:23], target [22:0]
+    Jr     : rs [26:23]
+    v} *)
+
+type error =
+  | Immediate_out_of_range of Isa.instr
+  | Target_out_of_range of Isa.instr
+  | Bad_opcode of int32
+  | Bad_field of int32 * string
+
+val pp_error : Format.formatter -> error -> unit
+
+val encodable : Isa.instr -> bool
+(** Whether all immediates and targets fit their fields. *)
+
+val encode : Isa.instr -> (int32, error) result
+(** Encode one instruction. *)
+
+val decode : int32 -> (Isa.instr, error) result
+(** Decode one word.  [decode (encode i) = Ok i] for every encodable
+    [i] (property-tested). *)
+
+val encode_program : Isa.instr array -> (int32 array, error) result
+(** Encode a whole instruction stream, failing on the first problem. *)
+
+val decode_program : int32 array -> (Isa.instr array, error) result
+(** Inverse of {!encode_program}. *)

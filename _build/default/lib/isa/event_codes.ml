@@ -1,0 +1,7 @@
+let corrected = 1l
+let detected = 2l
+
+let pp ppf code =
+  if Int32.equal code corrected then Format.pp_print_string ppf "corrected"
+  else if Int32.equal code detected then Format.pp_print_string ppf "detected"
+  else Format.fprintf ppf "event(%ld)" code

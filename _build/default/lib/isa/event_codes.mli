@@ -1,0 +1,18 @@
+(** Detection-event codes written to {!Memmap.detect_port} by software
+    fault-tolerance mechanisms.
+
+    These mirror the experiment-outcome bookkeeping of the FAIL* campaigns
+    in the paper (Section II-D): a run that stays output-correct {e and}
+    reported only [corrected] events is classified as benign
+    ("Detected & Corrected", coalesced into "No Effect" by the paper). *)
+
+val corrected : int32
+(** 1 — an error was detected and repaired (e.g. SUM+DMR restored a
+    protected object from its replica). *)
+
+val detected : int32
+(** 2 — an error was detected but not repaired; the mechanism is expected
+    to fail-stop immediately after reporting. *)
+
+val pp : Format.formatter -> int32 -> unit
+(** Symbolic rendering of a code. *)

@@ -1,0 +1,15 @@
+let ram_base = 0x0000_0000
+let rom_base = 0x0010_0000
+let rom_limit = 0x0020_0000
+let mmio_base = 0x0030_0000
+let serial_port = mmio_base
+let detect_port = mmio_base + 4
+let panic_port = mmio_base + 8
+
+type region = Ram | Rom | Mmio | Unmapped
+
+let classify ~ram_size addr =
+  if addr >= ram_base && addr < ram_base + ram_size then Ram
+  else if addr >= rom_base && addr < rom_limit then Rom
+  else if addr >= mmio_base && addr < mmio_base + 16 then Mmio
+  else Unmapped

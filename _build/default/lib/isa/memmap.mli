@@ -1,0 +1,39 @@
+(** The machine's physical address map.
+
+    Three regions exist, mirroring the paper's model: fault-susceptible
+    RAM (the fault space), fault-immune ROM data (constants; "the CPU
+    executes programs from read-only memory", and we extend the same
+    immunity to constant data), and memory-mapped I/O devices.  Only RAM
+    bits are part of the fault space. *)
+
+val ram_base : int
+(** 0x0000_0000.  RAM occupies [\[ram_base, ram_base + ram_size)]. *)
+
+val rom_base : int
+(** 0x0010_0000.  Read-only constant data. *)
+
+val rom_limit : int
+(** Exclusive upper bound of the ROM data window (1 MiB). *)
+
+val mmio_base : int
+(** 0x0030_0000 — low enough that device addresses fit a single [li]. *)
+
+val serial_port : int
+(** Byte store here appends one character to the serial output — the
+    observable behaviour failure detection compares against the golden
+    run. *)
+
+val detect_port : int
+(** Word store here records a detection event: a fault-tolerance
+    mechanism noticed (and possibly corrected) an error.  The stored
+    value is an event code; see {!Event_codes}. *)
+
+val panic_port : int
+(** Word store here terminates the run as a detected, unrecoverable
+    failure (fail-stop). *)
+
+type region = Ram | Rom | Mmio | Unmapped
+
+val classify : ram_size:int -> int -> region
+(** [classify ~ram_size addr] is the region containing byte address
+    [addr]. *)

@@ -1,0 +1,56 @@
+let retarget shift instr =
+  match (instr : Isa.instr) with
+  | Isa.Beq (rs1, rs2, t, c) -> Isa.Beq (rs1, rs2, t + shift, c)
+  | Isa.Jmp t -> Isa.Jmp (t + shift)
+  | Isa.Jal (rd, t) -> Isa.Jal (rd, t + shift)
+  | ( Isa.Nop | Isa.Halt | Isa.Li _ | Isa.Alu _ | Isa.Alui _ | Isa.Lb _
+    | Isa.Lw _ | Isa.Sb _ | Isa.Sw _ | Isa.Jr _ ) as i ->
+      i
+
+let prepend ?(suffix = "+prologue") prologue (p : Program.t) =
+  List.iter
+    (fun i ->
+      if Isa.branch_targets i <> [] || (match i with Isa.Jr _ -> true | _ -> false)
+      then invalid_arg "Transform.prepend: prologue must be branch-free")
+    prologue;
+  let shift = List.length prologue in
+  let code =
+    Array.append (Array.of_list prologue) (Array.map (retarget shift) p.code)
+  in
+  let symbols = List.map (fun (l, i) -> (l, i + shift)) p.Program.symbols in
+  Program.make ~name:(p.Program.name ^ suffix) ~code ~rom:p.Program.rom
+    ~ram_init:p.Program.ram_init ~reg_init:p.Program.reg_init ~symbols
+    ~data_symbols:p.Program.data_symbols ~ram_size:p.Program.ram_size ()
+
+let dilute_nops ~cycles p =
+  if cycles < 0 then invalid_arg "Transform.dilute_nops: negative count";
+  prepend
+    ~suffix:(Printf.sprintf "+dft%d" cycles)
+    (List.init cycles (fun _ -> Isa.Nop))
+    p
+
+let dilute_loads ~cycles ~addrs p =
+  if cycles < 0 then invalid_arg "Transform.dilute_loads: negative count";
+  if addrs = [] then invalid_arg "Transform.dilute_loads: no addresses";
+  List.iter
+    (fun a ->
+      if a < 0 || a >= p.Program.ram_size then
+        invalid_arg "Transform.dilute_loads: address outside RAM")
+    addrs;
+  let addrs = Array.of_list addrs in
+  let scratch = Isa.reg 9 in
+  let prologue =
+    List.init cycles (fun i ->
+        Isa.Lb (scratch, Isa.r0, Int32.of_int addrs.(i mod Array.length addrs)))
+  in
+  prepend ~suffix:(Printf.sprintf "+dft'%d" cycles) prologue p
+
+let dilute_memory ~bytes (p : Program.t) =
+  if bytes < 0 then invalid_arg "Transform.dilute_memory: negative size";
+  Program.make
+    ~name:(Printf.sprintf "%s+pad%d" p.Program.name bytes)
+    ~code:p.Program.code ~rom:p.Program.rom ~ram_init:p.Program.ram_init
+    ~reg_init:p.Program.reg_init ~symbols:p.Program.symbols
+    ~data_symbols:p.Program.data_symbols
+    ~ram_size:(p.Program.ram_size + bytes)
+    ()

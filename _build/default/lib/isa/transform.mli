@@ -1,0 +1,43 @@
+(** ISA-level program transformations.
+
+    The home of "Dilution Fault Tolerance" (Section IV of the paper): a
+    deliberately useless transformation that inflates a benchmark's fault
+    space (runtime and/or memory) without changing its behaviour — thereby
+    inflating the fault-coverage metric while the absolute failure count
+    stays exactly the same.  These exist to demonstrate why fault coverage
+    must not be used for program comparison.
+
+    Prepending instructions shifts all absolute branch targets; the
+    transforms retarget direct control transfers automatically.  Programs
+    whose registers hold {e code} addresses as data (computed jumps beyond
+    return addresses produced after the prologue) would not survive
+    retargeting — no program in this repository does that, and the MIR
+    compiler never emits such code. *)
+
+val prepend : ?suffix:string -> Isa.instr list -> Program.t -> Program.t
+(** [prepend prologue p] inserts [prologue] before [p]'s entry point and
+    retargets all direct branches.  The prologue must not contain direct
+    control transfers.  [suffix] (default ["+prologue"]) is appended to
+    the program name.
+
+    @raise Invalid_argument if the prologue contains branches. *)
+
+val dilute_nops : cycles:int -> Program.t -> Program.t
+(** DFT: prepend [cycles] NOP instructions, extending the benchmark's
+    runtime Δt and thus its fault space, with all added coordinates
+    a-priori benign.  Name suffix ["+dft<N>"]. *)
+
+val dilute_loads : cycles:int -> addrs:int list -> Program.t -> Program.t
+(** DFT′: prepend [cycles] byte loads into a scratch register (r9),
+    cycling over RAM addresses [addrs].  Like {!dilute_nops}, but the
+    added fault-space coordinates are {e activated} (the corrupted value
+    is loaded and discarded), defeating the "count only activated faults"
+    repair of the coverage metric.  Name suffix ["+dft'<N>"].
+
+    @raise Invalid_argument if [addrs] is empty or an address is outside
+    RAM. *)
+
+val dilute_memory : bytes:int -> Program.t -> Program.t
+(** The space-dimension dilution mentioned in Section IV-C: enlarge RAM by
+    [bytes] unused bytes.  Runtime is unchanged; the fault space grows by
+    [bytes × 8 × Δt] dormant coordinates.  Name suffix ["+pad<N>"]. *)

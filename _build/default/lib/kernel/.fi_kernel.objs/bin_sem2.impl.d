@@ -1,0 +1,1 @@
+lib/kernel/bin_sem2.ml: Builder Codegen Harden Kernel_lib List Mir

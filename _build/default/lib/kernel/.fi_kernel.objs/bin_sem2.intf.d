@@ -1,0 +1,1 @@
+lib/kernel/bin_sem2.mli: Mir Program

@@ -1,0 +1,1 @@
+lib/kernel/flag1.mli: Mir Program

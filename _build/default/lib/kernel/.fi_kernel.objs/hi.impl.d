@@ -1,0 +1,1 @@
+lib/kernel/hi.ml: Bytes Char Int32 Isa Memmap Program Transform

@@ -1,0 +1,1 @@
+lib/kernel/kernel_lib.ml: Builder List

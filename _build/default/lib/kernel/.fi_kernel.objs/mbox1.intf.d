@@ -1,0 +1,1 @@
+lib/kernel/mbox1.mli: Mir Program

@@ -1,0 +1,1 @@
+lib/kernel/mutex1.ml: Builder Codegen Harden Kernel_lib Mir

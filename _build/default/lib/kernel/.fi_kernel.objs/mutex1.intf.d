@@ -1,0 +1,1 @@
+lib/kernel/mutex1.mli: Mir Program

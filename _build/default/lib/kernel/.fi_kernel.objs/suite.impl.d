@@ -1,0 +1,1 @@
+lib/kernel/suite.ml: Bin_sem2 Flag1 List Mbox1 Mutex1 Program Sync2

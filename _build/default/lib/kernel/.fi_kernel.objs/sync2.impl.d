@@ -1,0 +1,1 @@
+lib/kernel/sync2.ml: Builder Codegen Harden Kernel_lib List Mir

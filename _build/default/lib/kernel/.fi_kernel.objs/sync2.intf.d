@@ -1,0 +1,1 @@
+lib/kernel/sync2.mli: Mir Program

@@ -1,0 +1,88 @@
+let rounds_default = 8
+
+let build rounds =
+  let open Builder in
+  let globals =
+    Kernel_lib.globals ~protect_objects:true ()
+    @ [
+        array ~protected:true "collected" 2;
+        array "set_rounds" 2;
+        global "got_rounds";
+      ]
+  in
+  (* A setter may run at most one round ahead of the collector, so the
+     benchmark terminates deterministically under round-robin. *)
+  let setter tid bit =
+    func
+      (Printf.sprintf "setter%d_step" tid)
+      [
+        Mir.If
+          ( elem "set_rounds" (i tid) >=: i rounds,
+            [ call_ "k_thread_done" [ i tid ]; ret_unit ],
+            [] );
+        Mir.If
+          ( elem "set_rounds" (i tid) <=: g "got_rounds",
+            [
+              call_ "k_flag_set" [ i bit ];
+              set_elem "set_rounds" (i tid) (elem "set_rounds" (i tid) +: i 1);
+            ],
+            [] );
+        ret_unit;
+      ]
+  in
+  let collector =
+    func "collector_step" ~locals:[ "ok" ]
+      [
+        Mir.Set_local ("ok", call "k_flag_poll_and" [ i 0b11 ]);
+        Mir.If
+          ( l "ok",
+            [
+              call_ "fold_round" [ g "got_rounds" ];
+              setg "got_rounds" (g "got_rounds" +: i 1);
+              Mir.If
+                ( g "got_rounds" >=: i rounds,
+                  [ call_ "k_thread_done" [ i 2 ] ],
+                  [] );
+            ],
+            [] );
+        ret_unit;
+      ]
+  in
+  let fold_round =
+    func "fold_round" ~params:[ "n" ] ~protects:[ "collected" ]
+      [
+        set_elem "collected" (i 0) (elem "collected" (i 0) +: i 1);
+        set_elem "collected" (i 1)
+          ((elem "collected" (i 1) *: i 5) +: l "n" &: i 0xFFFF);
+        ret_unit;
+      ]
+  in
+  let main =
+    func "main" ~locals:[ "__alive" ]
+      (Kernel_lib.scheduler ~nthreads:3 ~dispatch:(fun tid ->
+           [
+             call_
+               (match tid with
+               | 0 -> "setter0_step"
+               | 1 -> "setter1_step"
+               | _ -> "collector_step")
+               [];
+           ])
+      @ [
+          out_str "flag1 ";
+          call_ out_dec [ elem "collected" (i 0) ];
+          out (i 32);
+          call_ out_dec [ elem "collected" (i 1) ];
+          out_str " done\n";
+          ret_unit;
+        ])
+  in
+  prog ~name:"flag1" ~stack:160 globals
+    ([ fold_round; setter 0 1; setter 1 2; collector; main ]
+    @ Kernel_lib.funcs ~protect_objects:true ()
+    @ stdlib)
+
+let program ?(rounds = rounds_default) () = build rounds
+let baseline ?rounds () = Codegen.compile (program ?rounds ())
+let sum_dmr ?rounds () = Codegen.compile (Harden.sum_dmr (program ?rounds ()))
+let tmr ?rounds () = Codegen.compile (Harden.tmr (program ?rounds ()))

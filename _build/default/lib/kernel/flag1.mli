@@ -1,0 +1,13 @@
+(** The [flag1] benchmark (additional eCos-style kernel test): two setter
+    threads each raise their event bit once per round; a collector thread
+    polls for the conjunction of both bits, consumes them, and folds the
+    round number into a protected record.  Exercises the event-flags
+    kernel object under contention. *)
+
+val rounds_default : int
+(** Collector rounds (8). *)
+
+val program : ?rounds:int -> unit -> Mir.prog
+val baseline : ?rounds:int -> unit -> Program.t
+val sum_dmr : ?rounds:int -> unit -> Program.t
+val tmr : ?rounds:int -> unit -> Program.t

@@ -1,0 +1,37 @@
+let program () =
+  let open Isa in
+  let rH = reg 1 in
+  let rRom = reg 3 in
+  let rSerial = reg 7 in
+  let r2 = reg 2 in
+  let r4 = reg 4 in
+  let r5 = reg 5 in
+  let code =
+    [|
+      Sb (rH, r0, 0l) (* 1: msg[0] <- 'H' *);
+      Lb (r2, rRom, 0l) (* 2: r2 <- 'i' (ROM, immune) *);
+      Sb (r2, r0, 1l) (* 3: msg[1] <- 'i' *);
+      Lb (r4, r0, 0l) (* 4: r4 <- msg[0] *);
+      Sb (r4, rSerial, 0l) (* 5: serial <- r4 *);
+      Lb (r5, r0, 1l) (* 6: r5 <- msg[1] *);
+      Sb (r5, rSerial, 0l) (* 7: serial <- r5 *);
+      Halt (* 8 *);
+    |]
+  in
+  Program.make ~name:"hi" ~code
+    ~rom:(Bytes.of_string "i")
+    ~reg_init:
+      [
+        (rH, Int32.of_int (Char.code 'H'));
+        (rRom, Int32.of_int Memmap.rom_base);
+        (rSerial, Int32.of_int Memmap.serial_port);
+      ]
+    ~symbols:[ ("main", 0) ]
+    ~ram_size:2 ()
+
+let dft ?(nops = 4) () = Transform.dilute_nops ~cycles:nops (program ())
+
+let dft' ?(loads = 4) () =
+  Transform.dilute_loads ~cycles:loads ~addrs:[ 0; 1 ] (program ())
+
+let dft_memory ?(bytes = 2) () = Transform.dilute_memory ~bytes (program ())

@@ -1,0 +1,34 @@
+(** The "Hi" Gedankenexperiment program of Section IV, reproduced with the
+    paper's exact fault-space arithmetic: 8 instructions (one cycle each)
+    over 2 bytes of RAM give a fault space of 8 × 16 = 128 coordinates, of
+    which exactly 48 are failures — fault coverage 62.5 %.
+
+    Schedule (cycle: instruction):
+    {v
+    1: sb  'H' -> msg[0]      (W)    5: sb r4 -> serial
+    2: lb  'i' from ROM              6: lb r5 <- msg[1]  (R)
+    3: sb  'i' -> msg[1]      (W)    7: sb r5 -> serial
+    4: lb  r4 <- msg[0]       (R)    8: halt
+    v}
+
+    [msg\[0\]] lives cycles 2–4 and [msg\[1\]] lives 4–6: 3 cycles × 8 bits
+    × 2 bytes = 48 failing coordinates. *)
+
+val program : unit -> Program.t
+(** The baseline program; golden output is ["Hi"]. *)
+
+val dft : ?nops:int -> unit -> Program.t
+(** "Dilution Fault Tolerance": [nops] (default 4) NOPs prepended.  With
+    the default, coverage inflates to 75.0 % while the failure count
+    stays 48. *)
+
+val dft' : ?loads:int -> unit -> Program.t
+(** DFT′: dilution by [loads] (default 4) alternating reads of the two
+    message bytes, so the added fault-space coordinates count as
+    "activated" — defeating the count-only-activated-faults repair of
+    the coverage metric (Section IV-B). *)
+
+val dft_memory : ?bytes:int -> unit -> Program.t
+(** Space-dimension dilution: [bytes] (default 2) unused RAM bytes
+    appended (Section IV-C notes DFT "could also simply have used more
+    memory"). *)

@@ -1,0 +1,119 @@
+let nthreads_max = 4
+let nsems_max = 4
+let nmutex_max = 2
+let mbox_cap = 4
+let klog_words = 32
+
+let globals ?(protect_sched = false) ?(protect_log = false) ~protect_objects
+    () =
+  let open Builder in
+  [
+    array ~protected:protect_sched "thr_state" nthreads_max;
+    array ~protected:protect_objects "sem_val" nsems_max;
+    array ~protected:protect_objects "mtx_owner" nmutex_max;
+    array ~protected:protect_objects "mbox_ring" mbox_cap;
+    global ~protected:protect_objects "mbox_head";
+    global ~protected:protect_objects "mbox_tail";
+    global ~protected:protect_objects "flag_val";
+    (* Kernel event trace: a write-only ring recording every kernel entry
+       (the kind of instrumentation buffer eCos keeps per object).  Only
+       consulted post-mortem, so in an unhardened system faults in it are
+       almost always overwritten before activation. *)
+    array ~protected:protect_log "klog" klog_words;
+    global "klog_pos";
+  ]
+
+let funcs ?(protect_sched = false) ?(protect_log = false) ~protect_objects
+    () =
+  let open Builder in
+  let p names = if protect_objects then names else [] in
+  let ps names = if protect_sched then names else [] in
+  let pl names = if protect_log then names else [] in
+  let log op = call_ "k_log" [ i op ] in
+  [
+    func "k_log" ~params:[ "op" ] ~protects:(pl [ "klog" ])
+      [
+        set_elem "klog" (g "klog_pos" %: i klog_words) (l "op");
+        setg "klog_pos" (g "klog_pos" +: i 1);
+        ret_unit;
+      ];
+    func "k_sem_trywait" ~params:[ "id" ] ~protects:(p [ "sem_val" ])
+      (log 1
+      :: if_else
+         (elem "sem_val" (l "id") >: i 0)
+         [ set_elem "sem_val" (l "id") (elem "sem_val" (l "id") -: i 1);
+           ret (i 1) ]
+         [ ret (i 0) ]);
+    func "k_sem_post" ~params:[ "id" ] ~protects:(p [ "sem_val" ])
+      [ log 2;
+        set_elem "sem_val" (l "id") (elem "sem_val" (l "id") +: i 1);
+        ret_unit ];
+    func "k_mtx_trylock" ~params:[ "id"; "tid" ] ~protects:(p [ "mtx_owner" ])
+      (log 3
+      :: if_else
+         (elem "mtx_owner" (l "id") =: i 0)
+         [ set_elem "mtx_owner" (l "id") (l "tid" +: i 1); ret (i 1) ]
+         [ ret (i 0) ]);
+    func "k_mtx_unlock" ~params:[ "id" ] ~protects:(p [ "mtx_owner" ])
+      [ log 4; set_elem "mtx_owner" (l "id") (i 0); ret_unit ];
+    func "k_mbox_tryput" ~params:[ "v" ] ~locals:[ "used" ]
+      ~protects:(p [ "mbox_ring"; "mbox_head"; "mbox_tail" ])
+      ([ log 5; set "used" (g "mbox_head" -: g "mbox_tail") ]
+      @ if_else
+          (geu (l "used") (i mbox_cap))
+          [ ret (i 0) ]
+          [ set_elem "mbox_ring" (g "mbox_head" %: i mbox_cap) (l "v");
+            setg "mbox_head" (g "mbox_head" +: i 1);
+            ret (i 1) ]);
+    func "k_mbox_tryget" ~locals:[ "v" ]
+      ~protects:(p [ "mbox_ring"; "mbox_head"; "mbox_tail" ])
+      (log 6
+      :: if_else
+         (g "mbox_tail" =: g "mbox_head")
+         [ ret (i 0 -: i 1) ]
+         [ set "v" (elem "mbox_ring" (g "mbox_tail" %: i mbox_cap));
+           setg "mbox_tail" (g "mbox_tail" +: i 1);
+           ret (l "v") ]);
+    func "k_flag_set" ~params:[ "bits" ] ~protects:(p [ "flag_val" ])
+      [ log 7; setg "flag_val" (g "flag_val" |: l "bits"); ret_unit ];
+    func "k_flag_poll_and" ~params:[ "mask" ] ~protects:(p [ "flag_val" ])
+      (log 8
+      :: if_else
+           ((g "flag_val" &: l "mask") =: l "mask")
+           [ setg "flag_val" (g "flag_val" &: (l "mask" ^: i (-1)));
+             ret (i 1) ]
+           [ ret (i 0) ]);
+    func "k_flag_poll_or" ~params:[ "mask" ] ~locals:[ "got" ]
+      ~protects:(p [ "flag_val" ])
+      (log 9
+      :: [ set "got" (g "flag_val" &: l "mask") ]
+      @ if_ (l "got" <>: i 0)
+          [ setg "flag_val" (g "flag_val" &: (l "got" ^: i (-1))) ]
+      @ [ ret (l "got") ]);
+    func "k_thread_done" ~params:[ "tid" ] ~protects:(ps [ "thr_state" ])
+      [ set_elem "thr_state" (l "tid") (i 1); ret_unit ];
+    func "k_alive" ~locals:[ "t"; "n" ] ~protects:(ps [ "thr_state" ])
+      ([ set "n" (i 0) ]
+      @ for_ "t" ~from:(i 0) ~below:(i nthreads_max)
+          (if_ (elem "thr_state" (l "t") =: i 0) [ set "n" (l "n" +: i 1) ])
+      @ [ ret (l "n") ]);
+  ]
+
+let scheduler ~nthreads ~dispatch =
+  let open Builder in
+  (* Threads beyond [nthreads] are marked done up front so k_alive counts
+     only real threads. *)
+  let retire =
+    List.init (nthreads_max - nthreads) (fun k ->
+        call_ "k_thread_done" [ i (nthreads + k) ])
+  in
+  retire
+  @ [
+      set "__alive" (call "k_alive" []);
+      while_
+        (l "__alive" >: i 0)
+        (List.concat
+           (List.init nthreads (fun tid ->
+                if_ (elem "thr_state" (i tid) =: i 0) (dispatch tid)))
+        @ [ set "__alive" (call "k_alive" []) ]);
+    ]

@@ -1,0 +1,76 @@
+(** The mini operating-system kernel, written in MIR.
+
+    The paper's benchmarks are eCos kernel test programs; this module
+    provides the kernel substrate they run on here: a cooperative
+    run-to-completion scheduler (threads are step functions driven
+    round-robin until all terminate), counting/binary semaphores, mutexes
+    and mailboxes.  Kernel objects live in globals — exactly the
+    "critical data with long lifetimes" the paper's SUM+DMR mechanism
+    targets, so benchmarks mark them protected and list them in the
+    [f_protects] of the kernel entry points that touch them.
+
+    Thread state encoding in [thr_state]: 0 = ready, 1 = done.
+    Semaphores: [sem_val.(id)] is the counter.  Mutexes:
+    [mtx_owner.(id)] is 0 when free, otherwise owner tid + 1.
+    Mailboxes: one shared ring buffer of [mbox_cap] words with head/tail
+    counters.
+
+    All kernel entry points are [try_]-style (non-blocking): blocking is
+    expressed by a thread step function returning without progress, as in
+    protothread systems.  This keeps the machine deterministic and the
+    scheduler trivial while exercising the same data structures a
+    blocking kernel would.  DESIGN.md documents this substitution. *)
+
+val nthreads_max : int
+(** Capacity of the thread table (4). *)
+
+val nsems_max : int
+(** Capacity of the semaphore table (4). *)
+
+val nmutex_max : int
+(** Capacity of the mutex table (2). *)
+
+val mbox_cap : int
+(** Ring-buffer capacity in words (4). *)
+
+val klog_words : int
+(** Size of the kernel event-trace ring (32 words). *)
+
+val globals :
+  ?protect_sched:bool ->
+  ?protect_log:bool ->
+  protect_objects:bool ->
+  unit ->
+  Mir.global list
+(** Kernel data structures.  With [protect_objects] the semaphore, mutex
+    and mailbox tables are marked protected; with [protect_sched]
+    (default false) the thread table is too.  Each benchmark decides how
+    much of the kernel it protects, exactly like configuring the paper's
+    GOP library per object class. *)
+
+val funcs :
+  ?protect_sched:bool ->
+  ?protect_log:bool ->
+  protect_objects:bool ->
+  unit ->
+  Mir.func list
+(** Kernel entry points:
+    [k_sem_trywait(id) -> 0/1], [k_sem_post(id)],
+    [k_mtx_trylock(id, tid) -> 0/1], [k_mtx_unlock(id)],
+    [k_mbox_tryput(v) -> 0/1], [k_mbox_tryget() -> value | -1],
+    [k_flag_set(bits)], [k_flag_poll_and(mask) -> 0/1] (consume when all
+    present), [k_flag_poll_or(mask) -> grabbed bits],
+    [k_thread_done(tid)], [k_alive() -> count], [k_log(op)].
+    Every kernel entry point records itself in the [klog] event ring;
+    with [protect_log], the ring is a protected object — checked and
+    updated on {e every} kernel call, the configuration whose runtime
+    cost dominates hardened sync2.
+    When [protect_objects] (or [protect_sched]) is set, the entry points
+    carry the matching [f_protects] annotations so {!Harden} instruments
+    them. *)
+
+val scheduler : nthreads:int -> dispatch:(int -> Mir.stmt list) -> Mir.stmt list
+(** Round-robin scheduler body for [main]: loops while any thread is
+    ready, dispatching each ready thread's step via [dispatch tid] (which
+    must produce statements calling the thread's step function).  The
+    enclosing [main] must declare a local named ["__alive"]. *)

@@ -1,0 +1,71 @@
+let items_default = 10
+
+let build items =
+  let open Builder in
+  let globals =
+    Kernel_lib.globals ~protect_objects:true ()
+    @ [
+        array ~protected:true "totals" 2;
+        global "sent";
+        global "received";
+      ]
+  in
+  let accumulate =
+    func "accumulate" ~params:[ "v" ] ~protects:[ "totals" ]
+      [
+        set_elem "totals" (i 0) (elem "totals" (i 0) +: l "v");
+        set_elem "totals" (i 1) (elem "totals" (i 1) ^: (l "v" *: i 9));
+        ret_unit;
+      ]
+  in
+  let producer =
+    func "producer_step" ~locals:[ "ok" ]
+      (if_else
+         (g "sent" >=: i items)
+         [ call_ "k_thread_done" [ i 0 ]; ret_unit ]
+         [
+           Mir.Set_local ("ok", call "k_mbox_tryput" [ (g "sent" *: i 7) +: i 1 ]);
+           Mir.If (l "ok", [ setg "sent" (g "sent" +: i 1) ], []);
+           ret_unit;
+         ])
+  in
+  let consumer =
+    func "consumer_step" ~locals:[ "v" ]
+      [
+        Mir.Set_local ("v", call "k_mbox_tryget" []);
+        Mir.If
+          ( l "v" >=: i 0,
+            [
+              call_ "accumulate" [ l "v" ];
+              setg "received" (g "received" +: i 1);
+              Mir.If
+                ( g "received" >=: i items,
+                  [ call_ "k_thread_done" [ i 1 ] ],
+                  [] );
+            ],
+            [] );
+        ret_unit;
+      ]
+  in
+  let main =
+    func "main" ~locals:[ "__alive" ]
+      (Kernel_lib.scheduler ~nthreads:2 ~dispatch:(fun tid ->
+           [ call_ (if tid = 0 then "producer_step" else "consumer_step") [] ])
+      @ [
+          out_str "mbox1 ";
+          call_ out_dec [ elem "totals" (i 0) ];
+          out (i 32);
+          call_ out_dec [ elem "totals" (i 1) ];
+          out_str " done\n";
+          ret_unit;
+        ])
+  in
+  prog ~name:"mbox1" ~stack:160 globals
+    ([ accumulate; producer; consumer; main ]
+    @ Kernel_lib.funcs ~protect_objects:true ()
+    @ stdlib)
+
+let program ?(items = items_default) () = build items
+let baseline ?items () = Codegen.compile (program ?items ())
+let sum_dmr ?items () = Codegen.compile (Harden.sum_dmr (program ?items ()))
+let tmr ?items () = Codegen.compile (Harden.tmr (program ?items ()))

@@ -1,0 +1,12 @@
+(** The [mbox1] benchmark (additional eCos-style kernel test): a producer
+    streams a sequence of values through the kernel mailbox; the consumer
+    accumulates them and the total is printed.  Exercises the ring-buffer
+    mailbox including the buffer-full/buffer-empty paths. *)
+
+val items_default : int
+(** Messages passed (10). *)
+
+val program : ?items:int -> unit -> Mir.prog
+val baseline : ?items:int -> unit -> Program.t
+val sum_dmr : ?items:int -> unit -> Program.t
+val tmr : ?items:int -> unit -> Program.t

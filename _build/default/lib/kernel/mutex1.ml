@@ -1,0 +1,60 @@
+let rounds_default = 8
+
+let build rounds =
+  let open Builder in
+  let globals =
+    Kernel_lib.globals ~protect_objects:true ()
+    @ [
+        array ~protected:true "shared" 2 ~init:[ 0; 1 ];
+        array "done_rounds" 3;
+      ]
+  in
+  let work =
+    func "bump_shared" ~params:[ "tid" ] ~protects:[ "shared" ]
+      [
+        set_elem "shared" (i 0) (elem "shared" (i 0) +: i 1);
+        set_elem "shared" (i 1)
+          ((elem "shared" (i 1) *: i 3) +: l "tid" &: i 0xFFFF);
+        ret_unit;
+      ]
+  in
+  let step =
+    func "worker_step" ~params:[ "tid" ] ~locals:[ "ok" ]
+      [
+        Mir.Set_local ("ok", call "k_mtx_trylock" [ i 0; l "tid" ]);
+        Mir.If
+          ( l "ok",
+            [
+              call_ "bump_shared" [ l "tid" ];
+              call_ "k_mtx_unlock" [ i 0 ];
+              set_elem "done_rounds" (l "tid")
+                (elem "done_rounds" (l "tid") +: i 1);
+              Mir.If
+                ( elem "done_rounds" (l "tid") >=: i rounds,
+                  [ call_ "k_thread_done" [ l "tid" ] ],
+                  [] );
+            ],
+            [] );
+        ret_unit;
+      ]
+  in
+  let main =
+    func "main" ~locals:[ "__alive" ]
+      (Kernel_lib.scheduler ~nthreads:3 ~dispatch:(fun tid ->
+           [ call_ "worker_step" [ i tid ] ])
+      @ [
+          out_str "mutex1 ";
+          call_ out_dec [ elem "shared" (i 0) ];
+          out (i 32);
+          call_ out_dec [ elem "shared" (i 1) ];
+          out_str " done\n";
+          ret_unit;
+        ])
+  in
+  prog ~name:"mutex1" ~stack:160 globals
+    ([ work; step; main ] @ Kernel_lib.funcs ~protect_objects:true () @ stdlib)
+
+let program ?(rounds = rounds_default) () = build rounds
+let baseline ?rounds () = Codegen.compile (program ?rounds ())
+let sum_dmr ?rounds () = Codegen.compile (Harden.sum_dmr (program ?rounds ()))
+let tmr ?rounds () = Codegen.compile (Harden.tmr (program ?rounds ()))

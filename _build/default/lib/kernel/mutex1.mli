@@ -1,0 +1,12 @@
+(** The [mutex1] benchmark (additional eCos-style kernel test): three
+    threads increment a shared protected counter under a mutex; the final
+    total is printed.  Exercises the mutex kernel object and contention
+    in the cooperative scheduler. *)
+
+val rounds_default : int
+(** Increments per thread (8). *)
+
+val program : ?rounds:int -> unit -> Mir.prog
+val baseline : ?rounds:int -> unit -> Program.t
+val sum_dmr : ?rounds:int -> unit -> Program.t
+val tmr : ?rounds:int -> unit -> Program.t

@@ -1,0 +1,54 @@
+type variant = Baseline | Sum_dmr | Tmr
+
+let variant_name = function
+  | Baseline -> "baseline"
+  | Sum_dmr -> "sum+dmr"
+  | Tmr -> "tmr"
+
+type entry = {
+  benchmark : string;
+  variant : variant;
+  build : unit -> Program.t;
+}
+
+let all =
+  [
+    { benchmark = "bin_sem2"; variant = Baseline;
+      build = (fun () -> Bin_sem2.baseline ()) };
+    { benchmark = "bin_sem2"; variant = Sum_dmr;
+      build = (fun () -> Bin_sem2.sum_dmr ()) };
+    { benchmark = "bin_sem2"; variant = Tmr;
+      build = (fun () -> Bin_sem2.tmr ()) };
+    { benchmark = "sync2"; variant = Baseline;
+      build = (fun () -> Sync2.baseline ()) };
+    { benchmark = "sync2"; variant = Sum_dmr;
+      build = (fun () -> Sync2.sum_dmr ()) };
+    { benchmark = "sync2"; variant = Tmr; build = (fun () -> Sync2.tmr ()) };
+    { benchmark = "mutex1"; variant = Baseline;
+      build = (fun () -> Mutex1.baseline ()) };
+    { benchmark = "mutex1"; variant = Sum_dmr;
+      build = (fun () -> Mutex1.sum_dmr ()) };
+    { benchmark = "mutex1"; variant = Tmr;
+      build = (fun () -> Mutex1.tmr ()) };
+    { benchmark = "flag1"; variant = Baseline;
+      build = (fun () -> Flag1.baseline ()) };
+    { benchmark = "flag1"; variant = Sum_dmr;
+      build = (fun () -> Flag1.sum_dmr ()) };
+    { benchmark = "flag1"; variant = Tmr; build = (fun () -> Flag1.tmr ()) };
+    { benchmark = "mbox1"; variant = Baseline;
+      build = (fun () -> Mbox1.baseline ()) };
+    { benchmark = "mbox1"; variant = Sum_dmr;
+      build = (fun () -> Mbox1.sum_dmr ()) };
+    { benchmark = "mbox1"; variant = Tmr; build = (fun () -> Mbox1.tmr ()) };
+  ]
+
+let paper_pairs =
+  [
+    ( "bin_sem2",
+      (fun () -> Bin_sem2.baseline ()),
+      fun () -> Bin_sem2.sum_dmr () );
+    ("sync2", (fun () -> Sync2.baseline ()), fun () -> Sync2.sum_dmr ());
+  ]
+
+let find ~benchmark ~variant =
+  List.find_opt (fun e -> e.benchmark = benchmark && e.variant = variant) all

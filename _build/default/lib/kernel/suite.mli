@@ -1,0 +1,23 @@
+(** The benchmark suite: every program/variant pair used by tests,
+    examples and the benchmark harness. *)
+
+type variant = Baseline | Sum_dmr | Tmr
+
+val variant_name : variant -> string
+(** ["baseline"], ["sum+dmr"], ["tmr"]. *)
+
+type entry = {
+  benchmark : string;  (** e.g. ["bin_sem2"]. *)
+  variant : variant;
+  build : unit -> Program.t;  (** Compile the image. *)
+}
+
+val all : entry list
+(** The kernel benchmarks × variants (bin_sem2, sync2, mutex1, flag1,
+    mbox1 each as baseline / SUM+DMR / TMR). *)
+
+val paper_pairs : (string * (unit -> Program.t) * (unit -> Program.t)) list
+(** The paper's Figure 2 pairs: (name, baseline, SUM+DMR) for bin_sem2
+    and sync2. *)
+
+val find : benchmark:string -> variant:variant -> entry option

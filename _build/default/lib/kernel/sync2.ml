@@ -1,0 +1,85 @@
+let items_default = 8
+let table_words = 6
+
+let build items =
+  let open Builder in
+  let table_init =
+    List.init table_words (fun k -> ((k * 37) + 11) land 0xFF)
+  in
+  let globals =
+    Kernel_lib.globals ~protect_sched:true ~protect_log:true ~protect_objects:true ()
+    @ [
+        array ~protected:true "table" table_words ~init:table_init;
+        array "xlog" items;
+        global "produced";
+        global "consumed";
+      ]
+  in
+  (* The consumer's computation: two table lookups folded together.
+     Reads of [table] go through this function so SUM+DMR instruments
+     them (object enter/leave). *)
+  let fold =
+    func "fold_item" ~params:[ "v" ] ~locals:[ "a"; "b" ]
+      ~protects:[ "table" ]
+      [
+        set "a" (elem "table" (l "v" %: i table_words));
+        set "b" (elem "table" (l "v" *: i 3 %: i table_words));
+        ret ((l "a" *: i 5) +: l "b" +: l "v");
+      ]
+  in
+  let producer =
+    func "producer_step" ~locals:[ "ok" ]
+      (if_else
+         (g "produced" >=: i items)
+         [ call_ "k_thread_done" [ i 0 ]; ret_unit ]
+         [
+           Mir.Set_local
+             ("ok", call "k_mbox_tryput" [ (g "produced" *: i 5) +: i 3 ]);
+           Mir.If
+             ( l "ok",
+               [
+                 call_ "k_sem_post" [ i 0 ];
+                 setg "produced" (g "produced" +: i 1);
+               ],
+               [] );
+           ret_unit;
+         ])
+  in
+  let consumer =
+    func "consumer_step" ~locals:[ "got"; "v"; "r" ]
+      [
+        Mir.Set_local ("got", call "k_sem_trywait" [ i 0 ]);
+        Mir.If
+          ( l "got",
+            [
+              Mir.Set_local ("v", call "k_mbox_tryget" []);
+              Mir.Set_local ("r", call "fold_item" [ l "v" ]);
+              set_elem "xlog" (g "consumed") (l "r");
+              setg "consumed" (g "consumed" +: i 1);
+              Mir.If
+                ( g "consumed" >=: i items,
+                  [ call_ "k_thread_done" [ i 1 ] ],
+                  [] );
+            ],
+            [] );
+        ret_unit;
+      ]
+  in
+  let main =
+    func "main" ~locals:[ "__alive"; "k" ]
+      (Kernel_lib.scheduler ~nthreads:2 ~dispatch:(fun tid ->
+           [ call_ (if tid = 0 then "producer_step" else "consumer_step") [] ])
+      @ [ out_str "sync2 " ]
+      @ for_ "k" ~from:(i 0) ~below:(i items)
+          (out_dec4 (elem "xlog" (l "k")) @ [ out (i 32) ])
+      @ [ out_str "done\n"; ret_unit ])
+  in
+  prog ~name:"sync2" ~stack:160 globals
+    ([ fold; producer; consumer; main ]
+    @ Kernel_lib.funcs ~protect_sched:true ~protect_log:true ~protect_objects:true ()
+    @ stdlib)
+
+let program ?(items = items_default) () = build items
+let baseline ?items () = Codegen.compile (program ?items ())
+let sum_dmr ?items () = Codegen.compile (Harden.sum_dmr (program ?items ()))
+let tmr ?items () = Codegen.compile (Harden.tmr (program ?items ()))

@@ -1,0 +1,26 @@
+(** The [sync2] benchmark — modeled on the eCos synchronisation test used
+    in the paper: a producer/consumer pair coupled through a counting
+    semaphore and a mailbox.  The consumer folds each received item
+    through a sizeable protected lookup table and appends the result to an
+    {e unprotected} log that is only printed after all threads finish.
+
+    This benchmark reproduces the paper's headline case: under SUM+DMR
+    the protected table and kernel objects are checked/updated on every
+    kernel call, inflating the runtime severely; the unprotected log's
+    data lifetimes stretch with the runtime, so the {e absolute failure
+    count increases} (by > 5× in the paper) even though the fault-coverage
+    metric — diluted by the enlarged fault space — still looks better
+    (paper Figures 2b vs 2e, right group). *)
+
+val items_default : int
+(** Items produced/consumed (8). *)
+
+val table_words : int
+(** Size of the protected lookup table (6 words). *)
+
+val program : ?items:int -> unit -> Mir.prog
+(** Baseline MIR program. *)
+
+val baseline : ?items:int -> unit -> Program.t
+val sum_dmr : ?items:int -> unit -> Program.t
+val tmr : ?items:int -> unit -> Program.t

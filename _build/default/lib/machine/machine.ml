@@ -1,0 +1,356 @@
+type trap =
+  | Misaligned_access of int
+  | Unmapped_access of int
+  | Rom_write of int
+  | Division_by_zero
+  | Bad_pc of int
+
+let pp_trap ppf = function
+  | Misaligned_access a -> Format.fprintf ppf "misaligned access at 0x%x" a
+  | Unmapped_access a -> Format.fprintf ppf "unmapped access at 0x%x" a
+  | Rom_write a -> Format.fprintf ppf "write to ROM at 0x%x" a
+  | Division_by_zero -> Format.pp_print_string ppf "division by zero"
+  | Bad_pc pc -> Format.fprintf ppf "control transfer to bad pc %d" pc
+
+type stop_reason =
+  | Halted
+  | Trapped of trap
+  | Panicked of int32
+  | Cycle_limit
+
+let pp_stop_reason ppf = function
+  | Halted -> Format.pp_print_string ppf "halted"
+  | Trapped t -> Format.fprintf ppf "trapped: %a" pp_trap t
+  | Panicked code -> Format.fprintf ppf "panicked (code %ld)" code
+  | Cycle_limit -> Format.pp_print_string ppf "cycle limit exceeded"
+
+type access_kind = Read | Write
+
+type tracer = cycle:int -> addr:int -> width:int -> kind:access_kind -> unit
+
+type exec_tracer = cycle:int -> Isa.instr -> unit
+
+type t = {
+  prog : Program.t;
+  code : Isa.instr array;
+  rom : bytes;
+  ram : Bytes.t;
+  regs : int array; (* values masked to 32 bits, unsigned representation *)
+  mutable pc : int;
+  mutable cyc : int;
+  serial : Buffer.t;
+  mutable events : (int * int32) list; (* reversed *)
+  mutable stop : stop_reason option;
+  tracer : tracer option;
+  exec_tracer : exec_tracer option;
+}
+
+let create ?tracer ?exec_tracer prog =
+  let regs = Array.make 16 0 in
+  List.iter
+    (fun (r, v) ->
+      let i = Isa.reg_index r in
+      if i <> 0 then regs.(i) <- Int32.to_int v land 0xFFFFFFFF)
+    prog.Program.reg_init;
+  {
+    prog;
+    code = prog.Program.code;
+    rom = prog.Program.rom;
+    ram = Program.initial_ram prog;
+    regs;
+    pc = 0;
+    cyc = 0;
+    serial = Buffer.create 64;
+    events = [];
+    stop = None;
+    tracer;
+    exec_tracer;
+  }
+
+let program m = m.prog
+let cycle m = m.cyc
+let pc m = m.pc
+let stopped m = m.stop
+let serial_output m = Buffer.contents m.serial
+let detection_events m = List.rev m.events
+
+let mask32 = 0xFFFFFFFF
+let to_u32 v = v land mask32
+
+(* Signed view of a 32-bit unsigned representation. *)
+let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let reg m r =
+  let i = Isa.reg_index r in
+  if i = 0 then 0l else Int32.of_int (signed m.regs.(i))
+
+let set_reg m r v =
+  let i = Isa.reg_index r in
+  if i <> 0 then m.regs.(i) <- to_u32 (Int32.to_int v land mask32)
+
+let check_ram m off what =
+  if off < 0 || off >= Bytes.length m.ram then
+    invalid_arg (Printf.sprintf "Machine.%s: offset %d outside RAM" what off)
+
+let read_ram_byte m off =
+  check_ram m off "read_ram_byte";
+  Char.code (Bytes.get m.ram off)
+
+let write_ram_byte m off v =
+  check_ram m off "write_ram_byte";
+  Bytes.set m.ram off (Char.chr (v land 0xFF))
+
+let flip_bit m bit =
+  let off = bit / 8 in
+  check_ram m off "flip_bit";
+  let b = Char.code (Bytes.get m.ram off) in
+  Bytes.set m.ram off (Char.chr (b lxor (1 lsl (bit mod 8))))
+
+let flip_reg_bit m ~reg ~bit =
+  if reg < 1 || reg > 15 then
+    invalid_arg "Machine.flip_reg_bit: register outside [1,15]";
+  if bit < 0 || bit > 31 then
+    invalid_arg "Machine.flip_reg_bit: bit outside [0,31]";
+  m.regs.(reg) <- m.regs.(reg) lxor (1 lsl bit)
+
+(* ------------------------------------------------------------------ *)
+(* Memory system                                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Stop of stop_reason
+
+let trace m ~addr ~width ~kind =
+  match m.tracer with
+  | Some f -> f ~cycle:m.cyc ~addr ~width ~kind
+  | None -> ()
+
+let rom_byte m off = if off < Bytes.length m.rom then Char.code (Bytes.get m.rom off) else 0
+
+let load_byte m addr =
+  match Memmap.classify ~ram_size:(Bytes.length m.ram) addr with
+  | Memmap.Ram ->
+      trace m ~addr ~width:1 ~kind:Read;
+      (* classify proved the bound *)
+      Char.code (Bytes.unsafe_get m.ram addr)
+  | Memmap.Rom -> rom_byte m (addr - Memmap.rom_base)
+  | Memmap.Mmio -> 0
+  | Memmap.Unmapped -> raise (Stop (Trapped (Unmapped_access addr)))
+
+let load_word m addr =
+  if addr land 3 <> 0 then raise (Stop (Trapped (Misaligned_access addr)));
+  match Memmap.classify ~ram_size:(Bytes.length m.ram) addr with
+  | Memmap.Ram ->
+      if addr + 3 >= Bytes.length m.ram then
+        raise (Stop (Trapped (Unmapped_access addr)));
+      trace m ~addr ~width:4 ~kind:Read;
+      let b i = Char.code (Bytes.unsafe_get m.ram (addr + i)) in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  | Memmap.Rom ->
+      let off = addr - Memmap.rom_base in
+      let b i = rom_byte m (off + i) in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  | Memmap.Mmio -> 0
+  | Memmap.Unmapped -> raise (Stop (Trapped (Unmapped_access addr)))
+
+let mmio_store m addr value =
+  if addr = Memmap.serial_port then
+    Buffer.add_char m.serial (Char.chr (value land 0xFF))
+  else if addr = Memmap.detect_port then
+    m.events <- (m.cyc, Int32.of_int (signed value)) :: m.events
+  else if addr = Memmap.panic_port then
+    raise (Stop (Panicked (Int32.of_int (signed value))))
+  else () (* other MMIO slots: ignored *)
+
+let store_byte m addr value =
+  match Memmap.classify ~ram_size:(Bytes.length m.ram) addr with
+  | Memmap.Ram ->
+      trace m ~addr ~width:1 ~kind:Write;
+      Bytes.set m.ram addr (Char.chr (value land 0xFF))
+  | Memmap.Rom -> raise (Stop (Trapped (Rom_write addr)))
+  | Memmap.Mmio -> mmio_store m addr value
+  | Memmap.Unmapped -> raise (Stop (Trapped (Unmapped_access addr)))
+
+let store_word m addr value =
+  if addr land 3 <> 0 then raise (Stop (Trapped (Misaligned_access addr)));
+  match Memmap.classify ~ram_size:(Bytes.length m.ram) addr with
+  | Memmap.Ram ->
+      if addr + 3 >= Bytes.length m.ram then
+        raise (Stop (Trapped (Unmapped_access addr)));
+      trace m ~addr ~width:4 ~kind:Write;
+      Bytes.set m.ram addr (Char.chr (value land 0xFF));
+      Bytes.set m.ram (addr + 1) (Char.chr ((value lsr 8) land 0xFF));
+      Bytes.set m.ram (addr + 2) (Char.chr ((value lsr 16) land 0xFF));
+      Bytes.set m.ram (addr + 3) (Char.chr ((value lsr 24) land 0xFF))
+  | Memmap.Rom -> raise (Stop (Trapped (Rom_write addr)))
+  | Memmap.Mmio -> mmio_store m addr value
+  | Memmap.Unmapped -> raise (Stop (Trapped (Unmapped_access addr)))
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let alu_eval op a b =
+  (* a, b are unsigned 32-bit representations; result likewise. *)
+  match (op : Isa.alu_op) with
+  | Add -> to_u32 (a + b)
+  | Sub -> to_u32 (a - b)
+  | Mul -> to_u32 (a * b)
+  | Divu ->
+      if b = 0 then raise (Stop (Trapped Division_by_zero)) else to_u32 (a / b)
+  | Remu ->
+      if b = 0 then raise (Stop (Trapped Division_by_zero))
+      else to_u32 (a mod b)
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> to_u32 (a lsl (b land 31))
+  | Shr -> a lsr (b land 31)
+  | Sar -> to_u32 (signed a asr (b land 31))
+  | Slt -> if signed a < signed b then 1 else 0
+  | Sltu -> if a < b then 1 else 0
+
+let cond_eval c a b =
+  match (c : Isa.cond) with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> signed a < signed b
+  | Ge -> signed a >= signed b
+  | Ltu -> a < b
+  | Geu -> a >= b
+
+let get m i = if i = 0 then 0 else m.regs.(i)
+let set m i v = if i <> 0 then m.regs.(i) <- v
+
+let jump_to m target =
+  if target < 0 || target >= Array.length m.code then
+    raise (Stop (Trapped (Bad_pc target)))
+  else m.pc <- target
+
+let imm32 v = to_u32 (Int32.to_int v land mask32)
+
+let execute m instr =
+  let ri r = Isa.reg_index r in
+  match (instr : Isa.instr) with
+  | Nop -> m.pc <- m.pc + 1
+  | Halt -> raise (Stop Halted)
+  | Li (rd, imm) ->
+      set m (ri rd) (imm32 imm);
+      m.pc <- m.pc + 1
+  | Alu (op, rd, rs1, rs2) ->
+      set m (ri rd) (alu_eval op (get m (ri rs1)) (get m (ri rs2)));
+      m.pc <- m.pc + 1
+  | Alui (op, rd, rs1, imm) ->
+      set m (ri rd) (alu_eval op (get m (ri rs1)) (imm32 imm));
+      m.pc <- m.pc + 1
+  | Lb (rd, rs, off) ->
+      let addr = to_u32 (get m (ri rs) + Int32.to_int off) in
+      set m (ri rd) (load_byte m addr);
+      m.pc <- m.pc + 1
+  | Lw (rd, rs, off) ->
+      let addr = to_u32 (get m (ri rs) + Int32.to_int off) in
+      set m (ri rd) (load_word m addr);
+      m.pc <- m.pc + 1
+  | Sb (rd, rs, off) ->
+      let addr = to_u32 (get m (ri rs) + Int32.to_int off) in
+      store_byte m addr (get m (ri rd));
+      m.pc <- m.pc + 1
+  | Sw (rd, rs, off) ->
+      let addr = to_u32 (get m (ri rs) + Int32.to_int off) in
+      store_word m addr (get m (ri rd));
+      m.pc <- m.pc + 1
+  | Beq (rs1, rs2, target, c) ->
+      if cond_eval c (get m (ri rs1)) (get m (ri rs2)) then jump_to m target
+      else m.pc <- m.pc + 1
+  | Jmp target -> jump_to m target
+  | Jal (rd, target) ->
+      set m (ri rd) (m.pc + 1);
+      jump_to m target
+  | Jr rs ->
+      let target = get m (ri rs) in
+      jump_to m target
+
+let step m =
+  match m.stop with
+  | Some _ -> ()
+  | None ->
+      if m.pc < 0 || m.pc >= Array.length m.code then
+        m.stop <- Some (Trapped (Bad_pc m.pc))
+      else begin
+        let instr = Array.unsafe_get m.code m.pc in
+        m.cyc <- m.cyc + 1;
+        (match m.exec_tracer with
+        | Some f -> f ~cycle:m.cyc instr
+        | None -> ());
+        try execute m instr with Stop reason -> m.stop <- Some reason
+      end
+
+(* Hot path for [run]: no per-step [m.stop] rebinding beyond the loop. *)
+let rec run_steps m limit =
+  if m.cyc >= limit then m.stop <- Some Cycle_limit
+  else if m.pc < 0 || m.pc >= Array.length m.code then
+    m.stop <- Some (Trapped (Bad_pc m.pc))
+  else begin
+    let instr = Array.unsafe_get m.code m.pc in
+    m.cyc <- m.cyc + 1;
+    (match m.exec_tracer with
+    | Some f -> f ~cycle:m.cyc instr
+    | None -> ());
+    (try execute m instr with Stop reason -> m.stop <- Some reason);
+    if m.stop == None then run_steps m limit
+  end
+
+let run m ~limit =
+  (match m.stop with None -> run_steps m limit | Some _ -> ());
+  match m.stop with
+  | Some reason -> reason
+  | None -> assert false (* run_steps only returns once stopped *)
+
+let run_until m ~cycle =
+  while m.stop = None && m.cyc < cycle do
+    step m
+  done
+
+module Snapshot = struct
+  type machine = t
+
+  type t = {
+    s_prog : Program.t;
+    s_ram : bytes;
+    s_regs : int array;
+    s_pc : int;
+    s_cyc : int;
+    s_serial : string;
+    s_events : (int * int32) list;
+    s_stop : stop_reason option;
+  }
+
+  let capture (m : machine) =
+    {
+      s_prog = m.prog;
+      s_ram = Bytes.copy m.ram;
+      s_regs = Array.copy m.regs;
+      s_pc = m.pc;
+      s_cyc = m.cyc;
+      s_serial = Buffer.contents m.serial;
+      s_events = m.events;
+      s_stop = m.stop;
+    }
+
+  let restore s ~tracer : machine =
+    let serial = Buffer.create (String.length s.s_serial + 64) in
+    Buffer.add_string serial s.s_serial;
+    {
+      prog = s.s_prog;
+      code = s.s_prog.Program.code;
+      rom = s.s_prog.Program.rom;
+      ram = Bytes.copy s.s_ram;
+      regs = Array.copy s.s_regs;
+      pc = s.s_pc;
+      cyc = s.s_cyc;
+      serial;
+      events = s.s_events;
+      stop = s.s_stop;
+      tracer;
+      exec_tracer = None;
+    }
+end

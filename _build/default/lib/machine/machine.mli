@@ -1,0 +1,124 @@
+(** The deterministic machine simulator.
+
+    This is the substrate the paper assumes (Section II-C): a simple RISC
+    CPU with classic in-order execution, no caches, a wait-free main
+    memory, one cycle per instruction, executing its program from
+    fault-immune ROM.  Benchmark runs are fully deterministic: the same
+    program and initial state produce the exact same instruction and
+    memory-access sequence, and the machine can be paused at an arbitrary
+    cycle to inject a fault (flip a RAM bit) and resumed afterwards.
+
+    Cycle numbering: the [t]-th executed instruction (1-indexed) executes
+    *at* cycle [t].  A fault at coordinate [(t, bit)] is injected after
+    [t−1] instructions have executed, i.e. immediately before instruction
+    [t]; see {!Fi_trace.Faultspace} for the geometry. *)
+
+(** CPU traps (abnormal termination causes). *)
+type trap =
+  | Misaligned_access of int  (** Word access to a non-4-aligned address. *)
+  | Unmapped_access of int    (** Access outside RAM, ROM and MMIO. *)
+  | Rom_write of int          (** Store into the ROM window. *)
+  | Division_by_zero
+  | Bad_pc of int             (** Control transfer outside the code. *)
+
+val pp_trap : Format.formatter -> trap -> unit
+
+(** Why a run stopped. *)
+type stop_reason =
+  | Halted              (** The program executed [halt] — normal exit. *)
+  | Trapped of trap     (** CPU exception. *)
+  | Panicked of int32   (** Software fail-stop via the panic MMIO port. *)
+  | Cycle_limit         (** Watchdog: the cycle budget was exhausted. *)
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit
+
+type access_kind = Read | Write
+
+type tracer = cycle:int -> addr:int -> width:int -> kind:access_kind -> unit
+(** Called once per RAM access (ROM and MMIO accesses are not part of the
+    fault space and are not traced).  [addr] is the RAM byte offset of the
+    first byte touched; [width] is 1 or 4. *)
+
+type exec_tracer = cycle:int -> Isa.instr -> unit
+(** Called once per executed instruction, before it executes.  Used by the
+    register fault-space extension (Section VI-B of the paper) to derive
+    per-cycle register def/use sets. *)
+
+type t
+(** A machine instance. *)
+
+val create : ?tracer:tracer -> ?exec_tracer:exec_tracer -> Program.t -> t
+(** [create program] is a machine reset to the program's initial state:
+    [pc = 0], registers zero, RAM zeroed then initialised from
+    [program.ram_init].  The optional [tracer] observes every RAM access;
+    [exec_tracer] observes every executed instruction. *)
+
+val program : t -> Program.t
+val cycle : t -> int
+(** Number of instructions executed so far. *)
+
+val pc : t -> int
+val stopped : t -> stop_reason option
+val serial_output : t -> string
+(** Bytes written to the serial port so far. *)
+
+val detection_events : t -> (int * int32) list
+(** Detection events [(cycle, code)] recorded through the detect port, in
+    chronological order.  By convention the kernel writes
+    {!Event_codes.corrected} when a fault-tolerance mechanism repaired an error
+    and {!Event_codes.detected} when it only detected one. *)
+
+val reg : t -> Isa.reg -> int32
+(** Current register value ([r0] always reads 0). *)
+
+val set_reg : t -> Isa.reg -> int32 -> unit
+(** Poke a register (used by tests; not by campaigns). *)
+
+val read_ram_byte : t -> int -> int
+(** [read_ram_byte m off] inspects RAM without tracing.
+
+    @raise Invalid_argument outside RAM. *)
+
+val write_ram_byte : t -> int -> int -> unit
+(** Poke RAM without tracing (used by tests). *)
+
+val flip_bit : t -> int -> unit
+(** [flip_bit m bit] flips RAM bit [bit] (byte [bit / 8], bit
+    [bit mod 8]) — the fault-injection primitive.  Not traced: a fault is
+    not a program memory access.
+
+    @raise Invalid_argument outside RAM. *)
+
+val flip_reg_bit : t -> reg:int -> bit:int -> unit
+(** [flip_reg_bit m ~reg ~bit] flips bit [bit] (0–31) of register [reg]
+    (1–15) — the injection primitive of the register fault-space
+    extension.  Flips of [r0] are rejected: it is hardwired to zero.
+
+    @raise Invalid_argument outside the register file. *)
+
+val step : t -> unit
+(** Execute one instruction (no-op if the machine has stopped). *)
+
+val run : t -> limit:int -> stop_reason
+(** [run m ~limit] executes until the machine stops or [limit] total
+    cycles have been executed; in the latter case the machine is stopped
+    with [Cycle_limit].  Idempotent on stopped machines. *)
+
+val run_until : t -> cycle:int -> unit
+(** [run_until m ~cycle] executes until [cycle m = cycle] (i.e. exactly
+    [cycle] instructions have executed) or the machine stops earlier.
+    Used to position the machine just before a fault-injection point. *)
+
+(** Deep-copyable machine state, for checkpoint-based campaign
+    acceleration. *)
+module Snapshot : sig
+  type machine := t
+  type t
+
+  val capture : machine -> t
+  (** Freeze the complete machine state. *)
+
+  val restore : t -> tracer:tracer option -> machine
+  (** Materialise a fresh machine from the snapshot; the new machine is
+      independent of both the snapshot and the original. *)
+end

@@ -1,0 +1,1 @@
+lib/mir/builder.ml: Char Check Int32 List Mir String

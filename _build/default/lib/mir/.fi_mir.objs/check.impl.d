@@ -1,0 +1,1 @@
+lib/mir/check.ml: Format Hashtbl List Mir Stdlib

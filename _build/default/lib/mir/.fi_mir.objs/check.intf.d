@@ -1,0 +1,1 @@
+lib/mir/check.mli: Format Mir

@@ -1,0 +1,1 @@
+lib/mir/codegen.ml: Asm Char Check Int32 Isa Layout List Memmap Mir Printf Program String

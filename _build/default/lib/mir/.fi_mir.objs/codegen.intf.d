@@ -1,0 +1,1 @@
+lib/mir/codegen.mli: Asm Mir Program

@@ -1,0 +1,1 @@
+lib/mir/harden.ml: Builder Check Event_codes Int32 List Mir

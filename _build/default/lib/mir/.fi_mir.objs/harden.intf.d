@@ -1,0 +1,1 @@
+lib/mir/harden.mli: Mir

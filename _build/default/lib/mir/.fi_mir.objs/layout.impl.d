@@ -1,0 +1,1 @@
+lib/mir/layout.ml: Bytes Char Hashtbl Int32 List Mir

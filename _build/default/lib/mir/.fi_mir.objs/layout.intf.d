@@ -1,0 +1,1 @@
+lib/mir/layout.mli: Mir

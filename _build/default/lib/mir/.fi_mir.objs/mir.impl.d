@@ -1,0 +1,1 @@
+lib/mir/mir.ml: Format List Printf String

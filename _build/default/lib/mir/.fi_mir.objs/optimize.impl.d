@@ -1,0 +1,1 @@
+lib/mir/optimize.ml: Int32 List Mir Set String

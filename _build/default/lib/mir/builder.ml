@@ -1,0 +1,125 @@
+let i n = Mir.Int (Int32.of_int n)
+let i32 v = Mir.Int v
+let g name = Mir.Global name
+let l name = Mir.Local name
+let elem name idx = Mir.Elem (name, idx)
+let byte name idx = Mir.Byte (name, idx)
+let call f args = Mir.Call (f, args)
+
+let ( +: ) a b = Mir.Bin (Mir.Add, a, b)
+let ( -: ) a b = Mir.Bin (Mir.Sub, a, b)
+let ( *: ) a b = Mir.Bin (Mir.Mul, a, b)
+let ( /: ) a b = Mir.Bin (Mir.Divu, a, b)
+let ( %: ) a b = Mir.Bin (Mir.Remu, a, b)
+let ( &: ) a b = Mir.Bin (Mir.And, a, b)
+let ( |: ) a b = Mir.Bin (Mir.Or, a, b)
+let ( ^: ) a b = Mir.Bin (Mir.Xor, a, b)
+let ( <<: ) a b = Mir.Bin (Mir.Shl, a, b)
+let ( >>: ) a b = Mir.Bin (Mir.Shr, a, b)
+let ( =: ) a b = Mir.Cmp (Mir.Eq, a, b)
+let ( <>: ) a b = Mir.Cmp (Mir.Ne, a, b)
+let ( <: ) a b = Mir.Cmp (Mir.Lt, a, b)
+let ( >=: ) a b = Mir.Cmp (Mir.Ge, a, b)
+let ( <=: ) a b = Mir.Cmp (Mir.Ge, b, a)
+let ( >: ) a b = Mir.Cmp (Mir.Lt, b, a)
+let ltu a b = Mir.Cmp (Mir.Ltu, a, b)
+let geu a b = Mir.Cmp (Mir.Geu, a, b)
+
+let set x e = Mir.Set_local (x, e)
+let setg x e = Mir.Set_global (x, e)
+let set_elem a idx v = Mir.Set_elem (a, idx, v)
+let set_byte a idx v = Mir.Set_byte (a, idx, v)
+let incr x = Mir.Set_local (x, l x +: i 1)
+let if_ c t = [ Mir.If (c, t, []) ]
+let if_else c t e = [ Mir.If (c, t, e) ]
+let while_ c body = Mir.While (c, body)
+
+let for_ x ~from ~below body =
+  [ set x from; while_ (Mir.Cmp (Mir.Ltu, l x, below)) (body @ [ incr x ]) ]
+
+let call_ f args = Mir.Do_call (f, args)
+
+let out_dec4 e =
+  (* Four fixed digits, generated inline: almost no RAM traffic, unlike
+     the general __out_dec loop. *)
+  [
+    Mir.Out (Mir.Bin (Mir.Add, Mir.Bin (Mir.Remu, Mir.Bin (Mir.Divu, e, Mir.Int 1000l), Mir.Int 10l), Mir.Int 48l));
+    Mir.Out (Mir.Bin (Mir.Add, Mir.Bin (Mir.Remu, Mir.Bin (Mir.Divu, e, Mir.Int 100l), Mir.Int 10l), Mir.Int 48l));
+    Mir.Out (Mir.Bin (Mir.Add, Mir.Bin (Mir.Remu, Mir.Bin (Mir.Divu, e, Mir.Int 10l), Mir.Int 10l), Mir.Int 48l));
+    Mir.Out (Mir.Bin (Mir.Add, Mir.Bin (Mir.Remu, e, Mir.Int 10l), Mir.Int 48l));
+  ]
+let ret e = Mir.Return (Some e)
+let ret_unit = Mir.Return None
+let out e = Mir.Out e
+let out_str s = Mir.Out_str s
+let out_dec = "__out_dec"
+let detect code = Mir.Detect (Int32.of_int code)
+let panic code = Mir.Panic (Int32.of_int code)
+
+let global ?(protected = false) ?(init = []) name =
+  {
+    Mir.g_name = name;
+    g_ty = Mir.I32;
+    g_init = List.map Int32.of_int init;
+    g_protected = protected;
+  }
+
+let array ?(protected = false) ?(init = []) name len =
+  {
+    Mir.g_name = name;
+    g_ty = Mir.Words len;
+    g_init = List.map Int32.of_int init;
+    g_protected = protected;
+  }
+
+let bytes_ ?init name len =
+  let g_init =
+    match init with
+    | None -> []
+    | Some s -> List.init (String.length s) (fun k -> Int32.of_int (Char.code s.[k]))
+  in
+  { Mir.g_name = name; g_ty = Mir.Byte_array len; g_init; g_protected = false }
+
+let func ?(params = []) ?(locals = []) ?(protects = []) name body =
+  {
+    Mir.f_name = name;
+    f_params = params;
+    f_locals = locals;
+    f_body = body;
+    f_protects = protects;
+  }
+
+(* Decimal printing: repeatedly divide by 10 into a small digit buffer on
+   the stack?  MIR has no local arrays, so build digits by place value. *)
+let stdlib =
+  [
+    func "__out_dec" ~params:[ "v" ] ~locals:[ "div"; "digit"; "started" ]
+      [
+        set "started" (i 0);
+        set "div" (i 1_000_000_000);
+        while_
+          (Mir.Cmp (Mir.Ltu, i 0, l "div"))
+          [
+            set "digit" (l "v" /: l "div" %: i 10);
+            Mir.If
+              ( Mir.Bin (Mir.Or, l "started", l "digit"),
+                [ out (l "digit" +: i 48); set "started" (i 1) ],
+                [] );
+            set "div" (l "div" /: i 10);
+          ];
+        Mir.If (Mir.Cmp (Mir.Eq, l "started", i 0), [ out (i 48) ], []);
+        ret_unit;
+      ];
+  ]
+
+let prog ?(stack = 192) ~name globals funcs =
+  let p =
+    {
+      Mir.p_name = name;
+      p_globals = globals;
+      p_funcs = funcs;
+      p_stack_bytes = stack;
+    }
+  in
+  Check.check_exn p;
+  p

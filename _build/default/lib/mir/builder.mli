@@ -1,0 +1,126 @@
+(** Combinators for writing MIR programs in OCaml.
+
+    The kernel and benchmarks are written with these; they keep program
+    text close to the pseudo-code in the eCos sources the paper's
+    benchmarks come from:
+
+    {[
+      let open Builder in
+      func "ping" ~locals:[ "round" ]
+        [ set "round" (i 0);
+          while_ (l "round" <: i 16)
+            [ call_ "sem_post" [ i 0 ]; incr "round" ];
+          ret_unit ]
+    ]} *)
+
+(** {1 Expressions} *)
+
+val i : int -> Mir.expr
+(** Integer literal. *)
+
+val i32 : int32 -> Mir.expr
+val g : string -> Mir.expr
+(** Scalar global. *)
+
+val l : string -> Mir.expr
+(** Local / parameter. *)
+
+val elem : string -> Mir.expr -> Mir.expr
+(** Word-array element. *)
+
+val byte : string -> Mir.expr -> Mir.expr
+(** Byte-array element. *)
+
+val call : string -> Mir.expr list -> Mir.expr
+(** Call expression (statement-root positions only). *)
+
+val ( +: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( -: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( *: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( /: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( %: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( &: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( |: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( ^: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( <<: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( >>: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( =: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( <>: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( <: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( >=: ) : Mir.expr -> Mir.expr -> Mir.expr
+val ( <=: ) : Mir.expr -> Mir.expr -> Mir.expr
+(** [a <=: b] is [b >=: a]. *)
+
+val ( >: ) : Mir.expr -> Mir.expr -> Mir.expr
+(** [a >: b] is [b <: a]. *)
+
+val ltu : Mir.expr -> Mir.expr -> Mir.expr
+val geu : Mir.expr -> Mir.expr -> Mir.expr
+
+(** {1 Statements} *)
+
+val set : string -> Mir.expr -> Mir.stmt
+(** Assign a local. *)
+
+val setg : string -> Mir.expr -> Mir.stmt
+(** Assign a scalar global. *)
+
+val set_elem : string -> Mir.expr -> Mir.expr -> Mir.stmt
+val set_byte : string -> Mir.expr -> Mir.expr -> Mir.stmt
+val incr : string -> Mir.stmt
+(** [x = x + 1] on a local. *)
+
+val if_ : Mir.expr -> Mir.stmt list -> Mir.stmt list
+(** [if_ c t] returns a single-statement list, convenient for nesting. *)
+
+val if_else : Mir.expr -> Mir.stmt list -> Mir.stmt list -> Mir.stmt list
+val while_ : Mir.expr -> Mir.stmt list -> Mir.stmt
+val for_ : string -> from:Mir.expr -> below:Mir.expr -> Mir.stmt list -> Mir.stmt list
+(** [for_ "i" ~from ~below body]: counted loop over a local. *)
+
+val call_ : string -> Mir.expr list -> Mir.stmt
+
+val out_dec4 : Mir.expr -> Mir.stmt list
+(** Inline statements printing the expression as exactly four decimal
+    digits (modulo 10⁴ per digit position, so corruption anywhere in the
+    word still perturbs the output).  Far cheaper than [__out_dec] —
+    used where printing cost would otherwise dominate a benchmark. *)
+
+val ret : Mir.expr -> Mir.stmt
+val ret_unit : Mir.stmt
+val out : Mir.expr -> Mir.stmt
+val out_str : string -> Mir.stmt
+val out_dec : string
+(** Name of a library function printing a value in decimal; include
+    {!stdlib} in the program and call [call_ out_dec [e]]. *)
+
+val detect : int -> Mir.stmt
+val panic : int -> Mir.stmt
+
+(** {1 Declarations} *)
+
+val global : ?protected:bool -> ?init:int list -> string -> Mir.global
+(** Scalar global. *)
+
+val array : ?protected:bool -> ?init:int list -> string -> int -> Mir.global
+(** Word array of given length. *)
+
+val bytes_ : ?init:string -> string -> int -> Mir.global
+(** Byte array (never protected). *)
+
+val func :
+  ?params:string list ->
+  ?locals:string list ->
+  ?protects:string list ->
+  string ->
+  Mir.stmt list ->
+  Mir.func
+
+val prog :
+  ?stack:int -> name:string -> Mir.global list -> Mir.func list -> Mir.prog
+(** Assemble and {e check} a program (default stack: 192 bytes).
+
+    @raise Invalid_argument if {!Check} rejects it. *)
+
+val stdlib : Mir.func list
+(** Small runtime library: [__out_dec] (decimal printing). *)

@@ -1,0 +1,166 @@
+type error = { where : string; what : string }
+
+let pp_error ppf { where; what } = Format.fprintf ppf "%s: %s" where what
+
+let rec register_need : Mir.expr -> int = function
+  | Mir.Int _ | Mir.Global _ | Mir.Local _ -> 1
+  | Mir.Elem (_, i) | Mir.Byte (_, i) -> register_need i
+  | Mir.Bin (_, l, r) | Mir.Cmp (_, l, r) ->
+      Stdlib.max (register_need l) (1 + register_need r)
+  | Mir.Call _ -> 1 (* result arrives in r1; arg needs checked separately *)
+
+let statement_budget = 9
+let call_arg_budget = 6
+
+let check (p : Mir.prog) =
+  let errors = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errors := { where; what } :: !errors) fmt
+  in
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Mir.global) ->
+      if Hashtbl.mem globals g.Mir.g_name then
+        err "globals" "duplicate global %S" g.Mir.g_name
+      else Hashtbl.replace globals g.Mir.g_name g;
+      let cap =
+        match g.Mir.g_ty with
+        | Mir.I32 -> 1
+        | Mir.Words n -> n
+        | Mir.Byte_array n -> n
+      in
+      if List.length g.Mir.g_init > cap then
+        err g.Mir.g_name "initialiser longer than type";
+      (match g.Mir.g_ty with
+      | Mir.Byte_array _ when g.Mir.g_protected ->
+          err g.Mir.g_name "protected byte arrays are not supported"
+      | Mir.I32 | Mir.Words _ | Mir.Byte_array _ -> ()))
+    p.Mir.p_globals;
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Mir.func) ->
+      if Hashtbl.mem funcs f.Mir.f_name then
+        err "functions" "duplicate function %S" f.Mir.f_name
+      else Hashtbl.replace funcs f.Mir.f_name f)
+    p.Mir.p_funcs;
+  (match Hashtbl.find_opt funcs "main" with
+  | None -> err p.Mir.p_name "no main function"
+  | Some f ->
+      if f.Mir.f_params <> [] then err "main" "main must take no parameters");
+  if p.Mir.p_stack_bytes < 16 then
+    err p.Mir.p_name "stack must be at least 16 bytes";
+  let check_func (f : Mir.func) =
+    let where = f.Mir.f_name in
+    if List.length f.Mir.f_params > 4 then err where "more than 4 parameters";
+    let slots = f.Mir.f_params @ f.Mir.f_locals in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        if Hashtbl.mem seen s then err where "duplicate local/param %S" s
+        else Hashtbl.replace seen s ())
+      slots;
+    List.iter
+      (fun g ->
+        match Hashtbl.find_opt globals g with
+        | None -> err where "f_protects names unknown global %S" g
+        | Some gl ->
+            if not gl.Mir.g_protected then
+              err where "f_protects names unprotected global %S" g)
+      f.Mir.f_protects;
+    let global_kind name =
+      match Hashtbl.find_opt globals name with
+      | None ->
+          err where "unknown global %S" name;
+          None
+      | Some g -> Some g.Mir.g_ty
+    in
+    let rec expr ?(call_ok = false) ~budget (e : Mir.expr) =
+      if register_need e > budget then
+        err where "expression exceeds register budget (%d > %d): %a"
+          (register_need e) budget Mir.pp_expr e;
+      match e with
+      | Mir.Int _ -> ()
+      | Mir.Global g -> (
+          match global_kind g with
+          | Some Mir.I32 | None -> ()
+          | Some (Mir.Words _ | Mir.Byte_array _) ->
+              err where "global %S used as scalar" g)
+      | Mir.Elem (g, i) ->
+          (match global_kind g with
+          | Some (Mir.Words _) | None -> ()
+          | Some (Mir.I32 | Mir.Byte_array _) ->
+              err where "global %S is not a word array" g);
+          expr ~budget i
+      | Mir.Byte (g, i) ->
+          (match global_kind g with
+          | Some (Mir.Byte_array _) | None -> ()
+          | Some (Mir.I32 | Mir.Words _) ->
+              err where "global %S is not a byte array" g);
+          expr ~budget i
+      | Mir.Local x ->
+          if not (List.mem x slots) then err where "unknown local %S" x
+      | Mir.Bin (_, l, r) | Mir.Cmp (_, l, r) ->
+          expr ~budget l;
+          expr ~budget:(budget - 1) r
+      | Mir.Call (fn, args) ->
+          if not call_ok then
+            err where "call to %S not at statement root" fn;
+          (match Hashtbl.find_opt funcs fn with
+          | None -> err where "unknown function %S" fn
+          | Some callee ->
+              if List.length callee.Mir.f_params <> List.length args then
+                err where "arity mismatch calling %S" fn);
+          List.iter (expr ~budget:call_arg_budget) args
+    in
+    let rec stmt (s : Mir.stmt) =
+      match s with
+      | Mir.Set_global (g, e) ->
+          (match global_kind g with
+          | Some Mir.I32 | None -> ()
+          | Some (Mir.Words _ | Mir.Byte_array _) ->
+              err where "global %S assigned as scalar" g);
+          expr ~call_ok:true ~budget:statement_budget e
+      | Mir.Set_elem (g, i, v) ->
+          (match global_kind g with
+          | Some (Mir.Words _) | None -> ()
+          | Some (Mir.I32 | Mir.Byte_array _) ->
+              err where "global %S is not a word array" g);
+          expr ~budget:statement_budget i;
+          expr ~budget:(statement_budget - 1) v
+      | Mir.Set_byte (g, i, v) ->
+          (match global_kind g with
+          | Some (Mir.Byte_array _) | None -> ()
+          | Some (Mir.I32 | Mir.Words _) ->
+              err where "global %S is not a byte array" g);
+          expr ~budget:statement_budget i;
+          expr ~budget:(statement_budget - 1) v
+      | Mir.Set_local (x, e) ->
+          if not (List.mem x slots) then err where "unknown local %S" x;
+          expr ~call_ok:true ~budget:statement_budget e
+      | Mir.If (c, t, e) ->
+          expr ~budget:statement_budget c;
+          List.iter stmt t;
+          List.iter stmt e
+      | Mir.While (c, body) ->
+          expr ~budget:statement_budget c;
+          List.iter stmt body
+      | Mir.Do_call (fn, args) ->
+          expr ~call_ok:true ~budget:statement_budget (Mir.Call (fn, args))
+      | Mir.Return None -> ()
+      | Mir.Return (Some e) -> expr ~call_ok:true ~budget:statement_budget e
+      | Mir.Out e -> expr ~budget:statement_budget e
+      | Mir.Out_str _ | Mir.Detect _ | Mir.Panic _ -> ()
+    in
+    List.iter stmt f.Mir.f_body
+  in
+  List.iter check_func p.Mir.p_funcs;
+  match List.rev !errors with [] -> Ok () | errs -> Error errs
+
+let check_exn p =
+  match check p with
+  | Ok () -> ()
+  | Error errs ->
+      invalid_arg
+        (Format.asprintf "Check.check(%s):@ %a" p.Mir.p_name
+           (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_error)
+           errs)

@@ -1,0 +1,30 @@
+(** Static validation of MIR programs.
+
+    The code generator is deliberately simple — it never spills expression
+    temporaries and supports calls only at statement roots — so this
+    checker enforces the rules that make that simplicity sound:
+
+    - a [main] function with no parameters exists;
+    - every referenced global/local/function exists, with matching arity
+      and at most 4 parameters;
+    - parameter and local names within a function are distinct;
+    - [Call] appears only as a whole statement or as the root expression
+      of [Set_local]/[Set_global]/[Return];
+    - expression register need stays within the budget (9 registers at
+      statement roots, 6 inside call arguments);
+    - initialisers fit their type; protected globals are scalars or word
+      arrays; [f_protects] names protected globals. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val register_need : Mir.expr -> int
+(** Ershov-style register requirement of an expression under the
+    evaluate-left-into-dst scheme of {!Codegen}. *)
+
+val check : Mir.prog -> (unit, error list) result
+(** All violations, or [Ok ()]. *)
+
+val check_exn : Mir.prog -> unit
+(** @raise Invalid_argument with rendered errors. *)

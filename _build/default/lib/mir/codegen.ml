@@ -1,0 +1,233 @@
+let r n = Isa.reg n
+
+let fits_s15 v = v >= -16384 && v <= 16383
+let fits_s23 v = v >= -4194304 && v <= 4194303
+
+(* Materialise an arbitrary 32-bit constant into [dst]. *)
+let load_const dst v =
+  let open Asm in
+  let vi = Int32.to_int v land 0xFFFFFFFF in
+  let signed = if vi land 0x80000000 <> 0 then vi - 0x100000000 else vi in
+  if fits_s23 signed then [ li dst v ]
+  else
+    let hi = vi lsr 12 in
+    let lo = vi land 0xFFF in
+    [ lii dst hi; alui Isa.Shl dst dst 12; alui Isa.Or dst dst lo ]
+
+type env = {
+  layout : Layout.t;
+  slots : (string * int) list; (* local/param -> frame slot index *)
+  nslots : int;
+  fname : string;
+  mutable label_counter : int;
+}
+
+let slot env x = 4 * List.assoc x env.slots
+let frame_size env = (4 * env.nslots) + 8
+
+let fresh env tag =
+  env.label_counter <- env.label_counter + 1;
+  Printf.sprintf "L__%s__%s_%d" env.fname tag env.label_counter
+
+let exit_label fname = Printf.sprintf "F__%s__exit" fname
+let func_label fname = Printf.sprintf "F__%s" fname
+
+let binop_alu : Mir.binop -> Isa.alu_op = function
+  | Mir.Add -> Isa.Add
+  | Mir.Sub -> Isa.Sub
+  | Mir.Mul -> Isa.Mul
+  | Mir.Divu -> Isa.Divu
+  | Mir.Remu -> Isa.Remu
+  | Mir.And -> Isa.And
+  | Mir.Or -> Isa.Or
+  | Mir.Xor -> Isa.Xor
+  | Mir.Shl -> Isa.Shl
+  | Mir.Shr -> Isa.Shr
+
+(* Evaluate [e] into register [dst]; [avail] are scratch registers none of
+   which is live.  Emission order is left-to-right, so [dst] holds the
+   left operand while the right operand evaluates into [List.hd avail]. *)
+let rec gen_expr env ~dst ~avail (e : Mir.expr) : Asm.stmt list =
+  let open Asm in
+  match e with
+  | Mir.Int v -> load_const dst v
+  | Mir.Local x -> [ lw dst Isa.fp (slot env x) ]
+  | Mir.Global g -> [ lw dst Isa.r0 (Layout.offset env.layout g) ]
+  | Mir.Elem (g, i) ->
+      gen_expr env ~dst ~avail i
+      @ [ alui Isa.Shl dst dst 2; lw dst dst (Layout.offset env.layout g) ]
+  | Mir.Byte (g, i) ->
+      gen_expr env ~dst ~avail i
+      @ [ lb dst dst (Layout.offset env.layout g) ]
+  | Mir.Bin (op, l, rhs) -> (
+      match rhs with
+      | Mir.Int v
+        when fits_s15 (Int32.to_int v)
+             && (match op with Mir.Mul | Mir.Divu | Mir.Remu -> false | _ -> true)
+        ->
+          gen_expr env ~dst ~avail l
+          @ [ alui (binop_alu op) dst dst (Int32.to_int v) ]
+      | _ ->
+          let tmp, rest =
+            match avail with
+            | t :: rest -> (r t, rest)
+            | [] -> invalid_arg "Codegen: register budget exhausted"
+          in
+          (* The left result is the only live value while the right
+             operand evaluates, so the left may scratch all of [avail]. *)
+          gen_expr env ~dst ~avail l
+          @ gen_expr env ~dst:tmp ~avail:rest rhs
+          @ [ alu (binop_alu op) dst dst tmp ])
+  | Mir.Cmp (op, l, rhs) ->
+      let tmp, rest =
+        match avail with
+        | t :: rest -> (r t, rest)
+        | [] -> invalid_arg "Codegen: register budget exhausted"
+      in
+      let operands =
+        gen_expr env ~dst ~avail l @ gen_expr env ~dst:tmp ~avail:rest rhs
+      in
+      let finish =
+        match op with
+        | Mir.Lt -> [ alu Isa.Slt dst dst tmp ]
+        | Mir.Ltu -> [ alu Isa.Sltu dst dst tmp ]
+        | Mir.Ge -> [ alu Isa.Slt dst dst tmp; alui Isa.Xor dst dst 1 ]
+        | Mir.Geu -> [ alu Isa.Sltu dst dst tmp; alui Isa.Xor dst dst 1 ]
+        | Mir.Eq -> [ alu Isa.Sub dst dst tmp; alui Isa.Sltu dst dst 1 ]
+        | Mir.Ne -> [ alu Isa.Sub dst dst tmp; alu Isa.Sltu dst Isa.r0 dst ]
+      in
+      operands @ finish
+  | Mir.Call _ ->
+      (* Checker guarantees calls appear only at statement roots, which
+         are handled in gen_stmt. *)
+      assert false
+
+(* Evaluate call arguments into r5..r8, move into r1..r4, call. *)
+and gen_call env fname args : Asm.stmt list =
+  let open Asm in
+  let staging = [ 5; 6; 7; 8 ] in
+  let arg_avail = [ 1; 2; 3; 4; 9 ] in
+  let evals =
+    List.concat
+      (List.mapi
+         (fun i a ->
+           gen_expr env ~dst:(r (List.nth staging i)) ~avail:arg_avail a)
+         args)
+  in
+  let moves = List.mapi (fun i _ -> mov (r (i + 1)) (r (List.nth staging i))) args in
+  evals @ moves @ [ call (func_label fname) ]
+
+let rec gen_stmt env (s : Mir.stmt) : Asm.stmt list =
+  let open Asm in
+  let r1 = r 1 in
+  let full = [ 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  let eval_root e =
+    match e with
+    | Mir.Call (f, args) -> gen_call env f args
+    | _ -> gen_expr env ~dst:r1 ~avail:full e
+  in
+  match s with
+  | Mir.Set_local (x, e) -> eval_root e @ [ sw r1 Isa.fp (slot env x) ]
+  | Mir.Set_global (g, e) ->
+      eval_root e @ [ sw r1 Isa.r0 (Layout.offset env.layout g) ]
+  | Mir.Set_elem (g, i, v) ->
+      let addr = r 10 in
+      gen_expr env ~dst:r1 ~avail:full i
+      @ [ alui Isa.Shl r1 r1 2; mov addr r1 ]
+      @ gen_expr env ~dst:r1 ~avail:full v
+      @ [ sw r1 addr (Layout.offset env.layout g) ]
+  | Mir.Set_byte (g, i, v) ->
+      let addr = r 10 in
+      gen_expr env ~dst:r1 ~avail:full i
+      @ [ mov addr r1 ]
+      @ gen_expr env ~dst:r1 ~avail:full v
+      @ [ sb r1 addr (Layout.offset env.layout g) ]
+  | Mir.If (c, t, e) ->
+      let else_l = fresh env "else" in
+      let end_l = fresh env "endif" in
+      gen_expr env ~dst:r1 ~avail:full c
+      @ [ branch Isa.Eq r1 Isa.r0 (if e = [] then end_l else else_l) ]
+      @ List.concat_map (gen_stmt env) t
+      @ (if e = [] then []
+         else (jump end_l :: label else_l :: List.concat_map (gen_stmt env) e))
+      @ [ label end_l ]
+  | Mir.While (c, body) ->
+      let loop_l = fresh env "loop" in
+      let end_l = fresh env "endloop" in
+      [ label loop_l ]
+      @ gen_expr env ~dst:r1 ~avail:full c
+      @ [ branch Isa.Eq r1 Isa.r0 end_l ]
+      @ List.concat_map (gen_stmt env) body
+      @ [ jump loop_l; label end_l ]
+  | Mir.Do_call (f, args) -> gen_call env f args
+  | Mir.Return None -> [ jump (exit_label env.fname) ]
+  | Mir.Return (Some e) -> eval_root e @ [ jump (exit_label env.fname) ]
+  | Mir.Out e ->
+      gen_expr env ~dst:r1 ~avail:full e
+      @ [ lii (r 11) Memmap.serial_port; sb r1 (r 11) 0 ]
+  | Mir.Out_str s ->
+      List.concat_map
+        (fun ch ->
+          [ lii r1 (Char.code ch); lii (r 11) Memmap.serial_port;
+            sb r1 (r 11) 0 ])
+        (List.init (String.length s) (String.get s))
+  | Mir.Detect code ->
+      [ li r1 code; lii (r 11) Memmap.detect_port; sw r1 (r 11) 0 ]
+  | Mir.Panic code ->
+      [ li r1 code; lii (r 11) Memmap.panic_port; sw r1 (r 11) 0 ]
+
+let gen_func layout (f : Mir.func) : Asm.stmt list =
+  let open Asm in
+  let names = f.Mir.f_params @ f.Mir.f_locals in
+  let env =
+    {
+      layout;
+      slots = List.mapi (fun i x -> (x, i)) names;
+      nslots = List.length names;
+      fname = f.Mir.f_name;
+      label_counter = 0;
+    }
+  in
+  let fsize = frame_size env in
+  let ra_off = 4 * env.nslots in
+  let prologue =
+    [ comment (Printf.sprintf "function %s" f.Mir.f_name);
+      label (func_label f.Mir.f_name);
+      alui Isa.Sub Isa.sp Isa.sp fsize;
+      sw Isa.ra Isa.sp ra_off;
+      sw Isa.fp Isa.sp (ra_off + 4);
+      mov Isa.fp Isa.sp ]
+    @ List.mapi (fun i p -> sw (r (i + 1)) Isa.fp (slot env p)) f.Mir.f_params
+  in
+  let body = List.concat_map (gen_stmt env) f.Mir.f_body in
+  let epilogue =
+    [ label (exit_label f.Mir.f_name);
+      mov (r 11) Isa.fp;
+      lw Isa.ra (r 11) ra_off;
+      lw Isa.fp (r 11) (ra_off + 4);
+      alui Isa.Add Isa.sp (r 11) fsize;
+      ret ]
+  in
+  prologue @ body @ epilogue
+
+let compile_statements (p : Mir.prog) : Asm.stmt list =
+  Check.check_exn p;
+  let layout = Layout.of_prog p in
+  let open Asm in
+  let entry =
+    [ comment "entry";
+      lii Isa.sp (Layout.ram_size layout);
+      call (func_label "main");
+      halt ]
+  in
+  entry @ List.concat_map (gen_func layout) p.Mir.p_funcs
+
+let compile (p : Mir.prog) =
+  let layout = Layout.of_prog p in
+  let stmts = compile_statements p in
+  let code, symbols = Asm.resolve_exn stmts in
+  Program.make ~name:p.Mir.p_name ~code ~ram_init:(Layout.ram_init layout)
+    ~symbols
+    ~data_symbols:
+      (Layout.data_symbols layout @ [ ("__stack", Layout.data_bytes layout) ])
+    ~ram_size:(Layout.ram_size layout) ()

@@ -1,0 +1,288 @@
+let protected_globals (p : Mir.prog) =
+  List.filter (fun g -> g.Mir.g_protected) p.Mir.p_globals
+
+let panic_code = 0xDEAD
+
+let replica_name g = "__" ^ g ^ "_r"
+let replica2_name g = "__" ^ g ^ "_r2"
+let sum_name g = "__" ^ g ^ "_s"
+let rsum_name g = "__" ^ g ^ "_rs"
+let check_name g = "__check_" ^ g
+let update_name g = "__update_" ^ g
+
+let words_of (g : Mir.global) =
+  match g.Mir.g_ty with
+  | Mir.I32 -> 1
+  | Mir.Words n -> n
+  | Mir.Byte_array _ ->
+      invalid_arg "Harden: protected byte arrays are not supported"
+
+(* Word initialisers padded with zeroes to the full length. *)
+let full_init (g : Mir.global) =
+  let n = words_of g in
+  let init = g.Mir.g_init in
+  List.init n (fun k ->
+      match List.nth_opt init k with Some v -> v | None -> 0l)
+
+let checksum_init g =
+  List.fold_left
+    (fun acc v -> Int32.add acc v)
+    0l (full_init g)
+
+(* Does the function body write global [name] directly?  Functions that
+   only read a protected object need no replica update on exit — the
+   check-only "get" instrumentation of the paper's GOP library. *)
+let writes_global name (f : Mir.func) =
+  let rec stmt s =
+    match (s : Mir.stmt) with
+    | Mir.Set_global (g, _) | Mir.Set_elem (g, _, _) | Mir.Set_byte (g, _, _)
+      ->
+        g = name
+    | Mir.If (_, t, e) -> List.exists stmt t || List.exists stmt e
+    | Mir.While (_, body) -> List.exists stmt body
+    | Mir.Set_local _ | Mir.Do_call _ | Mir.Return _ | Mir.Out _
+    | Mir.Out_str _ | Mir.Detect _ | Mir.Panic _ ->
+        false
+  in
+  List.exists stmt f.Mir.f_body
+
+(* Instrument statements: prefix every [Return] (and the implicit return
+   at the end of the body) with the update calls. *)
+let rec instrument_stmts updates stmts =
+  List.concat_map
+    (fun s ->
+      match (s : Mir.stmt) with
+      | Mir.Return _ -> updates @ [ s ]
+      | Mir.If (c, t, e) ->
+          [ Mir.If (c, instrument_stmts updates t, instrument_stmts updates e) ]
+      | Mir.While (c, body) -> [ Mir.While (c, instrument_stmts updates body) ]
+      | Mir.Set_global _ | Mir.Set_elem _ | Mir.Set_byte _ | Mir.Set_local _
+      | Mir.Do_call _ | Mir.Out _ | Mir.Out_str _ | Mir.Detect _ | Mir.Panic _
+        ->
+          [ s ])
+    stmts
+
+let instrument_func ~checks ~updates (f : Mir.func) =
+  if f.Mir.f_protects = [] then f
+  else
+    let entry = List.concat_map checks f.Mir.f_protects in
+    let written = List.filter (fun g -> writes_global g f) f.Mir.f_protects in
+    let exits = List.concat_map updates written in
+    let body = entry @ instrument_stmts exits f.Mir.f_body in
+    (* Ensure updates also run on fall-through function ends. *)
+    let body =
+      match List.rev f.Mir.f_body with
+      | Mir.Return _ :: _ -> body
+      | _ -> body @ exits
+    in
+    { f with Mir.f_body = body; f_protects = f.Mir.f_protects }
+
+(* ------------------------------------------------------------------ *)
+(* SUM+DMR                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sum_dmr_scalar_funcs (gv : Mir.global) =
+  let open Builder in
+  let name = gv.Mir.g_name in
+  let r = replica_name name
+  and s = sum_name name
+  and rs = rsum_name name in
+  [
+    func (check_name name)
+      (if_else
+         (Mir.Global name <>: Mir.Global s)
+         (if_else
+            (Mir.Global r =: Mir.Global rs)
+            [ setg name (Mir.Global r); setg s (Mir.Global rs);
+              detect (Int32.to_int Event_codes.corrected) ]
+            [ detect (Int32.to_int Event_codes.detected); panic panic_code ])
+         []
+      @ [ ret_unit ]);
+    func (update_name name)
+      [ setg r (Mir.Global name); setg s (Mir.Global name);
+        setg rs (Mir.Global name); ret_unit ];
+  ]
+
+(* A left-deep addition chain over all words of [arr]: evaluates in two
+   registers and touches no stack slot — the unrolled checksum code a
+   template-based GOP implementation generates. *)
+let unrolled_sum arr n =
+  let open Builder in
+  let rec chain k acc = if k = n then acc else chain (k + 1) (acc +: elem arr (i k)) in
+  chain 1 (elem arr (i 0))
+
+let sum_dmr_array_funcs (gv : Mir.global) n =
+  let open Builder in
+  let name = gv.Mir.g_name in
+  let r = replica_name name
+  and s = sum_name name
+  and rs = rsum_name name in
+  let copy ~src ~dst =
+    List.init n (fun k -> set_elem dst (i k) (elem src (i k)))
+  in
+  [
+    func (check_name name) ~locals:[ "acc" ]
+      ([ set "acc" (unrolled_sum name n) ]
+      @ if_else
+          (l "acc" <>: Mir.Global s)
+          (if_else
+             (unrolled_sum r n =: Mir.Global rs)
+             (copy ~src:r ~dst:name
+             @ [ setg s (Mir.Global rs);
+                 detect (Int32.to_int Event_codes.corrected) ])
+             [ detect (Int32.to_int Event_codes.detected); panic panic_code ])
+          []
+      @ [ ret_unit ]);
+    func (update_name name)
+      (copy ~src:name ~dst:r
+      @ [ setg s (unrolled_sum name n);
+          setg rs (Mir.Global s);
+          ret_unit ]);
+  ]
+
+let sum_dmr (p : Mir.prog) =
+  let prot = protected_globals p in
+  if prot = [] then { p with Mir.p_name = p.Mir.p_name ^ "+sumdmr" }
+  else begin
+    let extra_globals =
+      List.concat_map
+        (fun (g : Mir.global) ->
+          let init = full_init g in
+          let csum = checksum_init g in
+          [
+            { Mir.g_name = replica_name g.Mir.g_name; g_ty = g.Mir.g_ty;
+              g_init = init; g_protected = false };
+            { Mir.g_name = sum_name g.Mir.g_name; g_ty = Mir.I32;
+              g_init = [ csum ]; g_protected = false };
+            { Mir.g_name = rsum_name g.Mir.g_name; g_ty = Mir.I32;
+              g_init = [ csum ]; g_protected = false };
+          ])
+        prot
+    in
+    let extra_funcs =
+      List.concat_map
+        (fun (g : Mir.global) ->
+          match g.Mir.g_ty with
+          | Mir.I32 -> sum_dmr_scalar_funcs g
+          | Mir.Words n -> sum_dmr_array_funcs g n
+          | Mir.Byte_array _ ->
+              invalid_arg "Harden.sum_dmr: protected byte array")
+        prot
+    in
+    let checks gname = [ Mir.Do_call (check_name gname, []) ] in
+    let updates gname = [ Mir.Do_call (update_name gname, []) ] in
+    let funcs =
+      List.map (instrument_func ~checks ~updates) p.Mir.p_funcs @ extra_funcs
+    in
+    let prog =
+      {
+        Mir.p_name = p.Mir.p_name ^ "+sumdmr";
+        p_globals = p.Mir.p_globals @ extra_globals;
+        p_funcs = funcs;
+        p_stack_bytes = p.Mir.p_stack_bytes;
+      }
+    in
+    Check.check_exn prog;
+    prog
+  end
+
+(* ------------------------------------------------------------------ *)
+(* TMR                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tmr_funcs (gv : Mir.global) =
+  let open Builder in
+  let name = gv.Mir.g_name in
+  let n = words_of gv in
+  let r1 = replica_name name and r2 = replica2_name name in
+  (* Uniform word access: scalars are handled via a 1-word loop over the
+     same Elem forms only when the global is an array; scalars get direct
+     forms. *)
+  match gv.Mir.g_ty with
+  | Mir.I32 ->
+      [
+        func (check_name name)
+          (if_
+             (Mir.Global name <>: Mir.Global r1)
+             (if_else
+                (Mir.Global r1 =: Mir.Global r2)
+                [ setg name (Mir.Global r1);
+                  detect (Int32.to_int Event_codes.corrected) ]
+                (if_else
+                   (Mir.Global name =: Mir.Global r2)
+                   [ setg r1 (Mir.Global name);
+                     detect (Int32.to_int Event_codes.corrected) ]
+                   [ detect (Int32.to_int Event_codes.detected);
+                     panic panic_code ]))
+          @ if_
+              (Mir.Global name <>: Mir.Global r2)
+              [ setg r2 (Mir.Global name);
+                detect (Int32.to_int Event_codes.corrected) ]
+          @ [ ret_unit ]);
+        func (update_name name)
+          [ setg r1 (Mir.Global name); setg r2 (Mir.Global name); ret_unit ];
+      ]
+  | Mir.Words _ ->
+      [
+        func (check_name name) ~locals:[ "k" ]
+          (for_ "k" ~from:(i 0) ~below:(i n)
+             (if_
+                (elem name (l "k") <>: elem r1 (l "k"))
+                (if_else
+                   (elem r1 (l "k") =: elem r2 (l "k"))
+                   [ set_elem name (l "k") (elem r1 (l "k"));
+                     detect (Int32.to_int Event_codes.corrected) ]
+                   (if_else
+                      (elem name (l "k") =: elem r2 (l "k"))
+                      [ set_elem r1 (l "k") (elem name (l "k"));
+                        detect (Int32.to_int Event_codes.corrected) ]
+                      [ detect (Int32.to_int Event_codes.detected);
+                        panic panic_code ]))
+             @ if_
+                 (elem name (l "k") <>: elem r2 (l "k"))
+                 [ set_elem r2 (l "k") (elem name (l "k"));
+                   detect (Int32.to_int Event_codes.corrected) ])
+          @ [ ret_unit ]);
+        func (update_name name) ~locals:[ "k" ]
+          (for_ "k" ~from:(i 0) ~below:(i n)
+             [
+               set_elem r1 (l "k") (elem name (l "k"));
+               set_elem r2 (l "k") (elem name (l "k"));
+             ]
+          @ [ ret_unit ]);
+      ]
+  | Mir.Byte_array _ -> invalid_arg "Harden.tmr: protected byte array"
+
+let tmr (p : Mir.prog) =
+  let prot = protected_globals p in
+  if prot = [] then { p with Mir.p_name = p.Mir.p_name ^ "+tmr" }
+  else begin
+    let extra_globals =
+      List.concat_map
+        (fun (g : Mir.global) ->
+          let init = full_init g in
+          [
+            { Mir.g_name = replica_name g.Mir.g_name; g_ty = g.Mir.g_ty;
+              g_init = init; g_protected = false };
+            { Mir.g_name = replica2_name g.Mir.g_name; g_ty = g.Mir.g_ty;
+              g_init = init; g_protected = false };
+          ])
+        prot
+    in
+    let extra_funcs = List.concat_map tmr_funcs prot in
+    let checks gname = [ Mir.Do_call (check_name gname, []) ] in
+    let updates gname = [ Mir.Do_call (update_name gname, []) ] in
+    let funcs =
+      List.map (instrument_func ~checks ~updates) p.Mir.p_funcs @ extra_funcs
+    in
+    let prog =
+      {
+        Mir.p_name = p.Mir.p_name ^ "+tmr";
+        p_globals = p.Mir.p_globals @ extra_globals;
+        p_funcs = funcs;
+        p_stack_bytes = p.Mir.p_stack_bytes;
+      }
+    in
+    Check.check_exn prog;
+    prog
+  end

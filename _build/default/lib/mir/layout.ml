@@ -1,0 +1,62 @@
+type t = {
+  offsets : (string, int) Hashtbl.t;
+  data_bytes : int;
+  ram_size : int;
+  ram_init : (int * bytes) list;
+  data_symbols : (string * int) list;
+}
+
+let of_prog (p : Mir.prog) =
+  let offsets = Hashtbl.create 16 in
+  let next = ref 0 in
+  let chunks = ref [] in
+  let symbols = ref [] in
+  List.iter
+    (fun (g : Mir.global) ->
+      let off = !next in
+      Hashtbl.replace offsets g.Mir.g_name off;
+      symbols := (g.Mir.g_name, off) :: !symbols;
+      next := off + Mir.size_bytes g.Mir.g_ty;
+      if g.Mir.g_init <> [] then begin
+        let data =
+          match g.Mir.g_ty with
+          | Mir.Byte_array _ ->
+              let b = Bytes.create (List.length g.Mir.g_init) in
+              List.iteri
+                (fun i v -> Bytes.set b i (Char.chr (Int32.to_int v land 0xFF)))
+                g.Mir.g_init;
+              b
+          | Mir.I32 | Mir.Words _ ->
+              let b = Bytes.create (4 * List.length g.Mir.g_init) in
+              List.iteri
+                (fun i v ->
+                  let v = Int32.to_int v land 0xFFFFFFFF in
+                  Bytes.set b (4 * i) (Char.chr (v land 0xFF));
+                  Bytes.set b ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xFF));
+                  Bytes.set b ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xFF));
+                  Bytes.set b ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xFF)))
+                g.Mir.g_init;
+              b
+        in
+        chunks := (off, data) :: !chunks
+      end)
+    p.Mir.p_globals;
+  let data_bytes = !next in
+  let stack = ((p.Mir.p_stack_bytes + 3) / 4) * 4 in
+  {
+    offsets;
+    data_bytes;
+    ram_size = data_bytes + stack;
+    ram_init = List.rev !chunks;
+    data_symbols = List.rev !symbols;
+  }
+
+let offset t name =
+  match Hashtbl.find_opt t.offsets name with
+  | Some off -> off
+  | None -> raise Not_found
+
+let data_bytes t = t.data_bytes
+let ram_size t = t.ram_size
+let ram_init t = t.ram_init
+let data_symbols t = t.data_symbols

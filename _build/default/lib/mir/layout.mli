@@ -1,0 +1,26 @@
+(** Data layout: assigns every global a RAM offset, reserves the stack,
+    and derives the program's RAM size — the Δm dimension of its fault
+    space (memory overhead of hardening passes shows up here, exactly as
+    the paper's Figure 2g reports memory usage per variant). *)
+
+type t
+
+val of_prog : Mir.prog -> t
+
+val offset : t -> string -> int
+(** RAM byte offset of a global.
+
+    @raise Not_found for unknown globals. *)
+
+val data_bytes : t -> int
+(** Bytes occupied by globals (word-aligned). *)
+
+val ram_size : t -> int
+(** Total RAM: globals plus the stack reservation; the initial stack
+    pointer. *)
+
+val ram_init : t -> (int * bytes) list
+(** Initial RAM chunks from global initialisers. *)
+
+val data_symbols : t -> (string * int) list
+(** Global name → offset table, for program metadata. *)

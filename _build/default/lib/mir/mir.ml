@@ -1,0 +1,145 @@
+type ty = I32 | Words of int | Byte_array of int
+
+type global = {
+  g_name : string;
+  g_ty : ty;
+  g_init : int32 list;
+  g_protected : bool;
+}
+
+type binop = Add | Sub | Mul | Divu | Remu | And | Or | Xor | Shl | Shr
+
+type cmpop = Eq | Ne | Lt | Ge | Ltu | Geu
+
+type expr =
+  | Int of int32
+  | Global of string
+  | Elem of string * expr
+  | Byte of string * expr
+  | Local of string
+  | Bin of binop * expr * expr
+  | Cmp of cmpop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Set_global of string * expr
+  | Set_elem of string * expr * expr
+  | Set_byte of string * expr * expr
+  | Set_local of string * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_call of string * expr list
+  | Return of expr option
+  | Out of expr
+  | Out_str of string
+  | Detect of int32
+  | Panic of int32
+
+type func = {
+  f_name : string;
+  f_params : string list;
+  f_locals : string list;
+  f_body : stmt list;
+  f_protects : string list;
+}
+
+type prog = {
+  p_name : string;
+  p_globals : global list;
+  p_funcs : func list;
+  p_stack_bytes : int;
+}
+
+let pp_ty ppf = function
+  | I32 -> Format.pp_print_string ppf "i32"
+  | Words n -> Format.fprintf ppf "i32[%d]" n
+  | Byte_array n -> Format.fprintf ppf "u8[%d]" n
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Divu -> "/"
+  | Remu -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let cmpop_name = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Ltu -> "<u"
+  | Geu -> ">=u"
+
+let rec pp_expr ppf = function
+  | Int v -> Format.fprintf ppf "%ld" v
+  | Global g -> Format.pp_print_string ppf g
+  | Elem (g, i) -> Format.fprintf ppf "%s[%a]" g pp_expr i
+  | Byte (g, i) -> Format.fprintf ppf "%s.[%a]" g pp_expr i
+  | Local x -> Format.pp_print_string ppf x
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (cmpop_name op) pp_expr b
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        args
+
+let rec pp_stmt ppf = function
+  | Set_global (g, e) -> Format.fprintf ppf "%s = %a;" g pp_expr e
+  | Set_elem (g, i, v) ->
+      Format.fprintf ppf "%s[%a] = %a;" g pp_expr i pp_expr v
+  | Set_byte (g, i, v) ->
+      Format.fprintf ppf "%s.[%a] = %a;" g pp_expr i pp_expr v
+  | Set_local (x, e) -> Format.fprintf ppf "%s = %a;" x pp_expr e
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,}" pp_expr c pp_block t;
+      if e <> [] then Format.fprintf ppf "@[<v 2> else {@,%a@]@,}" pp_block e
+  | While (c, body) ->
+      Format.fprintf ppf "@[<v 2>while %a {@,%a@]@,}" pp_expr c pp_block body
+  | Do_call (f, args) -> pp_expr ppf (Call (f, args)); Format.pp_print_string ppf ";"
+  | Return None -> Format.pp_print_string ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Out e -> Format.fprintf ppf "out %a;" pp_expr e
+  | Out_str s -> Format.fprintf ppf "out %S;" s
+  | Detect code -> Format.fprintf ppf "detect %ld;" code
+  | Panic code -> Format.fprintf ppf "panic %ld;" code
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>fn %s(%s)%s {@,%a@]@,}" f.f_name
+    (String.concat ", " f.f_params)
+    (match f.f_locals with
+    | [] -> ""
+    | ls -> Printf.sprintf " locals(%s)" (String.concat ", " ls))
+    pp_block f.f_body
+
+let pp_prog ppf p =
+  Format.fprintf ppf "@[<v>// program %s@," p.p_name;
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "%s%s : %a;@,"
+        (if g.g_protected then "protected " else "")
+        g.g_name pp_ty g.g_ty)
+    p.p_globals;
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_func f) p.p_funcs;
+  Format.fprintf ppf "@]"
+
+let size_bytes = function
+  | I32 -> 4
+  | Words n -> 4 * n
+  | Byte_array n -> 4 * ((n + 3) / 4)
+
+let find_func p name = List.find_opt (fun f -> f.f_name = name) p.p_funcs
+
+let find_global p name =
+  List.find_opt (fun g -> g.g_name = name) p.p_globals

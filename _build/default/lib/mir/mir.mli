@@ -1,0 +1,91 @@
+(** MIR — the mini intermediate representation.
+
+    The kernel and the benchmark programs are written in this small
+    imperative language and compiled to the ISA by {!Codegen}.  Software
+    fault-tolerance mechanisms (SUM+DMR, TMR — see {!Harden}) are
+    source-to-source passes over MIR, mirroring how the paper's
+    Generic Object Protection weaves checksum/replica maintenance into
+    C++ classes [8].
+
+    Language shape: 32-bit scalars, global word/byte arrays, functions
+    with up to 4 parameters and scalar locals, structured control flow.
+    Restrictions enforced by {!Check}: calls appear only at statement
+    level (as a whole statement or the root of an assignment), and
+    expression depth is bounded by the register budget — the code
+    generator never spills temporaries. *)
+
+type ty =
+  | I32  (** One 32-bit word. *)
+  | Words of int  (** Word array; the length is in words. *)
+  | Byte_array of int  (** Byte array; the length is in bytes. *)
+
+type global = {
+  g_name : string;
+  g_ty : ty;
+  g_init : int32 list;
+      (** Word (or byte) initialisers; shorter than the type means
+          zero-filled.  These become [ram_init] — defined at cycle 0. *)
+  g_protected : bool;
+      (** Marked "critical data" — hardening passes protect exactly the
+          globals with this flag. *)
+}
+
+type binop =
+  | Add | Sub | Mul | Divu | Remu | And | Or | Xor | Shl | Shr
+
+type cmpop = Eq | Ne | Lt | Ge | Ltu | Geu
+
+type expr =
+  | Int of int32
+  | Global of string  (** Value of a scalar global. *)
+  | Elem of string * expr  (** Word-array element. *)
+  | Byte of string * expr  (** Byte-array element (zero-extended). *)
+  | Local of string  (** Value of a local or parameter. *)
+  | Bin of binop * expr * expr
+  | Cmp of cmpop * expr * expr  (** 1 when true, 0 when false. *)
+  | Call of string * expr list
+      (** Only allowed as the root expression of a statement. *)
+
+type stmt =
+  | Set_global of string * expr
+  | Set_elem of string * expr * expr  (** array, index, value. *)
+  | Set_byte of string * expr * expr
+  | Set_local of string * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_call of string * expr list  (** Call for effect. *)
+  | Return of expr option
+  | Out of expr  (** Write the low byte to the serial port. *)
+  | Out_str of string  (** Emit a constant string (no RAM traffic). *)
+  | Detect of int32  (** Report a detection event. *)
+  | Panic of int32  (** Fail-stop. *)
+
+type func = {
+  f_name : string;
+  f_params : string list;  (** At most 4. *)
+  f_locals : string list;  (** Scalar stack slots. *)
+  f_body : stmt list;
+  f_protects : string list;
+      (** Protected globals this function works on; hardening passes
+          insert integrity checks at entry and replica updates at every
+          exit of such functions (object enter/leave instrumentation). *)
+}
+
+type prog = {
+  p_name : string;
+  p_globals : global list;
+  p_funcs : func list;  (** Must include ["main"] (no params). *)
+  p_stack_bytes : int;  (** Stack reservation above the globals. *)
+}
+
+val pp_ty : Format.formatter -> ty -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_func : Format.formatter -> func -> unit
+val pp_prog : Format.formatter -> prog -> unit
+
+val size_bytes : ty -> int
+(** Storage size, word-aligned ([Byte_array] lengths are rounded up). *)
+
+val find_func : prog -> string -> func option
+val find_global : prog -> string -> global option

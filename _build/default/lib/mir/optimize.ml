@@ -1,0 +1,169 @@
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* 32-bit machine semantics, mirroring Machine.alu_eval. *)
+let eval_binop op a b =
+  let open Int32 in
+  let shift = to_int (logand b 31l) in
+  match (op : Mir.binop) with
+  | Mir.Add -> Some (add a b)
+  | Mir.Sub -> Some (sub a b)
+  | Mir.Mul -> Some (mul a b)
+  | Mir.Divu -> if equal b 0l then None else Some (unsigned_div a b)
+  | Mir.Remu -> if equal b 0l then None else Some (unsigned_rem a b)
+  | Mir.And -> Some (logand a b)
+  | Mir.Or -> Some (logor a b)
+  | Mir.Xor -> Some (logxor a b)
+  | Mir.Shl -> Some (shift_left a shift)
+  | Mir.Shr -> Some (shift_right_logical a shift)
+
+let eval_cmpop op a b =
+  let unsigned_lt a b = Int32.unsigned_compare a b < 0 in
+  let holds =
+    match (op : Mir.cmpop) with
+    | Mir.Eq -> Int32.equal a b
+    | Mir.Ne -> not (Int32.equal a b)
+    | Mir.Lt -> Int32.compare a b < 0
+    | Mir.Ge -> Int32.compare a b >= 0
+    | Mir.Ltu -> unsigned_lt a b
+    | Mir.Geu -> not (unsigned_lt a b)
+  in
+  if holds then 1l else 0l
+
+let rec fold_expr (e : Mir.expr) : Mir.expr =
+  match e with
+  | Mir.Int _ | Mir.Global _ | Mir.Local _ -> e
+  | Mir.Elem (g, i) -> Mir.Elem (g, fold_expr i)
+  | Mir.Byte (g, i) -> Mir.Byte (g, fold_expr i)
+  | Mir.Bin (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (a, b) with
+      | Mir.Int va, Mir.Int vb -> (
+          match eval_binop op va vb with
+          | Some v -> Mir.Int v
+          | None -> Mir.Bin (op, a, b))
+      | _ -> Mir.Bin (op, a, b))
+  | Mir.Cmp (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (a, b) with
+      | Mir.Int va, Mir.Int vb -> Mir.Int (eval_cmpop op va vb)
+      | _ -> Mir.Cmp (op, a, b))
+  | Mir.Call (f, args) -> Mir.Call (f, List.map fold_expr args)
+
+let rec fold_stmts stmts = List.concat_map fold_stmt stmts
+
+and fold_stmt (s : Mir.stmt) : Mir.stmt list =
+  match s with
+  | Mir.Set_global (g, e) -> [ Mir.Set_global (g, fold_expr e) ]
+  | Mir.Set_elem (g, i, v) -> [ Mir.Set_elem (g, fold_expr i, fold_expr v) ]
+  | Mir.Set_byte (g, i, v) -> [ Mir.Set_byte (g, fold_expr i, fold_expr v) ]
+  | Mir.Set_local (x, e) -> [ Mir.Set_local (x, fold_expr e) ]
+  | Mir.If (c, t, e) -> (
+      match fold_expr c with
+      | Mir.Int 0l -> fold_stmts e
+      | Mir.Int _ -> fold_stmts t
+      | c -> [ Mir.If (c, fold_stmts t, fold_stmts e) ])
+  | Mir.While (c, body) -> (
+      match fold_expr c with
+      | Mir.Int 0l -> []
+      | c -> [ Mir.While (c, fold_stmts body) ])
+  | Mir.Do_call (f, args) -> [ Mir.Do_call (f, List.map fold_expr args) ]
+  | Mir.Return (Some e) -> [ Mir.Return (Some (fold_expr e)) ]
+  | Mir.Return None | Mir.Out_str _ | Mir.Detect _ | Mir.Panic _ -> [ s ]
+  | Mir.Out e -> [ Mir.Out (fold_expr e) ]
+
+let const_fold (p : Mir.prog) =
+  {
+    p with
+    Mir.p_funcs =
+      List.map
+        (fun f -> { f with Mir.f_body = fold_stmts f.Mir.f_body })
+        p.Mir.p_funcs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dead-store elimination                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_reads (e : Mir.expr) : SS.t =
+  match e with
+  | Mir.Int _ | Mir.Global _ -> SS.empty
+  | Mir.Local x -> SS.singleton x
+  | Mir.Elem (_, i) | Mir.Byte (_, i) -> expr_reads i
+  | Mir.Bin (_, a, b) | Mir.Cmp (_, a, b) -> SS.union (expr_reads a) (expr_reads b)
+  | Mir.Call (_, args) ->
+      List.fold_left (fun acc a -> SS.union acc (expr_reads a)) SS.empty args
+
+(* Backwards pass over a statement list: returns (live-in, rewritten
+   statements).  [live] is the live-out set. *)
+let rec eliminate_block stmts ~live =
+  match stmts with
+  | [] -> (live, [])
+  | s :: rest ->
+      let live_after_s, rest' = eliminate_block rest ~live in
+      let live_in, s' = eliminate_stmt s ~live:live_after_s in
+      (live_in, s' @ rest')
+
+and eliminate_stmt (s : Mir.stmt) ~live =
+  match s with
+  | Mir.Set_local (x, e) when not (SS.mem x live) -> (
+      (* The stored value is never read: keep only the call effect. *)
+      match e with
+      | Mir.Call (f, args) ->
+          let reads = expr_reads e in
+          (SS.union live reads, [ Mir.Do_call (f, args) ])
+      | _ -> (live, []))
+  | Mir.Set_local (x, e) ->
+      (SS.union (SS.remove x live) (expr_reads e), [ s ])
+  | Mir.Set_global (_, e) | Mir.Out e ->
+      (SS.union live (expr_reads e), [ s ])
+  | Mir.Set_elem (_, i, v) | Mir.Set_byte (_, i, v) ->
+      (SS.union live (SS.union (expr_reads i) (expr_reads v)), [ s ])
+  | Mir.Do_call (_, args) ->
+      ( List.fold_left (fun acc a -> SS.union acc (expr_reads a)) live args,
+        [ s ] )
+  | Mir.Return None -> (SS.empty, [ s ])
+  | Mir.Return (Some e) -> (expr_reads e, [ s ])
+  | Mir.Out_str _ | Mir.Detect _ | Mir.Panic _ -> (live, [ s ])
+  | Mir.If (c, t, e) ->
+      let live_t, t' = eliminate_block t ~live in
+      let live_e, e' = eliminate_block e ~live in
+      ( SS.union (expr_reads c) (SS.union live_t live_e),
+        [ Mir.If (c, t', e') ] )
+  | Mir.While (c, body) ->
+      (* Fixpoint on the loop-carried live set. *)
+      let rec converge live_loop =
+        let live_body, _ = eliminate_block body ~live:live_loop in
+        let next = SS.union live_loop (SS.union (expr_reads c) live_body) in
+        if SS.equal next live_loop then live_loop else converge next
+      in
+      let live_loop = converge (SS.union live (expr_reads c)) in
+      let _, body' = eliminate_block body ~live:live_loop in
+      (live_loop, [ Mir.While (c, body') ])
+
+(* Drop statements after a Return within one block (unreachable). *)
+let rec drop_after_return stmts =
+  match stmts with
+  | [] -> []
+  | (Mir.Return _ as r) :: _ :: _ -> [ r ]
+  | Mir.If (c, t, e) :: rest ->
+      Mir.If (c, drop_after_return t, drop_after_return e)
+      :: drop_after_return rest
+  | Mir.While (c, body) :: rest ->
+      Mir.While (c, drop_after_return body) :: drop_after_return rest
+  | s :: rest -> s :: drop_after_return rest
+
+let dead_store_elim (p : Mir.prog) =
+  let clean (f : Mir.func) =
+    let body = drop_after_return f.Mir.f_body in
+    let _, body = eliminate_block body ~live:SS.empty in
+    { f with Mir.f_body = body }
+  in
+  { p with Mir.p_funcs = List.map clean p.Mir.p_funcs }
+
+let rec optimize (p : Mir.prog) =
+  let next = dead_store_elim (const_fold p) in
+  if next = p then p else optimize next

@@ -1,0 +1,30 @@
+(** Classical optimisation passes over MIR.
+
+    Besides making generated code smaller, these passes matter to the
+    fault-injection methodology itself: optimisation changes a program's
+    runtime, memory traffic and data lifetimes — i.e. its fault space —
+    so the same source exhibits different susceptibility depending on how
+    it was compiled.  The benchmark harness's [optimization] artifact
+    quantifies this with the paper's metrics (and shows, once more, that
+    fault coverage and absolute failure counts can disagree about which
+    compilation is "safer").
+
+    Both passes are semantics-preserving for halting programs: outputs,
+    detection events and final global state are unchanged
+    (property-tested against the interpreter). *)
+
+val const_fold : Mir.prog -> Mir.prog
+(** Evaluate integer operators with constant operands (32-bit machine
+    semantics), resolve branches on constant conditions, and drop
+    [while 0] loops.  Division by a constant zero is {e not} folded — the
+    runtime trap is preserved. *)
+
+val dead_store_elim : Mir.prog -> Mir.prog
+(** Backwards liveness analysis per function: assignments to locals that
+    are never read afterwards are removed ([x = call f(...)] becomes a
+    bare call to keep the effect); statements after a [return] are
+    dropped.  Globals and memory stores are never considered dead — they
+    are visible to other functions and to campaign output. *)
+
+val optimize : Mir.prog -> Mir.prog
+(** [const_fold] then [dead_store_elim], iterated to a fixpoint. *)

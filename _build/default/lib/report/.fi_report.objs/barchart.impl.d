@@ -1,0 +1,1 @@
+lib/report/barchart.ml: Buffer Float List Printf Stdlib String

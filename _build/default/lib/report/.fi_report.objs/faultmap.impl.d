@@ -1,0 +1,1 @@
+lib/report/faultmap.ml: Array Buffer Defuse Faultspace Golden Outcome Printf Scan Trace

@@ -1,0 +1,1 @@
+lib/report/faultmap.mli: Defuse Golden Scan Trace

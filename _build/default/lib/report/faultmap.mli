@@ -1,0 +1,24 @@
+(** ASCII rendering of fault spaces — reproduces the visual language of
+    the paper's Figures 1 and 3: the grid of (cycle, bit) coordinates with
+    read/write events, def/use equivalence classes and, when campaign
+    results are supplied, per-coordinate outcomes.
+
+    Only practical for tiny programs (the "Hi" example, the Figure 1
+    illustration): one character per fault-space coordinate. *)
+
+val access_map : trace:Trace.t -> defuse:Defuse.t -> string
+(** One row per RAM bit (top = bit 0), one column per cycle.  ['W'] marks
+    a write to the byte containing the bit, ['R'] a read, ['.'] an
+    experiment coordinate (interval ending in a read), [' '] an a-priori
+    benign coordinate. *)
+
+val access_map_golden : Golden.t -> string
+(** {!access_map} over a golden run's trace. *)
+
+val outcome_map : Golden.t -> Scan.t -> string
+(** Same geometry, coloured by results: ['X'] failing coordinate, ['o']
+    conducted but benign, [' '] a-priori benign, with R/W event markers
+    preserved. *)
+
+val legend : string
+(** Explanation of the symbols, for printing below a map. *)

@@ -1,0 +1,61 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = {
+  columns : (string * align) list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ~columns = { columns; lines = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.row: wrong number of cells";
+  t.lines <- Row cells :: t.lines
+
+let rule t = t.lines <- Rule :: t.lines
+
+let render t =
+  let headers = List.map fst t.columns in
+  let aligns = List.map snd t.columns in
+  let rows =
+    headers :: List.filter_map (function Row r -> Some r | Rule -> None)
+                 (List.rev t.lines)
+  in
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun cells ->
+      List.iteri
+        (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+        cells)
+    rows;
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  let emit_rule () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  emit_rule ();
+  List.iter
+    (function Row cells -> emit_row cells | Rule -> emit_rule ())
+    (List.rev t.lines);
+  Buffer.contents buf
+
+let print t = print_string (render t)

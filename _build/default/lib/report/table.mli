@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment reports. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : columns:(string * align) list -> t
+(** Header row with per-column alignment. *)
+
+val row : t -> string list -> unit
+(** Append a data row; must match the column count.
+
+    @raise Invalid_argument on arity mismatch. *)
+
+val rule : t -> unit
+(** Append a horizontal rule. *)
+
+val render : t -> string
+(** The formatted table with padded columns. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,81 @@
+type interval = { lower : float; upper : float }
+
+let pp_interval ppf { lower; upper } =
+  Format.fprintf ppf "[%.4f, %.4f]" lower upper
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let check ~fails ~trials ~confidence =
+  if trials <= 0 then invalid_arg "Confidence: trials must be positive";
+  if fails < 0 || fails > trials then
+    invalid_arg "Confidence: fails outside [0, trials]";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Confidence: confidence outside (0,1)"
+
+let z_of ~confidence =
+  Special.inverse_normal_cdf (1.0 -. ((1.0 -. confidence) /. 2.0))
+
+let wald ~fails ~trials ~confidence =
+  check ~fails ~trials ~confidence;
+  let n = float_of_int trials in
+  let p = float_of_int fails /. n in
+  let z = z_of ~confidence in
+  let half = z *. sqrt (p *. (1.0 -. p) /. n) in
+  { lower = clamp01 (p -. half); upper = clamp01 (p +. half) }
+
+let wilson ~fails ~trials ~confidence =
+  check ~fails ~trials ~confidence;
+  let n = float_of_int trials in
+  let p = float_of_int fails /. n in
+  let z = z_of ~confidence in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = p +. (z2 /. (2.0 *. n)) in
+  let half = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
+  {
+    lower = clamp01 ((centre -. half) /. denom);
+    upper = clamp01 ((centre +. half) /. denom);
+  }
+
+let clopper_pearson ~fails ~trials ~confidence =
+  check ~fails ~trials ~confidence;
+  let alpha = 1.0 -. confidence in
+  let n = trials in
+  let k = fails in
+  (* Invert the beta CDF by bisection on the regularised incomplete beta. *)
+  let beta_quantile p ~a ~b =
+    let rec bisect lo hi iter =
+      if iter = 0 then (lo +. hi) /. 2.0
+      else
+        let mid = (lo +. hi) /. 2.0 in
+        if Special.regularized_beta mid ~a ~b < p then bisect mid hi (iter - 1)
+        else bisect lo mid (iter - 1)
+    in
+    bisect 0.0 1.0 80
+  in
+  let lower =
+    if k = 0 then 0.0
+    else
+      beta_quantile (alpha /. 2.0) ~a:(float_of_int k)
+        ~b:(float_of_int (n - k + 1))
+  in
+  let upper =
+    if k = n then 1.0
+    else
+      beta_quantile
+        (1.0 -. (alpha /. 2.0))
+        ~a:(float_of_int (k + 1))
+        ~b:(float_of_int (n - k))
+  in
+  { lower; upper }
+
+let sample_size ~half_width ~confidence ~worst_case_p =
+  if half_width <= 0.0 then
+    invalid_arg "Confidence.sample_size: half_width must be positive";
+  if worst_case_p < 0.0 || worst_case_p > 1.0 then
+    invalid_arg "Confidence.sample_size: worst_case_p outside [0,1]";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Confidence.sample_size: confidence outside (0,1)";
+  let z = z_of ~confidence in
+  let n = z *. z *. worst_case_p *. (1.0 -. worst_case_p) /. (half_width *. half_width) in
+  int_of_float (Float.ceil n)

@@ -1,0 +1,33 @@
+(** Confidence intervals for binomial proportions.
+
+    Sampling-based FI campaigns estimate P(Failure | 1 fault) from [fails]
+    successes in [trials] Bernoulli draws; these intervals quantify the
+    statistical error of such estimates (the paper defers the sample-size
+    question to the literature, but a credible FI tool must report it). *)
+
+type interval = { lower : float; upper : float }
+(** A two-sided interval, [0 <= lower <= upper <= 1]. *)
+
+val pp_interval : Format.formatter -> interval -> unit
+(** Prints as ["[l, u]"] with four decimal places. *)
+
+val wald : fails:int -> trials:int -> confidence:float -> interval
+(** Normal-approximation (Wald) interval; simple but unreliable near the
+    boundaries — provided for comparison.
+
+    @raise Invalid_argument if [trials <= 0], [fails] outside
+    [\[0, trials\]] or [confidence] outside (0, 1). *)
+
+val wilson : fails:int -> trials:int -> confidence:float -> interval
+(** Wilson score interval; the recommended default. *)
+
+val clopper_pearson : fails:int -> trials:int -> confidence:float -> interval
+(** Exact (conservative) Clopper–Pearson interval via the incomplete beta
+    function. *)
+
+val sample_size :
+  half_width:float -> confidence:float -> worst_case_p:float -> int
+(** [sample_size ~half_width ~confidence ~worst_case_p] is the number of
+    samples needed so that a Wald-style interval at [confidence] has at
+    most [half_width] half-width when the true proportion is
+    [worst_case_p] (use 0.5 when unknown). *)

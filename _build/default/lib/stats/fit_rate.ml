@@ -1,0 +1,22 @@
+type t = float
+
+let of_fit_per_mbit r =
+  if r < 0.0 then invalid_arg "Fit_rate.of_fit_per_mbit: negative rate";
+  r
+
+let to_float r = r
+
+let published_rates = [ 0.061; 0.066; 0.044 ]
+
+let mean_published =
+  let sum = List.fold_left ( +. ) 0.0 published_rates in
+  sum /. float_of_int (List.length published_rates)
+
+(* 10^9 hours in ns, times 10^6 bits per Mbit. *)
+let fit_denominator = 1e9 *. 3600.0 *. 1e9 *. 1e6
+
+let per_bit_per_ns r = r /. fit_denominator
+
+let lambda r ~cycles ~ns_per_cycle ~bits =
+  if cycles < 0 || bits < 0 then invalid_arg "Fit_rate.lambda: negative size";
+  per_bit_per_ns r *. float_of_int cycles *. ns_per_cycle *. float_of_int bits

@@ -1,0 +1,87 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+(* splitmix64: expands a 64-bit seed into a well-mixed stream; used only
+   for state initialisation, per the xoshiro authors' recommendation. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref seed in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let next_int64 g =
+  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = create ~seed:(next_int64 g)
+
+let bits30 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 34)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let mask62 = (1 lsl 62) - 1 in
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) land mask62 in
+    let value = raw mod bound in
+    if raw - value + (bound - 1) >= 0 then value else draw ()
+  in
+  draw ()
+
+let int64 g bound =
+  if Int64.compare bound 0L <= 0 then
+    invalid_arg "Prng.int64: bound must be positive";
+  let rec draw () =
+    let raw = Int64.shift_right_logical (next_int64 g) 1 in
+    let value = Int64.rem raw bound in
+    if Int64.compare (Int64.sub raw value) (Int64.sub Int64.max_int (Int64.pred bound)) <= 0
+    then value
+    else draw ()
+  in
+  draw ()
+
+let float g bound =
+  (* 53 uniform mantissa bits, as in the xoshiro reference code. *)
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  raw *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool g = Int64.compare (Int64.logand (next_int64 g) 1L) 0L <> 0
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation.
+
+    Fault-injection campaigns must be exactly reproducible (Section II-C of
+    the paper), so all randomness in this repository flows through this
+    module rather than [Stdlib.Random].  The generator is xoshiro256**
+    seeded via splitmix64, both implemented from the public-domain
+    reference algorithms. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator whose entire stream is a pure
+    function of [seed] (expanded with splitmix64). *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay exactly the
+    stream [g] would have produced from its current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator seeded from it;
+    streams of parent and child are statistically independent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniformly random bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive;
+    rejection sampling removes modulo bias.
+
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int64 : t -> int64 -> int64
+(** [int64 g bound] is uniform in [\[0L, bound)] for positive [bound].
+
+    @raise Invalid_argument if [bound <= 0L]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)], with 53 bits of
+    precision. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+
+    @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,173 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x < 0.5 then
+    (* Reflection formula keeps the Lanczos series in its domain. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else
+    let x = x -. 1.0 in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+
+let factorial_table =
+  let table = Array.make 171 1.0 in
+  for n = 1 to 170 do
+    table.(n) <- table.(n - 1) *. float_of_int n
+  done;
+  table
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Special.log_factorial: negative argument";
+  if n <= 170 then log factorial_table.(n)
+  else log_gamma (float_of_int n +. 1.0)
+
+let max_iterations = 500
+let epsilon = 3.0e-12
+let tiny = 1.0e-300
+
+(* Series expansion of P(a, x), converges quickly for x < a + 1. *)
+let gamma_p_series a x =
+  let ap = ref a in
+  let sum = ref (1.0 /. a) in
+  let delta = ref !sum in
+  let finished = ref false in
+  let iter = ref 0 in
+  while (not !finished) && !iter < max_iterations do
+    incr iter;
+    ap := !ap +. 1.0;
+    delta := !delta *. x /. !ap;
+    sum := !sum +. !delta;
+    if Float.abs !delta < Float.abs !sum *. epsilon then finished := true
+  done;
+  !sum *. exp ((a *. log x) -. x -. log_gamma a)
+
+(* Continued fraction for Q(a, x), converges quickly for x >= a + 1. *)
+let gamma_q_cf a x =
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. tiny) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  let finished = ref false in
+  let i = ref 1 in
+  while (not !finished) && !i < max_iterations do
+    let an = -.float_of_int !i *. (float_of_int !i -. a) in
+    b := !b +. 2.0;
+    d := (an *. !d) +. !b;
+    if Float.abs !d < tiny then d := tiny;
+    c := !b +. (an /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1.0 /. !d;
+    let delta = !d *. !c in
+    h := !h *. delta;
+    if Float.abs (delta -. 1.0) < epsilon then finished := true;
+    incr i
+  done;
+  exp ((a *. log x) -. x -. log_gamma a) *. !h
+
+let regularized_gamma_p a x =
+  if a <= 0.0 || x < 0.0 then
+    invalid_arg "Special.regularized_gamma_p: domain error";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then gamma_p_series a x
+  else 1.0 -. gamma_q_cf a x
+
+let regularized_gamma_q a x = 1.0 -. regularized_gamma_p a x
+
+(* Continued fraction for the incomplete beta function (Lentz's method). *)
+let beta_cf x ~a ~b =
+  let qab = a +. b in
+  let qap = a +. 1.0 in
+  let qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < tiny then d := tiny;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let finished = ref false in
+  while (not !finished) && !m < max_iterations do
+    let mf = float_of_int !m in
+    let m2 = 2.0 *. mf in
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < tiny then d := tiny;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < tiny then d := tiny;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1.0 /. !d;
+    let delta = !d *. !c in
+    h := !h *. delta;
+    if Float.abs (delta -. 1.0) < epsilon then finished := true;
+    incr m
+  done;
+  !h
+
+let regularized_beta x ~a ~b =
+  if x < 0.0 || x > 1.0 then invalid_arg "Special.regularized_beta: x outside [0,1]";
+  if a <= 0.0 || b <= 0.0 then invalid_arg "Special.regularized_beta: a, b must be positive";
+  if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else
+    let front =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b
+        +. (a *. log x)
+        +. (b *. log (1.0 -. x)))
+    in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then front *. beta_cf x ~a ~b /. a
+    else 1.0 -. (front *. beta_cf (1.0 -. x) ~a:b ~b:a /. b)
+
+let erf x =
+  if x >= 0.0 then regularized_gamma_p 0.5 (x *. x)
+  else -.regularized_gamma_p 0.5 (x *. x)
+
+(* Acklam's inverse normal CDF approximation. *)
+let inverse_normal_cdf p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Special.inverse_normal_cdf: p outside (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1.0 -. p_low in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  else if p <= p_high then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+       /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0))

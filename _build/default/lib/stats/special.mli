@@ -1,0 +1,35 @@
+(** Special mathematical functions needed by the probability modules.
+
+    Implemented from standard numerical recipes (Lanczos approximation for
+    the log-gamma function; series and continued-fraction expansions for
+    the regularised incomplete gamma and beta functions). *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is ln Γ(x) for [x > 0]. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is ln (n!), exact table for small [n], log-gamma
+    otherwise.
+
+    @raise Invalid_argument if [n < 0]. *)
+
+val regularized_gamma_p : float -> float -> float
+(** [regularized_gamma_p a x] is P(a, x) = γ(a, x)/Γ(a), the regularised
+    lower incomplete gamma function, for [a > 0] and [x >= 0]. *)
+
+val regularized_gamma_q : float -> float -> float
+(** [regularized_gamma_q a x] is Q(a, x) = 1 − P(a, x). *)
+
+val regularized_beta : float -> a:float -> b:float -> float
+(** [regularized_beta x ~a ~b] is I_x(a, b), the regularised incomplete
+    beta function, for [0 <= x <= 1], [a > 0], [b > 0]. *)
+
+val erf : float -> float
+(** Error function, via the incomplete gamma function. *)
+
+val inverse_normal_cdf : float -> float
+(** [inverse_normal_cdf p] is the quantile of the standard normal
+    distribution (Acklam's rational approximation, |relative error|
+    < 1.15e-9) for [0 < p < 1].
+
+    @raise Invalid_argument outside (0, 1). *)

@@ -1,0 +1,1 @@
+lib/trace/defuse.ml: Array Format List Trace

@@ -1,0 +1,1 @@
+lib/trace/defuse.mli: Format Trace

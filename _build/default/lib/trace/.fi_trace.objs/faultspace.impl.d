@@ -1,0 +1,1 @@
+lib/trace/faultspace.ml: Defuse Format Prng

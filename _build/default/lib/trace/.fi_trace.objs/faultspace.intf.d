@@ -1,0 +1,1 @@
+lib/trace/faultspace.mli: Defuse Format Prng

@@ -1,0 +1,110 @@
+type class_kind = Experiment | Overwritten | Dormant
+
+let pp_class_kind ppf = function
+  | Experiment -> Format.pp_print_string ppf "experiment"
+  | Overwritten -> Format.pp_print_string ppf "overwritten"
+  | Dormant -> Format.pp_print_string ppf "dormant"
+
+type byte_class = {
+  byte : int;
+  t_start : int;
+  t_end : int;
+  kind : class_kind;
+}
+
+let weight c = c.t_end - c.t_start + 1
+
+type t = {
+  ram : int;
+  cycles : int;
+  all : byte_class array;
+  (* Per byte: offset into [all] of this byte's first class, classes of one
+     byte being contiguous and sorted by t_start.  Length ram+1 (fencepost). *)
+  byte_offset : int array;
+}
+
+let ram_size t = t.ram
+let total_cycles t = t.cycles
+let fault_space_size t = t.cycles * t.ram * 8
+let classes t = t.all
+
+let analyze trace =
+  let ram = Trace.ram_size trace in
+  let cycles = Trace.total_cycles trace in
+  (* Gather per-byte access lists (cycle, kind), in execution order. *)
+  let accesses : (int * Trace.kind) list array = Array.make ram [] in
+  Trace.iter_byte_accesses trace (fun ~byte ~cycle ~kind ->
+      accesses.(byte) <- (cycle, kind) :: accesses.(byte));
+  let out = ref [] in
+  let out_count = ref 0 in
+  let byte_offset = Array.make (ram + 1) 0 in
+  for byte = 0 to ram - 1 do
+    byte_offset.(byte) <- !out_count;
+    let acc = List.rev accesses.(byte) in
+    (* Walk intervals.  prev = cycle of previous access (0 = initial
+       contents, defined at reset). *)
+    let emit c =
+      out := c :: !out;
+      incr out_count
+    in
+    let rec walk prev = function
+      | [] ->
+          if prev < cycles then
+            emit { byte; t_start = prev + 1; t_end = cycles; kind = Dormant }
+      | (cycle, kind) :: rest ->
+          (* Two accesses in the same cycle to the same byte cannot occur
+             (one instruction makes at most one access per byte), but the
+             initial def and a cycle-0 access could never collide since
+             cycles start at 1. *)
+          if cycle > prev then begin
+            let k =
+              match (kind : Trace.kind) with
+              | Read -> Experiment
+              | Write -> Overwritten
+            in
+            emit { byte; t_start = prev + 1; t_end = cycle; kind = k }
+          end;
+          walk cycle rest
+    in
+    walk 0 acc
+  done;
+  byte_offset.(ram) <- !out_count;
+  let all = Array.of_list (List.rev !out) in
+  { ram; cycles; all; byte_offset }
+
+let experiment_classes t =
+  Array.of_list
+    (Array.fold_right
+       (fun c acc -> if c.kind = Experiment then c :: acc else acc)
+       t.all [])
+
+let experiment_count t =
+  8 * Array.fold_left (fun n c -> if c.kind = Experiment then n + 1 else n) 0 t.all
+
+let known_benign_weight t =
+  8
+  * Array.fold_left
+      (fun n c -> if c.kind = Experiment then n else n + weight c)
+      0 t.all
+
+let find t ~cycle ~byte =
+  if byte < 0 || byte >= t.ram then invalid_arg "Defuse.find: byte outside RAM";
+  if cycle < 1 || cycle > t.cycles then
+    invalid_arg "Defuse.find: cycle outside run";
+  let lo = t.byte_offset.(byte) and hi = t.byte_offset.(byte + 1) in
+  (* Binary search for the class with t_start <= cycle <= t_end. *)
+  let rec search lo hi =
+    if lo >= hi then invalid_arg "Defuse.find: coordinate not covered"
+    else
+      let mid = (lo + hi) / 2 in
+      let c = t.all.(mid) in
+      if cycle < c.t_start then search lo mid
+      else if cycle > c.t_end then search (mid + 1) hi
+      else c
+  in
+  search lo hi
+
+let pruning_factor t =
+  let experiments = experiment_count t in
+  if experiments = 0 then infinity
+  else float_of_int (fault_space_size t) /. float_of_int experiments

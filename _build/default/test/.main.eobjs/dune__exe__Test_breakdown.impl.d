@@ -1,0 +1,1 @@
+test/test_breakdown.ml: Alcotest Astring_contains Breakdown Builder Codegen Figures Golden Hi List Metrics Program Scan

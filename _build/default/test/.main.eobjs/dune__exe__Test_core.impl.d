@@ -1,0 +1,1 @@
+test/test_core.ml: Accounting Alcotest Array Astring_contains Compare Float Format Golden Hi Lazy List Metrics Mwtf Outcome Pitfalls Prng Sampler Scan

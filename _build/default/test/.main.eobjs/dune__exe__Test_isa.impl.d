@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Assembler Encoding Format Int32 Isa List Machine QCheck QCheck_alcotest

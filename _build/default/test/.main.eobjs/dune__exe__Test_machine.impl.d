@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bytes Char Int32 Isa List Machine Memmap Option Program

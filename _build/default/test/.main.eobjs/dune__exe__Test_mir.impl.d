@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Astring_contains Builder Check Codegen Event_codes Format Golden Harden Int32 List Machine Mir Option Program QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Builder Codegen Format Golden Int32 List Machine Mir Optimize Option QCheck QCheck_alcotest

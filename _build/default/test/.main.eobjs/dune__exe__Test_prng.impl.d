@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Int64 Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_regspace.ml: Alcotest Array Char Defuse Golden Hi Int32 Isa Lazy List Machine Mbox1 Metrics Outcome Printf Regspace Scan

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring_contains Barchart Faultmap Figures Filename Golden Hi Lazy List Metrics Scan String Sys Table Unix_mkdir

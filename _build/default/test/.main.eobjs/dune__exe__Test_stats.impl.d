@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Binomial Confidence Fit_rate Float Gen List Poisson Printf Prng QCheck QCheck_alcotest Special Summary

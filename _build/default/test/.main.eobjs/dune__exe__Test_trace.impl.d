@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Defuse Faultspace Hashtbl List Prng QCheck QCheck_alcotest Stdlib Trace

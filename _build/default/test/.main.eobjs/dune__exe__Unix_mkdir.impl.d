@@ -1,0 +1,1 @@
+test/unix_mkdir.ml: Sys

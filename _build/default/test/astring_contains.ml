@@ -1,0 +1,9 @@
+(* Tiny substring helper shared by the test suites. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  nn = 0 || scan 0

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "fipitfalls"
+    [
+      Test_prng.suite;
+      Test_stats.suite;
+      Test_isa.suite;
+      Test_machine.suite;
+      Test_trace.suite;
+      Test_campaign.suite;
+      Test_mir.suite;
+      Test_kernel.suite;
+      Test_optimize.suite;
+      Test_core.suite;
+      Test_regspace.suite;
+      Test_report.suite;
+      Test_extensions.suite;
+      Test_more.suite;
+      Test_breakdown.suite;
+    ]

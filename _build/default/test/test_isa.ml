@@ -1,0 +1,323 @@
+(* Tests for the ISA: registers, printing, encoding round-trips, the
+   assembler DSL and the textual assembler. *)
+
+let instr = Alcotest.testable Isa.pp_instr Isa.equal_instr
+
+(* ------------------------------------------------------------------ *)
+(* Registers & instruction helpers                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_reg_bounds () =
+  Alcotest.(check int) "index" 7 (Isa.reg_index (Isa.reg 7));
+  Alcotest.check_raises "too large" (Invalid_argument "Isa.reg: index outside [0,15]")
+    (fun () -> ignore (Isa.reg 16));
+  Alcotest.check_raises "negative" (Invalid_argument "Isa.reg: index outside [0,15]")
+    (fun () -> ignore (Isa.reg (-1)))
+
+let test_reg_aliases () =
+  Alcotest.(check int) "sp" 13 (Isa.reg_index Isa.sp);
+  Alcotest.(check int) "fp" 14 (Isa.reg_index Isa.fp);
+  Alcotest.(check int) "ra" 15 (Isa.reg_index Isa.ra);
+  Alcotest.(check int) "r0" 0 (Isa.reg_index Isa.r0)
+
+let test_pp () =
+  let s i = Format.asprintf "%a" Isa.pp_instr i in
+  Alcotest.(check string) "li" "li r1, 42" (s (Isa.Li (Isa.reg 1, 42l)));
+  Alcotest.(check string) "lw" "lw r3, 8(sp)" (s (Isa.Lw (Isa.reg 3, Isa.sp, 8l)));
+  Alcotest.(check string) "beq" "bne r1, r2, 7"
+    (s (Isa.Beq (Isa.reg 1, Isa.reg 2, 7, Isa.Ne)));
+  Alcotest.(check string) "add" "add r1, r2, r3"
+    (s (Isa.Alu (Isa.Add, Isa.reg 1, Isa.reg 2, Isa.reg 3)))
+
+let test_classification () =
+  Alcotest.(check bool) "lb is load" true (Isa.is_load (Isa.Lb (Isa.reg 1, Isa.r0, 0l)));
+  Alcotest.(check bool) "sw is store" true (Isa.is_store (Isa.Sw (Isa.reg 1, Isa.r0, 0l)));
+  Alcotest.(check bool) "nop is neither" false (Isa.is_load Isa.Nop || Isa.is_store Isa.Nop)
+
+let test_branch_targets () =
+  Alcotest.(check (list int)) "jmp" [ 5 ] (Isa.branch_targets (Isa.Jmp 5));
+  Alcotest.(check (list int)) "beq" [ 3 ]
+    (Isa.branch_targets (Isa.Beq (Isa.r0, Isa.r0, 3, Isa.Eq)));
+  Alcotest.(check (list int)) "jr none" [] (Isa.branch_targets (Isa.Jr Isa.ra))
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip i =
+  match Encoding.encode i with
+  | Error e -> Alcotest.failf "encode: %a" Encoding.pp_error e
+  | Ok w -> (
+      match Encoding.decode w with
+      | Error e -> Alcotest.failf "decode: %a" Encoding.pp_error e
+      | Ok i' -> Alcotest.check instr "roundtrip" i i')
+
+let test_encode_samples () =
+  List.iter roundtrip
+    [
+      Isa.Nop;
+      Isa.Halt;
+      Isa.Li (Isa.reg 4, -123456l);
+      Isa.Alu (Isa.Sltu, Isa.reg 15, Isa.reg 1, Isa.reg 9);
+      Isa.Alui (Isa.Sar, Isa.reg 2, Isa.reg 3, -42l);
+      Isa.Lb (Isa.reg 1, Isa.reg 2, 1024l);
+      Isa.Lw (Isa.reg 1, Isa.reg 2, -4l);
+      Isa.Sb (Isa.reg 5, Isa.reg 6, 0l);
+      Isa.Sw (Isa.reg 7, Isa.reg 8, 262000l);
+      Isa.Beq (Isa.reg 1, Isa.reg 2, 65535, Isa.Geu);
+      Isa.Jmp 262143;
+      Isa.Jal (Isa.ra, 12345);
+      Isa.Jr (Isa.reg 11);
+    ]
+
+let test_encodable_limits () =
+  Alcotest.(check bool) "li max" true (Encoding.encodable (Isa.Li (Isa.r0, 4194303l)));
+  Alcotest.(check bool) "li too big" false (Encoding.encodable (Isa.Li (Isa.r0, 4194304l)));
+  Alcotest.(check bool) "li min" true (Encoding.encodable (Isa.Li (Isa.r0, -4194304l)));
+  Alcotest.(check bool) "alui limit" false
+    (Encoding.encodable (Isa.Alui (Isa.Add, Isa.r0, Isa.r0, 16384l)));
+  Alcotest.(check bool) "branch target" false
+    (Encoding.encodable (Isa.Beq (Isa.r0, Isa.r0, 65536, Isa.Eq)))
+
+let test_encode_error () =
+  (match Encoding.encode (Isa.Li (Isa.r0, 100_000_000l)) with
+  | Error (Encoding.Immediate_out_of_range _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected immediate error");
+  match Encoding.encode (Isa.Jmp 1_000_000) with
+  | Error (Encoding.Target_out_of_range _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected target error"
+
+let test_decode_bad_opcode () =
+  match Encoding.decode 0xF8000000l with
+  | Error (Encoding.Bad_opcode _) -> ()
+  | Ok i -> Alcotest.failf "decoded %a" Isa.pp_instr i
+  | Error e -> Alcotest.failf "wrong error %a" Encoding.pp_error e
+
+let test_encode_program () =
+  let prog = [| Isa.Nop; Isa.Li (Isa.reg 1, 7l); Isa.Halt |] in
+  match Encoding.encode_program prog with
+  | Error e -> Alcotest.failf "encode_program: %a" Encoding.pp_error e
+  | Ok words -> (
+      match Encoding.decode_program words with
+      | Error e -> Alcotest.failf "decode_program: %a" Encoding.pp_error e
+      | Ok prog' -> Alcotest.(check (array instr)) "roundtrip" prog prog')
+
+(* qcheck generator for encodable instructions *)
+let gen_instr =
+  let open QCheck.Gen in
+  let reg = map Isa.reg (int_range 0 15) in
+  let alu_op =
+    oneofl
+      [ Isa.Add; Isa.Sub; Isa.Mul; Isa.Divu; Isa.Remu; Isa.And; Isa.Or;
+        Isa.Xor; Isa.Shl; Isa.Shr; Isa.Sar; Isa.Slt; Isa.Sltu ]
+  in
+  let cond = oneofl [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge; Isa.Ltu; Isa.Geu ] in
+  let imm23 = map Int32.of_int (int_range (-4194304) 4194303) in
+  let imm15 = map Int32.of_int (int_range (-16384) 16383) in
+  let off19 = map Int32.of_int (int_range (-262144) 262143) in
+  oneof
+    [
+      return Isa.Nop;
+      return Isa.Halt;
+      map2 (fun r v -> Isa.Li (r, v)) reg imm23;
+      map3 (fun op (a, b) c -> Isa.Alu (op, a, b, c)) alu_op (pair reg reg) reg;
+      map3 (fun op (a, b) v -> Isa.Alui (op, a, b, v)) alu_op (pair reg reg) imm15;
+      map3 (fun a b o -> Isa.Lb (a, b, o)) reg reg off19;
+      map3 (fun a b o -> Isa.Lw (a, b, o)) reg reg off19;
+      map3 (fun a b o -> Isa.Sb (a, b, o)) reg reg off19;
+      map3 (fun a b o -> Isa.Sw (a, b, o)) reg reg off19;
+      map3
+        (fun (a, b) t c -> Isa.Beq (a, b, t, c))
+        (pair reg reg) (int_range 0 65535) cond;
+      map (fun t -> Isa.Jmp t) (int_range 0 262143);
+      map2 (fun r t -> Isa.Jal (r, t)) reg (int_range 0 4194303);
+      map (fun r -> Isa.Jr r) reg;
+    ]
+
+let arbitrary_instr =
+  QCheck.make ~print:(Format.asprintf "%a" Isa.pp_instr) gen_instr
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:2000 arbitrary_instr
+    (fun i ->
+      match Encoding.encode i with
+      | Error _ -> false
+      | Ok w -> (
+          match Encoding.decode w with
+          | Ok i' -> Isa.equal_instr i i'
+          | Error _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Asm DSL                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_asm_resolve () =
+  let code, symbols =
+    Asm.resolve_exn
+      [
+        Asm.label "start";
+        Asm.lii (Isa.reg 1) 3;
+        Asm.label "loop";
+        Asm.alui Isa.Sub (Isa.reg 1) (Isa.reg 1) 1;
+        Asm.branch Isa.Ne (Isa.reg 1) Isa.r0 "loop";
+        Asm.jump "end";
+        Asm.nop;
+        Asm.label "end";
+        Asm.halt;
+      ]
+  in
+  Alcotest.(check int) "length" 6 (Array.length code);
+  Alcotest.(check (list (pair string int)))
+    "symbols"
+    [ ("start", 0); ("loop", 1); ("end", 5) ]
+    symbols;
+  Alcotest.check instr "branch resolved"
+    (Isa.Beq (Isa.reg 1, Isa.r0, 1, Isa.Ne))
+    code.(2);
+  Alcotest.check instr "jump resolved" (Isa.Jmp 5) code.(3)
+
+let test_asm_duplicate_label () =
+  match Asm.resolve [ Asm.label "x"; Asm.nop; Asm.label "x" ] with
+  | Error (Asm.Duplicate_label "x") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected duplicate label"
+
+let test_asm_undefined_label () =
+  match Asm.resolve [ Asm.jump "nowhere" ] with
+  | Error (Asm.Undefined_label "nowhere") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected undefined label"
+
+let test_asm_call_ret () =
+  let code, _ = Asm.resolve_exn [ Asm.call "f"; Asm.halt; Asm.label "f"; Asm.ret ] in
+  Alcotest.check instr "call" (Isa.Jal (Isa.ra, 2)) code.(0);
+  Alcotest.check instr "ret" (Isa.Jr Isa.ra) code.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Textual assembler                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_source src =
+  let image = Assembler.assemble_exn ~name:"t" src in
+  let m = Machine.create image in
+  ignore (Machine.run m ~limit:100_000);
+  (Machine.serial_output m, Machine.stopped m)
+
+let test_assembler_hello () =
+  let output, stop =
+    run_source
+      {|
+      .rodata
+      msg: .ascii "ok\n"
+      .text
+      main:
+          li   r1, msg
+          li   r2, 0x300000
+          lb   r3, 0(r1)
+          sb   r3, 0(r2)
+          lb   r3, 1(r1)
+          sb   r3, 0(r2)
+          lb   r3, 2(r1)
+          sb   r3, 0(r2)
+          halt
+      |}
+  in
+  Alcotest.(check string) "output" "ok\n" output;
+  Alcotest.(check bool) "halted" true (stop = Some Machine.Halted)
+
+let test_assembler_data_and_loop () =
+  let output, _ =
+    run_source
+      {|
+      .ram 64
+      .data
+      counter: .word 3
+      .text
+      main:
+          lw   r1, counter
+      loop:
+          addi r2, r2, 1
+          subi r1, r1, 1
+          bne  r1, r0, loop
+          addi r2, r2, 48      ; '0' + 3
+          li   r3, 0x300000
+          sb   r2, 0(r3)
+          halt
+      |}
+  in
+  Alcotest.(check string) "looped thrice" "3" output
+
+let test_assembler_errors () =
+  let expect_error src =
+    match Assembler.assemble ~name:"t" src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected assembly error"
+  in
+  expect_error ".text\nmain:\n  bogus r1, r2\n  halt";
+  expect_error ".text\nmain:\n  li r99, 1\n  halt";
+  expect_error ".text\nmain:\n  jmp nowhere\n  halt";
+  expect_error ".text\nmain:\nmain:\n  halt";
+  expect_error ".text\n  li r1, notalabel\n  halt"
+
+let test_assembler_char_literals () =
+  let output, _ =
+    run_source
+      {|
+      .text
+      main:
+          li r1, 'A'
+          li r2, 0x300000
+          sb r1, 0(r2)
+          halt
+      |}
+  in
+  Alcotest.(check string) "char literal" "A" output
+
+let test_disassemble_roundtrip () =
+  let src =
+    {|
+    .ram 64
+    .data
+    v: .word 5
+    .text
+    main:
+        lw r1, v
+        addi r1, r1, 1
+        li r3, 0x300000
+        addi r2, r1, 48
+        sb r2, 0(r3)
+        halt
+    |}
+  in
+  let image = Assembler.assemble_exn ~name:"t" src in
+  let listing = Assembler.disassemble image in
+  let image2 = Assembler.assemble_exn ~name:"t2" listing in
+  let run image =
+    let m = Machine.create image in
+    ignore (Machine.run m ~limit:10_000);
+    Machine.serial_output m
+  in
+  Alcotest.(check string) "same behaviour" (run image) (run image2)
+
+let suite =
+  ( "isa",
+    [
+      Alcotest.test_case "reg bounds" `Quick test_reg_bounds;
+      Alcotest.test_case "reg aliases" `Quick test_reg_aliases;
+      Alcotest.test_case "instruction printing" `Quick test_pp;
+      Alcotest.test_case "load/store classification" `Quick test_classification;
+      Alcotest.test_case "branch targets" `Quick test_branch_targets;
+      Alcotest.test_case "encode samples" `Quick test_encode_samples;
+      Alcotest.test_case "encodable limits" `Quick test_encodable_limits;
+      Alcotest.test_case "encode errors" `Quick test_encode_error;
+      Alcotest.test_case "decode bad opcode" `Quick test_decode_bad_opcode;
+      Alcotest.test_case "encode whole program" `Quick test_encode_program;
+      QCheck_alcotest.to_alcotest qcheck_roundtrip;
+      Alcotest.test_case "asm resolve" `Quick test_asm_resolve;
+      Alcotest.test_case "asm duplicate label" `Quick test_asm_duplicate_label;
+      Alcotest.test_case "asm undefined label" `Quick test_asm_undefined_label;
+      Alcotest.test_case "asm call/ret" `Quick test_asm_call_ret;
+      Alcotest.test_case "assembler hello" `Quick test_assembler_hello;
+      Alcotest.test_case "assembler data+loop" `Quick test_assembler_data_and_loop;
+      Alcotest.test_case "assembler errors" `Quick test_assembler_errors;
+      Alcotest.test_case "assembler char literals" `Quick test_assembler_char_literals;
+      Alcotest.test_case "disassemble roundtrip" `Quick test_disassemble_roundtrip;
+    ] )

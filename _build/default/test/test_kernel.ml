@@ -1,0 +1,354 @@
+(* Tests for the kernel substrate and the benchmark suite: golden
+   behaviour of every variant, kernel-object semantics, the scheduler,
+   and the "Hi" fixture with its dilution variants. *)
+
+let run_image image ~limit =
+  let m = Machine.create image in
+  let reason = Machine.run m ~limit in
+  (Machine.serial_output m, reason)
+
+let golden_output image =
+  let output, reason = run_image image ~limit:10_000_000 in
+  Alcotest.(check bool)
+    (Format.asprintf "halted (%a)" Machine.pp_stop_reason reason)
+    true (reason = Machine.Halted);
+  output
+
+(* ------------------------------------------------------------------ *)
+(* Kernel objects, driven through small MIR programs                  *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_prog body ~locals =
+  let open Builder in
+  prog ~name:"kt" ~stack:192
+    (Kernel_lib.globals ~protect_objects:false ())
+    ([ func "main" ~locals body ]
+    @ Kernel_lib.funcs ~protect_objects:false ()
+    @ stdlib)
+
+let test_semaphores () =
+  let open Builder in
+  let p =
+    kernel_prog ~locals:[ "a"; "b"; "c" ]
+      [
+        Mir.Set_local ("a", call "k_sem_trywait" [ i 0 ]) (* empty: 0 *);
+        call_ "k_sem_post" [ i 0 ];
+        call_ "k_sem_post" [ i 0 ];
+        Mir.Set_local ("b", call "k_sem_trywait" [ i 0 ]) (* 1 *);
+        Mir.Set_local ("c", call "k_sem_trywait" [ i 0 ]) (* 1 *);
+        call_ out_dec [ l "a" ];
+        call_ out_dec [ l "b" ];
+        call_ out_dec [ l "c" ];
+        Mir.Set_local ("a", call "k_sem_trywait" [ i 0 ]) (* empty again *);
+        call_ out_dec [ l "a" ];
+        ret_unit;
+      ]
+  in
+  Alcotest.(check string) "semaphore protocol" "0110"
+    (golden_output (Codegen.compile p))
+
+let test_mutex () =
+  let open Builder in
+  let p =
+    kernel_prog ~locals:[ "a"; "b"; "c" ]
+      [
+        Mir.Set_local ("a", call "k_mtx_trylock" [ i 0; i 1 ]) (* free: 1 *);
+        Mir.Set_local ("b", call "k_mtx_trylock" [ i 0; i 2 ]) (* held: 0 *);
+        call_ "k_mtx_unlock" [ i 0 ];
+        Mir.Set_local ("c", call "k_mtx_trylock" [ i 0; i 2 ]) (* free: 1 *);
+        call_ out_dec [ l "a" ];
+        call_ out_dec [ l "b" ];
+        call_ out_dec [ l "c" ];
+        ret_unit;
+      ]
+  in
+  Alcotest.(check string) "mutex protocol" "101"
+    (golden_output (Codegen.compile p))
+
+let test_mailbox_fifo () =
+  let open Builder in
+  let p =
+    kernel_prog ~locals:[ "ok"; "v" ]
+      [
+        Mir.Set_local ("ok", call "k_mbox_tryput" [ i 5 ]);
+        Mir.Set_local ("ok", call "k_mbox_tryput" [ i 6 ]);
+        Mir.Set_local ("v", call "k_mbox_tryget" []);
+        call_ out_dec [ l "v" ];
+        Mir.Set_local ("v", call "k_mbox_tryget" []);
+        call_ out_dec [ l "v" ];
+        ret_unit;
+      ]
+  in
+  Alcotest.(check string) "fifo order" "56" (golden_output (Codegen.compile p))
+
+let test_mailbox_full_empty () =
+  let open Builder in
+  let p =
+    kernel_prog ~locals:[ "ok"; "v" ]
+      [
+        Mir.Set_local ("ok", call "k_mbox_tryput" [ i 1 ]);
+        Mir.Set_local ("ok", call "k_mbox_tryput" [ i 2 ]);
+        Mir.Set_local ("ok", call "k_mbox_tryput" [ i 3 ]);
+        Mir.Set_local ("ok", call "k_mbox_tryput" [ i 4 ]);
+        (* capacity is 4: the fifth put must fail *)
+        Mir.Set_local ("ok", call "k_mbox_tryput" [ i 5 ]);
+        call_ out_dec [ l "ok" ];
+        Mir.Set_local ("v", call "k_mbox_tryget" []);
+        call_ out_dec [ l "v" ];
+        (* after one get there is room again *)
+        Mir.Set_local ("ok", call "k_mbox_tryput" [ i 6 ]);
+        call_ out_dec [ l "ok" ];
+        ret_unit;
+      ]
+  in
+  Alcotest.(check string) "full then room" "011"
+    (golden_output (Codegen.compile p))
+
+let test_mailbox_empty_get () =
+  let open Builder in
+  let p =
+    kernel_prog ~locals:[ "v" ]
+      [
+        Mir.Set_local ("v", call "k_mbox_tryget" []);
+        Mir.If (l "v" <: i 0, [ out_str "empty" ], [ out_str "value" ]);
+        ret_unit;
+      ]
+  in
+  Alcotest.(check string) "empty get" "empty" (golden_output (Codegen.compile p))
+
+let test_event_flags () =
+  let open Builder in
+  let p =
+    kernel_prog ~locals:[ "a"; "b"; "c" ]
+      [
+        call_ "k_flag_set" [ i 0b01 ];
+        Mir.Set_local ("a", call "k_flag_poll_and" [ i 0b11 ]) (* missing bit 2: 0 *);
+        call_ "k_flag_set" [ i 0b10 ];
+        Mir.Set_local ("b", call "k_flag_poll_and" [ i 0b11 ]) (* both: 1, consumed *);
+        Mir.Set_local ("c", call "k_flag_poll_and" [ i 0b11 ]) (* consumed: 0 *);
+        call_ out_dec [ l "a" ];
+        call_ out_dec [ l "b" ];
+        call_ out_dec [ l "c" ];
+        (* poll_or grabs only the requested subset *)
+        call_ "k_flag_set" [ i 0b110 ];
+        Mir.Set_local ("a", call "k_flag_poll_or" [ i 0b010 ]);
+        call_ out_dec [ l "a" ];
+        Mir.Set_local ("b", call "k_flag_poll_or" [ i 0b100 ]);
+        call_ out_dec [ l "b" ];
+        ret_unit;
+      ]
+  in
+  Alcotest.(check string) "flags protocol" "01024"
+    (golden_output (Codegen.compile p))
+
+let test_flag1_pairing () =
+  (* rounds rounds collected; checksum deterministic. *)
+  let output = golden_output (Flag1.baseline ()) in
+  Alcotest.(check bool) "8 rounds" true
+    (Astring_contains.contains output "flag1 8 ")
+
+let test_thread_accounting () =
+  let open Builder in
+  let p =
+    kernel_prog ~locals:[ "n" ]
+      [
+        Mir.Set_local ("n", call "k_alive" []);
+        call_ out_dec [ l "n" ];
+        call_ "k_thread_done" [ i 0 ];
+        call_ "k_thread_done" [ i 3 ];
+        Mir.Set_local ("n", call "k_alive" []);
+        call_ out_dec [ l "n" ];
+        ret_unit;
+      ]
+  in
+  Alcotest.(check string) "alive counting" "42"
+    (golden_output (Codegen.compile p))
+
+let test_klog_records () =
+  let open Builder in
+  let p =
+    kernel_prog ~locals:[ "ok" ]
+      [
+        Mir.Set_local ("ok", call "k_sem_trywait" [ i 0 ]);
+        call_ "k_sem_post" [ i 1 ];
+        call_ out_dec [ g "klog_pos" ];
+        ret_unit;
+      ]
+  in
+  Alcotest.(check string) "two kernel events logged" "2"
+    (golden_output (Codegen.compile p))
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark golden behaviour                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_suite_all_run () =
+  List.iter
+    (fun (e : Suite.entry) ->
+      let image = e.Suite.build () in
+      let output = golden_output image in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s produces output" e.Suite.benchmark
+           (Suite.variant_name e.Suite.variant))
+        true
+        (String.length output > 0))
+    Suite.all
+
+let test_variants_agree () =
+  (* Hardening must not change functional behaviour. *)
+  List.iter
+    (fun benchmark ->
+      let get variant =
+        match Suite.find ~benchmark ~variant with
+        | Some e -> golden_output (e.Suite.build ())
+        | None -> Alcotest.failf "missing %s" benchmark
+      in
+      let base = get Suite.Baseline in
+      Alcotest.(check string) (benchmark ^ " sum+dmr") base (get Suite.Sum_dmr);
+      Alcotest.(check string) (benchmark ^ " tmr") base (get Suite.Tmr))
+    [ "bin_sem2"; "sync2"; "mutex1"; "mbox1"; "flag1" ]
+
+let test_bin_sem2_round_count () =
+  (* 8 rounds per thread, two threads: the record counter reaches 16. *)
+  let output = golden_output (Bin_sem2.baseline ()) in
+  Alcotest.(check bool) "counter 16" true
+    (Astring_contains.contains output "bin_sem2 16 ")
+
+let test_bin_sem2_rounds_parameter () =
+  let output = golden_output (Bin_sem2.baseline ~rounds:3 ()) in
+  Alcotest.(check bool) "counter 6" true
+    (Astring_contains.contains output "bin_sem2 6 ")
+
+let test_sync2_item_count () =
+  (* 8 items of 4 digits each, space-separated. *)
+  let output = golden_output (Sync2.baseline ()) in
+  let spaces = String.fold_left (fun n c -> if c = ' ' then n + 1 else n) 0 output in
+  Alcotest.(check int) "8 values printed" (1 + 8) spaces
+
+let test_mutex1_total () =
+  (* 3 threads x 8 rounds = 24 increments. *)
+  let output = golden_output (Mutex1.baseline ()) in
+  Alcotest.(check bool) "counter 24" true
+    (Astring_contains.contains output "mutex1 24 ")
+
+let test_mbox1_sum () =
+  (* Messages are 7k+1 for k in 0..9: sum = 7*45 + 10 = 325. *)
+  let output = golden_output (Mbox1.baseline ()) in
+  Alcotest.(check bool) "sum 325" true
+    (Astring_contains.contains output "mbox1 325 ")
+
+let test_hardened_overhead_direction () =
+  List.iter
+    (fun (name, base, hard) ->
+      let gb = Golden.run (base ()) and gh = Golden.run (hard ()) in
+      Alcotest.(check bool) (name ^ " slower hardened") true
+        (gh.Golden.cycles > gb.Golden.cycles);
+      Alcotest.(check bool) (name ^ " bigger hardened") true
+        (gh.Golden.program.Program.ram_size > gb.Golden.program.Program.ram_size))
+    Suite.paper_pairs
+
+let test_sync2_runtime_explosion () =
+  (* The paper's sync2 story requires an extreme hardening slowdown. *)
+  let gb = Golden.run (Sync2.baseline ()) in
+  let gh = Golden.run (Sync2.sum_dmr ()) in
+  let ratio = float_of_int gh.Golden.cycles /. float_of_int gb.Golden.cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.1f > 4" ratio)
+    true (ratio > 4.0)
+
+(* ------------------------------------------------------------------ *)
+(* Hi and its dilutions (Section IV arithmetic)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_hi_program () =
+  let image = Hi.program () in
+  Alcotest.(check int) "8 instructions" 8 (Program.code_length image);
+  Alcotest.(check int) "2 bytes of RAM" 2 image.Program.ram_size;
+  Alcotest.(check string) "says Hi" "Hi" (golden_output image)
+
+let test_hi_dft () =
+  let image = Hi.dft () in
+  Alcotest.(check int) "12 instructions" 12 (Program.code_length image);
+  Alcotest.(check string) "still says Hi" "Hi" (golden_output image);
+  let golden = Golden.run image in
+  Alcotest.(check int) "12 cycles" 12 golden.Golden.cycles;
+  Alcotest.(check int) "fault space 192" 192 (Golden.fault_space_size golden)
+
+let test_hi_dft' () =
+  let image = Hi.dft' () in
+  Alcotest.(check string) "still says Hi" "Hi" (golden_output image);
+  let golden = Golden.run image in
+  Alcotest.(check int) "12 cycles" 12 golden.Golden.cycles;
+  (* The dilution loads create additional activated (experiment)
+     classes, unlike plain NOP dilution. *)
+  let dft_golden = Golden.run (Hi.dft ()) in
+  Alcotest.(check bool) "more experiments than DFT" true
+    (Defuse.experiment_count golden.Golden.defuse
+    > Defuse.experiment_count dft_golden.Golden.defuse)
+
+let test_hi_dft_memory () =
+  let image = Hi.dft_memory () in
+  Alcotest.(check string) "still says Hi" "Hi" (golden_output image);
+  let golden = Golden.run image in
+  Alcotest.(check int) "8 cycles unchanged" 8 golden.Golden.cycles;
+  Alcotest.(check int) "fault space 256" 256 (Golden.fault_space_size golden)
+
+let test_transform_rejects_branchy_prologue () =
+  Alcotest.check_raises "branch in prologue"
+    (Invalid_argument "Transform.prepend: prologue must be branch-free")
+    (fun () -> ignore (Transform.prepend [ Isa.Jmp 0 ] (Hi.program ())))
+
+let test_transform_retargets () =
+  (* A program with a branch keeps working after NOP prepending. *)
+  let src =
+    {|
+    .text
+    main:
+        li r1, 3
+        li r4, 0x300000
+    loop:
+        addi r2, r2, 1
+        subi r1, r1, 1
+        bne r1, r0, loop
+        addi r2, r2, 48
+        sb r2, 0(r4)
+        halt
+    |}
+  in
+  let image = Assembler.assemble_exn ~name:"b" src in
+  let diluted = Transform.dilute_nops ~cycles:5 image in
+  Alcotest.(check string) "same output" (golden_output image)
+    (golden_output diluted)
+
+let suite =
+  ( "kernel",
+    [
+      Alcotest.test_case "semaphores" `Quick test_semaphores;
+      Alcotest.test_case "mutex" `Quick test_mutex;
+      Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+      Alcotest.test_case "mailbox full/empty" `Quick test_mailbox_full_empty;
+      Alcotest.test_case "mailbox empty get" `Quick test_mailbox_empty_get;
+      Alcotest.test_case "thread accounting" `Quick test_thread_accounting;
+      Alcotest.test_case "kernel event log" `Quick test_klog_records;
+      Alcotest.test_case "event flags" `Quick test_event_flags;
+      Alcotest.test_case "flag1 pairing" `Quick test_flag1_pairing;
+      Alcotest.test_case "all suite entries run" `Slow test_suite_all_run;
+      Alcotest.test_case "variants agree" `Slow test_variants_agree;
+      Alcotest.test_case "bin_sem2 rounds" `Quick test_bin_sem2_round_count;
+      Alcotest.test_case "bin_sem2 rounds parameter" `Quick
+        test_bin_sem2_rounds_parameter;
+      Alcotest.test_case "sync2 items" `Quick test_sync2_item_count;
+      Alcotest.test_case "mutex1 total" `Quick test_mutex1_total;
+      Alcotest.test_case "mbox1 sum" `Quick test_mbox1_sum;
+      Alcotest.test_case "hardening overhead direction" `Slow
+        test_hardened_overhead_direction;
+      Alcotest.test_case "sync2 runtime explosion" `Slow
+        test_sync2_runtime_explosion;
+      Alcotest.test_case "hi program" `Quick test_hi_program;
+      Alcotest.test_case "hi DFT" `Quick test_hi_dft;
+      Alcotest.test_case "hi DFT'" `Quick test_hi_dft';
+      Alcotest.test_case "hi memory dilution" `Quick test_hi_dft_memory;
+      Alcotest.test_case "transform rejects branches" `Quick
+        test_transform_rejects_branchy_prologue;
+      Alcotest.test_case "transform retargets" `Quick test_transform_retargets;
+    ] )

@@ -1,0 +1,386 @@
+(* Tests for the machine simulator: instruction semantics, memory map,
+   traps, MMIO devices, determinism, injection primitives, snapshots. *)
+
+let stop = Alcotest.testable Machine.pp_stop_reason ( = )
+
+let program ?rom ?ram_init ?reg_init ?(ram_size = 64) code =
+  Program.make ~name:"test" ~code:(Array.of_list code) ?rom ?ram_init ?reg_init
+    ~ram_size ()
+
+let run ?limit p =
+  let m = Machine.create p in
+  let reason = Machine.run m ~limit:(Option.value ~default:10_000 limit) in
+  (m, reason)
+
+let r = Isa.reg
+
+(* ------------------------------------------------------------------ *)
+(* ALU semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let alu_result op a b =
+  let p =
+    program
+      [
+        Isa.Li (r 1, a);
+        Isa.Li (r 2, b);
+        Isa.Alu (op, r 3, r 1, r 2);
+        Isa.Halt;
+      ]
+  in
+  let m, reason = run p in
+  Alcotest.check stop "halted" Machine.Halted reason;
+  Machine.reg m (r 3)
+
+let test_alu_add_overflow () =
+  Alcotest.(check int32) "wraps" Int32.min_int
+    (alu_result Isa.Add 2147483647l 1l)
+
+let test_alu_sub () =
+  Alcotest.(check int32) "sub" (-5l) (alu_result Isa.Sub 5l 10l)
+
+let test_alu_mul () =
+  Alcotest.(check int32) "mul wraps" 1l (alu_result Isa.Mul 2147483647l 2147483647l)
+
+let test_alu_divu () =
+  Alcotest.(check int32) "unsigned division" 2147483647l
+    (alu_result Isa.Divu (-2l) 2l)
+  (* 0xFFFFFFFE / 2 = 0x7FFFFFFF *)
+
+let test_alu_remu () =
+  Alcotest.(check int32) "unsigned remainder" 3l (alu_result Isa.Remu 23l 5l)
+
+let test_alu_div_by_zero () =
+  let p =
+    program [ Isa.Li (r 1, 1l); Isa.Alu (Isa.Divu, r 2, r 1, r 0); Isa.Halt ]
+  in
+  let _, reason = run p in
+  Alcotest.check stop "trap" (Machine.Trapped Machine.Division_by_zero) reason
+
+let test_alu_logic () =
+  Alcotest.(check int32) "and" 0b1000l (alu_result Isa.And 0b1100l 0b1010l);
+  Alcotest.(check int32) "or" 0b1110l (alu_result Isa.Or 0b1100l 0b1010l);
+  Alcotest.(check int32) "xor" 0b0110l (alu_result Isa.Xor 0b1100l 0b1010l)
+
+let test_alu_shifts () =
+  Alcotest.(check int32) "shl" 40l (alu_result Isa.Shl 5l 3l);
+  Alcotest.(check int32) "shr logical" 0x7FFFFFFFl (alu_result Isa.Shr (-1l) 1l);
+  Alcotest.(check int32) "sar arithmetic" (-1l) (alu_result Isa.Sar (-1l) 1l);
+  Alcotest.(check int32) "shift amount masked" 10l (alu_result Isa.Shl 5l 33l)
+
+let test_alu_slt () =
+  Alcotest.(check int32) "signed lt" 1l (alu_result Isa.Slt (-1l) 0l);
+  Alcotest.(check int32) "unsigned lt" 0l (alu_result Isa.Sltu (-1l) 0l)
+
+let test_r0_hardwired () =
+  let p = program [ Isa.Li (r 0, 99l); Isa.Alu (Isa.Add, r 1, r 0, r 0); Isa.Halt ] in
+  let m, _ = run p in
+  Alcotest.(check int32) "r0 stays zero" 0l (Machine.reg m (r 1))
+
+(* ------------------------------------------------------------------ *)
+(* Memory & MMIO                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_byte_store_load () =
+  let p =
+    program
+      [
+        Isa.Li (r 1, 0xABl);
+        Isa.Sb (r 1, r 0, 5l);
+        Isa.Lb (r 2, r 0, 5l);
+        Isa.Halt;
+      ]
+  in
+  let m, _ = run p in
+  Alcotest.(check int32) "roundtrip" 0xABl (Machine.reg m (r 2));
+  Alcotest.(check int) "in ram" 0xAB (Machine.read_ram_byte m 5)
+
+let test_word_endianness () =
+  let p =
+    program
+      [
+        Isa.Li (r 1, 0x11223344l);
+        Isa.Sw (r 1, r 0, 8l);
+        Isa.Lb (r 2, r 0, 8l);
+        Isa.Lb (r 3, r 0, 11l);
+        Isa.Halt;
+      ]
+  in
+  let m, _ = run p in
+  Alcotest.(check int32) "little-endian low byte" 0x44l (Machine.reg m (r 2));
+  Alcotest.(check int32) "high byte" 0x11l (Machine.reg m (r 3))
+
+let test_misaligned_word () =
+  let p = program [ Isa.Li (r 1, 1l); Isa.Sw (r 1, r 0, 2l); Isa.Halt ] in
+  let _, reason = run p in
+  Alcotest.check stop "trap" (Machine.Trapped (Machine.Misaligned_access 2)) reason
+
+let test_unmapped_access () =
+  let p = program [ Isa.Lb (r 1, r 0, 9999l); Isa.Halt ] in
+  let _, reason = run p in
+  Alcotest.check stop "trap" (Machine.Trapped (Machine.Unmapped_access 9999)) reason
+
+let test_rom_read () =
+  let p =
+    program ~rom:(Bytes.of_string "Z")
+      [
+        Isa.Li (r 1, Int32.of_int Memmap.rom_base);
+        Isa.Lb (r 2, r 1, 0l);
+        Isa.Halt;
+      ]
+  in
+  let m, _ = run p in
+  Alcotest.(check int32) "rom byte" (Int32.of_int (Char.code 'Z')) (Machine.reg m (r 2))
+
+let test_rom_write_traps () =
+  let p =
+    program
+      [
+        Isa.Li (r 1, Int32.of_int Memmap.rom_base);
+        Isa.Sb (r 1, r 1, 0l);
+        Isa.Halt;
+      ]
+  in
+  let _, reason = run p in
+  Alcotest.check stop "trap"
+    (Machine.Trapped (Machine.Rom_write Memmap.rom_base))
+    reason
+
+let test_serial_output () =
+  let p =
+    program
+      [
+        Isa.Li (r 1, Int32.of_int Memmap.serial_port);
+        Isa.Li (r 2, 72l);
+        Isa.Sb (r 2, r 1, 0l);
+        Isa.Li (r 2, 105l);
+        Isa.Sb (r 2, r 1, 0l);
+        Isa.Halt;
+      ]
+  in
+  let m, _ = run p in
+  Alcotest.(check string) "serial" "Hi" (Machine.serial_output m)
+
+let test_detect_port () =
+  let p =
+    program
+      [
+        Isa.Li (r 1, Int32.of_int Memmap.detect_port);
+        Isa.Li (r 2, 1l);
+        Isa.Sw (r 2, r 1, 0l);
+        Isa.Halt;
+      ]
+  in
+  let m, _ = run p in
+  match Machine.detection_events m with
+  | [ (cycle, code) ] ->
+      Alcotest.(check int32) "code" 1l code;
+      Alcotest.(check int) "cycle" 3 cycle
+  | events -> Alcotest.failf "expected 1 event, got %d" (List.length events)
+
+let test_panic_port () =
+  let p =
+    program
+      [
+        Isa.Li (r 1, Int32.of_int Memmap.panic_port);
+        Isa.Li (r 2, 0xDEADl);
+        Isa.Sw (r 2, r 1, 0l);
+        Isa.Halt;
+      ]
+  in
+  let _, reason = run p in
+  Alcotest.check stop "panic" (Machine.Panicked 0xDEADl) reason
+
+let test_ram_init_and_reg_init () =
+  let p =
+    program
+      ~ram_init:[ (4, Bytes.of_string "\x2A") ]
+      ~reg_init:[ (r 5, 17l) ]
+      [ Isa.Lb (r 1, r 0, 4l); Isa.Alu (Isa.Add, r 2, r 1, r 5); Isa.Halt ]
+  in
+  let m, _ = run p in
+  Alcotest.(check int32) "init applied" 59l (Machine.reg m (r 2))
+
+(* ------------------------------------------------------------------ *)
+(* Control flow                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_call_return () =
+  (* main: jal f; halt.  f: r1 <- 7; jr ra *)
+  let p =
+    program
+      [
+        Isa.Jal (Isa.ra, 2);
+        Isa.Halt;
+        Isa.Li (r 1, 7l);
+        Isa.Jr Isa.ra;
+      ]
+  in
+  let m, reason = run p in
+  Alcotest.check stop "halted" Machine.Halted reason;
+  Alcotest.(check int32) "callee ran" 7l (Machine.reg m (r 1));
+  Alcotest.(check int) "cycles" 4 (Machine.cycle m)
+
+let test_bad_jump_traps () =
+  let p = program [ Isa.Li (r 1, 999l); Isa.Jr (r 1) ] in
+  let _, reason = run p in
+  Alcotest.check stop "trap" (Machine.Trapped (Machine.Bad_pc 999)) reason
+
+let test_fallthrough_end_traps () =
+  let p = program [ Isa.Nop ] in
+  let _, reason = run p in
+  Alcotest.check stop "trap" (Machine.Trapped (Machine.Bad_pc 1)) reason
+
+let test_cycle_limit () =
+  let p = program [ Isa.Jmp 0 ] in
+  let _, reason = run ~limit:100 p in
+  Alcotest.check stop "limit" Machine.Cycle_limit reason
+
+let test_branch_conditions () =
+  (* For each cond, branch taken iff cond holds on (1, 2). *)
+  let taken c a b =
+    let p =
+      program
+        [
+          Isa.Li (r 1, a);
+          Isa.Li (r 2, b);
+          Isa.Beq (r 1, r 2, 5, c);
+          Isa.Li (r 3, 0l);
+          Isa.Halt;
+          Isa.Li (r 3, 1l);
+          Isa.Halt;
+        ]
+    in
+    let m, _ = run p in
+    Machine.reg m (r 3) = 1l
+  in
+  Alcotest.(check bool) "eq" true (taken Isa.Eq 5l 5l);
+  Alcotest.(check bool) "eq false" false (taken Isa.Eq 5l 6l);
+  Alcotest.(check bool) "ne" true (taken Isa.Ne 5l 6l);
+  Alcotest.(check bool) "lt signed" true (taken Isa.Lt (-1l) 0l);
+  Alcotest.(check bool) "ltu unsigned" false (taken Isa.Ltu (-1l) 0l);
+  Alcotest.(check bool) "ge" true (taken Isa.Ge 3l 3l);
+  Alcotest.(check bool) "geu" true (taken Isa.Geu (-1l) 0l)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism, injection, snapshots                                  *)
+(* ------------------------------------------------------------------ *)
+
+let loop_program =
+  (* Accumulates into RAM over many cycles. *)
+  program ~ram_size:64
+    [
+      Isa.Li (r 1, 25l);
+      Isa.Lw (r 2, r 0, 0l);
+      Isa.Alu (Isa.Add, r 2, r 2, r 1);
+      Isa.Sw (r 2, r 0, 0l);
+      Isa.Alui (Isa.Sub, r 1, r 1, 1l);
+      Isa.Beq (r 1, r 0, 1, Isa.Ne);
+      Isa.Halt;
+    ]
+
+let test_determinism () =
+  let snapshot m = (Machine.cycle m, Machine.serial_output m, Machine.pc m) in
+  let m1, _ = run loop_program in
+  let m2, _ = run loop_program in
+  Alcotest.(check bool) "identical" true (snapshot m1 = snapshot m2);
+  Alcotest.(check int) "ram equal" (Machine.read_ram_byte m1 0)
+    (Machine.read_ram_byte m2 0)
+
+let test_flip_bit () =
+  let m = Machine.create loop_program in
+  Machine.flip_bit m 3;
+  Alcotest.(check int) "bit 3 of byte 0" 8 (Machine.read_ram_byte m 0);
+  Machine.flip_bit m 3;
+  Alcotest.(check int) "flip back" 0 (Machine.read_ram_byte m 0);
+  Alcotest.check_raises "outside ram"
+    (Invalid_argument "Machine.flip_bit: offset 100 outside RAM") (fun () ->
+      Machine.flip_bit m 800)
+
+let test_run_until () =
+  let m = Machine.create loop_program in
+  Machine.run_until m ~cycle:10;
+  Alcotest.(check int) "paused at cycle" 10 (Machine.cycle m);
+  Alcotest.(check bool) "not stopped" true (Machine.stopped m = None);
+  ignore (Machine.run m ~limit:10_000);
+  Alcotest.(check bool) "finished" true (Machine.stopped m = Some Machine.Halted)
+
+let test_snapshot_equivalence () =
+  (* Running straight vs capture/restore mid-way must agree exactly. *)
+  let m1 = Machine.create loop_program in
+  ignore (Machine.run m1 ~limit:10_000);
+  let m2 = Machine.create loop_program in
+  Machine.run_until m2 ~cycle:37;
+  let snap = Machine.Snapshot.capture m2 in
+  let m3 = Machine.Snapshot.restore snap ~tracer:None in
+  ignore (Machine.run m3 ~limit:10_000);
+  Alcotest.(check int) "cycles equal" (Machine.cycle m1) (Machine.cycle m3);
+  Alcotest.(check int) "ram equal" (Machine.read_ram_byte m1 0)
+    (Machine.read_ram_byte m3 0)
+
+let test_snapshot_isolation () =
+  let m = Machine.create loop_program in
+  Machine.run_until m ~cycle:20;
+  let snap = Machine.Snapshot.capture m in
+  let fork = Machine.Snapshot.restore snap ~tracer:None in
+  Machine.flip_bit fork 0;
+  Alcotest.(check bool) "original unaffected" true
+    (Machine.read_ram_byte m 0 <> Machine.read_ram_byte fork 0
+    || Machine.read_ram_byte m 0 land 1 = 0)
+
+let test_tracer_records () =
+  let events = ref [] in
+  let tracer ~cycle ~addr ~width ~kind =
+    events := (cycle, addr, width, kind) :: !events
+  in
+  let p =
+    program
+      [
+        Isa.Li (r 1, 7l);
+        Isa.Sw (r 1, r 0, 4l);
+        Isa.Lb (r 2, r 0, 4l);
+        Isa.Halt;
+      ]
+  in
+  let m = Machine.create ~tracer p in
+  ignore (Machine.run m ~limit:100);
+  Alcotest.(check (list (triple int int int)))
+    "accesses"
+    [ (2, 4, 4); (3, 4, 1) ]
+    (List.rev_map (fun (c, a, w, _) -> (c, a, w)) !events)
+
+let suite =
+  ( "machine",
+    [
+      Alcotest.test_case "add overflow wraps" `Quick test_alu_add_overflow;
+      Alcotest.test_case "sub" `Quick test_alu_sub;
+      Alcotest.test_case "mul wraps" `Quick test_alu_mul;
+      Alcotest.test_case "divu" `Quick test_alu_divu;
+      Alcotest.test_case "remu" `Quick test_alu_remu;
+      Alcotest.test_case "division by zero traps" `Quick test_alu_div_by_zero;
+      Alcotest.test_case "logic ops" `Quick test_alu_logic;
+      Alcotest.test_case "shifts" `Quick test_alu_shifts;
+      Alcotest.test_case "set-less-than" `Quick test_alu_slt;
+      Alcotest.test_case "r0 hardwired to zero" `Quick test_r0_hardwired;
+      Alcotest.test_case "byte store/load" `Quick test_byte_store_load;
+      Alcotest.test_case "word endianness" `Quick test_word_endianness;
+      Alcotest.test_case "misaligned word traps" `Quick test_misaligned_word;
+      Alcotest.test_case "unmapped access traps" `Quick test_unmapped_access;
+      Alcotest.test_case "rom read" `Quick test_rom_read;
+      Alcotest.test_case "rom write traps" `Quick test_rom_write_traps;
+      Alcotest.test_case "serial output" `Quick test_serial_output;
+      Alcotest.test_case "detect port" `Quick test_detect_port;
+      Alcotest.test_case "panic port" `Quick test_panic_port;
+      Alcotest.test_case "ram/reg init" `Quick test_ram_init_and_reg_init;
+      Alcotest.test_case "call/return" `Quick test_call_return;
+      Alcotest.test_case "bad jump traps" `Quick test_bad_jump_traps;
+      Alcotest.test_case "fallthrough end traps" `Quick test_fallthrough_end_traps;
+      Alcotest.test_case "cycle limit" `Quick test_cycle_limit;
+      Alcotest.test_case "branch conditions" `Quick test_branch_conditions;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "flip_bit" `Quick test_flip_bit;
+      Alcotest.test_case "run_until" `Quick test_run_until;
+      Alcotest.test_case "snapshot equivalence" `Quick test_snapshot_equivalence;
+      Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
+      Alcotest.test_case "tracer records RAM accesses" `Quick test_tracer_records;
+    ] )

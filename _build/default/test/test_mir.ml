@@ -1,0 +1,527 @@
+(* Tests for the MIR language: checker rules, builder combinators, code
+   generation semantics (differentially against OCaml's 32-bit
+   arithmetic), and the hardening passes. *)
+
+let compile_and_run ?(limit = 1_000_000) p =
+  let image = Codegen.compile p in
+  let m = Machine.create image in
+  let reason = Machine.run m ~limit in
+  (Machine.serial_output m, reason, m)
+
+let output_of p =
+  let out, reason, _ = compile_and_run p in
+  Alcotest.(check bool)
+    (Format.asprintf "halted (got %a)" Machine.pp_stop_reason reason)
+    true (reason = Machine.Halted);
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Checker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let expect_invalid build =
+  match build () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected checker rejection"
+
+let test_check_no_main () =
+  expect_invalid (fun () ->
+      Builder.prog ~name:"t" [] [ Builder.func "not_main" [ Builder.ret_unit ] ])
+
+let test_check_main_params () =
+  expect_invalid (fun () ->
+      Builder.prog ~name:"t" []
+        [ Builder.func "main" ~params:[ "x" ] [ Builder.ret_unit ] ])
+
+let test_check_unknown_global () =
+  expect_invalid (fun () ->
+      Builder.prog ~name:"t" []
+        [ Builder.func "main" [ Builder.setg "nope" (Builder.i 1) ] ])
+
+let test_check_unknown_local () =
+  expect_invalid (fun () ->
+      Builder.prog ~name:"t" []
+        [ Builder.func "main" [ Builder.set "nope" (Builder.i 1) ] ])
+
+let test_check_arity () =
+  expect_invalid (fun () ->
+      Builder.prog ~name:"t" []
+        [
+          Builder.func "f" ~params:[ "a"; "b" ] [ Builder.ret_unit ];
+          Builder.func "main" [ Builder.call_ "f" [ Builder.i 1 ] ];
+        ])
+
+let test_check_call_not_at_root () =
+  expect_invalid (fun () ->
+      let open Builder in
+      prog ~name:"t" []
+        [
+          func "f" [ ret (i 1) ];
+          func "main" ~locals:[ "x" ]
+            [ set "x" (call "f" [] +: i 1); ret_unit ];
+        ])
+
+let test_check_too_many_params () =
+  expect_invalid (fun () ->
+      Builder.prog ~name:"t" []
+        [
+          Builder.func "f" ~params:[ "a"; "b"; "c"; "d"; "e" ] [ Builder.ret_unit ];
+          Builder.func "main" [ Builder.ret_unit ];
+        ])
+
+let test_check_duplicate_local () =
+  expect_invalid (fun () ->
+      Builder.prog ~name:"t" []
+        [ Builder.func "main" ~locals:[ "x"; "x" ] [ Builder.ret_unit ] ])
+
+let test_check_type_misuse () =
+  expect_invalid (fun () ->
+      let open Builder in
+      prog ~name:"t" [ array "a" 4 ] [ func "main" [ setg "a" (i 1) ] ]);
+  expect_invalid (fun () ->
+      let open Builder in
+      prog ~name:"t" [ global "s" ] [ func "main" [ set_elem "s" (i 0) (i 1) ] ])
+
+let test_check_register_budget () =
+  (* A right-nested expression requiring more than 9 registers. *)
+  let open Builder in
+  let rec deep n = if n = 0 then i 1 else Mir.Bin (Mir.Add, i 1, deep (n - 1)) in
+  expect_invalid (fun () ->
+      prog ~name:"t" [ global "x" ]
+        [ func "main" [ setg "x" (deep 12); ret_unit ] ])
+
+let test_check_protect_rules () =
+  expect_invalid (fun () ->
+      let open Builder in
+      prog ~name:"t" [ global "x" ]
+        [ func "main" ~protects:[ "x" ] [ ret_unit ] ])
+  (* protecting an unprotected global is an error *)
+
+let test_register_need () =
+  let open Builder in
+  Alcotest.(check int) "leaf" 1 (Check.register_need (i 5));
+  Alcotest.(check int) "left chain" 2
+    (Check.register_need (i 1 +: i 2 +: i 3 +: i 4));
+  Alcotest.(check int) "right nest" 3
+    (Check.register_need (Mir.Bin (Mir.Add, i 1, Mir.Bin (Mir.Add, i 2, i 3))))
+
+(* ------------------------------------------------------------------ *)
+(* Codegen semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_arith_program () =
+  let open Builder in
+  let p =
+    prog ~name:"arith" [ global "x" ]
+      ([
+         func "main" ~locals:[ "a" ]
+           ([
+              set "a" (i 6 *: i 7);
+              setg "x" (l "a" -: i 2);
+              call_ out_dec [ g "x" ];
+              ret_unit;
+            ]);
+       ]
+      @ stdlib)
+  in
+  Alcotest.(check string) "42-2" "40" (output_of p)
+
+let test_if_else () =
+  let open Builder in
+  let p =
+    prog ~name:"ifelse" []
+      [
+        func "main" ~locals:[ "x" ]
+          ([ set "x" (i 5) ]
+          @ if_else (l "x" >: i 3) [ out_str "big" ] [ out_str "small" ]
+          @ [ ret_unit ]);
+      ]
+  in
+  Alcotest.(check string) "then branch" "big" (output_of p)
+
+let test_while_loop () =
+  let open Builder in
+  let p =
+    prog ~name:"loop" []
+      ([
+         func "main" ~locals:[ "n"; "acc" ]
+           [
+             set "n" (i 5);
+             set "acc" (i 0);
+             while_ (l "n" >: i 0)
+               [ set "acc" (l "acc" +: l "n"); set "n" (l "n" -: i 1) ];
+             call_ out_dec [ l "acc" ];
+             ret_unit;
+           ];
+       ]
+      @ stdlib)
+  in
+  Alcotest.(check string) "sum 1..5" "15" (output_of p)
+
+let test_function_calls () =
+  let open Builder in
+  let p =
+    prog ~name:"calls" []
+      ([
+         func "add3" ~params:[ "a"; "b"; "c" ] [ ret (l "a" +: l "b" +: l "c") ];
+         func "twice" ~params:[ "x" ] ~locals:[ "t" ]
+           [ set "t" (call "add3" [ l "x"; l "x"; i 0 ]); ret (l "t") ];
+         func "main" ~locals:[ "r" ]
+           [
+             set "r" (call "twice" [ i 21 ]);
+             call_ out_dec [ l "r" ];
+             ret_unit;
+           ];
+       ]
+      @ stdlib)
+  in
+  Alcotest.(check string) "nested calls" "42" (output_of p)
+
+let test_recursion () =
+  let open Builder in
+  let p =
+    prog ~name:"fact" ~stack:512 []
+      ([
+         func "fact" ~params:[ "n" ] ~locals:[ "r" ]
+           (if_else (l "n" <=: i 1) [ ret (i 1) ]
+              [
+                set "r" (call "fact" [ l "n" -: i 1 ]);
+                ret (l "n" *: l "r");
+              ]);
+         func "main" ~locals:[ "r" ]
+           [
+             set "r" (call "fact" [ i 6 ]);
+             call_ out_dec [ l "r" ];
+             ret_unit;
+           ];
+       ]
+      @ stdlib)
+  in
+  Alcotest.(check string) "6!" "720" (output_of p)
+
+let test_arrays_and_bytes () =
+  let open Builder in
+  let p =
+    prog ~name:"arr" [ array "w" 4 ~init:[ 10; 20; 30 ]; bytes_ "b" 4 ~init:"AB" ]
+      ([
+         func "main" ~locals:[ "s" ]
+           [
+             set_elem "w" (i 3) (elem "w" (i 0) +: elem "w" (i 1));
+             set "s" (elem "w" (i 3) +: elem "w" (i 2));
+             call_ out_dec [ l "s" ];
+             set_byte "b" (i 2) (byte "b" (i 0) +: i 2);
+             out (byte "b" (i 2));
+             out (byte "b" (i 1));
+             ret_unit;
+           ];
+       ]
+      @ stdlib)
+  in
+  Alcotest.(check string) "array ops" "60CB" (output_of p)
+
+let test_out_dec_values () =
+  let open Builder in
+  let p =
+    prog ~name:"dec" []
+      ([
+         func "main"
+           [
+             call_ out_dec [ i 0 ];
+             out (i 32);
+             call_ out_dec [ i 7 ];
+             out (i 32);
+             call_ out_dec [ i 1000000 ];
+             ret_unit;
+           ];
+       ]
+      @ stdlib)
+  in
+  Alcotest.(check string) "decimal printing" "0 7 1000000" (output_of p)
+
+let test_out_dec4 () =
+  let open Builder in
+  let p =
+    prog ~name:"dec4" []
+      [
+        func "main"
+          (out_dec4 (i 42) @ out_dec4 (i 9999) @ out_dec4 (i 0) @ [ ret_unit ]);
+      ]
+  in
+  Alcotest.(check string) "fixed four digits" "004299990000" (output_of p)
+
+let test_large_constants () =
+  let open Builder in
+  let p =
+    prog ~name:"bigconst" [ global "x" ]
+      ([
+         func "main"
+           [
+             setg "x" (i32 0x7FFFFFFFl);
+             call_ out_dec [ g "x" ];
+             ret_unit;
+           ];
+       ]
+      @ stdlib)
+  in
+  Alcotest.(check string) "int32 max" "2147483647" (output_of p)
+
+(* Differential test: MIR binary/compare ops match OCaml 32-bit
+   semantics for random unsigned operands. *)
+let reference_binop op a b =
+  let open Int32 in
+  let mask_shift b = to_int (logand b 31l) in
+  match (op : Mir.binop) with
+  | Mir.Add -> add a b
+  | Mir.Sub -> sub a b
+  | Mir.Mul -> mul a b
+  | Mir.Divu -> unsigned_div a b
+  | Mir.Remu -> unsigned_rem a b
+  | Mir.And -> logand a b
+  | Mir.Or -> logor a b
+  | Mir.Xor -> logxor a b
+  | Mir.Shl -> shift_left a (mask_shift b)
+  | Mir.Shr -> shift_right_logical a (mask_shift b)
+
+let reference_cmp op a b =
+  let unsigned_lt a b = Int32.unsigned_compare a b < 0 in
+  let holds =
+    match (op : Mir.cmpop) with
+    | Mir.Eq -> Int32.equal a b
+    | Mir.Ne -> not (Int32.equal a b)
+    | Mir.Lt -> Int32.compare a b < 0
+    | Mir.Ge -> Int32.compare a b >= 0
+    | Mir.Ltu -> unsigned_lt a b
+    | Mir.Geu -> not (unsigned_lt a b)
+  in
+  if holds then 1l else 0l
+
+let run_expr expr =
+  let open Builder in
+  let p =
+    prog ~name:"expr" [ global "x" ]
+      [ func "main" [ setg "x" expr; ret_unit ] ]
+  in
+  let image = Codegen.compile p in
+  let m = Machine.create image in
+  (match Machine.run m ~limit:100_000 with
+  | Machine.Halted -> ()
+  | reason ->
+      Alcotest.failf "expr program stopped: %a" Machine.pp_stop_reason reason);
+  let addr =
+    match Program.find_data_symbol image "x" with
+    | Some a -> a
+    | None -> Alcotest.fail "no symbol x"
+  in
+  let b i = Int32.of_int (Machine.read_ram_byte m (addr + i)) in
+  Int32.logor
+    (Int32.logor (b 0) (Int32.shift_left (b 1) 8))
+    (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24))
+
+let gen_op =
+  QCheck.Gen.oneofl
+    [ Mir.Add; Mir.Sub; Mir.Mul; Mir.Divu; Mir.Remu; Mir.And; Mir.Or;
+      Mir.Xor; Mir.Shl; Mir.Shr ]
+
+let gen_cmp =
+  QCheck.Gen.oneofl [ Mir.Eq; Mir.Ne; Mir.Lt; Mir.Ge; Mir.Ltu; Mir.Geu ]
+
+let qcheck_binop_semantics =
+  QCheck.Test.make ~name:"compiled binops match Int32 semantics" ~count:150
+    (QCheck.make
+       QCheck.Gen.(triple gen_op (map Int32.of_int int) (map Int32.of_int int)))
+    (fun (op, a, b) ->
+      QCheck.assume
+        (not ((op = Mir.Divu || op = Mir.Remu) && Int32.equal b 0l));
+      let got = run_expr (Mir.Bin (op, Mir.Int a, Mir.Int b)) in
+      Int32.equal got (reference_binop op a b))
+
+let qcheck_cmp_semantics =
+  QCheck.Test.make ~name:"compiled comparisons match Int32 semantics"
+    ~count:150
+    (QCheck.make
+       QCheck.Gen.(triple gen_cmp (map Int32.of_int int) (map Int32.of_int int)))
+    (fun (op, a, b) ->
+      let got = run_expr (Mir.Cmp (op, Mir.Int a, Mir.Int b)) in
+      Int32.equal got (reference_cmp op a b))
+
+let test_div_by_zero_traps () =
+  let open Builder in
+  let p =
+    prog ~name:"div0" [ global "x" ]
+      [ func "main" [ setg "x" (i 1 /: i 0); ret_unit ] ]
+  in
+  let _, reason, _ = compile_and_run p in
+  Alcotest.(check bool) "trap" true
+    (reason = Machine.Trapped Machine.Division_by_zero)
+
+(* ------------------------------------------------------------------ *)
+(* Hardening passes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let protected_prog () =
+  let open Builder in
+  prog ~name:"prot"
+    [ array ~protected:true "data" 4 ~init:[ 11; 22; 33; 44 ]; global "sum" ]
+    ([
+       func "reader" ~locals:[ "k"; "s" ] ~protects:[ "data" ]
+         ([ set "s" (i 0) ]
+         @ for_ "k" ~from:(i 0) ~below:(i 4)
+             [ set "s" (l "s" +: elem "data" (l "k")) ]
+         @ [ ret (l "s") ]);
+       func "main" ~locals:[ "r" ]
+         [
+           set "r" (call "reader" []);
+           call_ out_dec [ l "r" ];
+           ret_unit;
+         ];
+     ]
+    @ stdlib)
+
+let test_harden_preserves_behaviour () =
+  let base = protected_prog () in
+  let out_base = output_of base in
+  Alcotest.(check string) "baseline output" "110" out_base;
+  Alcotest.(check string) "sum+dmr same output" out_base
+    (output_of (Harden.sum_dmr base));
+  Alcotest.(check string) "tmr same output" out_base
+    (output_of (Harden.tmr base))
+
+let test_harden_names () =
+  let p = Harden.sum_dmr (protected_prog ()) in
+  Alcotest.(check string) "suffix" "prot+sumdmr" p.Mir.p_name;
+  Alcotest.(check bool) "replica exists" true
+    (Mir.find_global p "__data_r" <> None);
+  Alcotest.(check bool) "checksums exist" true
+    (Mir.find_global p "__data_s" <> None && Mir.find_global p "__data_rs" <> None);
+  Alcotest.(check bool) "check function" true
+    (Mir.find_func p "__check_data" <> None)
+
+let flip_protected_and_run pass =
+  (* Flip a bit of the protected array mid-run (while it is idle) and
+     check the mechanism repairs it: output correct + corrected event. *)
+  let image = Codegen.compile (pass (protected_prog ())) in
+  let addr =
+    match Program.find_data_symbol image "data" with
+    | Some a -> a
+    | None -> Alcotest.fail "no data symbol"
+  in
+  let m = Machine.create image in
+  Machine.run_until m ~cycle:4;
+  (* before the reader runs *)
+  Machine.flip_bit m ((addr * 8) + 5);
+  let reason = Machine.run m ~limit:100_000 in
+  (Machine.serial_output m, reason, Machine.detection_events m)
+
+let test_sum_dmr_corrects () =
+  let output, reason, events = flip_protected_and_run Harden.sum_dmr in
+  Alcotest.(check bool) "halted" true (reason = Machine.Halted);
+  Alcotest.(check string) "output correct" "110" output;
+  Alcotest.(check bool) "corrected event" true
+    (List.exists (fun (_, code) -> Int32.equal code Event_codes.corrected) events)
+
+let test_tmr_corrects () =
+  let output, reason, events = flip_protected_and_run Harden.tmr in
+  Alcotest.(check bool) "halted" true (reason = Machine.Halted);
+  Alcotest.(check string) "output correct" "110" output;
+  Alcotest.(check bool) "corrected event" true
+    (List.exists (fun (_, code) -> Int32.equal code Event_codes.corrected) events)
+
+let test_baseline_does_not_correct () =
+  let image = Codegen.compile (protected_prog ()) in
+  let addr = Option.get (Program.find_data_symbol image "data") in
+  let m = Machine.create image in
+  Machine.run_until m ~cycle:4;
+  Machine.flip_bit m ((addr * 8) + 5);
+  let reason = Machine.run m ~limit:100_000 in
+  Alcotest.(check bool) "halted" true (reason = Machine.Halted);
+  Alcotest.(check bool) "output corrupted" true
+    (Machine.serial_output m <> "110")
+
+let test_sum_dmr_fail_stop_on_double_fault () =
+  (* Corrupt primary AND replica: SUM+DMR must detect and fail-stop
+     rather than silently continue. *)
+  let image = Codegen.compile (Harden.sum_dmr (protected_prog ())) in
+  let data = Option.get (Program.find_data_symbol image "data") in
+  let replica = Option.get (Program.find_data_symbol image "__data_r") in
+  let m = Machine.create image in
+  Machine.run_until m ~cycle:4;
+  Machine.flip_bit m ((data * 8) + 1);
+  Machine.flip_bit m ((replica * 8) + 2);
+  let reason = Machine.run m ~limit:100_000 in
+  (match reason with
+  | Machine.Panicked _ -> ()
+  | other ->
+      Alcotest.failf "expected fail-stop, got %a" Machine.pp_stop_reason other);
+  Alcotest.(check bool) "detected event" true
+    (List.exists
+       (fun (_, code) -> Int32.equal code Event_codes.detected)
+       (Machine.detection_events m))
+
+let test_harden_grows_fault_space () =
+  let base = Codegen.compile (protected_prog ()) in
+  let hard = Codegen.compile (Harden.sum_dmr (protected_prog ())) in
+  Alcotest.(check bool) "more RAM" true
+    (hard.Program.ram_size > base.Program.ram_size);
+  let gb = Golden.run base and gh = Golden.run hard in
+  Alcotest.(check bool) "longer runtime" true (gh.Golden.cycles > gb.Golden.cycles)
+
+let test_harden_no_protected_globals () =
+  let open Builder in
+  let p = prog ~name:"plain" [] [ func "main" [ ret_unit ] ] in
+  let h = Harden.sum_dmr p in
+  Alcotest.(check string) "renamed only" "plain+sumdmr" h.Mir.p_name;
+  Alcotest.(check int) "no new globals" 0 (List.length h.Mir.p_globals)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing smoke                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pp_prog () =
+  let text = Format.asprintf "%a" Mir.pp_prog (protected_prog ()) in
+  Alcotest.(check bool) "mentions globals" true
+    (Astring_contains.contains text "protected data");
+  Alcotest.(check bool) "mentions main" true
+    (Astring_contains.contains text "fn main")
+
+let suite =
+  ( "mir",
+    [
+      Alcotest.test_case "check: no main" `Quick test_check_no_main;
+      Alcotest.test_case "check: main params" `Quick test_check_main_params;
+      Alcotest.test_case "check: unknown global" `Quick test_check_unknown_global;
+      Alcotest.test_case "check: unknown local" `Quick test_check_unknown_local;
+      Alcotest.test_case "check: arity" `Quick test_check_arity;
+      Alcotest.test_case "check: call position" `Quick test_check_call_not_at_root;
+      Alcotest.test_case "check: too many params" `Quick test_check_too_many_params;
+      Alcotest.test_case "check: duplicate local" `Quick test_check_duplicate_local;
+      Alcotest.test_case "check: type misuse" `Quick test_check_type_misuse;
+      Alcotest.test_case "check: register budget" `Quick test_check_register_budget;
+      Alcotest.test_case "check: protect rules" `Quick test_check_protect_rules;
+      Alcotest.test_case "register need" `Quick test_register_need;
+      Alcotest.test_case "arithmetic program" `Quick test_arith_program;
+      Alcotest.test_case "if/else" `Quick test_if_else;
+      Alcotest.test_case "while loop" `Quick test_while_loop;
+      Alcotest.test_case "function calls" `Quick test_function_calls;
+      Alcotest.test_case "recursion" `Quick test_recursion;
+      Alcotest.test_case "arrays and bytes" `Quick test_arrays_and_bytes;
+      Alcotest.test_case "decimal printing" `Quick test_out_dec_values;
+      Alcotest.test_case "out_dec4" `Quick test_out_dec4;
+      Alcotest.test_case "large constants" `Quick test_large_constants;
+      QCheck_alcotest.to_alcotest qcheck_binop_semantics;
+      QCheck_alcotest.to_alcotest qcheck_cmp_semantics;
+      Alcotest.test_case "division by zero traps" `Quick test_div_by_zero_traps;
+      Alcotest.test_case "hardening preserves behaviour" `Quick
+        test_harden_preserves_behaviour;
+      Alcotest.test_case "hardening names" `Quick test_harden_names;
+      Alcotest.test_case "sum+dmr corrects single flip" `Quick test_sum_dmr_corrects;
+      Alcotest.test_case "tmr corrects single flip" `Quick test_tmr_corrects;
+      Alcotest.test_case "baseline does not correct" `Quick
+        test_baseline_does_not_correct;
+      Alcotest.test_case "sum+dmr fail-stops on double fault" `Quick
+        test_sum_dmr_fail_stop_on_double_fault;
+      Alcotest.test_case "hardening grows fault space" `Quick
+        test_harden_grows_fault_space;
+      Alcotest.test_case "hardening without protected globals" `Quick
+        test_harden_no_protected_globals;
+      Alcotest.test_case "pp smoke" `Quick test_pp_prog;
+    ] )

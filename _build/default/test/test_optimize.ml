@@ -1,0 +1,244 @@
+(* Tests for the MIR optimisation passes: semantics preservation
+   (differential against the interpreter), specific rewrites, and the
+   fault-space effect. *)
+
+let run_prog p =
+  let image = Codegen.compile p in
+  let m = Machine.create image in
+  let reason = Machine.run m ~limit:1_000_000 in
+  (Machine.serial_output m, reason)
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fold_arithmetic () =
+  let open Builder in
+  let folded = Optimize.const_fold
+      (prog ~name:"cf" [ global "x" ]
+         [ func "main" [ setg "x" ((i 6 *: i 7) -: i 2); ret_unit ] ])
+  in
+  match (List.hd folded.Mir.p_funcs).Mir.f_body with
+  | [ Mir.Set_global ("x", Mir.Int 40l); Mir.Return None ] -> ()
+  | body ->
+      Alcotest.failf "unexpected body: %a" (Format.pp_print_list Mir.pp_stmt)
+        body
+
+let test_fold_branches () =
+  let open Builder in
+  let folded =
+    Optimize.const_fold
+      (prog ~name:"cf" []
+         [
+           func "main"
+             (if_else (i 1 >: i 0) [ out_str "yes" ] [ out_str "no" ]
+             @ [ while_ (i 0) [ out_str "never" ]; ret_unit ]);
+         ])
+  in
+  match (List.hd folded.Mir.p_funcs).Mir.f_body with
+  | [ Mir.Out_str "yes"; Mir.Return None ] -> ()
+  | body ->
+      Alcotest.failf "unexpected body: %a" (Format.pp_print_list Mir.pp_stmt)
+        body
+
+let test_fold_preserves_div_by_zero () =
+  let open Builder in
+  let p =
+    prog ~name:"cf" [ global "x" ]
+      [ func "main" [ setg "x" (i 1 /: i 0); ret_unit ] ]
+  in
+  let folded = Optimize.const_fold p in
+  let _, reason = run_prog folded in
+  Alcotest.(check bool) "trap survives folding" true
+    (reason = Machine.Trapped Machine.Division_by_zero)
+
+let test_fold_machine_semantics () =
+  (* Folding must agree with the machine on wrap-around. *)
+  let open Builder in
+  let folded =
+    Optimize.const_fold
+      (prog ~name:"cf" [ global "x" ]
+         [ func "main" [ setg "x" (i32 0x7FFFFFFFl +: i 1); ret_unit ] ])
+  in
+  match (List.hd folded.Mir.p_funcs).Mir.f_body with
+  | [ Mir.Set_global ("x", Mir.Int v); Mir.Return None ] ->
+      Alcotest.(check int32) "wraps" Int32.min_int v
+  | _ -> Alcotest.fail "not folded"
+
+(* ------------------------------------------------------------------ *)
+(* Dead-store elimination                                             *)
+(* ------------------------------------------------------------------ *)
+
+let count_stmts (p : Mir.prog) =
+  let rec stmts body =
+    List.fold_left
+      (fun acc s ->
+        acc + 1
+        +
+        match (s : Mir.stmt) with
+        | Mir.If (_, t, e) -> stmts t + stmts e
+        | Mir.While (_, b) -> stmts b
+        | _ -> 0)
+      0 body
+  in
+  List.fold_left (fun acc f -> acc + stmts f.Mir.f_body) 0 p.Mir.p_funcs
+
+let test_dse_removes_dead_store () =
+  let open Builder in
+  let p =
+    prog ~name:"dse" [ global "x" ]
+      [
+        func "main" ~locals:[ "a"; "b" ]
+          [
+            set "a" (i 1);
+            set "a" (i 2) (* first store dead *);
+            set "b" (i 9) (* never read: dead *);
+            setg "x" (l "a");
+            ret_unit;
+          ];
+      ]
+  in
+  let opt = Optimize.dead_store_elim p in
+  Alcotest.(check int) "two stores removed" (count_stmts p - 2) (count_stmts opt);
+  Alcotest.(check bool) "behaviour preserved" true
+    (run_prog p = run_prog opt)
+
+let test_dse_keeps_loop_carried () =
+  let open Builder in
+  let p =
+    prog ~name:"dse" []
+      ([
+         func "main" ~locals:[ "acc"; "k" ]
+           ([ set "acc" (i 0) ]
+           @ for_ "k" ~from:(i 0) ~below:(i 5)
+               [ set "acc" (l "acc" +: l "k") ]
+           @ [ call_ out_dec [ l "acc" ]; ret_unit ]);
+       ]
+      @ stdlib)
+  in
+  let opt = Optimize.dead_store_elim p in
+  (* The loop-carried accumulator must survive. *)
+  Alcotest.(check bool) "same output" true (run_prog p = run_prog opt);
+  let output, _ = run_prog opt in
+  Alcotest.(check string) "sum 0..4" "10" output
+
+let test_dse_keeps_call_effects () =
+  let open Builder in
+  let p =
+    prog ~name:"dse" [ global "g" ]
+      [
+        func "bump" [ setg "g" (Mir.Global "g" +: i 1); ret (i 0) ];
+        func "main" ~locals:[ "dead" ]
+          [
+            set "dead" (call "bump" []) (* result dead, effect is not *);
+            out (Mir.Global "g" +: i 48);
+            ret_unit;
+          ];
+      ]
+  in
+  let opt = Optimize.dead_store_elim p in
+  let output, _ = run_prog opt in
+  Alcotest.(check string) "call effect kept" "1" output;
+  (* And the store became a bare call. *)
+  let main = Option.get (Mir.find_func opt "main") in
+  Alcotest.(check bool) "rewritten to Do_call" true
+    (List.exists (function Mir.Do_call ("bump", _) -> true | _ -> false)
+       main.Mir.f_body)
+
+let test_dse_drops_unreachable () =
+  let open Builder in
+  let p =
+    prog ~name:"dse" []
+      [ func "main" [ ret_unit; out_str "never" ] ]
+  in
+  let opt = Optimize.dead_store_elim p in
+  let main = Option.get (Mir.find_func opt "main") in
+  Alcotest.(check int) "only the return remains" 1 (List.length main.Mir.f_body)
+
+let test_optimize_shrinks_fault_space () =
+  let open Builder in
+  (* A program with lots of dead computation into locals. *)
+  let p =
+    prog ~name:"waste" [ global "x" ]
+      ([
+         func "main" ~locals:[ "t"; "u"; "k" ]
+           (for_ "k" ~from:(i 0) ~below:(i 10)
+              [
+                set "t" (l "k" *: i 17) (* dead *);
+                set "u" (i 3 +: i 4) (* dead and constant *);
+                setg "x" (Mir.Global "x" +: l "k");
+              ]
+           @ [ call_ out_dec [ g "x" ]; ret_unit ]);
+       ]
+      @ stdlib)
+  in
+  let opt = Optimize.optimize p in
+  let gb = Golden.run (Codegen.compile p) in
+  let go = Golden.run (Codegen.compile opt) in
+  Alcotest.(check string) "same output" gb.Golden.output go.Golden.output;
+  Alcotest.(check bool) "optimised is faster" true
+    (go.Golden.cycles < gb.Golden.cycles);
+  Alcotest.(check bool) "fault space shrank" true
+    (Golden.fault_space_size go < Golden.fault_space_size gb)
+
+(* Differential property: optimisation preserves behaviour on random
+   small programs. *)
+let gen_prog =
+  let open QCheck.Gen in
+  let* seed = int_range 0 10_000 in
+  let open Builder in
+  let c1 = (seed mod 13) + 1 and c2 = (seed / 13 mod 7) + 1 in
+  return
+    (prog ~name:"rand" [ global "x" ~init:[ seed mod 5 ]; array "a" 3 ]
+       ([
+          func "helper" ~params:[ "v" ] ~locals:[ "w" ]
+            [
+              set "w" (l "v" *: i c1);
+              set "w" (l "w" +: i c2);
+              ret (l "w");
+            ];
+          func "main" ~locals:[ "t"; "dead"; "k" ]
+            ([
+               set "dead" (i 42);
+               set "t" (call "helper" [ i (seed mod 9) ]);
+               set_elem "a" (i 1) (l "t" &: i 0xFF);
+             ]
+            @ for_ "k" ~from:(i 0) ~below:(i (1 + (seed mod 4)))
+                [
+                  setg "x" (Mir.Global "x" +: elem "a" (i 1));
+                  set "dead" (l "dead" +: i 1);
+                ]
+            @ if_else
+                (Mir.Global "x" >: i c1)
+                [ call_ out_dec [ g "x" ] ]
+                [ out_str "small" ]
+            @ [ ret_unit ]);
+        ]
+       @ stdlib))
+
+let qcheck_optimize_preserves =
+  QCheck.Test.make ~name:"optimize preserves behaviour" ~count:40
+    (QCheck.make gen_prog) (fun p ->
+      run_prog p = run_prog (Optimize.optimize p))
+
+let suite =
+  ( "optimize",
+    [
+      Alcotest.test_case "fold arithmetic" `Quick test_fold_arithmetic;
+      Alcotest.test_case "fold branches" `Quick test_fold_branches;
+      Alcotest.test_case "folding keeps div-by-zero" `Quick
+        test_fold_preserves_div_by_zero;
+      Alcotest.test_case "folding uses machine semantics" `Quick
+        test_fold_machine_semantics;
+      Alcotest.test_case "dse removes dead stores" `Quick
+        test_dse_removes_dead_store;
+      Alcotest.test_case "dse keeps loop-carried values" `Quick
+        test_dse_keeps_loop_carried;
+      Alcotest.test_case "dse keeps call effects" `Quick
+        test_dse_keeps_call_effects;
+      Alcotest.test_case "dse drops unreachable code" `Quick
+        test_dse_drops_unreachable;
+      Alcotest.test_case "optimisation shrinks the fault space" `Quick
+        test_optimize_shrinks_fault_space;
+      QCheck_alcotest.to_alcotest qcheck_optimize_preserves;
+    ] )

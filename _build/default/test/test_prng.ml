@@ -1,0 +1,153 @@
+(* Tests for the deterministic PRNG. *)
+
+let test_determinism () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if not (Int64.equal (Prng.next_int64 a) (Prng.next_int64 b)) then
+      differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_replays () =
+  let a = Prng.create ~seed:7L in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "copy replays" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_split_independent () =
+  let a = Prng.create ~seed:7L in
+  let b = Prng.split a in
+  (* Not a statistical test — just that both still produce values and are
+     not identical streams. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.next_int64 a) (Prng.next_int64 b) then incr same
+  done;
+  Alcotest.(check bool) "split stream differs" true (!same < 4)
+
+let test_int_bounds () =
+  let g = Prng.create ~seed:3L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "Prng.int out of bounds"
+  done
+
+let test_int_invalid () =
+  let g = Prng.create ~seed:3L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_covers_all () =
+  let g = Prng.create ~seed:11L in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int g 5) <- true
+  done;
+  Array.iteri
+    (fun i b -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true b)
+    seen
+
+let test_int64_bounds () =
+  let g = Prng.create ~seed:5L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int64 g 1000L in
+    if Int64.compare v 0L < 0 || Int64.compare v 1000L >= 0 then
+      Alcotest.fail "Prng.int64 out of bounds"
+  done
+
+let test_float_bounds () =
+  let g = Prng.create ~seed:5L in
+  for _ = 1 to 10_000 do
+    let v = Prng.float g 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "Prng.float out of bounds"
+  done
+
+let test_float_mean () =
+  let g = Prng.create ~seed:9L in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float g 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bool_balance () =
+  let g = Prng.create ~seed:13L in
+  let trues = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.bool g then incr trues
+  done;
+  let frac = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "bool balanced" true (Float.abs (frac -. 0.5) < 0.01)
+
+let test_shuffle_permutation () =
+  let g = Prng.create ~seed:17L in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_choose_member () =
+  let g = Prng.create ~seed:19L in
+  let a = [| 2; 4; 8 |] in
+  for _ = 1 to 100 do
+    let v = Prng.choose g a in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) v) a)
+  done
+
+let test_choose_empty () =
+  let g = Prng.create ~seed:19L in
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Prng.choose g [||]))
+
+let test_bits30_range () =
+  let g = Prng.create ~seed:23L in
+  for _ = 1 to 10_000 do
+    let v = Prng.bits30 g in
+    if v < 0 || v >= 1 lsl 30 then Alcotest.fail "bits30 out of range"
+  done
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int always within bound" ~count:500
+    QCheck.(pair (int_bound 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let bound = bound + 1 in
+      let g = Prng.create ~seed:(Int64.of_int seed) in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy replays" `Quick test_copy_replays;
+      Alcotest.test_case "split independent" `Quick test_split_independent;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+      Alcotest.test_case "int covers range" `Quick test_int_covers_all;
+      Alcotest.test_case "int64 bounds" `Quick test_int64_bounds;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "float mean" `Quick test_float_mean;
+      Alcotest.test_case "bool balance" `Quick test_bool_balance;
+      Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "choose member" `Quick test_choose_member;
+      Alcotest.test_case "choose empty" `Quick test_choose_empty;
+      Alcotest.test_case "bits30 range" `Quick test_bits30_range;
+      QCheck_alcotest.to_alcotest qcheck_int_in_bounds;
+    ] )

@@ -1,0 +1,259 @@
+(* Tests for trace recording, def/use analysis and fault-space geometry. *)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_basic () =
+  let t = Trace.create ~ram_size:8 in
+  Trace.add t ~cycle:1 ~addr:0 ~width:4 ~kind:Trace.Write;
+  Trace.add t ~cycle:3 ~addr:2 ~width:1 ~kind:Trace.Read;
+  Trace.seal t ~total_cycles:5;
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  Alcotest.(check int) "cycles" 5 (Trace.total_cycles t);
+  Alcotest.(check int) "ram" 8 (Trace.ram_size t)
+
+let test_trace_validation () =
+  let t = Trace.create ~ram_size:8 in
+  Trace.add t ~cycle:5 ~addr:0 ~width:1 ~kind:Trace.Read;
+  Alcotest.check_raises "decreasing cycle"
+    (Invalid_argument "Trace.add: cycles must be non-decreasing") (fun () ->
+      Trace.add t ~cycle:4 ~addr:0 ~width:1 ~kind:Trace.Read);
+  Alcotest.check_raises "outside ram"
+    (Invalid_argument "Trace.add: access outside RAM") (fun () ->
+      Trace.add t ~cycle:6 ~addr:7 ~width:4 ~kind:Trace.Read);
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Trace.add: width must be 1 or 4") (fun () ->
+      Trace.add t ~cycle:6 ~addr:0 ~width:2 ~kind:Trace.Read);
+  Alcotest.check_raises "seal before last access"
+    (Invalid_argument "Trace.seal: accesses recorded beyond total_cycles")
+    (fun () -> Trace.seal t ~total_cycles:3)
+
+let test_trace_unsealed () =
+  let t = Trace.create ~ram_size:8 in
+  Alcotest.check_raises "total_cycles before seal"
+    (Invalid_argument "Trace.total_cycles: trace not sealed") (fun () ->
+      ignore (Trace.total_cycles t))
+
+let test_byte_expansion () =
+  let t = Trace.create ~ram_size:8 in
+  Trace.add t ~cycle:2 ~addr:4 ~width:4 ~kind:Trace.Write;
+  Trace.seal t ~total_cycles:4;
+  let visits = ref [] in
+  Trace.iter_byte_accesses t (fun ~byte ~cycle ~kind:_ ->
+      visits := (byte, cycle) :: !visits);
+  Alcotest.(check (list (pair int int)))
+    "word covers 4 bytes"
+    [ (4, 2); (5, 2); (6, 2); (7, 2) ]
+    (List.rev !visits)
+
+let test_trace_growth () =
+  (* Exceed the initial capacity to exercise array growth. *)
+  let t = Trace.create ~ram_size:8 in
+  for c = 1 to 3000 do
+    Trace.add t ~cycle:c ~addr:0 ~width:1 ~kind:Trace.Read
+  done;
+  Trace.seal t ~total_cycles:3000;
+  Alcotest.(check int) "all recorded" 3000 (Trace.length t)
+
+(* ------------------------------------------------------------------ *)
+(* Def/use analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Figure 1 example: one byte, W at cycle 4, R at cycle 11,
+   12 cycles total. *)
+let figure1_defuse () =
+  let t = Trace.create ~ram_size:1 in
+  Trace.add t ~cycle:4 ~addr:0 ~width:1 ~kind:Trace.Write;
+  Trace.add t ~cycle:11 ~addr:0 ~width:1 ~kind:Trace.Read;
+  Trace.seal t ~total_cycles:12;
+  Defuse.analyze t
+
+let test_defuse_figure1 () =
+  let d = figure1_defuse () in
+  let classes = Defuse.classes d in
+  Alcotest.(check int) "three classes" 3 (Array.length classes);
+  let c0 = classes.(0) and c1 = classes.(1) and c2 = classes.(2) in
+  Alcotest.(check bool) "overwritten [1,4]" true
+    (c0.Defuse.t_start = 1 && c0.Defuse.t_end = 4 && c0.Defuse.kind = Defuse.Overwritten);
+  Alcotest.(check bool) "experiment [5,11]" true
+    (c1.Defuse.t_start = 5 && c1.Defuse.t_end = 11 && c1.Defuse.kind = Defuse.Experiment);
+  Alcotest.(check int) "weight 7 (the paper's class size)" 7 (Defuse.weight c1);
+  Alcotest.(check bool) "dormant [12,12]" true
+    (c2.Defuse.t_start = 12 && c2.Defuse.t_end = 12 && c2.Defuse.kind = Defuse.Dormant);
+  Alcotest.(check int) "8 experiments" 8 (Defuse.experiment_count d);
+  Alcotest.(check int) "fault space" (12 * 8) (Defuse.fault_space_size d)
+
+let test_defuse_initial_read () =
+  (* A read of initialised memory: the interval [1, read] is an
+     experiment (the initial contents count as defined at cycle 0). *)
+  let t = Trace.create ~ram_size:1 in
+  Trace.add t ~cycle:3 ~addr:0 ~width:1 ~kind:Trace.Read;
+  Trace.seal t ~total_cycles:4;
+  let d = Defuse.analyze t in
+  let c = Defuse.find d ~cycle:2 ~byte:0 in
+  Alcotest.(check bool) "experiment from reset" true
+    (c.Defuse.t_start = 1 && c.Defuse.t_end = 3 && c.Defuse.kind = Defuse.Experiment)
+
+let test_defuse_untouched_byte () =
+  let t = Trace.create ~ram_size:2 in
+  Trace.add t ~cycle:1 ~addr:0 ~width:1 ~kind:Trace.Read;
+  Trace.seal t ~total_cycles:3;
+  let d = Defuse.analyze t in
+  let c = Defuse.find d ~cycle:2 ~byte:1 in
+  Alcotest.(check bool) "dormant for whole run" true
+    (c.Defuse.t_start = 1 && c.Defuse.t_end = 3 && c.Defuse.kind = Defuse.Dormant)
+
+let test_defuse_back_to_back () =
+  (* Read at cycle 1 then read at cycle 2: two experiment classes of
+     weight 1 each. *)
+  let t = Trace.create ~ram_size:1 in
+  Trace.add t ~cycle:1 ~addr:0 ~width:1 ~kind:Trace.Read;
+  Trace.add t ~cycle:2 ~addr:0 ~width:1 ~kind:Trace.Read;
+  Trace.seal t ~total_cycles:2;
+  let d = Defuse.analyze t in
+  Alcotest.(check int) "two experiment classes x 8 bits" 16
+    (Defuse.experiment_count d);
+  Alcotest.(check int) "no benign weight" 0 (Defuse.known_benign_weight d)
+
+let test_defuse_find_errors () =
+  let d = figure1_defuse () in
+  Alcotest.check_raises "cycle 0" (Invalid_argument "Defuse.find: cycle outside run")
+    (fun () -> ignore (Defuse.find d ~cycle:0 ~byte:0));
+  Alcotest.check_raises "byte out" (Invalid_argument "Defuse.find: byte outside RAM")
+    (fun () -> ignore (Defuse.find d ~cycle:1 ~byte:1))
+
+(* Random-trace generator for the partition property. *)
+let gen_trace =
+  let open QCheck.Gen in
+  let ram_size = 4 in
+  let* n_accesses = int_range 0 30 in
+  let* cycles = int_range (Stdlib.max 1 n_accesses) 60 in
+  let* raw =
+    list_repeat n_accesses
+      (triple (int_range 1 cycles) (int_range 0 (ram_size - 1)) bool)
+  in
+  (* Sort by cycle and drop duplicate (cycle, byte) pairs so at most one
+     access per byte per cycle. *)
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) raw in
+  let seen = Hashtbl.create 16 in
+  let accesses =
+    List.filter
+      (fun (c, b, _) ->
+        if Hashtbl.mem seen (c, b) then false
+        else begin
+          Hashtbl.replace seen (c, b) ();
+          true
+        end)
+      sorted
+  in
+  let t = Trace.create ~ram_size in
+  List.iter
+    (fun (cycle, addr, is_read) ->
+      Trace.add t ~cycle ~addr ~width:1
+        ~kind:(if is_read then Trace.Read else Trace.Write))
+    accesses;
+  Trace.seal t ~total_cycles:cycles;
+  return t
+
+let arbitrary_trace = QCheck.make gen_trace
+
+let qcheck_partition_exact =
+  QCheck.Test.make ~name:"def/use classes partition the fault space exactly"
+    ~count:300 arbitrary_trace (fun t ->
+      let d = Defuse.analyze t in
+      (* 1. Weights sum to the fault-space size. *)
+      let total_weight =
+        8 * Array.fold_left (fun acc c -> acc + Defuse.weight c) 0 (Defuse.classes d)
+      in
+      total_weight = Defuse.fault_space_size d
+      (* 2. Every coordinate is found and within its class bounds. *)
+      && (let ok = ref true in
+          for cycle = 1 to Defuse.total_cycles d do
+            for byte = 0 to Defuse.ram_size d - 1 do
+              let c = Defuse.find d ~cycle ~byte in
+              if
+                c.Defuse.byte <> byte || cycle < c.Defuse.t_start
+                || cycle > c.Defuse.t_end
+              then ok := false
+            done
+          done;
+          !ok)
+      (* 3. Bookkeeping consistency. *)
+      && Defuse.known_benign_weight d
+         + (8
+           * Array.fold_left
+               (fun acc c ->
+                 if c.Defuse.kind = Defuse.Experiment then acc + Defuse.weight c
+                 else acc)
+               0 (Defuse.classes d))
+         = Defuse.fault_space_size d)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-space geometry                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_faultspace_size () =
+  Alcotest.(check int) "w" (12 * 16) (Faultspace.size ~total_cycles:12 ~ram_size:2)
+
+let test_faultspace_contains () =
+  let c total_cycles ram_size cycle bit =
+    Faultspace.contains ~total_cycles ~ram_size { Faultspace.cycle; bit }
+  in
+  Alcotest.(check bool) "inside" true (c 10 2 1 0);
+  Alcotest.(check bool) "last" true (c 10 2 10 15);
+  Alcotest.(check bool) "cycle 0" false (c 10 2 0 0);
+  Alcotest.(check bool) "cycle beyond" false (c 10 2 11 0);
+  Alcotest.(check bool) "bit beyond" false (c 10 2 1 16)
+
+let test_faultspace_iter_count () =
+  let n = ref 0 in
+  Faultspace.iter ~total_cycles:7 ~ram_size:3 (fun _ -> incr n);
+  Alcotest.(check int) "count" (7 * 24) !n
+
+let test_faultspace_sampling () =
+  let rng = Prng.create ~seed:1L in
+  for _ = 1 to 1000 do
+    let c = Faultspace.sample_uniform rng ~total_cycles:9 ~ram_size:2 in
+    if not (Faultspace.contains ~total_cycles:9 ~ram_size:2 c) then
+      Alcotest.fail "sampled coordinate outside space"
+  done
+
+let test_canonical_injection () =
+  let d = figure1_defuse () in
+  let cls = (Defuse.experiment_classes d).(0) in
+  let coord = Faultspace.canonical_injection cls ~bit_in_byte:3 in
+  Alcotest.(check int) "at the read cycle" 11 coord.Faultspace.cycle;
+  Alcotest.(check int) "right bit" 3 coord.Faultspace.bit;
+  Alcotest.check_raises "bad bit"
+    (Invalid_argument "Faultspace.canonical_injection: bit outside byte")
+    (fun () -> ignore (Faultspace.canonical_injection cls ~bit_in_byte:8))
+
+let test_class_and_bit () =
+  let d = figure1_defuse () in
+  let cls, bit = Faultspace.class_and_bit d { Faultspace.cycle = 7; bit = 5 } in
+  Alcotest.(check int) "bit in byte" 5 bit;
+  Alcotest.(check bool) "the experiment class" true
+    (cls.Defuse.kind = Defuse.Experiment && cls.Defuse.t_start = 5)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "trace basics" `Quick test_trace_basic;
+      Alcotest.test_case "trace validation" `Quick test_trace_validation;
+      Alcotest.test_case "trace unsealed" `Quick test_trace_unsealed;
+      Alcotest.test_case "word expands to bytes" `Quick test_byte_expansion;
+      Alcotest.test_case "trace growth" `Quick test_trace_growth;
+      Alcotest.test_case "figure-1 classes" `Quick test_defuse_figure1;
+      Alcotest.test_case "initial contents are defs" `Quick test_defuse_initial_read;
+      Alcotest.test_case "untouched byte dormant" `Quick test_defuse_untouched_byte;
+      Alcotest.test_case "back-to-back reads" `Quick test_defuse_back_to_back;
+      Alcotest.test_case "find errors" `Quick test_defuse_find_errors;
+      QCheck_alcotest.to_alcotest qcheck_partition_exact;
+      Alcotest.test_case "fault-space size" `Quick test_faultspace_size;
+      Alcotest.test_case "contains" `Quick test_faultspace_contains;
+      Alcotest.test_case "iter count" `Quick test_faultspace_iter_count;
+      Alcotest.test_case "uniform sampling in bounds" `Quick test_faultspace_sampling;
+      Alcotest.test_case "canonical injection" `Quick test_canonical_injection;
+      Alcotest.test_case "class_and_bit" `Quick test_class_and_bit;
+    ] )

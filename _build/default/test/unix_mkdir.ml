@@ -1,0 +1,2 @@
+(* Minimal mkdir without depending on unix in the test runner. *)
+let mkdir path = if not (Sys.file_exists path) then Sys.mkdir path 0o755
