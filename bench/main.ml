@@ -14,9 +14,11 @@ let cache_dir = "_artifacts"
 let ensure_cache_dir () =
   if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755
 
-let progress label ~done_ ~total =
+let progress label ~done_ ~total ~tally =
   if done_ = total || done_ mod 500 = 0 then begin
-    Printf.eprintf "\r[campaign %s] %d/%d classes" label done_ total;
+    Printf.eprintf "\r[campaign %s] %d/%d classes (%d failures)" label done_
+      total
+      (Outcome.tally_failures tally);
     if done_ = total then Printf.eprintf "\n";
     flush stderr
   end
@@ -53,8 +55,7 @@ let extra_scan ~name ~variant build =
   else begin
     let scan =
       Scan.pruned ~variant
-        ~progress:(fun ~done_ ~total ->
-          progress (name ^ "/" ^ variant) ~done_ ~total)
+        ~progress:(progress (name ^ "/" ^ variant))
         (Golden.run (build ()))
     in
     Csv_io.save path scan;
@@ -256,6 +257,69 @@ let run_engine () =
     (Metrics.failure_count a = Metrics.failure_count b
     && Metrics.coverage a = Metrics.coverage b)
 
+let run_engine_parallel () =
+  section
+    "ENGP | Parallel campaign engine: bin_sem2 serial vs -j 2 / -j 4 \
+     (emits BENCH_engine.json)";
+  let golden = Golden.run (Bin_sem2.baseline ()) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, t_serial = time (fun () -> Scan.pruned golden) in
+  let runs =
+    List.map
+      (fun jobs ->
+        let scan, t = time (fun () -> Engine.run ~jobs golden) in
+        (jobs, t, scan = serial))
+      [ 1; 2; 4 ]
+  in
+  let cores = Pool.default_jobs () in
+  Printf.printf "host cores          : %d\n" cores;
+  Printf.printf "experiments         : %d\n"
+    (Array.length serial.Scan.experiments);
+  Printf.printf "serial Scan.pruned  : %6.2f s\n" t_serial;
+  List.iter
+    (fun (jobs, t, identical) ->
+      Printf.printf "engine -j %-2d        : %6.2f s  (speedup %.2fx, \
+                     bit-identical %b)\n"
+        jobs t (t_serial /. t) identical)
+    runs;
+  if cores = 1 then
+    Printf.printf
+      "note: single-core host — parallel speedup is not observable here;\n\
+      \      the engine still shards, journals and merges identically.\n";
+  let json =
+    let run_fields =
+      List.map
+        (fun (jobs, t, identical) ->
+          Printf.sprintf
+            "    {\"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.3f, \
+             \"bit_identical\": %b}"
+            jobs t (t_serial /. t) identical)
+        runs
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"bin_sem2/baseline\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"classes\": %d,\n\
+      \  \"experiments\": %d,\n\
+      \  \"serial_seconds\": %.3f,\n\
+      \  \"engine\": [\n%s\n  ]\n\
+       }\n"
+      cores
+      (Array.length serial.Scan.experiments / 8)
+      (Array.length serial.Scan.experiments)
+      t_serial
+      (String.concat ",\n" run_fields)
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_engine.json\n"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
@@ -367,6 +431,7 @@ let artifacts =
     ("ablation", run_ablation);
     ("registers", run_registers);
     ("engine", run_engine);
+    ("engine-parallel", run_engine_parallel);
     ("optimization", run_optimization);
     ("perf", run_perf);
   ]

@@ -64,6 +64,55 @@ let or_die = function
       exit 2
 
 (* ------------------------------------------------------------------ *)
+(* Campaign-engine options (campaign / compare / sample)              *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the campaign engine; 0 means all cores \
+     ($(b,Domain.recommended_domain_count)).  Results are bit-identical \
+     for every value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let journal_arg =
+  let doc =
+    "Write an append-only, fsync'd campaign journal to $(docv) (one \
+     CRC-guarded record per completed shard), enabling $(b,--resume) \
+     after a crash or kill."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "With $(b,--journal), recover already-completed shards from the \
+     journal instead of re-conducting them."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let resolve_jobs = function
+  | 0 -> Pool.default_jobs ()
+  | j when j >= 1 -> j
+  | j -> or_die (Error (Printf.sprintf "invalid job count %d" j))
+
+let engine_progress ~quiet =
+  if quiet then fun _ -> ()
+  else
+    Progress.throttled (fun snap ->
+        Printf.eprintf "\r%s%!" (Progress.render snap);
+        if Progress.finished snap then prerr_newline ())
+
+let engine_run ?variant ~jobs ~journal ~resume ~quiet golden =
+  if resume && journal = None then
+    or_die (Error "--resume requires --journal FILE");
+  match
+    Engine.run ?variant ~jobs:(resolve_jobs jobs) ?journal ~resume
+      ~observe:(engine_progress ~quiet) golden
+  with
+  | scan -> scan
+  | exception Engine.Journal_mismatch msg -> or_die (Error msg)
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -147,22 +196,30 @@ let campaign_cmd =
       & info [ "breakdown" ]
           ~doc:"Also attribute the failure mass to data regions.")
   in
-  let action spec out quiet registers breakdown =
+  let action spec out quiet registers breakdown jobs journal resume =
     let image = or_die (load_program spec) in
     let golden = Golden.run image in
     Format.printf "%a@." Golden.pp_summary golden;
-    let progress ~done_ ~total =
+    let progress ~done_ ~total ~tally =
       if not quiet then begin
         if done_ mod 500 = 0 || done_ = total then begin
-          Printf.eprintf "\r%d/%d classes" done_ total;
+          Printf.eprintf "\r%d/%d classes (%d failures)" done_ total
+            (Outcome.tally_failures tally);
           if done_ = total then prerr_newline ();
           flush stderr
         end
       end
     in
     let scan =
-      if registers then Regspace.scan ~progress (Regspace.analyze image)
-      else Scan.pruned ~progress golden
+      if registers then begin
+        if jobs <> 1 || journal <> None then
+          or_die
+            (Error
+               "register campaigns do not go through the parallel engine \
+                yet; drop -j/--journal (see ROADMAP)");
+        Regspace.scan ~progress (Regspace.analyze image)
+      end
+      else engine_run ~jobs ~journal ~resume ~quiet golden
     in
     if registers then
       Format.printf "register fault space: w = %d bit-cycles@."
@@ -201,7 +258,9 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a full pruned fault-injection campaign.")
-    Term.(const action $ program_arg $ out $ quiet $ registers $ breakdown)
+    Term.(
+      const action $ program_arg $ out $ quiet $ registers $ breakdown
+      $ jobs_arg $ journal_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                             *)
@@ -223,21 +282,37 @@ let sample_cmd =
           ~doc:"Sample def/use classes uniformly instead (Pitfall 2) — for \
                 demonstration only.")
   in
-  let action spec samples seed biased =
+  let action spec samples seed biased jobs journal resume =
     let image = or_die (load_program spec) in
     let golden = Golden.run image in
     Format.printf "%a@." Golden.pp_summary golden;
     let rng = Prng.create ~seed:(Int64.of_int seed) in
+    (* With engine options, conduct (or resume) the full pruned campaign
+       in parallel once and answer every sample from that oracle — the
+       estimates are identical to conducting each sample (deterministic
+       machine, lossless pruning), but the heavy lifting shards, runs on
+       all requested domains, and survives crashes. *)
+    let oracle =
+      if jobs <> 1 || journal <> None then
+        Some (engine_run ~jobs ~journal ~resume ~quiet:false golden)
+      else None
+    in
     let est =
-      if biased then Sampler.biased_per_class rng ~samples golden
-      else Sampler.uniform_raw rng ~samples golden
+      match oracle with
+      | None ->
+          if biased then Sampler.biased_per_class rng ~samples golden
+          else Sampler.uniform_raw rng ~samples golden
+      | Some scan ->
+          if biased then Sampler.biased_per_class_oracle rng ~samples golden scan
+          else Sampler.uniform_raw_oracle rng ~samples scan
     in
     let interval =
       Confidence.wilson ~fails:est.Sampler.failures ~trials:est.Sampler.samples
         ~confidence:0.95
     in
-    Format.printf "sampler            : %s@."
-      (if biased then "per-class (BIASED, pitfall 2)" else "uniform raw space");
+    Format.printf "sampler            : %s%s@."
+      (if biased then "per-class (BIASED, pitfall 2)" else "uniform raw space")
+      (if oracle <> None then " via parallel campaign oracle" else "");
     Format.printf "samples            : %d (%d experiments conducted)@."
       est.Sampler.samples est.Sampler.conducted;
     Format.printf "failure fraction   : %.5f  95%% CI %a@."
@@ -248,7 +323,9 @@ let sample_cmd =
   in
   Cmd.v
     (Cmd.info "sample" ~doc:"Sampling-based campaign with extrapolation.")
-    Term.(const action $ program_arg $ samples $ seed $ biased)
+    Term.(
+      const action $ program_arg $ samples $ seed $ biased $ jobs_arg
+      $ journal_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)
@@ -261,14 +338,16 @@ let compare_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"HARDENED" ~doc:"Hardened variant.")
   in
-  let action base_spec hard_spec =
+  let action base_spec hard_spec jobs journal resume =
     let base = or_die (load_program base_spec) in
     let hard = or_die (load_program hard_spec) in
     let scan_of name image =
       let golden = Golden.run image in
       Printf.eprintf "[%s] %d experiments...\n%!" name
         (Defuse.experiment_count golden.Golden.defuse);
-      Scan.pruned ~variant:name golden
+      (* One journal per side, derived from the --journal stem. *)
+      let journal = Option.map (fun stem -> stem ^ "." ^ name) journal in
+      engine_run ~variant:name ~jobs ~journal ~resume ~quiet:false golden
     in
     let sb = scan_of "baseline" base in
     let sh = scan_of "hardened" hard in
@@ -283,8 +362,11 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare a baseline and a hardened program with the objective \
-             metric.")
-    Term.(const action $ program_arg $ hardened_arg)
+             metric.  With --journal STEM, each side journals to \
+             STEM.baseline / STEM.hardened and --resume recovers both.")
+    Term.(
+      const action $ program_arg $ hardened_arg $ jobs_arg $ journal_arg
+      $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* asm                                                                *)

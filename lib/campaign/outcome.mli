@@ -46,6 +46,52 @@ val is_benign : t -> bool
 val is_failure : t -> bool
 (** Negation of {!is_benign}; the paper's coalesced "Failure" type. *)
 
+val index : t -> int
+(** Stable dense index, [0 .. count-1], in the order of {!all}. *)
+
+val count : int
+(** Number of outcome types ([8]). *)
+
+val of_index : int -> t
+(** Inverse of {!index}.  @raise Invalid_argument outside [0 .. count-1]. *)
+
+val to_char : t -> char
+(** One-character code used by the campaign-engine journal; inverse of
+    {!of_char}. *)
+
+val of_char : char -> t option
+
+(** {1 Running tallies}
+
+    A mutable per-outcome experiment counter, used by campaign progress
+    reporting (both the serial {!Scan.pruned} loop and the parallel
+    engine) and cheap to update once per experiment. *)
+
+type tally
+
+val tally_create : unit -> tally
+(** All-zero tally. *)
+
+val tally_add : tally -> t -> unit
+(** Count one experiment with the given outcome. *)
+
+val tally_count : tally -> t -> int
+val tally_total : tally -> int
+
+val tally_failures : tally -> int
+(** Experiments whose outcome {!is_failure}. *)
+
+val tally_copy : tally -> tally
+
+val tally_merge : into:tally -> tally -> unit
+(** [tally_merge ~into src] adds [src]'s counts into [into]. *)
+
+val tally_to_list : tally -> (t * int) list
+(** Non-zero counts in the order of {!all}. *)
+
+val pp_tally : Format.formatter -> tally -> unit
+(** e.g. ["1234 benign / 56 failures"]. *)
+
 val classify :
   golden_output:string ->
   golden_event_count:int ->

@@ -56,7 +56,7 @@ let coord_of_bit bit =
   let reg = 1 + (bit / 32) in
   (reg, bit mod 32)
 
-let scan ?(variant = "registers") ?(progress = fun ~done_:_ ~total:_ -> ()) t =
+let scan ?(variant = "registers") ?(progress = Scan.no_progress) t =
   let classes = Defuse.experiment_classes t.reg_defuse in
   let order = Array.init (Array.length classes) (fun i -> i) in
   Array.sort
@@ -65,6 +65,7 @@ let scan ?(variant = "registers") ?(progress = fun ~done_:_ ~total:_ -> ()) t =
   let session = Injector.session t.golden in
   let total = Array.length classes in
   let results = Array.make (8 * total) None in
+  let tally = Outcome.tally_create () in
   Array.iteri
     (fun rank class_index ->
       let c = classes.(class_index) in
@@ -75,6 +76,7 @@ let scan ?(variant = "registers") ?(progress = fun ~done_:_ ~total:_ -> ()) t =
           Injector.session_run_flip session ~cycle:c.Defuse.t_end
             ~flip:(fun machine -> Machine.flip_reg_bit machine ~reg ~bit)
         in
+        Outcome.tally_add tally outcome;
         results.((class_index * 8) + bit_in_byte) <-
           Some
             {
@@ -85,7 +87,7 @@ let scan ?(variant = "registers") ?(progress = fun ~done_:_ ~total:_ -> ()) t =
               outcome;
             }
       done;
-      progress ~done_:(rank + 1) ~total)
+      progress ~done_:(rank + 1) ~total ~tally)
     order;
   let experiments =
     Array.map (function Some e -> e | None -> assert false) results

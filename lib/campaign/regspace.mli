@@ -38,11 +38,7 @@ val analyze : ?limit:int -> Program.t -> t
 val fault_space_size : t -> int
 (** Δt × 480 — the register-layer [w]. *)
 
-val scan :
-  ?variant:string ->
-  ?progress:(done_:int -> total:int -> unit) ->
-  t ->
-  Scan.t
+val scan : ?variant:string -> ?progress:Scan.progress -> t -> Scan.t
 (** Full pruned campaign over the register fault space.  The returned
     scan's [ram_bytes] is the 60-byte pseudo-memory, so
     [Scan.fault_space_size] and all metrics are consistent. *)

@@ -127,6 +127,43 @@ let uniform_effective rng ~samples golden =
     make_estimate ~population ~samples outcomes conducted
   end
 
+(* Oracle variants: draw the same sample streams but read outcomes from a
+   completed pruned scan instead of conducting injections.  The machine is
+   deterministic and pruning is lossless, so for the same PRNG state these
+   produce estimates identical to their conducting counterparts — which
+   lets the CLI reuse a parallel (or journal-resumed) campaign as the
+   sampling oracle. *)
+
+let uniform_raw_oracle rng ~samples scan =
+  let expand = Scan.expander scan in
+  let total_cycles = scan.Scan.cycles in
+  let ram_size = scan.Scan.ram_bytes in
+  let outcomes =
+    List.init samples (fun _ ->
+        expand (Faultspace.sample_uniform rng ~total_cycles ~ram_size))
+  in
+  make_estimate
+    ~population:(Faultspace.size ~total_cycles ~ram_size)
+    ~samples outcomes 0
+
+let biased_per_class_oracle rng ~samples golden scan =
+  let defuse = golden.Golden.defuse in
+  let classes = Defuse.experiment_classes defuse in
+  let expand = Scan.expander scan in
+  let total_cycles = golden.Golden.cycles in
+  let ram_size = golden.Golden.program.Program.ram_size in
+  let outcomes =
+    if Array.length classes = 0 then []
+    else
+      List.init samples (fun _ ->
+          let c = classes.(Prng.int rng (Array.length classes)) in
+          let bit_in_byte = Prng.int rng 8 in
+          expand (Faultspace.canonical_injection c ~bit_in_byte))
+  in
+  make_estimate
+    ~population:(Faultspace.size ~total_cycles ~ram_size)
+    ~samples outcomes 0
+
 let biased_per_class rng ~samples golden =
   let defuse = golden.Golden.defuse in
   let classes = Defuse.experiment_classes defuse in

@@ -39,3 +39,20 @@ val uniform_effective : Prng.t -> samples:int -> Golden.t -> estimate
 val biased_per_class : Prng.t -> samples:int -> Golden.t -> estimate
 (** Pitfall 2: classes drawn uniformly regardless of weight.  The
     [population] reported is w (what a naive evaluator would assume). *)
+
+(** {1 Oracle samplers}
+
+    Variants that read outcomes from a completed pruned {!Scan.t} instead
+    of conducting injections.  Because the machine is deterministic and
+    pruning is lossless, these yield estimates {e identical} to their
+    conducting counterparts for the same PRNG state (property-tested) —
+    they exist so a parallel or journal-resumed campaign can serve as the
+    sampling oracle.  Their [conducted] field is [0]. *)
+
+val uniform_raw_oracle : Prng.t -> samples:int -> Scan.t -> estimate
+(** {!uniform_raw} against a scan oracle. *)
+
+val biased_per_class_oracle :
+  Prng.t -> samples:int -> Golden.t -> Scan.t -> estimate
+(** {!biased_per_class} against a scan oracle (the golden run supplies
+    the class inventory to draw from). *)

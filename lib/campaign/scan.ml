@@ -19,8 +19,12 @@ type t = {
 
 let fault_space_size t = t.cycles * t.ram_bytes * 8
 
+type progress = done_:int -> total:int -> tally:Outcome.tally -> unit
+
+let no_progress ~done_:_ ~total:_ ~tally:_ = ()
+
 let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
-    ?(progress = fun ~done_:_ ~total:_ -> ()) golden =
+    ?(progress = no_progress) golden =
   let defuse = golden.Golden.defuse in
   let classes = Defuse.experiment_classes defuse in
   (* The checkpoint session requires non-decreasing injection cycles;
@@ -36,6 +40,7 @@ let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
   in
   let total = Array.length classes in
   let results = Array.make (8 * total) None in
+  let tally = Outcome.tally_create () in
   Array.iteri
     (fun rank class_index ->
       let c = classes.(class_index) in
@@ -46,6 +51,7 @@ let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
           | Some s -> Injector.session_run_at s coord
           | None -> Injector.run_at golden coord
         in
+        Outcome.tally_add tally outcome;
         results.((class_index * 8) + bit_in_byte) <-
           Some
             {
@@ -56,7 +62,7 @@ let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
               outcome;
             }
       done;
-      progress ~done_:(rank + 1) ~total)
+      progress ~done_:(rank + 1) ~total ~tally)
     order;
   let experiments =
     Array.map

@@ -34,10 +34,23 @@ val fault_space_size : t -> int
 (** w = Δt × 8·Δm; equals the sum of all experiment weights plus
     [benign_weight] (invariant, property-tested). *)
 
+type progress = done_:int -> total:int -> tally:Outcome.tally -> unit
+(** Campaign progress callback, shared by every campaign conductor
+    (serial {!pruned}, {!Regspace.scan} and the parallel
+    [Fi_engine.Engine]): [done_] classes out of [total] are complete and
+    [tally] carries the running outcome counts of all experiments
+    conducted so far.  The tally is live — read it, don't keep it (use
+    {!Outcome.tally_copy} to retain a snapshot).  Serial conductors call
+    it once per class in t_end-sorted rank order; the parallel engine
+    calls it in completion order (still monotonic in [done_]). *)
+
+val no_progress : progress
+(** The silent callback (default). *)
+
 val pruned :
   ?variant:string ->
   ?strategy:Injector.strategy ->
-  ?progress:(done_:int -> total:int -> unit) ->
+  ?progress:progress ->
   Golden.t ->
   t
 (** [pruned golden] runs the complete pruned campaign: one experiment per

@@ -1,0 +1,209 @@
+exception Journal_mismatch of string
+
+let mismatch fmt = Printf.ksprintf (fun s -> raise (Journal_mismatch s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Campaign identity and journal payloads                             *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint golden ~(plan : Shard.plan) =
+  let classes = Defuse.experiment_classes golden.Golden.defuse in
+  let buf = Buffer.create (32 + (Array.length classes * 12)) in
+  Buffer.add_string buf golden.Golden.program.Program.name;
+  Buffer.add_string buf
+    (Printf.sprintf "|%d|%d|%d|" golden.Golden.cycles
+       golden.Golden.program.Program.ram_size plan.Shard.shard_size);
+  Array.iter
+    (fun (c : Defuse.byte_class) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d;" c.Defuse.byte c.Defuse.t_start
+           c.Defuse.t_end))
+    classes;
+  Crc32.string (Buffer.contents buf)
+
+let header_payload golden ~(plan : Shard.plan) =
+  Printf.sprintf
+    "fi-engine v1 cycles=%d ram_bytes=%d classes=%d shard_size=%d shards=%d \
+     fingerprint=%s name=%s"
+    golden.Golden.cycles golden.Golden.program.Program.ram_size
+    plan.Shard.classes_total plan.Shard.shard_size
+    (Array.length plan.Shard.shards)
+    (Crc32.to_hex (fingerprint golden ~plan))
+    golden.Golden.program.Program.name
+
+let record_payload (shard : Shard.t) outcomes_buf =
+  Printf.sprintf "shard=%d outcomes=%s" shard.Shard.id
+    (Bytes.to_string outcomes_buf)
+
+let parse_record (plan : Shard.plan) payload =
+  match String.index_opt payload ' ' with
+  | Some sp when String.length payload > 15 && String.sub payload 0 6 = "shard=" -> (
+      let id = int_of_string_opt (String.sub payload 6 (sp - 6)) in
+      let rest = String.sub payload (sp + 1) (String.length payload - sp - 1) in
+      if String.length rest < 9 || String.sub rest 0 9 <> "outcomes=" then None
+      else
+        let outs = String.sub rest 9 (String.length rest - 9) in
+        match id with
+        | Some id when id >= 0 && id < Array.length plan.Shard.shards ->
+            let shard = plan.Shard.shards.(id) in
+            if String.length outs <> 8 * Shard.classes_in shard then None
+            else Some (shard, outs)
+        | Some _ | None -> None)
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(variant = "baseline") ?jobs ?shard_size ?journal ?(resume = false)
+    ?(progress = Scan.no_progress) ?(observe = fun _ -> ()) golden =
+  let jobs =
+    match jobs with
+    | None -> Pool.default_jobs ()
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Engine.run: jobs %d" j)
+  in
+  if resume && journal = None then
+    invalid_arg "Engine.run: ~resume requires ~journal";
+  let defuse = golden.Golden.defuse in
+  let classes = Defuse.experiment_classes defuse in
+  let plan = Shard.plan ?shard_size defuse in
+  let total = plan.Shard.classes_total in
+  let n_shards = Array.length plan.Shard.shards in
+  let header = header_payload golden ~plan in
+  (* Outcome store, indexed like the serial scan: class_index*8 + bit. *)
+  let outcomes = Array.make (8 * total) Outcome.No_effect in
+  let shard_done = Array.make n_shards false in
+  let tally = Outcome.tally_create () in
+  let apply_record (shard : Shard.t) outs =
+    for k = 0 to Shard.classes_in shard - 1 do
+      let class_index = plan.Shard.order.(shard.Shard.lo + k) in
+      for bit = 0 to 7 do
+        match Outcome.of_char outs.[(8 * k) + bit] with
+        | Some o ->
+            outcomes.((class_index * 8) + bit) <- o;
+            Outcome.tally_add tally o
+        | None ->
+            mismatch "journal record for shard %d holds invalid outcome %C"
+              shard.Shard.id
+              outs.[(8 * k) + bit]
+      done
+    done
+  in
+  (* Open (and on resume, replay) the journal. *)
+  let writer =
+    match journal with
+    | None -> None
+    | Some path ->
+        let fresh () = Some (Journal.create path ~header) in
+        if not resume then fresh ()
+        else (
+          match Journal.open_resume path with
+          | None -> fresh ()
+          | Some (w, hdr, records) ->
+              if hdr <> header then begin
+                Journal.close w;
+                mismatch
+                  "journal %s belongs to a different campaign\n\
+                  \  journal: %s\n\
+                  \  current: %s"
+                  path hdr header
+              end;
+              List.iter
+                (fun r ->
+                  match parse_record plan r with
+                  | Some (shard, outs) when not shard_done.(shard.Shard.id) ->
+                      apply_record shard outs;
+                      shard_done.(shard.Shard.id) <- true
+                  | Some (shard, _) ->
+                      mismatch "journal has duplicate record for shard %d"
+                        shard.Shard.id
+                  | None -> mismatch "journal has malformed record %S" r)
+                records;
+              Some w)
+  in
+  let resumed_classes =
+    Array.fold_left
+      (fun acc (s : Shard.t) ->
+        if shard_done.(s.Shard.id) then acc + Shard.classes_in s else acc)
+      0 plan.Shard.shards
+  in
+  let resumed_shards =
+    Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 shard_done
+  in
+  let pending =
+    Array.of_list
+      (List.filter
+         (fun (s : Shard.t) -> not shard_done.(s.Shard.id))
+         (Array.to_list plan.Shard.shards))
+  in
+  let t0 = Unix.gettimeofday () in
+  let mu = Mutex.create () in
+  let classes_done = ref resumed_classes in
+  let shards_done = ref resumed_shards in
+  let emit_observe () =
+    observe
+      (Progress.make ~classes_done:!classes_done ~classes_total:total
+         ~shards_done:!shards_done ~shards_total:n_shards ~resumed_classes
+         ~elapsed:(Unix.gettimeofday () -. t0)
+         ~tally)
+  in
+  if resumed_classes > 0 then progress ~done_:resumed_classes ~total ~tally;
+  emit_observe ();
+  let conduct_shard (shard : Shard.t) =
+    let session = Injector.session golden in
+    let n = Shard.classes_in shard in
+    let buf = Bytes.create (8 * n) in
+    for k = 0 to n - 1 do
+      let class_index = plan.Shard.order.(shard.Shard.lo + k) in
+      let c = classes.(class_index) in
+      for bit_in_byte = 0 to 7 do
+        let coord = Faultspace.canonical_injection c ~bit_in_byte in
+        let o = Injector.session_run_at session coord in
+        outcomes.((class_index * 8) + bit_in_byte) <- o;
+        Bytes.set buf ((8 * k) + bit_in_byte) (Outcome.to_char o)
+      done;
+      Mutex.protect mu (fun () ->
+          for bit = 0 to 7 do
+            match Outcome.of_char (Bytes.get buf ((8 * k) + bit)) with
+            | Some o -> Outcome.tally_add tally o
+            | None -> assert false
+          done;
+          incr classes_done;
+          progress ~done_:!classes_done ~total ~tally;
+          emit_observe ())
+    done;
+    Mutex.protect mu (fun () ->
+        (match writer with
+        | Some w -> Journal.append w (record_payload shard buf)
+        | None -> ());
+        shard_done.(shard.Shard.id) <- true;
+        incr shards_done;
+        emit_observe ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close writer)
+    (fun () ->
+      Pool.run ~jobs ~tasks:(Array.length pending) (fun i ->
+          conduct_shard pending.(i)));
+  assert (Array.for_all Fun.id shard_done);
+  (* Deterministic merge: identical construction to the serial scan. *)
+  let experiments =
+    Array.init (8 * total) (fun idx ->
+        let c = classes.(idx / 8) in
+        {
+          Scan.byte = c.Defuse.byte;
+          t_start = c.Defuse.t_start;
+          t_end = c.Defuse.t_end;
+          bit_in_byte = idx mod 8;
+          outcome = outcomes.(idx);
+        })
+  in
+  {
+    Scan.name = golden.Golden.program.Program.name;
+    variant;
+    cycles = golden.Golden.cycles;
+    ram_bytes = golden.Golden.program.Program.ram_size;
+    experiments;
+    benign_weight = Defuse.known_benign_weight defuse;
+  }

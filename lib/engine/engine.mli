@@ -1,0 +1,61 @@
+(** Parallel, journaled, resumable campaign execution.
+
+    This is the reproduction's equivalent of the paper's campaign server
+    (Section V): the def/use experiment-class list is cut into
+    cycle-contiguous {!Shard}s, shards execute on a {!Pool} of OCaml 5
+    domains — each on its own {!Injector.Checkpoint} session, which is
+    valid because injection cycles are non-decreasing within a shard —
+    and results are merged by class index, so the returned {!Scan.t} is
+    bit-identical to the serial {!Scan.pruned} for {e any} worker count.
+
+    With [~journal:path] every completed shard is appended (fsync'd,
+    CRC-guarded) to an on-disk {!Journal}; a later run with
+    [~resume:true] recovers those shards without re-conducting a single
+    experiment and finishes the rest.  The journal is keyed by a campaign
+    fingerprint (program name, golden runtime, memory size, full class
+    list and shard layout), so resuming against a different campaign
+    raises {!Journal_mismatch} instead of corrupting results. *)
+
+exception Journal_mismatch of string
+(** The journal at the given path belongs to a different campaign (or
+    its records contradict the current shard plan). *)
+
+val fingerprint : Golden.t -> plan:Shard.plan -> int
+(** CRC-32 of the campaign identity; two campaigns merge-compatibly iff
+    their fingerprints agree. *)
+
+val run :
+  ?variant:string ->
+  ?jobs:int ->
+  ?shard_size:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?progress:Scan.progress ->
+  ?observe:Progress.hook ->
+  Golden.t ->
+  Scan.t
+(** [run golden] conducts the complete pruned campaign.
+
+    - [jobs] — worker domains (default
+      {!Pool.default_jobs}[ ()]); [-j 1] runs inline, still
+      sharded and journal-compatible with any other worker count.
+    - [shard_size] — classes per shard (default
+      {!Shard.default_shard_size}); must match between a journal's writer
+      and its resumer (it is part of the fingerprint).
+    - [journal] — write the append-only journal to this path.
+    - [resume] — with [journal], recover completed shards from an
+      existing journal first (a missing or empty journal file simply
+      starts fresh).
+    - [progress] — the shared per-class campaign callback
+      ({!Scan.progress}); called (under a lock, possibly from worker
+      domains) once per {e conducted} class in completion order, and once
+      up-front with the resumed class count if any shards were recovered.
+    - [observe] — the engine's richer {!Progress.hook}; called whenever
+      [progress] is, plus once per completed shard and once at start.
+      Wrap it in {!Progress.throttled} for terminal rendering.
+
+    The returned scan satisfies [run golden = Scan.pruned golden]
+    (structural equality) — property-tested for [-j] ∈ {1, 2, 4}.
+
+    @raise Journal_mismatch when resuming against a foreign journal.
+    @raise Invalid_argument if [jobs < 1] or [resume] without [journal]. *)

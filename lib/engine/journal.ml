@@ -1,0 +1,87 @@
+type writer = { fd : Unix.file_descr; mutable closed : bool }
+
+let encode payload =
+  if String.contains payload '\n' then
+    invalid_arg "Journal.append: payload contains a newline";
+  Printf.sprintf "%s %s\n" (Crc32.to_hex (Crc32.string payload)) payload
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let append w payload =
+  if w.closed then invalid_arg "Journal.append: closed";
+  write_all w.fd (encode payload);
+  Unix.fsync w.fd
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    Unix.close w.fd
+  end
+
+let create path ~header =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let w = { fd; closed = false } in
+  append w header;
+  w
+
+let decode_line line =
+  if String.length line >= 9 && line.[8] = ' ' then
+    match Crc32.of_hex (String.sub line 0 8) with
+    | Some crc ->
+        let payload = String.sub line 9 (String.length line - 9) in
+        if crc = Crc32.string payload then Some payload else None
+    | None -> None
+  else None
+
+(* Scan the raw bytes for the longest prefix of valid records.  Returns
+   the records' payloads and the byte length of that prefix. *)
+let valid_prefix text =
+  let len = String.length text in
+  let records = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok && !pos < len do
+    match String.index_from_opt text !pos '\n' with
+    | None -> ok := false (* torn tail: no terminating newline *)
+    | Some nl -> (
+        match decode_line (String.sub text !pos (nl - !pos)) with
+        | Some payload ->
+            records := payload :: !records;
+            pos := nl + 1
+        | None -> ok := false)
+  done;
+  (List.rev !records, !pos)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some text
+
+let load path =
+  match read_file path with
+  | None -> None
+  | Some text -> (
+      match valid_prefix text with
+      | header :: records, _ -> Some (header, records)
+      | [], _ -> None)
+
+let open_resume path =
+  match read_file path with
+  | None -> None
+  | Some text -> (
+      match valid_prefix text with
+      | [], _ -> None
+      | header :: records, prefix_len ->
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd prefix_len;
+          ignore (Unix.lseek fd prefix_len Unix.SEEK_SET);
+          Some ({ fd; closed = false }, header, records))

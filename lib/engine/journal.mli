@@ -1,0 +1,39 @@
+(** Append-only, CRC-guarded campaign journal.
+
+    The durability layer of the campaign engine: one line per record,
+    each record a [crc32(payload)] in hex, a space, and the payload
+    (which must not contain newlines).  Every append is a single
+    [write(2)] followed by [fsync(2)], so after a crash the file is a
+    valid record sequence plus at most one torn tail line.
+
+    {!load} accepts exactly that: it returns the longest valid prefix of
+    records and ignores anything after the first malformed or
+    CRC-mismatching line.  {!open_resume} additionally truncates the file
+    back to that valid prefix so that subsequent appends never merge into
+    a torn tail.
+
+    The journal is format-agnostic — payload syntax belongs to the
+    caller ({!Engine} stores one header record and one record per
+    completed shard). *)
+
+type writer
+
+val create : string -> header:string -> writer
+(** [create path ~header] truncates/creates [path] and appends the
+    [header] payload as the first record (fsync'd, like every record). *)
+
+val append : writer -> string -> unit
+(** Append one record and fsync.
+    @raise Invalid_argument if the payload contains a newline. *)
+
+val close : writer -> unit
+
+val load : string -> (string * string list) option
+(** [load path] is [Some (header, records)] — the first record and the
+    remaining valid prefix — or [None] if the file is missing, empty or
+    its header record is torn. *)
+
+val open_resume : string -> (writer * string * string list) option
+(** Like {!load}, but also truncates the file to the valid prefix and
+    returns a writer positioned there, ready to append the remaining
+    records. *)

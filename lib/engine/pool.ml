@@ -1,0 +1,37 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_inline tasks f =
+  for i = 0 to tasks - 1 do
+    f i
+  done
+
+let run ~jobs ~tasks f =
+  if jobs < 1 then invalid_arg (Printf.sprintf "Pool.run: jobs %d" jobs);
+  if tasks < 0 then invalid_arg (Printf.sprintf "Pool.run: tasks %d" tasks);
+  if jobs = 1 || tasks <= 1 then run_inline tasks f
+  else begin
+    let next = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= tasks || Atomic.get failed <> None then continue := false
+        else
+          try f i
+          with exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            (* Keep the first failure; losing later ones is fine. *)
+            ignore (Atomic.compare_and_set failed None (Some (exn, bt)));
+            continue := false
+      done
+    in
+    let domains =
+      List.init (min jobs tasks - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    match Atomic.get failed with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end

@@ -1,0 +1,23 @@
+(** A minimal Domain-based worker pool (OCaml 5 stdlib only).
+
+    Tasks are indices [0 .. tasks-1], claimed from an atomic counter in
+    ascending order, so earlier tasks start earlier regardless of the
+    worker count — there is no queue to build and no per-task
+    allocation.  [run] blocks until every task has finished.
+
+    With [jobs <= 1] (or fewer than two tasks) no domain is spawned and
+    tasks run inline on the calling domain in index order; this path is
+    what makes [-j 1] behave exactly like a serial loop. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    available parallelism (1 on a single-core host). *)
+
+val run : jobs:int -> tasks:int -> (int -> unit) -> unit
+(** [run ~jobs ~tasks f] executes [f i] once for every
+    [i] in [0 .. tasks-1] on up to [jobs] domains (never more than
+    [tasks]).  If one or more tasks raise, the remaining claimed tasks
+    still finish, no new tasks are claimed, and the first exception is
+    re-raised after all workers have joined.
+
+    @raise Invalid_argument if [jobs < 1] or [tasks < 0]. *)

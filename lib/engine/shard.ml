@@ -1,0 +1,36 @@
+type t = { id : int; lo : int; hi : int }
+
+type plan = {
+  order : int array;
+  shards : t array;
+  shard_size : int;
+  classes_total : int;
+}
+
+let classes_in s = s.hi - s.lo
+
+let default_shard_size ~classes = max 1 ((classes + 127) / 128)
+
+let plan ?shard_size defuse =
+  let classes = Defuse.experiment_classes defuse in
+  let total = Array.length classes in
+  let shard_size =
+    match shard_size with
+    | None -> default_shard_size ~classes:total
+    | Some n when n >= 1 -> n
+    | Some n -> invalid_arg (Printf.sprintf "Shard.plan: shard_size %d" n)
+  in
+  (* Identical ranking to the serial Scan.pruned: a plain sort by t_end.
+     Ties may land in any order — harmless, because results are merged by
+     class index, not by rank — but the sort is deterministic for a given
+     input, which keeps journal shard contents reproducible. *)
+  let order = Array.init total (fun i -> i) in
+  Array.sort
+    (fun a b -> compare classes.(a).Defuse.t_end classes.(b).Defuse.t_end)
+    order;
+  let shard_count = (total + shard_size - 1) / shard_size in
+  let shards =
+    Array.init shard_count (fun id ->
+        { id; lo = id * shard_size; hi = min total ((id + 1) * shard_size) })
+  in
+  { order; shards; shard_size; classes_total = total }

@@ -1,0 +1,44 @@
+(** Sharding a pruned campaign into cycle-contiguous work units.
+
+    A pruned campaign conducts one experiment per (experiment-class, bit).
+    The fast {!Injector.Checkpoint} strategy requires injection cycles to
+    be non-decreasing {e within one session}, so the class list is first
+    ranked by canonical injection cycle ([t_end]) — exactly as the serial
+    {!Scan.pruned} does — and then cut into contiguous rank intervals
+    ({e shards}).  Each shard satisfies the monotonicity invariant on its
+    own and can therefore run on its own checkpoint session, on any
+    worker, in any order.
+
+    The plan is a pure function of the def/use partition and the shard
+    size — never of the worker count — so one journal written at [-j 8]
+    can be resumed at [-j 1] and vice versa. *)
+
+type t = {
+  id : int;  (** Dense shard index, [0 .. shards-1]. *)
+  lo : int;  (** First rank (inclusive) in the t_end-sorted order. *)
+  hi : int;  (** Last rank (exclusive). *)
+}
+
+type plan = {
+  order : int array;
+      (** [order.(rank)] is the experiment-class index (into
+          {!Defuse.experiment_classes}) of the class with the
+          [rank]-th smallest injection cycle. *)
+  shards : t array;  (** Contiguous, in rank order, covering all ranks. *)
+  shard_size : int;  (** Classes per shard (the last may be smaller). *)
+  classes_total : int;
+}
+
+val classes_in : t -> int
+(** Number of experiment classes in a shard ([hi - lo]). *)
+
+val default_shard_size : classes:int -> int
+(** Granularity heuristic: about 128 shards, at least 1 class each —
+    fine-grained enough to balance any realistic worker count, coarse
+    enough that per-shard session and journal overhead stay negligible. *)
+
+val plan : ?shard_size:int -> Defuse.t -> plan
+(** Rank the experiment classes of a def/use partition by [t_end] and cut
+    them into shards of [shard_size] classes.
+
+    @raise Invalid_argument if [shard_size < 1]. *)

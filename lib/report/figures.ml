@@ -146,7 +146,7 @@ let figure3 () =
 (* Figure 2 (campaign-backed)                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run_pair ?cache_dir ?(progress = fun _ ~done_:_ ~total:_ -> ()) ~name
+let run_pair ?cache_dir ?(progress = fun _ -> Scan.no_progress) ~name
     ~baseline ~hardened () =
   let run variant build =
     let cache_file =
@@ -166,8 +166,7 @@ let run_pair ?cache_dir ?(progress = fun _ ~done_:_ ~total:_ -> ()) ~name
         let golden = Golden.run (build ()) in
         let scan =
           Scan.pruned ~variant
-            ~progress:(fun ~done_ ~total ->
-              progress (name ^ "/" ^ variant) ~done_ ~total)
+            ~progress:(progress (name ^ "/" ^ variant))
             golden
         in
         (match cache_file with

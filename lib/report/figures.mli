@@ -24,7 +24,7 @@ val figure3 : unit -> string
 
 val run_pair :
   ?cache_dir:string ->
-  ?progress:(string -> done_:int -> total:int -> unit) ->
+  ?progress:(string -> Scan.progress) ->
   name:string ->
   baseline:(unit -> Program.t) ->
   hardened:(unit -> Program.t) ->

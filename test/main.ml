@@ -7,6 +7,7 @@ let () =
       Test_machine.suite;
       Test_trace.suite;
       Test_campaign.suite;
+      Test_engine.suite;
       Test_mir.suite;
       Test_kernel.suite;
       Test_optimize.suite;

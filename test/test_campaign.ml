@@ -192,14 +192,27 @@ let test_scan_progress_callback () =
   let g = Lazy.force hi_golden in
   let calls = ref 0 in
   let total_seen = ref 0 in
+  let last_tally = ref None in
   ignore
     (Scan.pruned
-       ~progress:(fun ~done_:_ ~total ->
+       ~progress:(fun ~done_ ~total ~tally ->
          incr calls;
-         total_seen := total)
+         total_seen := total;
+         (* The running tally always covers exactly the experiments of
+            the classes completed so far (8 per class). *)
+         Alcotest.(check int) "tally total" (8 * done_)
+           (Outcome.tally_total tally);
+         last_tally := Some (Outcome.tally_copy tally))
        g);
   Alcotest.(check int) "one call per class" 2 !calls;
-  Alcotest.(check int) "total classes" 2 !total_seen
+  Alcotest.(check int) "total classes" 2 !total_seen;
+  match !last_tally with
+  | None -> Alcotest.fail "progress never called"
+  | Some tally ->
+      (* Hi: every class-bit fails except the upper bits (paper: F=48 of
+         weight; 16 experiments, all conducted). *)
+      Alcotest.(check int) "tally covers all experiments" 16
+        (Outcome.tally_total tally)
 
 (* Pruned scan == brute force on a random compiled MIR program: the
    central losslessness theorem of def/use pruning, checked end-to-end. *)
