@@ -31,16 +31,70 @@ let section title =
 (* Campaign-backed data (cached)                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The Figure-2 pairs as one campaign matrix: cached cells load from
+   their CSV, every missing cell runs through a single shared
+   Engine.run_matrix (catalogue-journaled under _artifacts/, so an
+   interrupted regeneration resumes shard-exact). *)
 let paper_scans =
   lazy
     (ensure_cache_dir ();
-     List.map
-       (fun (name, baseline, hardened) ->
-         let sb, sh =
-           Figures.run_pair ~cache_dir ~progress ~name ~baseline ~hardened ()
-         in
-         (name, sb, sh))
-       Suite.paper_pairs)
+     let policy =
+       { Spec.default_policy with resume = true; catalogue = Some cache_dir }
+     in
+     let cells =
+       List.concat_map
+         (fun (name, baseline, hardened) ->
+           [ (name, "baseline", baseline); (name, "sum+dmr", hardened) ])
+         Suite.paper_pairs
+     in
+     let cache_path name variant =
+       Filename.concat cache_dir (Printf.sprintf "%s-%s.csv" name variant)
+     in
+     let cached =
+       List.map
+         (fun (name, variant, _) ->
+           if Sys.file_exists (cache_path name variant) then
+             match Csv_io.load (cache_path name variant) with
+             | Ok scan -> Some scan
+             | Error _ -> None
+           else None)
+         cells
+     in
+     let missing =
+       List.filter_map
+         (fun ((name, variant, build), c) ->
+           if c = None then
+             Some (Spec.memory ~variant ~policy ~benchmark:name build)
+           else None)
+         (List.combine cells cached)
+     in
+     let fresh =
+       if missing = [] then []
+       else
+         Engine.run_matrix ~jobs:(Pool.default_jobs ())
+           ~progress:(fun spec -> progress (Spec.label spec))
+           missing
+     in
+     let fresh = ref fresh in
+     let scans =
+       List.map2
+         (fun (name, variant, _) c ->
+           match c with
+           | Some scan -> scan
+           | None ->
+               let scan = List.hd !fresh in
+               fresh := List.tl !fresh;
+               (try Csv_io.save (cache_path name variant) scan
+                with Sys_error _ -> () (* cache is best-effort *));
+               scan)
+         cells cached
+     in
+     let rec pair_up = function
+       | (name, _, _) :: _ :: rest, sb :: sh :: scans ->
+           (name, sb, sh) :: pair_up (rest, scans)
+       | _ -> []
+     in
+     pair_up (cells, scans))
 
 let extra_scan ~name ~variant build =
   ensure_cache_dir ();
@@ -320,6 +374,79 @@ let run_engine_parallel () =
   close_out oc;
   Printf.printf "wrote BENCH_engine.json\n"
 
+let run_matrix_parallel () =
+  section
+    "ENGM | Matrix engine: paper pairs back-to-back serial vs one \
+     run_matrix (emits BENCH_matrix.json)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Back-to-back serial conductors: the pre-matrix way of covering the
+     Figure-2 cells. *)
+  let serial, t_serial =
+    time (fun () ->
+        List.concat_map
+          (fun (_, baseline, hardened) ->
+            [ Scan.pruned (Golden.run (baseline ()));
+              Scan.pruned ~variant:"sum+dmr" (Golden.run (hardened ())) ])
+          Suite.paper_pairs)
+  in
+  let runs =
+    List.map
+      (fun jobs ->
+        let scans, t =
+          time (fun () -> Engine.run_matrix ~jobs (Suite.paper_specs ()))
+        in
+        (jobs, t, List.for_all2 (fun a b -> a = b) scans serial))
+      [ 1; 2; 4 ]
+  in
+  let cores = Pool.default_jobs () in
+  let experiments =
+    List.fold_left (fun n s -> n + Array.length s.Scan.experiments) 0 serial
+  in
+  Printf.printf "host cores          : %d\n" cores;
+  Printf.printf "matrix cells        : %d (%d experiments)\n"
+    (List.length serial) experiments;
+  Printf.printf "back-to-back serial : %6.2f s\n" t_serial;
+  List.iter
+    (fun (jobs, t, identical) ->
+      Printf.printf
+        "run_matrix -j %-2d    : %6.2f s  (speedup %.2fx, bit-identical %b)\n"
+        jobs t (t_serial /. t) identical)
+    runs;
+  if cores = 1 then
+    Printf.printf
+      "note: single-core host — parallel speedup is not observable here;\n\
+      \      the matrix still shares one pool and merges identically.\n";
+  let json =
+    let run_fields =
+      List.map
+        (fun (jobs, t, identical) ->
+          Printf.sprintf
+            "    {\"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.3f, \
+             \"bit_identical\": %b}"
+            jobs t (t_serial /. t) identical)
+        runs
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"matrix\": \"paper_pairs\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"cells\": %d,\n\
+      \  \"experiments\": %d,\n\
+      \  \"serial_seconds\": %.3f,\n\
+      \  \"run_matrix\": [\n%s\n  ]\n\
+       }\n"
+      cores (List.length serial) experiments t_serial
+      (String.concat ",\n" run_fields)
+  in
+  let oc = open_out "BENCH_matrix.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_matrix.json\n"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
@@ -432,6 +559,7 @@ let artifacts =
     ("registers", run_registers);
     ("engine", run_engine);
     ("engine-parallel", run_engine_parallel);
+    ("matrix-parallel", run_matrix_parallel);
     ("optimization", run_optimization);
     ("perf", run_perf);
   ]

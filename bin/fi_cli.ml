@@ -3,7 +3,8 @@
    Subcommands:
      run       execute a benchmark (or an .s file) and show its behaviour
      trace     golden run + def/use statistics
-     campaign  full pruned FI campaign, optionally saved as CSV
+     campaign  full pruned FI campaign (memory or register space), CSV out
+     matrix    a whole benchmark matrix through one shared worker pool
      sample    sampling-based estimation with confidence intervals
      compare   objective comparison of a baseline/hardened pair
      asm       assemble / disassemble / encode a .s file
@@ -64,31 +65,77 @@ let or_die = function
       exit 2
 
 (* ------------------------------------------------------------------ *)
-(* Campaign-engine options (campaign / compare / sample)              *)
+(* Campaign-engine options (campaign / matrix / compare / sample)     *)
 (* ------------------------------------------------------------------ *)
 
-let jobs_arg =
-  let doc =
-    "Worker domains for the campaign engine; 0 means all cores \
-     ($(b,Domain.recommended_domain_count)).  Results are bit-identical \
-     for every value."
-  in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+(* One cmdliner term shared by every engine-backed subcommand, so
+   -j/--journal/--resume/--shard-size/--weighted-shards mean the same
+   thing everywhere. *)
+type engine_opts = {
+  jobs : int;
+  journal : string option;
+  resume : bool;
+  shard_size : int option;
+  weighted : bool;
+}
 
-let journal_arg =
-  let doc =
-    "Write an append-only, fsync'd campaign journal to $(docv) (one \
-     CRC-guarded record per completed shard), enabling $(b,--resume) \
-     after a crash or kill."
+let engine_opts_term =
+  let jobs =
+    let doc =
+      "Worker domains for the campaign engine; 0 means all cores \
+       ($(b,Domain.recommended_domain_count)).  Results are bit-identical \
+       for every value."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  let journal =
+    let doc =
+      "Write an append-only, fsync'd campaign journal to $(docv) (one \
+       CRC-guarded record per completed shard), enabling $(b,--resume) \
+       after a crash or kill.  Without this flag the engine journals to \
+       a fingerprint-derived path under $(b,_artifacts/) and indexes it \
+       in $(b,_artifacts/journals.idx)."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume =
+    let doc =
+      "Recover already-completed shards from the journal instead of \
+       re-conducting them.  The journal is found at $(b,--journal) when \
+       given, otherwise by campaign fingerprint in the journal catalogue \
+       ($(b,_artifacts/journals.idx))."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let shard_size =
+    let doc =
+      "Experiment classes per shard (default: about 1/128th of the \
+       campaign).  Part of the campaign fingerprint: a journal's writer \
+       and resumer must agree on it."
+    in
+    Arg.(value & opt (some int) None & info [ "shard-size" ] ~docv:"N" ~doc)
+  in
+  let weighted =
+    let doc =
+      "Size shards by estimated conducted cycles instead of class count \
+       (balances wall-clock across workers when data lifetimes are \
+       skewed).  Part of the campaign fingerprint."
+    in
+    Arg.(value & flag & info [ "weighted-shards" ] ~doc)
+  in
+  Term.(
+    const (fun jobs journal resume shard_size weighted ->
+        { jobs; journal; resume; shard_size; weighted })
+    $ jobs $ journal $ resume $ shard_size $ weighted)
 
-let resume_arg =
-  let doc =
-    "With $(b,--journal), recover already-completed shards from the \
-     journal instead of re-conducting them."
-  in
-  Arg.(value & flag & info [ "resume" ] ~doc)
+let policy_of opts =
+  {
+    Spec.shard_size = opts.shard_size;
+    weighted = opts.weighted;
+    journal = opts.journal;
+    resume = opts.resume;
+    catalogue = Some Catalog.default_dir;
+  }
 
 let resolve_jobs = function
   | 0 -> Pool.default_jobs ()
@@ -102,15 +149,18 @@ let engine_progress ~quiet =
         Printf.eprintf "\r%s%!" (Progress.render snap);
         if Progress.finished snap then prerr_newline ())
 
-let engine_run ?variant ~jobs ~journal ~resume ~quiet golden =
-  if resume && journal = None then
-    or_die (Error "--resume requires --journal FILE");
+let engine_matrix ~opts ~quiet specs =
   match
-    Engine.run ?variant ~jobs:(resolve_jobs jobs) ?journal ~resume
-      ~observe:(engine_progress ~quiet) golden
+    Engine.run_matrix ~jobs:(resolve_jobs opts.jobs)
+      ~observe:(engine_progress ~quiet) specs
   with
-  | scan -> scan
+  | scans -> scans
   | exception Engine.Journal_mismatch msg -> or_die (Error msg)
+
+let engine_spec ~opts ~quiet spec =
+  match engine_matrix ~opts ~quiet [ spec ] with
+  | [ scan ] -> scan
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                *)
@@ -196,31 +246,19 @@ let campaign_cmd =
       & info [ "breakdown" ]
           ~doc:"Also attribute the failure mass to data regions.")
   in
-  let action spec out quiet registers breakdown jobs journal resume =
+  let action spec out quiet registers breakdown opts =
     let image = or_die (load_program spec) in
-    let golden = Golden.run image in
-    Format.printf "%a@." Golden.pp_summary golden;
-    let progress ~done_ ~total ~tally =
-      if not quiet then begin
-        if done_ mod 500 = 0 || done_ = total then begin
-          Printf.eprintf "\r%d/%d classes (%d failures)" done_ total
-            (Outcome.tally_failures tally);
-          if done_ = total then prerr_newline ();
-          flush stderr
-        end
-      end
+    let policy = policy_of opts in
+    let campaign_spec =
+      if registers then Spec.of_regspace ~policy (Regspace.analyze image)
+      else Spec.of_golden ~policy (Golden.run image)
     in
-    let scan =
-      if registers then begin
-        if jobs <> 1 || journal <> None then
-          or_die
-            (Error
-               "register campaigns do not go through the parallel engine \
-                yet; drop -j/--journal (see ROADMAP)");
-        Regspace.scan ~progress (Regspace.analyze image)
-      end
-      else engine_run ~jobs ~journal ~resume ~quiet golden
-    in
+    (match campaign_spec.Spec.source with
+    | Spec.Analysed_memory g | Spec.Analysed_registers { Regspace.golden = g; _ }
+      ->
+        Format.printf "%a@." Golden.pp_summary g
+    | Spec.Build _ -> ());
+    let scan = engine_spec ~opts ~quiet campaign_spec in
     if registers then
       Format.printf "register fault space: w = %d bit-cycles@."
         (Scan.fault_space_size scan);
@@ -260,7 +298,99 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run a full pruned fault-injection campaign.")
     Term.(
       const action $ program_arg $ out $ quiet $ registers $ breakdown
-      $ jobs_arg $ journal_arg $ resume_arg)
+      $ engine_opts_term)
+
+(* ------------------------------------------------------------------ *)
+(* matrix                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_cmd =
+  let pairs =
+    Arg.(
+      value & flag
+      & info [ "pairs" ]
+          ~doc:
+            "Only the paper's Figure 2 pairs (bin_sem2 and sync2, baseline \
+             vs SUM+DMR) instead of the whole suite.")
+  in
+  let registers =
+    Arg.(
+      value & flag
+      & info [ "registers" ]
+          ~doc:"Campaign every cell over the register fault space \
+                (Section VI-B) instead of main memory.")
+  in
+  let outdir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output-dir" ] ~docv:"DIR"
+          ~doc:"Save one CSV per cell into $(docv).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress.") in
+  let sanitize label =
+    String.map (function '/' | '@' -> '-' | c -> c) label
+  in
+  let action pairs registers outdir quiet opts =
+    let space = if registers then Spec.Registers else Spec.Memory in
+    let policy = policy_of opts in
+    let specs =
+      (if pairs then Suite.paper_specs ~space ~policy ()
+       else Suite.spec_matrix ~space ~policy ())
+      |> List.map (fun s ->
+             (* An explicit --journal is a stem: one journal per cell. *)
+             match opts.journal with
+             | None -> s
+             | Some stem ->
+                 Spec.with_policy
+                   { policy with
+                     Spec.journal = Some (stem ^ "." ^ sanitize (Spec.label s))
+                   }
+                   s)
+    in
+    if not quiet then
+      Printf.eprintf "matrix: %d cells on %d worker(s)\n%!" (List.length specs)
+        (resolve_jobs opts.jobs);
+    let scans = engine_matrix ~opts ~quiet specs in
+    let t =
+      Table.create
+        ~columns:
+          [ ("cell", Table.Left); ("experiments", Table.Right);
+            ("coverage", Table.Right); ("failures", Table.Right);
+            ("P(Failure)", Table.Right) ]
+    in
+    List.iter2
+      (fun spec scan ->
+        Table.row t
+          [ Spec.label spec;
+            string_of_int (Array.length scan.Scan.experiments);
+            Printf.sprintf "%.3f%%" (100.0 *. Metrics.coverage scan);
+            string_of_int (Metrics.failure_count scan);
+            Printf.sprintf "%.3e" (Metrics.failure_probability scan) ])
+      specs scans;
+    Table.print t;
+    match outdir with
+    | None -> ()
+    | Some dir ->
+        Catalog.ensure_dir dir;
+        List.iter2
+          (fun spec scan ->
+            let path =
+              Filename.concat dir (sanitize (Spec.label spec) ^ ".csv")
+            in
+            Csv_io.save path scan;
+            Format.printf "results written to %s@." path)
+          specs scans
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Run a whole benchmark matrix (suite × variants, or the paper \
+          pairs) through one shared worker pool, with per-cell journals \
+          and aggregate progress.  With --resume, every cell with a \
+          catalogued journal picks up where it left off.")
+    Term.(
+      const action $ pairs $ registers $ outdir $ quiet $ engine_opts_term)
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                             *)
@@ -282,7 +412,7 @@ let sample_cmd =
           ~doc:"Sample def/use classes uniformly instead (Pitfall 2) — for \
                 demonstration only.")
   in
-  let action spec samples seed biased jobs journal resume =
+  let action spec samples seed biased opts =
     let image = or_die (load_program spec) in
     let golden = Golden.run image in
     Format.printf "%a@." Golden.pp_summary golden;
@@ -293,8 +423,13 @@ let sample_cmd =
        machine, lossless pruning), but the heavy lifting shards, runs on
        all requested domains, and survives crashes. *)
     let oracle =
-      if jobs <> 1 || journal <> None then
-        Some (engine_run ~jobs ~journal ~resume ~quiet:false golden)
+      if
+        opts.jobs <> 1 || opts.journal <> None || opts.resume
+        || opts.shard_size <> None || opts.weighted
+      then
+        Some
+          (engine_spec ~opts ~quiet:false
+             (Spec.of_golden ~policy:(policy_of opts) golden))
       else None
     in
     let est =
@@ -324,8 +459,7 @@ let sample_cmd =
   Cmd.v
     (Cmd.info "sample" ~doc:"Sampling-based campaign with extrapolation.")
     Term.(
-      const action $ program_arg $ samples $ seed $ biased $ jobs_arg
-      $ journal_arg $ resume_arg)
+      const action $ program_arg $ samples $ seed $ biased $ engine_opts_term)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)
@@ -338,19 +472,31 @@ let compare_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"HARDENED" ~doc:"Hardened variant.")
   in
-  let action base_spec hard_spec jobs journal resume =
+  let action base_spec hard_spec opts =
     let base = or_die (load_program base_spec) in
     let hard = or_die (load_program hard_spec) in
-    let scan_of name image =
+    let spec_of name image =
       let golden = Golden.run image in
       Printf.eprintf "[%s] %d experiments...\n%!" name
         (Defuse.experiment_count golden.Golden.defuse);
-      (* One journal per side, derived from the --journal stem. *)
-      let journal = Option.map (fun stem -> stem ^ "." ^ name) journal in
-      engine_run ~variant:name ~jobs ~journal ~resume ~quiet:false golden
+      (* One journal per side, derived from the --journal stem (the
+         catalogue keys each side by its own fingerprint anyway). *)
+      let policy =
+        let p = policy_of opts in
+        { p with Spec.journal = Option.map (fun stem -> stem ^ "." ^ name) p.Spec.journal }
+      in
+      Spec.of_golden ~variant:name ~policy golden
     in
-    let sb = scan_of "baseline" base in
-    let sh = scan_of "hardened" hard in
+    (* Both sides share one worker pool: the hardened cell's shards start
+       as soon as baseline shards stop saturating it. *)
+    let sb, sh =
+      match
+        engine_matrix ~opts ~quiet:false
+          [ spec_of "baseline" base; spec_of "hardened" hard ]
+      with
+      | [ sb; sh ] -> (sb, sh)
+      | _ -> assert false
+    in
     let p3 = Pitfalls.analyze_pitfall3 ~baseline:sb ~hardened:sh in
     Format.printf "%a@." Pitfalls.pp_pitfall3 p3;
     Format.printf "pitfall 1 view of the baseline: %a@." Pitfalls.pp_pitfall1
@@ -364,9 +510,7 @@ let compare_cmd =
        ~doc:"Compare a baseline and a hardened program with the objective \
              metric.  With --journal STEM, each side journals to \
              STEM.baseline / STEM.hardened and --resume recovers both.")
-    Term.(
-      const action $ program_arg $ hardened_arg $ jobs_arg $ journal_arg
-      $ resume_arg)
+    Term.(const action $ program_arg $ hardened_arg $ engine_opts_term)
 
 (* ------------------------------------------------------------------ *)
 (* asm                                                                *)
@@ -473,5 +617,5 @@ let () =
   in
   let info = Cmd.info "fi-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ run_cmd; trace_cmd; campaign_cmd; sample_cmd; compare_cmd; asm_cmd;
-      poisson_cmd; report_cmd; list_cmd ]))
+    [ run_cmd; trace_cmd; campaign_cmd; matrix_cmd; sample_cmd; compare_cmd;
+      asm_cmd; poisson_cmd; report_cmd; list_cmd ]))

@@ -56,8 +56,15 @@ let coord_of_bit bit =
   let reg = 1 + (bit / 32) in
   (reg, bit mod 32)
 
+let classes t = Defuse.experiment_classes t.reg_defuse
+
+let conduct session (c : Defuse.byte_class) ~bit_in_byte =
+  let reg, bit = coord_of_bit ((c.Defuse.byte * 8) + bit_in_byte) in
+  Injector.session_run_flip session ~cycle:c.Defuse.t_end ~flip:(fun machine ->
+      Machine.flip_reg_bit machine ~reg ~bit)
+
 let scan ?(variant = "registers") ?(progress = Scan.no_progress) t =
-  let classes = Defuse.experiment_classes t.reg_defuse in
+  let classes = classes t in
   let order = Array.init (Array.length classes) (fun i -> i) in
   Array.sort
     (fun a b -> compare classes.(a).Defuse.t_end classes.(b).Defuse.t_end)
@@ -70,12 +77,7 @@ let scan ?(variant = "registers") ?(progress = Scan.no_progress) t =
     (fun rank class_index ->
       let c = classes.(class_index) in
       for bit_in_byte = 0 to 7 do
-        let pseudo_bit = (c.Defuse.byte * 8) + bit_in_byte in
-        let reg, bit = coord_of_bit pseudo_bit in
-        let outcome =
-          Injector.session_run_flip session ~cycle:c.Defuse.t_end
-            ~flip:(fun machine -> Machine.flip_reg_bit machine ~reg ~bit)
-        in
+        let outcome = conduct session c ~bit_in_byte in
         Outcome.tally_add tally outcome;
         results.((class_index * 8) + bit_in_byte) <-
           Some

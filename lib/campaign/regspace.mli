@@ -38,6 +38,20 @@ val analyze : ?limit:int -> Program.t -> t
 val fault_space_size : t -> int
 (** Δt × 480 — the register-layer [w]. *)
 
+val classes : t -> Defuse.byte_class array
+(** The register-space experiment classes over the pseudo-memory —
+    the class provider the campaign engine shards exactly like a memory
+    campaign's (same [t_end]-contiguity invariant: {!conduct} uses
+    {!Injector.session_run_flip}, whose cycles must be non-decreasing
+    per session). *)
+
+val conduct :
+  Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t
+(** Conduct the canonical register-space experiment of one
+    (byte-class, bit) pair: flip the mapped [(register, bit)] at the
+    class's [t_end] on the session's machine — the single-experiment
+    kernel shared by the serial {!scan} and the parallel engine. *)
+
 val scan : ?variant:string -> ?progress:Scan.progress -> t -> Scan.t
 (** Full pruned campaign over the register fault space.  The returned
     scan's [ram_bytes] is the 60-byte pseudo-memory, so

@@ -23,6 +23,9 @@ type progress = done_:int -> total:int -> tally:Outcome.tally -> unit
 
 let no_progress ~done_:_ ~total:_ ~tally:_ = ()
 
+let conduct_class session (c : Defuse.byte_class) ~bit_in_byte =
+  Injector.session_run_at session (Faultspace.canonical_injection c ~bit_in_byte)
+
 let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
     ?(progress = no_progress) golden =
   let defuse = golden.Golden.defuse in
@@ -45,11 +48,10 @@ let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
     (fun rank class_index ->
       let c = classes.(class_index) in
       for bit_in_byte = 0 to 7 do
-        let coord = Faultspace.canonical_injection c ~bit_in_byte in
         let outcome =
           match session with
-          | Some s -> Injector.session_run_at s coord
-          | None -> Injector.run_at golden coord
+          | Some s -> conduct_class s c ~bit_in_byte
+          | None -> Injector.run_at golden (Faultspace.canonical_injection c ~bit_in_byte)
         in
         Outcome.tally_add tally outcome;
         results.((class_index * 8) + bit_in_byte) <-

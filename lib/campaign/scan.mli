@@ -47,6 +47,15 @@ type progress = done_:int -> total:int -> tally:Outcome.tally -> unit
 val no_progress : progress
 (** The silent callback (default). *)
 
+val conduct_class :
+  Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t
+(** Conduct the canonical memory-space experiment of one
+    (byte-class, bit) pair on a checkpoint session — the single-
+    experiment kernel shared by the serial {!pruned} and the parallel
+    engine (which is what makes their results bit-identical).  Injection
+    cycles must be presented in non-decreasing order per session
+    ({!Injector.session_run_at}). *)
+
 val pruned :
   ?variant:string ->
   ?strategy:Injector.strategy ->

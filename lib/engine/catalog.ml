@@ -1,0 +1,44 @@
+let default_dir = "_artifacts"
+
+let index_path ~dir = Filename.concat dir "journals.idx"
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let journal_path ~dir ~fingerprint =
+  Filename.concat dir (Printf.sprintf "fi-%s.journal" (Crc32.to_hex fingerprint))
+
+(* One line per entry: 8 hex digits, a space, the journal path (which may
+   itself contain spaces).  Later entries win, so re-recording a
+   fingerprint supersedes rather than edits. *)
+let parse_line line =
+  if String.length line >= 10 && line.[8] = ' ' then
+    match Crc32.of_hex (String.sub line 0 8) with
+    | Some fp -> Some (fp, String.sub line 9 (String.length line - 9))
+    | None -> None
+  else None
+
+let entries ~dir =
+  match open_in_bin (index_path ~dir) with
+  | exception Sys_error _ -> []
+  | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      List.filter_map parse_line (String.split_on_char '\n' text)
+
+let lookup ~dir ~fingerprint =
+  List.fold_left
+    (fun acc (fp, path) -> if fp = fingerprint then Some path else acc)
+    None (entries ~dir)
+
+let record ~dir ~fingerprint ~path =
+  if lookup ~dir ~fingerprint <> Some path then begin
+    ensure_dir dir;
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644
+        (index_path ~dir)
+    in
+    Printf.fprintf oc "%s %s\n" (Crc32.to_hex fingerprint) path;
+    close_out oc
+  end

@@ -1,0 +1,31 @@
+(** The journal catalogue: [fingerprint → path] index of campaign
+    journals.
+
+    When a spec's policy names a catalogue directory, the engine appends
+    one line per closed journal to [<dir>/journals.idx], and a later
+    [--resume] {e without} an explicit journal path finds its journal by
+    campaign fingerprint instead.  The index is append-only (later
+    entries supersede earlier ones for the same fingerprint) and tolerant
+    of unparseable lines, in the same spirit as the journal itself. *)
+
+val default_dir : string
+(** ["_artifacts"] — the CLI's and benchmark harness's artifact cache. *)
+
+val index_path : dir:string -> string
+(** [<dir>/journals.idx]. *)
+
+val ensure_dir : string -> unit
+(** Create [dir] if missing (one level; ignores races and failures —
+    callers get a clean error from the subsequent open instead). *)
+
+val journal_path : dir:string -> fingerprint:int -> string
+(** The default journal location for a campaign:
+    [<dir>/fi-<fingerprint-hex>.journal]. *)
+
+val lookup : dir:string -> fingerprint:int -> string option
+(** Last catalogued path for this fingerprint, if any (missing index =
+    no entries). *)
+
+val record : dir:string -> fingerprint:int -> path:string -> unit
+(** Append [fingerprint → path], creating directory and index on first
+    use; a no-op if that mapping is already the current one. *)

@@ -3,16 +3,63 @@ exception Journal_mismatch of string
 let mismatch fmt = Printf.ksprintf (fun s -> raise (Journal_mismatch s)) fmt
 
 (* ------------------------------------------------------------------ *)
+(* Analysed cells                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A spec resolved to everything the scheduler needs: the session base
+   (golden run), the fault-space partition, and the per-experiment
+   conductor of its space. *)
+type cell = {
+  spec : Spec.t;
+  golden : Golden.t;
+  defuse : Defuse.t;
+  ram_bytes : int;
+  conduct : Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t;
+}
+
+let memory_cell spec golden =
+  {
+    spec;
+    golden;
+    defuse = golden.Golden.defuse;
+    ram_bytes = golden.Golden.program.Program.ram_size;
+    conduct = Scan.conduct_class;
+  }
+
+let register_cell spec (r : Regspace.t) =
+  {
+    spec;
+    golden = r.Regspace.golden;
+    defuse = r.Regspace.reg_defuse;
+    ram_bytes = Regspace.pseudo_ram_bytes;
+    conduct = Regspace.conduct;
+  }
+
+let analyse (spec : Spec.t) =
+  match (spec.Spec.space, spec.Spec.source) with
+  | Spec.Memory, Spec.Analysed_memory golden -> memory_cell spec golden
+  | Spec.Memory, Spec.Build build ->
+      memory_cell spec (Golden.run ?limit:spec.Spec.limit (build ()))
+  | Spec.Registers, Spec.Analysed_registers r -> register_cell spec r
+  | Spec.Registers, Spec.Build build ->
+      register_cell spec (Regspace.analyze ?limit:spec.Spec.limit (build ()))
+  | Spec.Memory, Spec.Analysed_registers _
+  | Spec.Registers, Spec.Analysed_memory _ ->
+      invalid_arg "Engine: spec space contradicts its analysed source"
+
+(* ------------------------------------------------------------------ *)
 (* Campaign identity and journal payloads                             *)
 (* ------------------------------------------------------------------ *)
 
-let fingerprint golden ~(plan : Shard.plan) =
-  let classes = Defuse.experiment_classes golden.Golden.defuse in
-  let buf = Buffer.create (32 + (Array.length classes * 12)) in
-  Buffer.add_string buf golden.Golden.program.Program.name;
+let fingerprint_of ~space ~name ~cycles ~ram_bytes
+    ~(classes : Defuse.byte_class array) ~(plan : Shard.plan) =
+  let buf = Buffer.create (64 + (Array.length classes * 12)) in
+  Buffer.add_string buf (Spec.space_tag space);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf name;
   Buffer.add_string buf
-    (Printf.sprintf "|%d|%d|%d|" golden.Golden.cycles
-       golden.Golden.program.Program.ram_size plan.Shard.shard_size);
+    (Printf.sprintf "|%d|%d|%d|%s|" cycles ram_bytes plan.Shard.shard_size
+       (Shard.sizing_tag plan.Shard.sizing));
   Array.iter
     (fun (c : Defuse.byte_class) ->
       Buffer.add_string buf
@@ -21,15 +68,41 @@ let fingerprint golden ~(plan : Shard.plan) =
     classes;
   Crc32.string (Buffer.contents buf)
 
-let header_payload golden ~(plan : Shard.plan) =
+let fingerprint_cell cell ~plan =
+  fingerprint_of ~space:cell.spec.Spec.space
+    ~name:cell.golden.Golden.program.Program.name ~cycles:cell.golden.Golden.cycles
+    ~ram_bytes:cell.ram_bytes
+    ~classes:(Defuse.experiment_classes cell.defuse)
+    ~plan
+
+let fingerprint golden ~(plan : Shard.plan) =
+  fingerprint_of ~space:Spec.Memory ~name:golden.Golden.program.Program.name
+    ~cycles:golden.Golden.cycles
+    ~ram_bytes:golden.Golden.program.Program.ram_size
+    ~classes:(Defuse.experiment_classes golden.Golden.defuse)
+    ~plan
+
+let plan_of_policy (policy : Spec.policy) classes =
+  Shard.plan ?shard_size:policy.Spec.shard_size ~weighted:policy.Spec.weighted
+    classes
+
+let fingerprint_spec spec =
+  let cell = analyse spec in
+  let plan =
+    plan_of_policy spec.Spec.policy (Defuse.experiment_classes cell.defuse)
+  in
+  fingerprint_cell cell ~plan
+
+let header_payload cell ~(plan : Shard.plan) ~fp =
   Printf.sprintf
-    "fi-engine v1 cycles=%d ram_bytes=%d classes=%d shard_size=%d shards=%d \
-     fingerprint=%s name=%s"
-    golden.Golden.cycles golden.Golden.program.Program.ram_size
-    plan.Shard.classes_total plan.Shard.shard_size
+    "fi-engine v2 space=%s sizing=%s cycles=%d ram_bytes=%d classes=%d \
+     shard_size=%d shards=%d fingerprint=%s name=%s"
+    (Spec.space_tag cell.spec.Spec.space)
+    (Shard.sizing_tag plan.Shard.sizing)
+    cell.golden.Golden.cycles cell.ram_bytes plan.Shard.classes_total
+    plan.Shard.shard_size
     (Array.length plan.Shard.shards)
-    (Crc32.to_hex (fingerprint golden ~plan))
-    golden.Golden.program.Program.name
+    (Crc32.to_hex fp) cell.golden.Golden.program.Program.name
 
 let record_payload (shard : Shard.t) outcomes_buf =
   Printf.sprintf "shard=%d outcomes=%s" shard.Shard.id
@@ -52,28 +125,54 @@ let parse_record (plan : Shard.plan) payload =
   | Some _ | None -> None
 
 (* ------------------------------------------------------------------ *)
-(* The campaign                                                       *)
+(* Journal resolution (explicit path or catalogue)                    *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(variant = "baseline") ?jobs ?shard_size ?journal ?(resume = false)
-    ?(progress = Scan.no_progress) ?(observe = fun _ -> ()) golden =
-  let jobs =
-    match jobs with
-    | None -> Pool.default_jobs ()
-    | Some j when j >= 1 -> j
-    | Some j -> invalid_arg (Printf.sprintf "Engine.run: jobs %d" j)
-  in
-  if resume && journal = None then
-    invalid_arg "Engine.run: ~resume requires ~journal";
-  let defuse = golden.Golden.defuse in
-  let classes = Defuse.experiment_classes defuse in
-  let plan = Shard.plan ?shard_size defuse in
+let resolve_journal ~fingerprint (policy : Spec.policy) =
+  match policy.Spec.journal with
+  | Some path -> Some path
+  | None -> (
+      match policy.Spec.catalogue with
+      | None -> None
+      | Some dir ->
+          Catalog.ensure_dir dir;
+          if policy.Spec.resume then
+            Some
+              (match Catalog.lookup ~dir ~fingerprint with
+              | Some path -> path
+              | None -> Catalog.journal_path ~dir ~fingerprint)
+          else Some (Catalog.journal_path ~dir ~fingerprint))
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell runtime state                                             *)
+(* ------------------------------------------------------------------ *)
+
+type runtime = {
+  cell : cell;
+  classes : Defuse.byte_class array;
+  plan : Shard.plan;
+  fp : int;
+  outcomes : Outcome.t array;
+  shard_done : bool array;
+  tally : Outcome.tally;
+  progress : Scan.progress;
+  journal_path : string option;
+  mutable writer : Journal.writer option;
+  resumed_classes : int;
+  resumed_shards : int;
+  mutable classes_done : int;
+  mutable shards_done : int;
+}
+
+let setup cell ~progress =
+  let classes = Defuse.experiment_classes cell.defuse in
+  let policy = cell.spec.Spec.policy in
+  let plan = plan_of_policy policy classes in
+  let fp = fingerprint_cell cell ~plan in
+  let header = header_payload cell ~plan ~fp in
   let total = plan.Shard.classes_total in
-  let n_shards = Array.length plan.Shard.shards in
-  let header = header_payload golden ~plan in
-  (* Outcome store, indexed like the serial scan: class_index*8 + bit. *)
   let outcomes = Array.make (8 * total) Outcome.No_effect in
-  let shard_done = Array.make n_shards false in
+  let shard_done = Array.make (Array.length plan.Shard.shards) false in
   let tally = Outcome.tally_create () in
   let apply_record (shard : Shard.t) outs =
     for k = 0 to Shard.classes_in shard - 1 do
@@ -90,13 +189,13 @@ let run ?(variant = "baseline") ?jobs ?shard_size ?journal ?(resume = false)
       done
     done
   in
-  (* Open (and on resume, replay) the journal. *)
+  let journal_path = resolve_journal ~fingerprint:fp policy in
   let writer =
-    match journal with
+    match journal_path with
     | None -> None
     | Some path ->
         let fresh () = Some (Journal.create path ~header) in
-        if not resume then fresh ()
+        if not policy.Spec.resume then fresh ()
         else (
           match Journal.open_resume path with
           | None -> fresh ()
@@ -131,79 +230,194 @@ let run ?(variant = "baseline") ?jobs ?shard_size ?journal ?(resume = false)
   let resumed_shards =
     Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 shard_done
   in
-  let pending =
-    Array.of_list
-      (List.filter
-         (fun (s : Shard.t) -> not shard_done.(s.Shard.id))
-         (Array.to_list plan.Shard.shards))
-  in
-  let t0 = Unix.gettimeofday () in
-  let mu = Mutex.create () in
-  let classes_done = ref resumed_classes in
-  let shards_done = ref resumed_shards in
-  let emit_observe () =
-    observe
-      (Progress.make ~classes_done:!classes_done ~classes_total:total
-         ~shards_done:!shards_done ~shards_total:n_shards ~resumed_classes
-         ~elapsed:(Unix.gettimeofday () -. t0)
-         ~tally)
-  in
-  if resumed_classes > 0 then progress ~done_:resumed_classes ~total ~tally;
-  emit_observe ();
-  let conduct_shard (shard : Shard.t) =
-    let session = Injector.session golden in
-    let n = Shard.classes_in shard in
-    let buf = Bytes.create (8 * n) in
-    for k = 0 to n - 1 do
-      let class_index = plan.Shard.order.(shard.Shard.lo + k) in
-      let c = classes.(class_index) in
-      for bit_in_byte = 0 to 7 do
-        let coord = Faultspace.canonical_injection c ~bit_in_byte in
-        let o = Injector.session_run_at session coord in
-        outcomes.((class_index * 8) + bit_in_byte) <- o;
-        Bytes.set buf ((8 * k) + bit_in_byte) (Outcome.to_char o)
-      done;
-      Mutex.protect mu (fun () ->
-          for bit = 0 to 7 do
-            match Outcome.of_char (Bytes.get buf ((8 * k) + bit)) with
-            | Some o -> Outcome.tally_add tally o
-            | None -> assert false
-          done;
-          incr classes_done;
-          progress ~done_:!classes_done ~total ~tally;
-          emit_observe ())
-    done;
-    Mutex.protect mu (fun () ->
-        (match writer with
-        | Some w -> Journal.append w (record_payload shard buf)
-        | None -> ());
-        shard_done.(shard.Shard.id) <- true;
-        incr shards_done;
-        emit_observe ())
-  in
-  Fun.protect
-    ~finally:(fun () -> Option.iter Journal.close writer)
-    (fun () ->
-      Pool.run ~jobs ~tasks:(Array.length pending) (fun i ->
-          conduct_shard pending.(i)));
-  assert (Array.for_all Fun.id shard_done);
-  (* Deterministic merge: identical construction to the serial scan. *)
-  let experiments =
-    Array.init (8 * total) (fun idx ->
-        let c = classes.(idx / 8) in
-        {
-          Scan.byte = c.Defuse.byte;
-          t_start = c.Defuse.t_start;
-          t_end = c.Defuse.t_end;
-          bit_in_byte = idx mod 8;
-          outcome = outcomes.(idx);
-        })
-  in
   {
-    Scan.name = golden.Golden.program.Program.name;
-    variant;
-    cycles = golden.Golden.cycles;
-    ram_bytes = golden.Golden.program.Program.ram_size;
-    experiments;
-    benign_weight = Defuse.known_benign_weight defuse;
+    cell;
+    classes;
+    plan;
+    fp;
+    outcomes;
+    shard_done;
+    tally;
+    progress;
+    journal_path;
+    writer;
+    resumed_classes;
+    resumed_shards;
+    classes_done = resumed_classes;
+    shards_done = resumed_shards;
   }
+
+(* ------------------------------------------------------------------ *)
+(* The matrix scheduler                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_matrix ?jobs ?progress ?(observe = fun _ -> ()) specs =
+  let jobs =
+    match jobs with
+    | None -> Pool.default_jobs ()
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Engine.run: jobs %d" j)
+  in
+  let progress_of =
+    match progress with None -> fun _ -> Scan.no_progress | Some p -> p
+  in
+  List.iter
+    (fun (s : Spec.t) ->
+      let p = s.Spec.policy in
+      if p.Spec.resume && p.Spec.journal = None && p.Spec.catalogue = None then
+        invalid_arg "Engine.run: ~resume requires ~journal")
+    specs;
+  let cells = List.map analyse specs in
+  let rts = ref [] in
+  let finally () =
+    List.iter
+      (fun rt ->
+        Option.iter Journal.close rt.writer;
+        match (rt.journal_path, rt.cell.spec.Spec.policy.Spec.catalogue) with
+        | Some path, Some dir -> (
+            try Catalog.record ~dir ~fingerprint:rt.fp ~path
+            with Sys_error _ -> ())
+        | _ -> ())
+      !rts
+  in
+  Fun.protect ~finally (fun () ->
+      List.iter
+        (fun cell ->
+          rts := setup cell ~progress:(progress_of cell.spec) :: !rts)
+        cells;
+      let rts_in_order = List.rev !rts in
+      (* Aggregate counters across the whole matrix. *)
+      let agg_classes_total =
+        List.fold_left (fun a rt -> a + rt.plan.Shard.classes_total) 0
+          rts_in_order
+      in
+      let agg_shards_total =
+        List.fold_left
+          (fun a rt -> a + Array.length rt.plan.Shard.shards)
+          0 rts_in_order
+      in
+      let agg_resumed =
+        List.fold_left (fun a rt -> a + rt.resumed_classes) 0 rts_in_order
+      in
+      let agg_tally = Outcome.tally_create () in
+      List.iter
+        (fun rt -> Outcome.tally_merge ~into:agg_tally rt.tally)
+        rts_in_order;
+      let agg_classes_done = ref agg_resumed in
+      let agg_shards_done =
+        ref (List.fold_left (fun a rt -> a + rt.resumed_shards) 0 rts_in_order)
+      in
+      let t0 = Unix.gettimeofday () in
+      let mu = Mutex.create () in
+      let emit_observe () =
+        observe
+          (Progress.make ~classes_done:!agg_classes_done
+             ~classes_total:agg_classes_total ~shards_done:!agg_shards_done
+             ~shards_total:agg_shards_total ~resumed_classes:agg_resumed
+             ~elapsed:(Unix.gettimeofday () -. t0)
+             ~tally:agg_tally)
+      in
+      List.iter
+        (fun rt ->
+          if rt.resumed_classes > 0 then
+            rt.progress ~done_:rt.resumed_classes
+              ~total:rt.plan.Shard.classes_total ~tally:rt.tally)
+        rts_in_order;
+      emit_observe ();
+      (* One shared pool over every pending shard of every cell; tasks
+         are claimed in cell order, so workers drain cell 1 first but
+         spill into cell 2 as soon as slots free up — no back-to-back
+         barrier between cells. *)
+      let pending =
+        Array.of_list
+          (List.concat_map
+             (fun rt ->
+               List.filter_map
+                 (fun (s : Shard.t) ->
+                   if rt.shard_done.(s.Shard.id) then None else Some (rt, s))
+                 (Array.to_list rt.plan.Shard.shards))
+             rts_in_order)
+      in
+      let conduct_shard (rt, (shard : Shard.t)) =
+        let session = Injector.session rt.cell.golden in
+        let n = Shard.classes_in shard in
+        let buf = Bytes.create (8 * n) in
+        for k = 0 to n - 1 do
+          let class_index = rt.plan.Shard.order.(shard.Shard.lo + k) in
+          let c = rt.classes.(class_index) in
+          for bit_in_byte = 0 to 7 do
+            let o = rt.cell.conduct session c ~bit_in_byte in
+            rt.outcomes.((class_index * 8) + bit_in_byte) <- o;
+            Bytes.set buf ((8 * k) + bit_in_byte) (Outcome.to_char o)
+          done;
+          Mutex.protect mu (fun () ->
+              for bit = 0 to 7 do
+                match Outcome.of_char (Bytes.get buf ((8 * k) + bit)) with
+                | Some o ->
+                    Outcome.tally_add rt.tally o;
+                    Outcome.tally_add agg_tally o
+                | None -> assert false
+              done;
+              rt.classes_done <- rt.classes_done + 1;
+              incr agg_classes_done;
+              rt.progress ~done_:rt.classes_done
+                ~total:rt.plan.Shard.classes_total ~tally:rt.tally;
+              emit_observe ())
+        done;
+        Mutex.protect mu (fun () ->
+            (match rt.writer with
+            | Some w -> Journal.append w (record_payload shard buf)
+            | None -> ());
+            rt.shard_done.(shard.Shard.id) <- true;
+            rt.shards_done <- rt.shards_done + 1;
+            incr agg_shards_done;
+            emit_observe ())
+      in
+      Pool.run ~jobs ~tasks:(Array.length pending) (fun i ->
+          conduct_shard pending.(i));
+      List.map
+        (fun rt ->
+          assert (Array.for_all Fun.id rt.shard_done);
+          let total = rt.plan.Shard.classes_total in
+          (* Deterministic merge: identical construction to the serial
+             conductors. *)
+          let experiments =
+            Array.init (8 * total) (fun idx ->
+                let c = rt.classes.(idx / 8) in
+                {
+                  Scan.byte = c.Defuse.byte;
+                  t_start = c.Defuse.t_start;
+                  t_end = c.Defuse.t_end;
+                  bit_in_byte = idx mod 8;
+                  outcome = rt.outcomes.(idx);
+                })
+          in
+          {
+            Scan.name = rt.cell.golden.Golden.program.Program.name;
+            variant = rt.cell.spec.Spec.variant;
+            cycles = rt.cell.golden.Golden.cycles;
+            ram_bytes = rt.cell.ram_bytes;
+            experiments;
+            benign_weight = Defuse.known_benign_weight rt.cell.defuse;
+          })
+        rts_in_order)
+
+let run_spec ?jobs ?progress ?observe spec =
+  match
+    run_matrix ?jobs
+      ?progress:(Option.map (fun p _ -> p) progress)
+      ?observe [ spec ]
+  with
+  | [ scan ] -> scan
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility wrapper: the PR-1 single-campaign entry point         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(variant = "baseline") ?jobs ?shard_size ?journal ?(resume = false)
+    ?progress ?observe golden =
+  if resume && journal = None then
+    invalid_arg "Engine.run: ~resume requires ~journal";
+  let policy = { Spec.default_policy with shard_size; journal; resume } in
+  run_spec ?jobs ?progress ?observe (Spec.of_golden ~variant ~policy golden)

@@ -1,28 +1,88 @@
 (** Parallel, journaled, resumable campaign execution.
 
     This is the reproduction's equivalent of the paper's campaign server
-    (Section V): the def/use experiment-class list is cut into
-    cycle-contiguous {!Shard}s, shards execute on a {!Pool} of OCaml 5
-    domains — each on its own {!Injector.Checkpoint} session, which is
-    valid because injection cycles are non-decreasing within a shard —
-    and results are merged by class index, so the returned {!Scan.t} is
-    bit-identical to the serial {!Scan.pruned} for {e any} worker count.
+    (Section V): a campaign {!Spec.t} names a fault space (def/use-pruned
+    memory, or the register file of Section VI-B), a program cell and an
+    execution policy; the engine cuts the space's experiment-class list
+    into cycle-contiguous {!Shard}s, executes them on a {!Pool} of OCaml
+    5 domains — each shard on its own {!Injector.Checkpoint} session,
+    which is valid because injection cycles are non-decreasing within a
+    shard — and merges results by class index, so every returned
+    {!Scan.t} is bit-identical to its serial counterpart
+    ({!Scan.pruned} / {!Regspace.scan}) for {e any} worker count.
 
-    With [~journal:path] every completed shard is appended (fsync'd,
-    CRC-guarded) to an on-disk {!Journal}; a later run with
-    [~resume:true] recovers those shards without re-conducting a single
-    experiment and finishes the rest.  The journal is keyed by a campaign
-    fingerprint (program name, golden runtime, memory size, full class
-    list and shard layout), so resuming against a different campaign
-    raises {!Journal_mismatch} instead of corrupting results. *)
+    {!run_matrix} drives a whole experiment matrix (a list of specs)
+    through {e one} shared pool: workers drain the first cell's shards
+    and spill into the next as slots free up, with a per-cell journal
+    each and one aggregate {!Progress.hook} across the matrix.
+
+    Journals are keyed by a campaign fingerprint (space tag, program
+    name, golden runtime, memory size, sizing policy, full class list
+    and shard layout); resuming against a different campaign — including
+    a register journal against a memory campaign or vice versa — raises
+    {!Journal_mismatch} instead of corrupting results.  When a policy
+    names a {!Catalog} directory, journal paths are derived from the
+    fingerprint and indexed in [journals.idx], so [resume] needs no
+    explicit path. *)
 
 exception Journal_mismatch of string
 (** The journal at the given path belongs to a different campaign (or
     its records contradict the current shard plan). *)
 
 val fingerprint : Golden.t -> plan:Shard.plan -> int
-(** CRC-32 of the campaign identity; two campaigns merge-compatibly iff
-    their fingerprints agree. *)
+(** CRC-32 identity of the memory-space campaign over [golden] under
+    [plan]; two campaigns merge-compatibly iff their fingerprints
+    agree. *)
+
+val fingerprint_spec : Spec.t -> int
+(** The fingerprint of the campaign a spec describes (analysing the cell
+    if its source is a build thunk).  Covers the space tag and the
+    policy's shard geometry and sizing, so the same program in memory
+    and register space — or under count- and weight-sized shards — gets
+    distinct journals. *)
+
+val run_matrix :
+  ?jobs:int ->
+  ?progress:(Spec.t -> Scan.progress) ->
+  ?observe:Progress.hook ->
+  Spec.t list ->
+  Scan.t list
+(** [run_matrix specs] conducts every cell of the matrix over one shared
+    worker pool and returns the scans in spec order.
+
+    - [jobs] — worker domains for the whole matrix (default
+      {!Pool.default_jobs}[ ()]).
+    - [progress] — per-cell campaign callback factory: called once per
+      spec at setup, and the resulting {!Scan.progress} observes that
+      cell exactly as {!Scan.pruned}'s would (once per conducted class,
+      plus once up-front with the resumed count if journal shards were
+      recovered).
+    - [observe] — one aggregate {!Progress.hook} whose counters span the
+      whole matrix (total classes, shards, resumed classes and outcome
+      tally across all cells).
+
+    Journalling is governed by each spec's {!Spec.policy}: per-cell
+    journals (explicit paths or catalogue-derived), per-cell resume.  On
+    exit — normal or exceptional — every opened journal is closed and
+    catalogued, so a matrix interrupted mid-cell resumes with all
+    completed shards of {e every} cell recovered.
+
+    Each returned scan is structurally equal to its serial counterpart
+    ([Scan.pruned] for memory cells, [Regspace.scan] for register cells)
+    for any [jobs] — property-tested for [-j] ∈ {1, 2, 4}.
+
+    @raise Journal_mismatch when resuming against a foreign journal.
+    @raise Invalid_argument if [jobs < 1], or some policy sets [resume]
+    with neither [journal] nor [catalogue]. *)
+
+val run_spec :
+  ?jobs:int ->
+  ?progress:Scan.progress ->
+  ?observe:Progress.hook ->
+  Spec.t ->
+  Scan.t
+(** The single-cell matrix: [run_spec spec = List.hd (run_matrix [spec])]
+    with a plain {!Scan.progress} callback. *)
 
 val run :
   ?variant:string ->
@@ -34,25 +94,23 @@ val run :
   ?observe:Progress.hook ->
   Golden.t ->
   Scan.t
-(** [run golden] conducts the complete pruned campaign.
+(** [run golden] conducts the complete pruned memory campaign — a thin
+    compatibility wrapper over {!run_spec} with
+    [Spec.of_golden ~policy golden].  Prefer {!run_spec}: it reaches the
+    register space, weighted shard sizing and the journal catalogue,
+    which this signature predates.
 
-    - [jobs] — worker domains (default
-      {!Pool.default_jobs}[ ()]); [-j 1] runs inline, still
-      sharded and journal-compatible with any other worker count.
+    - [jobs] — worker domains (default {!Pool.default_jobs}[ ()]);
+      [-j 1] runs inline, still sharded and journal-compatible with any
+      other worker count.
     - [shard_size] — classes per shard (default
-      {!Shard.default_shard_size}); must match between a journal's writer
-      and its resumer (it is part of the fingerprint).
+      {!Shard.default_shard_size}); must match between a journal's
+      writer and its resumer (it is part of the fingerprint).
     - [journal] — write the append-only journal to this path.
     - [resume] — with [journal], recover completed shards from an
       existing journal first (a missing or empty journal file simply
       starts fresh).
-    - [progress] — the shared per-class campaign callback
-      ({!Scan.progress}); called (under a lock, possibly from worker
-      domains) once per {e conducted} class in completion order, and once
-      up-front with the resumed class count if any shards were recovered.
-    - [observe] — the engine's richer {!Progress.hook}; called whenever
-      [progress] is, plus once per completed shard and once at start.
-      Wrap it in {!Progress.throttled} for terminal rendering.
+    - [progress] / [observe] — as in {!run_matrix}, for the one cell.
 
     The returned scan satisfies [run golden = Scan.pruned golden]
     (structural equality) — property-tested for [-j] ∈ {1, 2, 4}.

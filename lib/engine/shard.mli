@@ -1,17 +1,34 @@
-(** Sharding a pruned campaign into cycle-contiguous work units.
+(** Sharding a campaign's experiment classes into cycle-contiguous work
+    units.
 
-    A pruned campaign conducts one experiment per (experiment-class, bit).
+    A pruned campaign conducts one experiment per (experiment-class, bit)
+    — whether the classes partition main memory (def/use pruning of
+    {!Golden.t}) or the register file's pseudo-memory ({!Regspace.t}).
     The fast {!Injector.Checkpoint} strategy requires injection cycles to
     be non-decreasing {e within one session}, so the class list is first
     ranked by canonical injection cycle ([t_end]) — exactly as the serial
-    {!Scan.pruned} does — and then cut into contiguous rank intervals
+    conductors do — and then cut into contiguous rank intervals
     ({e shards}).  Each shard satisfies the monotonicity invariant on its
     own and can therefore run on its own checkpoint session, on any
     worker, in any order.
 
-    The plan is a pure function of the def/use partition and the shard
-    size — never of the worker count — so one journal written at [-j 8]
-    can be resumed at [-j 1] and vice versa. *)
+    The plan is a pure function of the class list, the shard size and the
+    sizing policy — never of the worker count — so one journal written at
+    [-j 8] can be resumed at [-j 1] and vice versa.  The sizing policy is
+    part of the plan (and of the engine's journal fingerprint): two plans
+    over the same classes with different policies are different
+    campaigns. *)
+
+type sizing =
+  | By_count  (** Cut every [shard_size] classes (the default). *)
+  | By_weight
+      (** Cut by estimated conducted cycles ([t_end]-weighted), targeting
+          the shard count the count-based policy would produce.  Evens
+          out tail latency on campaigns whose injection cycles span
+          orders of magnitude. *)
+
+val sizing_tag : sizing -> string
+(** ["count"] / ["weight"] — the tag recorded in journal headers. *)
 
 type t = {
   id : int;  (** Dense shard index, [0 .. shards-1]. *)
@@ -21,11 +38,15 @@ type t = {
 
 type plan = {
   order : int array;
-      (** [order.(rank)] is the experiment-class index (into
-          {!Defuse.experiment_classes}) of the class with the
-          [rank]-th smallest injection cycle. *)
+      (** [order.(rank)] is the experiment-class index (into the class
+          array given to {!plan}) of the class with the [rank]-th
+          smallest injection cycle. *)
   shards : t array;  (** Contiguous, in rank order, covering all ranks. *)
-  shard_size : int;  (** Classes per shard (the last may be smaller). *)
+  shard_size : int;
+      (** Nominal classes per shard.  Under [By_count] every shard except
+          the last has exactly this many classes; under [By_weight] it
+          only determines the target shard count. *)
+  sizing : sizing;
   classes_total : int;
 }
 
@@ -37,8 +58,9 @@ val default_shard_size : classes:int -> int
     fine-grained enough to balance any realistic worker count, coarse
     enough that per-shard session and journal overhead stay negligible. *)
 
-val plan : ?shard_size:int -> Defuse.t -> plan
-(** Rank the experiment classes of a def/use partition by [t_end] and cut
-    them into shards of [shard_size] classes.
+val plan : ?shard_size:int -> ?weighted:bool -> Defuse.byte_class array -> plan
+(** Rank the given experiment classes by [t_end] and cut them into
+    shards — of [shard_size] classes each by default, or by estimated
+    conducted cycles with [~weighted:true] ({!By_weight}).
 
     @raise Invalid_argument if [shard_size < 1]. *)

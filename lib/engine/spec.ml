@@ -1,0 +1,69 @@
+type space = Memory | Registers
+
+let space_tag = function Memory -> "mem" | Registers -> "reg"
+
+type source =
+  | Build of (unit -> Program.t)
+  | Analysed_memory of Golden.t
+  | Analysed_registers of Regspace.t
+
+type policy = {
+  shard_size : int option;
+  weighted : bool;
+  journal : string option;
+  resume : bool;
+  catalogue : string option;
+}
+
+let default_policy =
+  {
+    shard_size = None;
+    weighted = false;
+    journal = None;
+    resume = false;
+    catalogue = None;
+  }
+
+type t = {
+  benchmark : string;
+  variant : string;
+  space : space;
+  source : source;
+  limit : int option;
+  policy : policy;
+}
+
+let label t =
+  match t.space with
+  | Memory -> Printf.sprintf "%s/%s" t.benchmark t.variant
+  | Registers -> Printf.sprintf "%s/%s@registers" t.benchmark t.variant
+
+let memory ?(variant = "baseline") ?limit ?(policy = default_policy) ~benchmark
+    build =
+  { benchmark; variant; space = Memory; source = Build build; limit; policy }
+
+let registers ?(variant = "registers") ?limit ?(policy = default_policy)
+    ~benchmark build =
+  { benchmark; variant; space = Registers; source = Build build; limit; policy }
+
+let of_golden ?(variant = "baseline") ?(policy = default_policy) golden =
+  {
+    benchmark = golden.Golden.program.Program.name;
+    variant;
+    space = Memory;
+    source = Analysed_memory golden;
+    limit = None;
+    policy;
+  }
+
+let of_regspace ?(variant = "registers") ?(policy = default_policy) r =
+  {
+    benchmark = r.Regspace.golden.Golden.program.Program.name;
+    variant;
+    space = Registers;
+    source = Analysed_registers r;
+    limit = None;
+    policy;
+  }
+
+let with_policy policy t = { t with policy }

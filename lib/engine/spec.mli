@@ -1,0 +1,93 @@
+(** First-class campaign specifications.
+
+    A [Spec.t] names everything the campaign engine needs to conduct one
+    {e cell} of an experiment matrix:
+
+    - a {b fault space} — the def/use-pruned main memory of a golden run
+      ({!Memory}) or the register file's [(cycle, register, bit)] space
+      ({!Registers}, the paper's Section VI-B extension);
+    - a {b program cell} — benchmark name, variant name, and either a
+      build thunk (compiled and analysed lazily by the engine) or an
+      already-analysed {!Golden.t} / {!Regspace.t};
+    - an {b execution policy} — shard geometry and sizing, journal path,
+      resume behaviour, and the journal catalogue directory.
+
+    Specs are plain values: build one per matrix cell (see
+    [Suite.spec_matrix] / [Suite.paper_specs]) and hand the whole list to
+    [Engine.run_matrix], which schedules every cell's shards over one
+    shared worker pool. *)
+
+type space = Memory | Registers
+
+val space_tag : space -> string
+(** ["mem"] / ["reg"] — the tag recorded in journal fingerprints, which
+    is what makes memory and register journals never cross-resumable. *)
+
+type source =
+  | Build of (unit -> Program.t)
+      (** Compile on demand; the engine runs the golden (and, for
+          {!Registers}, the register-trace) analysis itself. *)
+  | Analysed_memory of Golden.t  (** Pre-analysed memory-space cell. *)
+  | Analysed_registers of Regspace.t
+      (** Pre-analysed register-space cell. *)
+
+type policy = {
+  shard_size : int option;  (** Classes per shard; [None] = default. *)
+  weighted : bool;
+      (** Size shards by estimated conducted cycles ([Shard.By_weight])
+          instead of class count.  Part of the campaign fingerprint. *)
+  journal : string option;  (** Explicit journal path. *)
+  resume : bool;
+      (** Recover completed shards from the journal (found at [journal],
+          or looked up by fingerprint in the [catalogue]). *)
+  catalogue : string option;
+      (** Journal-catalogue directory.  When set and [journal] is
+          [None], the engine journals to a fingerprint-derived path under
+          this directory and records [fingerprint → path] in
+          [<dir>/journals.idx] on close, so a later [resume] needs no
+          explicit path. *)
+}
+
+val default_policy : policy
+(** No journal, no catalogue, no resume, count-sized default shards. *)
+
+type t = {
+  benchmark : string;  (** e.g. ["bin_sem2"]. *)
+  variant : string;  (** e.g. ["baseline"] or ["sum+dmr"]. *)
+  space : space;
+  source : source;  (** Must agree with [space] (constructors do). *)
+  limit : int option;  (** Golden-run watchdog for [Build] sources. *)
+  policy : policy;
+}
+
+val label : t -> string
+(** ["bench/variant"], with ["@registers"] appended for register cells. *)
+
+val memory :
+  ?variant:string ->
+  ?limit:int ->
+  ?policy:policy ->
+  benchmark:string ->
+  (unit -> Program.t) ->
+  t
+(** Memory-space cell from a build thunk (default variant
+    ["baseline"]). *)
+
+val registers :
+  ?variant:string ->
+  ?limit:int ->
+  ?policy:policy ->
+  benchmark:string ->
+  (unit -> Program.t) ->
+  t
+(** Register-space cell from a build thunk (default variant
+    ["registers"], matching {!Regspace.scan}). *)
+
+val of_golden : ?variant:string -> ?policy:policy -> Golden.t -> t
+(** Memory-space cell from an existing golden run; [benchmark] is the
+    program name. *)
+
+val of_regspace : ?variant:string -> ?policy:policy -> Regspace.t -> t
+(** Register-space cell from an existing register analysis. *)
+
+val with_policy : policy -> t -> t

@@ -52,3 +52,31 @@ let paper_pairs =
 
 let find ~benchmark ~variant =
   List.find_opt (fun e -> e.benchmark = benchmark && e.variant = variant) all
+
+(* ------------------------------------------------------------------ *)
+(* Campaign specs over the suite                                      *)
+(* ------------------------------------------------------------------ *)
+
+let spec_of ?(space = Spec.Memory) ?policy entry =
+  let mk =
+    match space with Spec.Memory -> Spec.memory | Spec.Registers -> Spec.registers
+  in
+  mk ~variant:(variant_name entry.variant) ?policy ~benchmark:entry.benchmark
+    entry.build
+
+let spec_matrix ?space ?policy () =
+  List.map (fun e -> spec_of ?space ?policy e) all
+
+let paper_specs ?(space = Spec.Memory) ?policy () =
+  List.concat_map
+    (fun (benchmark, baseline, sum_dmr) ->
+      let mk =
+        match space with
+        | Spec.Memory -> Spec.memory
+        | Spec.Registers -> Spec.registers
+      in
+      [
+        mk ~variant:"baseline" ?policy ~benchmark baseline;
+        mk ~variant:"sum+dmr" ?policy ~benchmark sum_dmr;
+      ])
+    paper_pairs

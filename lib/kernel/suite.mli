@@ -21,3 +21,16 @@ val paper_pairs : (string * (unit -> Program.t) * (unit -> Program.t)) list
     and sync2. *)
 
 val find : benchmark:string -> variant:variant -> entry option
+
+val spec_of : ?space:Spec.space -> ?policy:Spec.policy -> entry -> Spec.t
+(** Campaign spec for one suite cell (default memory space; pass
+    [~space:Spec.Registers] for the register-file space).  The spec's
+    variant is {!variant_name}[ entry.variant] in either space. *)
+
+val spec_matrix : ?space:Spec.space -> ?policy:Spec.policy -> unit -> Spec.t list
+(** One spec per {!all} cell, ready for [Engine.run_matrix]. *)
+
+val paper_specs : ?space:Spec.space -> ?policy:Spec.policy -> unit -> Spec.t list
+(** The {!paper_pairs} matrix flattened to specs (baseline and SUM+DMR
+    cells for bin_sem2 and sync2) — the cells behind Figure 2 and the
+    benchmark harness's matrix artifact. *)

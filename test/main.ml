@@ -8,6 +8,7 @@ let () =
       Test_trace.suite;
       Test_campaign.suite;
       Test_engine.suite;
+      Test_matrix.suite;
       Test_mir.suite;
       Test_kernel.suite;
       Test_optimize.suite;

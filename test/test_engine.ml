@@ -63,7 +63,7 @@ let test_shard_plan_invariants () =
   let classes = Defuse.experiment_classes defuse in
   List.iter
     (fun shard_size ->
-      let plan = Shard.plan ~shard_size defuse in
+      let plan = Shard.plan ~shard_size classes in
       let total = Array.length classes in
       Alcotest.(check int) "covers all classes" total plan.Shard.classes_total;
       (* order is a permutation of 0..total-1 *)
@@ -93,7 +93,7 @@ let test_shard_plan_invariants () =
 let test_shard_plan_errors () =
   let defuse = (Lazy.force hi_golden).Golden.defuse in
   Alcotest.check_raises "shard_size 0" (Invalid_argument "Shard.plan: shard_size 0")
-    (fun () -> ignore (Shard.plan ~shard_size:0 defuse));
+    (fun () -> ignore (Shard.plan ~shard_size:0 (Defuse.experiment_classes defuse)));
   Alcotest.(check int) "default size floor" 1 (Shard.default_shard_size ~classes:0)
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,452 @@
+(* Tests for the campaign-spec API (lib/engine Spec/Catalog + the matrix
+   scheduler): weighted shard sizing, register-space campaigns through
+   the engine (bit-identical to Regspace.scan for any worker count),
+   fingerprint separation of spaces and sizing policies, journal
+   catalogue lookup, cross-space resume rejection, and matrix runs where
+   only some cells have journals. *)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures and helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let hi_golden = lazy (Golden.run (Hi.program ()))
+let hi_serial = lazy (Scan.pruned (Lazy.force hi_golden))
+let hi_regspace = lazy (Regspace.analyze (Hi.program ()))
+let hi_reg_serial = lazy (Regspace.scan (Lazy.force hi_regspace))
+let flag1_golden = lazy (Golden.run (Flag1.baseline ()))
+let flag1_serial = lazy (Scan.pruned (Lazy.force flag1_golden))
+
+let check_scans_identical msg serial parallel =
+  Alcotest.(check bool) (msg ^ " (structural)") true (serial = parallel);
+  Alcotest.(check string)
+    (msg ^ " (serialised)")
+    (Csv_io.to_string serial)
+    (Csv_io.to_string parallel)
+
+let with_temp_file f =
+  let path = Filename.temp_file "fimatrix" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "fimatrix" ".catalogue" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun name -> Sys.remove (Filename.concat dir name))
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let truncate_journal_to path ~records =
+  (* Keep the header plus [records] records, then simulate a torn tail. *)
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let lines = String.split_on_char '\n' text in
+  let kept = List.filteri (fun i _ -> i <= records) lines in
+  let oc = open_out_bin path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) kept;
+  output_string oc "f00dfeed torn-shard-rec";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Weighted shard sizing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_weighted_plan_invariants () =
+  let classes =
+    Defuse.experiment_classes (Lazy.force flag1_golden).Golden.defuse
+  in
+  let total = Array.length classes in
+  List.iter
+    (fun shard_size ->
+      let plan = Shard.plan ~shard_size ~weighted:true classes in
+      Alcotest.(check int) "covers all classes" total plan.Shard.classes_total;
+      Alcotest.(check bool) "records the sizing" true
+        (plan.Shard.sizing = Shard.By_weight);
+      let seen = Array.make total false in
+      Array.iter (fun i -> seen.(i) <- true) plan.Shard.order;
+      Alcotest.(check bool) "order is a permutation" true
+        (Array.for_all Fun.id seen);
+      let covered = ref 0 in
+      Array.iteri
+        (fun i (s : Shard.t) ->
+          Alcotest.(check int) "dense ids" i s.Shard.id;
+          Alcotest.(check int) "contiguous" !covered s.Shard.lo;
+          Alcotest.(check bool) "non-empty" true (Shard.classes_in s > 0);
+          covered := s.Shard.hi;
+          (* the checkpoint invariant survives weighting *)
+          for rank = s.Shard.lo + 1 to s.Shard.hi - 1 do
+            let t_end r = classes.(plan.Shard.order.(r)).Defuse.t_end in
+            if t_end rank < t_end (rank - 1) then
+              Alcotest.failf "shard %d: t_end decreases at rank %d" i rank
+          done)
+        plan.Shard.shards;
+      Alcotest.(check int) "all ranks covered" total !covered)
+    [ 1; 7; 100_000 ];
+  Alcotest.(check string) "sizing tags" "count,weight"
+    (Shard.sizing_tag Shard.By_count ^ "," ^ Shard.sizing_tag Shard.By_weight)
+
+let test_weighted_engine_equals_serial () =
+  let golden = Lazy.force hi_golden in
+  let policy = { Spec.default_policy with weighted = true } in
+  check_scans_identical "hi weighted shards"
+    (Lazy.force hi_serial)
+    (Engine.run_spec ~jobs:2 (Spec.of_golden ~policy golden))
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints: space and sizing are part of the identity            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprints_distinguish () =
+  let golden = Lazy.force hi_golden in
+  let mem = Spec.of_golden golden in
+  let reg = Spec.of_regspace (Lazy.force hi_regspace) in
+  let weighted =
+    Spec.of_golden ~policy:{ Spec.default_policy with weighted = true } golden
+  in
+  let fp_mem = Engine.fingerprint_spec mem in
+  Alcotest.(check bool) "mem <> reg" true
+    (fp_mem <> Engine.fingerprint_spec reg);
+  Alcotest.(check bool) "count <> weight" true
+    (fp_mem <> Engine.fingerprint_spec weighted);
+  Alcotest.(check bool) "stable" true (fp_mem = Engine.fingerprint_spec mem)
+
+(* ------------------------------------------------------------------ *)
+(* Register campaigns through the engine                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_engine_equals_scan () =
+  let r = Lazy.force hi_regspace in
+  let serial = Lazy.force hi_reg_serial in
+  List.iter
+    (fun jobs ->
+      check_scans_identical
+        (Printf.sprintf "hi registers -j %d" jobs)
+        serial
+        (Engine.run_spec ~jobs (Spec.of_regspace r)))
+    [ 1; 2; 4 ]
+
+(* Register engine == Regspace.scan on random compiled MIR programs with
+   random shard geometry and worker counts. *)
+let qcheck_register_engine_equals_scan =
+  QCheck.Test.make ~name:"register engine equals Regspace.scan on random programs"
+    ~count:4
+    QCheck.(triple (int_bound 1000) (int_range 1 4) (int_range 1 9))
+    (fun (seed, jobs, shard_size) ->
+      let open Builder in
+      let k = 1 + (seed mod 5) in
+      let source =
+        prog
+          ~name:(Printf.sprintf "rrand%d" seed)
+          [ global "acc" ~init:[ seed mod 7 ]; array "buf" 3 ~init:[ 1; 2; 3 ] ]
+          [
+            func "main" ~locals:[ "i" ]
+              (for_ "i" ~from:(i 0) ~below:(i k)
+                 [
+                   setg "acc" (g "acc" +: elem "buf" (l "i" %: i 3));
+                   set_elem "buf" (l "i" %: i 3) (g "acc" ^: i seed);
+                 ]
+              @ [ out (g "acc" &: i 255); ret_unit ]);
+          ]
+      in
+      let r = Regspace.analyze (Codegen.compile source) in
+      let policy = { Spec.default_policy with shard_size = Some shard_size } in
+      Regspace.scan r = Engine.run_spec ~jobs (Spec.of_regspace ~policy r))
+
+let test_register_journal_resume () =
+  let r = Lazy.force hi_regspace in
+  let serial = Lazy.force hi_reg_serial in
+  with_temp_file (fun path ->
+      let policy =
+        { Spec.default_policy with shard_size = Some 4; journal = Some path }
+      in
+      let full = Engine.run_spec ~jobs:2 (Spec.of_regspace ~policy r) in
+      check_scans_identical "journaled register run" serial full;
+      let total_shards =
+        match Journal.load path with
+        | Some (_, records) -> List.length records
+        | None -> Alcotest.fail "journal unreadable"
+      in
+      Alcotest.(check bool) "has shards" true (total_shards > 2);
+      truncate_journal_to path ~records:(total_shards / 2);
+      let snap = ref None in
+      let resumed =
+        Engine.run_spec ~jobs:2
+          ~observe:(fun s -> snap := Some s)
+          (Spec.of_regspace
+             ~policy:{ policy with Spec.resume = true }
+             r)
+      in
+      check_scans_identical "resumed = uninterrupted" serial resumed;
+      match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check bool) "recovered shards" true
+            (s.Progress.resumed_classes > 0);
+          Alcotest.(check int) "completed everything" s.Progress.classes_total
+            s.Progress.classes_done)
+
+let test_cross_space_resume_rejected () =
+  let golden = Lazy.force hi_golden in
+  let r = Lazy.force hi_regspace in
+  with_temp_file (fun path ->
+      (* Memory journal, register resume. *)
+      ignore (Engine.run ~jobs:1 ~journal:path golden);
+      let reg_resume =
+        Spec.of_regspace
+          ~policy:
+            { Spec.default_policy with journal = Some path; resume = true }
+          r
+      in
+      (match Engine.run_spec ~jobs:1 reg_resume with
+      | _ -> Alcotest.fail "register resume accepted a memory journal"
+      | exception Engine.Journal_mismatch _ -> ());
+      (* Register journal, memory resume. *)
+      ignore
+        (Engine.run_spec ~jobs:1
+           (Spec.of_regspace
+              ~policy:{ Spec.default_policy with journal = Some path }
+              r));
+      let mem_resume =
+        Spec.of_golden
+          ~policy:
+            { Spec.default_policy with journal = Some path; resume = true }
+          golden
+      in
+      match Engine.run_spec ~jobs:1 mem_resume with
+      | _ -> Alcotest.fail "memory resume accepted a register journal"
+      | exception Engine.Journal_mismatch _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* The matrix scheduler                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_matrix_small_cells () =
+  (* Memory and register cells of different programs through one pool,
+     for several worker counts; every cell bit-identical to its serial
+     conductor, results in spec order. *)
+  let specs () =
+    [ Spec.of_golden (Lazy.force flag1_golden);
+      Spec.of_regspace (Lazy.force hi_regspace);
+      Spec.of_golden (Lazy.force hi_golden) ]
+  in
+  List.iter
+    (fun jobs ->
+      match Engine.run_matrix ~jobs (specs ()) with
+      | [ flag1; hi_reg; hi_mem ] ->
+          check_scans_identical
+            (Printf.sprintf "flag1 cell -j %d" jobs)
+            (Lazy.force flag1_serial) flag1;
+          check_scans_identical
+            (Printf.sprintf "hi register cell -j %d" jobs)
+            (Lazy.force hi_reg_serial) hi_reg;
+          check_scans_identical
+            (Printf.sprintf "hi memory cell -j %d" jobs)
+            (Lazy.force hi_serial) hi_mem
+      | _ -> Alcotest.fail "wrong cell count")
+    [ 1; 2; 4 ]
+
+let test_matrix_aggregate_progress () =
+  let specs =
+    [ Spec.of_golden (Lazy.force hi_golden);
+      Spec.of_regspace (Lazy.force hi_regspace) ]
+  in
+  let seen = ref [] in
+  let final = ref None in
+  let scans =
+    Engine.run_matrix ~jobs:2
+      ~progress:(fun spec ->
+        seen := Spec.label spec :: !seen;
+        Scan.no_progress)
+      ~observe:(fun s -> final := Some s)
+      specs
+  in
+  Alcotest.(check (list string))
+    "per-cell progress factory sees every spec" [ "hi/baseline"; "hi/registers@registers" ]
+    (List.rev !seen);
+  let cell_classes scan = Array.length scan.Scan.experiments / 8 in
+  match !final with
+  | None -> Alcotest.fail "observe never called"
+  | Some s ->
+      Alcotest.(check bool) "finished" true (Progress.finished s);
+      Alcotest.(check int) "aggregate classes across the matrix"
+        (List.fold_left (fun n scan -> n + cell_classes scan) 0 scans)
+        s.Progress.classes_total;
+      Alcotest.(check int) "all shards done" s.Progress.shards_total
+        s.Progress.shards_done
+
+let test_matrix_partial_journals () =
+  (* Only the first cell journals; a torn journal resumes that cell while
+     the other cell re-runs from scratch — both end bit-identical. *)
+  with_temp_file (fun path ->
+      let journaled resume =
+        Spec.of_golden
+          ~policy:
+            { Spec.default_policy with
+              shard_size = Some 1;
+              journal = Some path;
+              resume
+            }
+          (Lazy.force flag1_golden)
+      in
+      let bare = Spec.of_golden (Lazy.force hi_golden) in
+      (match Engine.run_matrix ~jobs:2 [ journaled false; bare ] with
+      | [ flag1; hi ] ->
+          check_scans_identical "journaled cell" (Lazy.force flag1_serial) flag1;
+          check_scans_identical "bare cell" (Lazy.force hi_serial) hi
+      | _ -> Alcotest.fail "wrong cell count");
+      let total_shards =
+        match Journal.load path with
+        | Some (_, records) -> List.length records
+        | None -> Alcotest.fail "journal unreadable"
+      in
+      truncate_journal_to path ~records:(total_shards / 2);
+      let final = ref None in
+      match
+        Engine.run_matrix ~jobs:2
+          ~observe:(fun s -> final := Some s)
+          [ journaled true; bare ]
+      with
+      | [ flag1; hi ] -> (
+          check_scans_identical "resumed cell" (Lazy.force flag1_serial) flag1;
+          check_scans_identical "unjournaled cell" (Lazy.force hi_serial) hi;
+          match !final with
+          | None -> Alcotest.fail "observe never called"
+          | Some s ->
+              Alcotest.(check bool) "recovered the journaled cell's shards"
+                true
+                (s.Progress.resumed_classes > 0
+                && s.Progress.resumed_classes < s.Progress.classes_total))
+      | _ -> Alcotest.fail "wrong cell count")
+
+(* ------------------------------------------------------------------ *)
+(* Journal catalogue                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalogue_roundtrip () =
+  with_temp_dir (fun dir ->
+      Alcotest.(check (option string)) "empty" None
+        (Catalog.lookup ~dir ~fingerprint:0xdeadbeef);
+      Catalog.record ~dir ~fingerprint:0xdeadbeef ~path:"a.journal";
+      Catalog.record ~dir ~fingerprint:0x12345678 ~path:"b.journal";
+      Catalog.record ~dir ~fingerprint:0xdeadbeef ~path:"c.journal";
+      Alcotest.(check (option string)) "last entry wins" (Some "c.journal")
+        (Catalog.lookup ~dir ~fingerprint:0xdeadbeef);
+      Alcotest.(check (option string)) "other key intact" (Some "b.journal")
+        (Catalog.lookup ~dir ~fingerprint:0x12345678);
+      (* Re-recording the current mapping appends nothing. *)
+      Catalog.record ~dir ~fingerprint:0x12345678 ~path:"b.journal";
+      let lines =
+        let ic = open_in (Catalog.index_path ~dir) in
+        let n = ref 0 in
+        (try
+           while true do
+             ignore (input_line ic);
+             incr n
+           done
+         with End_of_file -> ());
+        close_in ic;
+        !n
+      in
+      Alcotest.(check int) "no duplicate index lines" 3 lines)
+
+let test_catalogue_resume_by_fingerprint () =
+  with_temp_dir (fun dir ->
+      let spec resume =
+        Spec.of_golden
+          ~policy:
+            { Spec.default_policy with catalogue = Some dir; resume }
+          (Lazy.force hi_golden)
+      in
+      let first = Engine.run_spec ~jobs:2 (spec false) in
+      check_scans_identical "catalogued run" (Lazy.force hi_serial) first;
+      let fp = Engine.fingerprint_spec (spec false) in
+      (match Catalog.lookup ~dir ~fingerprint:fp with
+      | None -> Alcotest.fail "journal not catalogued"
+      | Some path ->
+          Alcotest.(check bool) "catalogued journal exists" true
+            (Sys.file_exists path));
+      (* --resume with no explicit path: found by fingerprint, nothing
+         re-conducted. *)
+      let snap = ref None in
+      let resumed =
+        Engine.run_spec ~jobs:2 ~observe:(fun s -> snap := Some s) (spec true)
+      in
+      check_scans_identical "resumed from catalogue" (Lazy.force hi_serial)
+        resumed;
+      match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check int) "zero conducted on complete journal"
+            s.Progress.classes_total s.Progress.resumed_classes)
+
+let test_resume_needs_journal_or_catalogue () =
+  let spec =
+    Spec.of_golden
+      ~policy:{ Spec.default_policy with resume = true }
+      (Lazy.force hi_golden)
+  in
+  Alcotest.check_raises "resume without journal or catalogue"
+    (Invalid_argument "Engine.run: ~resume requires ~journal") (fun () ->
+      ignore (Engine.run_spec spec))
+
+(* ------------------------------------------------------------------ *)
+(* The paper matrix                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_matrix_equals_serial () =
+  (* The acceptance bar: every cell of the Figure-2 matrix through one
+     shared pool is structurally equal to its serial conductor. *)
+  let serial =
+    List.concat_map
+      (fun (_, baseline, hardened) ->
+        [ Scan.pruned (Golden.run (baseline ()));
+          Scan.pruned ~variant:"sum+dmr" (Golden.run (hardened ())) ])
+      Suite.paper_pairs
+  in
+  let scans = Engine.run_matrix ~jobs:2 (Suite.paper_specs ()) in
+  List.iteri
+    (fun i (expected, got) ->
+      check_scans_identical
+        (Printf.sprintf "paper cell %d (%s/%s)" i got.Scan.name
+           got.Scan.variant)
+        expected got)
+    (List.combine serial scans)
+
+let suite =
+  ( "matrix",
+    [
+      Alcotest.test_case "weighted plan invariants" `Quick
+        test_weighted_plan_invariants;
+      Alcotest.test_case "weighted engine = serial" `Quick
+        test_weighted_engine_equals_serial;
+      Alcotest.test_case "fingerprints distinguish space and sizing" `Quick
+        test_fingerprints_distinguish;
+      Alcotest.test_case "register engine = Regspace.scan (hi, j 1/2/4)"
+        `Quick test_register_engine_equals_scan;
+      QCheck_alcotest.to_alcotest qcheck_register_engine_equals_scan;
+      Alcotest.test_case "register journal torn-tail resume" `Quick
+        test_register_journal_resume;
+      Alcotest.test_case "cross-space resume rejected" `Quick
+        test_cross_space_resume_rejected;
+      Alcotest.test_case "matrix = serial cells (j 1/2/4)" `Slow
+        test_matrix_small_cells;
+      Alcotest.test_case "matrix aggregate progress" `Quick
+        test_matrix_aggregate_progress;
+      Alcotest.test_case "matrix partial journal resume" `Slow
+        test_matrix_partial_journals;
+      Alcotest.test_case "catalogue roundtrip" `Quick test_catalogue_roundtrip;
+      Alcotest.test_case "catalogue resume by fingerprint" `Quick
+        test_catalogue_resume_by_fingerprint;
+      Alcotest.test_case "resume requires journal or catalogue" `Quick
+        test_resume_needs_journal_or_catalogue;
+      Alcotest.test_case "paper matrix = serial cells" `Slow
+        test_paper_matrix_equals_serial;
+    ] )
