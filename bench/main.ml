@@ -313,7 +313,7 @@ let run_engine () =
 
 let run_engine_parallel () =
   section
-    "ENGP | Parallel campaign engine: bin_sem2 serial vs -j 2 / -j 4 \
+    "ENGP | Parallel campaign engine: bin_sem2 serial vs backend × -j \
      (emits BENCH_engine.json)";
   let golden = Golden.run (Bin_sem2.baseline ()) in
   let time f =
@@ -323,11 +323,16 @@ let run_engine_parallel () =
   in
   let serial, t_serial = time (fun () -> Scan.pruned golden) in
   let runs =
-    List.map
-      (fun jobs ->
-        let scan, t = time (fun () -> Engine.run ~jobs golden) in
-        (jobs, t, scan = serial))
-      [ 1; 2; 4 ]
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun jobs ->
+            let scan, t =
+              time (fun () -> Engine.run ~backend ~jobs golden)
+            in
+            (backend, jobs, t, scan = serial))
+          [ 1; 2; 4 ])
+      [ Pool.Domains; Pool.Processes ]
   in
   let cores = Pool.default_jobs () in
   Printf.printf "host cores          : %d\n" cores;
@@ -335,10 +340,10 @@ let run_engine_parallel () =
     (Array.length serial.Scan.experiments);
   Printf.printf "serial Scan.pruned  : %6.2f s\n" t_serial;
   List.iter
-    (fun (jobs, t, identical) ->
-      Printf.printf "engine -j %-2d        : %6.2f s  (speedup %.2fx, \
+    (fun (backend, jobs, t, identical) ->
+      Printf.printf "%-9s -j %-2d      : %6.2f s  (speedup %.2fx, \
                      bit-identical %b)\n"
-        jobs t (t_serial /. t) identical)
+        (Pool.backend_tag backend) jobs t (t_serial /. t) identical)
     runs;
   if cores = 1 then
     Printf.printf
@@ -347,11 +352,11 @@ let run_engine_parallel () =
   let json =
     let run_fields =
       List.map
-        (fun (jobs, t, identical) ->
+        (fun (backend, jobs, t, identical) ->
           Printf.sprintf
-            "    {\"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.3f, \
-             \"bit_identical\": %b}"
-            jobs t (t_serial /. t) identical)
+            "    {\"backend\": \"%s\", \"jobs\": %d, \"seconds\": %.3f, \
+             \"speedup\": %.3f, \"bit_identical\": %b}"
+            (Pool.backend_tag backend) jobs t (t_serial /. t) identical)
         runs
     in
     Printf.sprintf
@@ -565,6 +570,9 @@ let artifacts =
   ]
 
 let () =
+  (* If this process was exec'd as a campaign worker (the engine's
+     process backend re-execs the hosting binary), serve and exit. *)
+  Worker.guard ();
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

@@ -72,6 +72,7 @@ let or_die = function
    -j/--journal/--resume/--shard-size/--weighted-shards mean the same
    thing everywhere. *)
 type engine_opts = {
+  backend : Pool.backend;
   jobs : int;
   journal : string option;
   resume : bool;
@@ -80,9 +81,24 @@ type engine_opts = {
 }
 
 let engine_opts_term =
+  let backend =
+    let doc =
+      "Campaign execution backend: $(b,domains) (shared-memory OCaml \
+       domains in this process) or $(b,processes) (fork/exec'd worker \
+       processes, one crash-isolated journal segment each — a killed \
+       worker only costs its unfinished shards, which $(b,--resume) \
+       replays).  Results are bit-identical either way."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("domains", Pool.Domains); ("processes", Pool.Processes) ])
+          Pool.Domains
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
   let jobs =
     let doc =
-      "Worker domains for the campaign engine; 0 means all cores \
+      "Workers (domains or processes, per $(b,--backend)) for the \
+       campaign engine; 0 means all cores \
        ($(b,Domain.recommended_domain_count)).  Results are bit-identical \
        for every value."
     in
@@ -124,9 +140,9 @@ let engine_opts_term =
     Arg.(value & flag & info [ "weighted-shards" ] ~doc)
   in
   Term.(
-    const (fun jobs journal resume shard_size weighted ->
-        { jobs; journal; resume; shard_size; weighted })
-    $ jobs $ journal $ resume $ shard_size $ weighted)
+    const (fun backend jobs journal resume shard_size weighted ->
+        { backend; jobs; journal; resume; shard_size; weighted })
+    $ backend $ jobs $ journal $ resume $ shard_size $ weighted)
 
 let policy_of opts =
   {
@@ -137,10 +153,14 @@ let policy_of opts =
     catalogue = Some Catalog.default_dir;
   }
 
-let resolve_jobs = function
-  | 0 -> Pool.default_jobs ()
-  | j when j >= 1 -> j
-  | j -> or_die (Error (Printf.sprintf "invalid job count %d" j))
+(* Jobs resolution lives in Pool.resolve_jobs — the engine uses the very
+   same function, so `-j 0` can never mean different things to different
+   subcommands (or to the two backends). *)
+let resolve_jobs jobs =
+  match Pool.resolve_jobs ~jobs () with
+  | n -> n
+  | exception Invalid_argument _ ->
+      or_die (Error (Printf.sprintf "invalid job count %d" jobs))
 
 let engine_progress ~quiet =
   if quiet then fun _ -> ()
@@ -151,11 +171,12 @@ let engine_progress ~quiet =
 
 let engine_matrix ~opts ~quiet specs =
   match
-    Engine.run_matrix ~jobs:(resolve_jobs opts.jobs)
+    Engine.run_matrix ~backend:opts.backend ~jobs:(resolve_jobs opts.jobs)
       ~observe:(engine_progress ~quiet) specs
   with
   | scans -> scans
   | exception Engine.Journal_mismatch msg -> or_die (Error msg)
+  | exception Engine.Worker_failed msg -> or_die (Error msg)
 
 let engine_spec ~opts ~quiet spec =
   match engine_matrix ~opts ~quiet [ spec ] with
@@ -424,8 +445,8 @@ let sample_cmd =
        all requested domains, and survives crashes. *)
     let oracle =
       if
-        opts.jobs <> 1 || opts.journal <> None || opts.resume
-        || opts.shard_size <> None || opts.weighted
+        opts.jobs <> 1 || opts.backend <> Pool.Domains || opts.journal <> None
+        || opts.resume || opts.shard_size <> None || opts.weighted
       then
         Some
           (engine_spec ~opts ~quiet:false
@@ -599,6 +620,21 @@ let report_cmd =
     Term.(const action $ which)
 
 (* ------------------------------------------------------------------ *)
+(* worker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let worker_cmd =
+  let action () = Worker.serve ~input:stdin ~output:stdout in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Serve one campaign-worker job over stdin/stdout (the \
+          $(b,--backend processes) child protocol).  Normally entered \
+          automatically via the $(b,FI_ENGINE_WORKER) environment \
+          variable, not by hand.")
+    Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
 (* list                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -611,6 +647,9 @@ let list_cmd =
     Term.(const action $ const ())
 
 let () =
+  (* Must run before anything else: a process exec'd with
+     FI_ENGINE_WORKER=1 is a campaign worker, not a CLI. *)
+  Worker.guard ();
   let doc =
     "fault-injection campaigns, metrics and pitfall analyses on the \
      deterministic RISC simulator"
@@ -618,4 +657,4 @@ let () =
   let info = Cmd.info "fi-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ run_cmd; trace_cmd; campaign_cmd; matrix_cmd; sample_cmd; compare_cmd;
-      asm_cmd; poisson_cmd; report_cmd; list_cmd ]))
+      asm_cmd; poisson_cmd; report_cmd; list_cmd; worker_cmd ]))

@@ -1,128 +1,27 @@
-exception Journal_mismatch of string
+exception Journal_mismatch = Runcell.Journal_mismatch
 
-let mismatch fmt = Printf.ksprintf (fun s -> raise (Journal_mismatch s)) fmt
+exception Worker_failed of string
 
-(* ------------------------------------------------------------------ *)
-(* Analysed cells                                                     *)
-(* ------------------------------------------------------------------ *)
-
-(* A spec resolved to everything the scheduler needs: the session base
-   (golden run), the fault-space partition, and the per-experiment
-   conductor of its space. *)
-type cell = {
-  spec : Spec.t;
-  golden : Golden.t;
-  defuse : Defuse.t;
-  ram_bytes : int;
-  conduct : Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t;
-}
-
-let memory_cell spec golden =
-  {
-    spec;
-    golden;
-    defuse = golden.Golden.defuse;
-    ram_bytes = golden.Golden.program.Program.ram_size;
-    conduct = Scan.conduct_class;
-  }
-
-let register_cell spec (r : Regspace.t) =
-  {
-    spec;
-    golden = r.Regspace.golden;
-    defuse = r.Regspace.reg_defuse;
-    ram_bytes = Regspace.pseudo_ram_bytes;
-    conduct = Regspace.conduct;
-  }
-
-let analyse (spec : Spec.t) =
-  match (spec.Spec.space, spec.Spec.source) with
-  | Spec.Memory, Spec.Analysed_memory golden -> memory_cell spec golden
-  | Spec.Memory, Spec.Build build ->
-      memory_cell spec (Golden.run ?limit:spec.Spec.limit (build ()))
-  | Spec.Registers, Spec.Analysed_registers r -> register_cell spec r
-  | Spec.Registers, Spec.Build build ->
-      register_cell spec (Regspace.analyze ?limit:spec.Spec.limit (build ()))
-  | Spec.Memory, Spec.Analysed_registers _
-  | Spec.Registers, Spec.Analysed_memory _ ->
-      invalid_arg "Engine: spec space contradicts its analysed source"
+let mismatch = Runcell.mismatch
 
 (* ------------------------------------------------------------------ *)
-(* Campaign identity and journal payloads                             *)
+(* Campaign identity (public API; the definitions live in Runcell)     *)
 (* ------------------------------------------------------------------ *)
-
-let fingerprint_of ~space ~name ~cycles ~ram_bytes
-    ~(classes : Defuse.byte_class array) ~(plan : Shard.plan) =
-  let buf = Buffer.create (64 + (Array.length classes * 12)) in
-  Buffer.add_string buf (Spec.space_tag space);
-  Buffer.add_char buf '|';
-  Buffer.add_string buf name;
-  Buffer.add_string buf
-    (Printf.sprintf "|%d|%d|%d|%s|" cycles ram_bytes plan.Shard.shard_size
-       (Shard.sizing_tag plan.Shard.sizing));
-  Array.iter
-    (fun (c : Defuse.byte_class) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%d,%d,%d;" c.Defuse.byte c.Defuse.t_start
-           c.Defuse.t_end))
-    classes;
-  Crc32.string (Buffer.contents buf)
-
-let fingerprint_cell cell ~plan =
-  fingerprint_of ~space:cell.spec.Spec.space
-    ~name:cell.golden.Golden.program.Program.name ~cycles:cell.golden.Golden.cycles
-    ~ram_bytes:cell.ram_bytes
-    ~classes:(Defuse.experiment_classes cell.defuse)
-    ~plan
 
 let fingerprint golden ~(plan : Shard.plan) =
-  fingerprint_of ~space:Spec.Memory ~name:golden.Golden.program.Program.name
-    ~cycles:golden.Golden.cycles
+  Runcell.fingerprint_of ~space:Spec.Memory
+    ~name:golden.Golden.program.Program.name ~cycles:golden.Golden.cycles
     ~ram_bytes:golden.Golden.program.Program.ram_size
     ~classes:(Defuse.experiment_classes golden.Golden.defuse)
     ~plan
 
-let plan_of_policy (policy : Spec.policy) classes =
-  Shard.plan ?shard_size:policy.Spec.shard_size ~weighted:policy.Spec.weighted
-    classes
-
 let fingerprint_spec spec =
-  let cell = analyse spec in
+  let cell = Runcell.analyse spec in
   let plan =
-    plan_of_policy spec.Spec.policy (Defuse.experiment_classes cell.defuse)
+    Runcell.plan_of_policy spec.Spec.policy
+      (Defuse.experiment_classes cell.Runcell.defuse)
   in
-  fingerprint_cell cell ~plan
-
-let header_payload cell ~(plan : Shard.plan) ~fp =
-  Printf.sprintf
-    "fi-engine v2 space=%s sizing=%s cycles=%d ram_bytes=%d classes=%d \
-     shard_size=%d shards=%d fingerprint=%s name=%s"
-    (Spec.space_tag cell.spec.Spec.space)
-    (Shard.sizing_tag plan.Shard.sizing)
-    cell.golden.Golden.cycles cell.ram_bytes plan.Shard.classes_total
-    plan.Shard.shard_size
-    (Array.length plan.Shard.shards)
-    (Crc32.to_hex fp) cell.golden.Golden.program.Program.name
-
-let record_payload (shard : Shard.t) outcomes_buf =
-  Printf.sprintf "shard=%d outcomes=%s" shard.Shard.id
-    (Bytes.to_string outcomes_buf)
-
-let parse_record (plan : Shard.plan) payload =
-  match String.index_opt payload ' ' with
-  | Some sp when String.length payload > 15 && String.sub payload 0 6 = "shard=" -> (
-      let id = int_of_string_opt (String.sub payload 6 (sp - 6)) in
-      let rest = String.sub payload (sp + 1) (String.length payload - sp - 1) in
-      if String.length rest < 9 || String.sub rest 0 9 <> "outcomes=" then None
-      else
-        let outs = String.sub rest 9 (String.length rest - 9) in
-        match id with
-        | Some id when id >= 0 && id < Array.length plan.Shard.shards ->
-            let shard = plan.Shard.shards.(id) in
-            if String.length outs <> 8 * Shard.classes_in shard then None
-            else Some (shard, outs)
-        | Some _ | None -> None)
-  | Some _ | None -> None
+  Runcell.fingerprint_cell cell ~plan
 
 (* ------------------------------------------------------------------ *)
 (* Journal resolution (explicit path or catalogue)                    *)
@@ -148,7 +47,7 @@ let resolve_journal ~fingerprint (policy : Spec.policy) =
 (* ------------------------------------------------------------------ *)
 
 type runtime = {
-  cell : cell;
+  cell : Runcell.cell;
   classes : Defuse.byte_class array;
   plan : Shard.plan;
   fp : int;
@@ -165,11 +64,11 @@ type runtime = {
 }
 
 let setup cell ~progress =
-  let classes = Defuse.experiment_classes cell.defuse in
-  let policy = cell.spec.Spec.policy in
-  let plan = plan_of_policy policy classes in
-  let fp = fingerprint_cell cell ~plan in
-  let header = header_payload cell ~plan ~fp in
+  let classes = Defuse.experiment_classes cell.Runcell.defuse in
+  let policy = cell.Runcell.spec.Spec.policy in
+  let plan = Runcell.plan_of_policy policy classes in
+  let fp = Runcell.fingerprint_cell cell ~plan in
+  let header = Runcell.header_payload cell ~plan ~fp in
   let total = plan.Shard.classes_total in
   let outcomes = Array.make (8 * total) Outcome.No_effect in
   let shard_done = Array.make (Array.length plan.Shard.shards) false in
@@ -197,29 +96,38 @@ let setup cell ~progress =
         let fresh () = Some (Journal.create path ~header) in
         if not policy.Spec.resume then fresh ()
         else (
-          match Journal.open_resume path with
-          | None -> fresh ()
-          | Some (w, hdr, records) ->
-              if hdr <> header then begin
-                Journal.close w;
-                mismatch
-                  "journal %s belongs to a different campaign\n\
-                  \  journal: %s\n\
-                  \  current: %s"
-                  path hdr header
-              end;
-              List.iter
-                (fun r ->
-                  match parse_record plan r with
-                  | Some (shard, outs) when not shard_done.(shard.Shard.id) ->
-                      apply_record shard outs;
-                      shard_done.(shard.Shard.id) <- true
-                  | Some (shard, _) ->
-                      mismatch "journal has duplicate record for shard %d"
-                        shard.Shard.id
-                  | None -> mismatch "journal has malformed record %S" r)
-                records;
-              Some w)
+          match Journal.replay path with
+          | Some (_, _, Journal.Corrupt_record { line }) ->
+              mismatch
+                "journal %s: CRC-invalid record at line %d — refusing to \
+                 resume a corrupt journal (a crash leaves a torn tail, not \
+                 mid-file corruption); delete it to re-run from scratch"
+                path line
+          | Some _ | None -> (
+              match Journal.open_resume path with
+              | None -> fresh ()
+              | Some (w, hdr, records) ->
+                  if hdr <> header then begin
+                    Journal.close w;
+                    mismatch
+                      "journal %s belongs to a different campaign\n\
+                      \  journal: %s\n\
+                      \  current: %s"
+                      path hdr header
+                  end;
+                  List.iter
+                    (fun r ->
+                      match Runcell.parse_record plan r with
+                      | Some (shard, outs) when not shard_done.(shard.Shard.id)
+                        ->
+                          apply_record shard outs;
+                          shard_done.(shard.Shard.id) <- true
+                      | Some (shard, _) ->
+                          mismatch "journal has duplicate record for shard %d"
+                            shard.Shard.id
+                      | None -> mismatch "journal has malformed record %S" r)
+                    records;
+                  Some w))
   in
   let resumed_classes =
     Array.fold_left
@@ -248,16 +156,36 @@ let setup cell ~progress =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Process-backend supervision state                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One record per spawned worker: its doorbell pipe, the read cursor
+   into its journal segment, and what became of it. *)
+type tracked = {
+  child : Worker.child;
+  t_rt : runtime;
+  mutable seg_fd : Unix.file_descr option;
+  mutable seg_pending : string;  (** Partial trailing segment line. *)
+  mutable header_ok : bool;
+  mutable corrupt : string option;
+  mutable eof : bool;
+  mutable status : Unix.process_status option;
+}
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else Printf.sprintf "signal %d" s
+
+(* ------------------------------------------------------------------ *)
 (* The matrix scheduler                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_matrix ?jobs ?progress ?(observe = fun _ -> ()) specs =
-  let jobs =
-    match jobs with
-    | None -> Pool.default_jobs ()
-    | Some j when j >= 1 -> j
-    | Some j -> invalid_arg (Printf.sprintf "Engine.run: jobs %d" j)
-  in
+let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ())
+    specs =
+  let jobs = Pool.resolve_jobs ?jobs () in
   let progress_of =
     match progress with None -> fun _ -> Scan.no_progress | Some p -> p
   in
@@ -267,13 +195,15 @@ let run_matrix ?jobs ?progress ?(observe = fun _ -> ()) specs =
       if p.Spec.resume && p.Spec.journal = None && p.Spec.catalogue = None then
         invalid_arg "Engine.run: ~resume requires ~journal")
     specs;
-  let cells = List.map analyse specs in
+  let cells = List.map Runcell.analyse specs in
   let rts = ref [] in
   let finally () =
     List.iter
       (fun rt ->
         Option.iter Journal.close rt.writer;
-        match (rt.journal_path, rt.cell.spec.Spec.policy.Spec.catalogue) with
+        match
+          (rt.journal_path, rt.cell.Runcell.spec.Spec.policy.Spec.catalogue)
+        with
         | Some path, Some dir -> (
             try Catalog.record ~dir ~fingerprint:rt.fp ~path
             with Sys_error _ -> ())
@@ -283,7 +213,8 @@ let run_matrix ?jobs ?progress ?(observe = fun _ -> ()) specs =
   Fun.protect ~finally (fun () ->
       List.iter
         (fun cell ->
-          rts := setup cell ~progress:(progress_of cell.spec) :: !rts)
+          rts :=
+            setup cell ~progress:(progress_of cell.Runcell.spec) :: !rts)
         cells;
       let rts_in_order = List.rev !rts in
       (* Aggregate counters across the whole matrix. *)
@@ -324,57 +255,294 @@ let run_matrix ?jobs ?progress ?(observe = fun _ -> ()) specs =
               ~total:rt.plan.Shard.classes_total ~tally:rt.tally)
         rts_in_order;
       emit_observe ();
-      (* One shared pool over every pending shard of every cell; tasks
-         are claimed in cell order, so workers drain cell 1 first but
-         spill into cell 2 as soon as slots free up — no back-to-back
-         barrier between cells. *)
-      let pending =
-        Array.of_list
-          (List.concat_map
-             (fun rt ->
-               List.filter_map
-                 (fun (s : Shard.t) ->
-                   if rt.shard_done.(s.Shard.id) then None else Some (rt, s))
-                 (Array.to_list rt.plan.Shard.shards))
-             rts_in_order)
+
+      (* -------------------------------------------------------------- *)
+      (* Domains backend: one shared pool over every pending shard of
+         every cell; tasks are claimed in cell order, so workers drain
+         cell 1 first but spill into cell 2 as soon as slots free up —
+         no back-to-back barrier between cells. *)
+      (* -------------------------------------------------------------- *)
+      let conduct_domains () =
+        let pending =
+          Array.of_list
+            (List.concat_map
+               (fun rt ->
+                 List.filter_map
+                   (fun (s : Shard.t) ->
+                     if rt.shard_done.(s.Shard.id) then None else Some (rt, s))
+                   (Array.to_list rt.plan.Shard.shards))
+               rts_in_order)
+        in
+        let conduct_shard (rt, (shard : Shard.t)) =
+          let buf =
+            Runcell.conduct_shard rt.cell ~classes:rt.classes ~plan:rt.plan
+              shard ~on_class:(fun ~class_index chars ->
+                for bit = 0 to 7 do
+                  match Outcome.of_char chars.[bit] with
+                  | Some o -> rt.outcomes.((class_index * 8) + bit) <- o
+                  | None -> assert false
+                done;
+                Mutex.protect mu (fun () ->
+                    String.iter
+                      (fun ch ->
+                        match Outcome.of_char ch with
+                        | Some o ->
+                            Outcome.tally_add rt.tally o;
+                            Outcome.tally_add agg_tally o
+                        | None -> assert false)
+                      chars;
+                    rt.classes_done <- rt.classes_done + 1;
+                    incr agg_classes_done;
+                    rt.progress ~done_:rt.classes_done
+                      ~total:rt.plan.Shard.classes_total ~tally:rt.tally;
+                    emit_observe ()))
+          in
+          Mutex.protect mu (fun () ->
+              (match rt.writer with
+              | Some w -> Journal.append w (Runcell.record_payload shard buf)
+              | None -> ());
+              rt.shard_done.(shard.Shard.id) <- true;
+              rt.shards_done <- rt.shards_done + 1;
+              incr agg_shards_done;
+              emit_observe ())
+        in
+        Pool.run ~jobs ~tasks:(Array.length pending) (fun i ->
+            conduct_shard pending.(i))
       in
-      let conduct_shard (rt, (shard : Shard.t)) =
-        let session = Injector.session rt.cell.golden in
+
+      (* -------------------------------------------------------------- *)
+      (* Processes backend: fork/exec'd workers, one journal segment
+         each, merged into the campaign journal as doorbells arrive.
+         Cells run one after another (each gets the full worker count);
+         a dead or corrupt worker is recorded and reported after every
+         cell has been driven as far as it will go, so the journals hold
+         maximal progress for --resume. *)
+      (* -------------------------------------------------------------- *)
+      let apply_shard_live rt (shard : Shard.t) outs =
         let n = Shard.classes_in shard in
-        let buf = Bytes.create (8 * n) in
         for k = 0 to n - 1 do
           let class_index = rt.plan.Shard.order.(shard.Shard.lo + k) in
-          let c = rt.classes.(class_index) in
-          for bit_in_byte = 0 to 7 do
-            let o = rt.cell.conduct session c ~bit_in_byte in
-            rt.outcomes.((class_index * 8) + bit_in_byte) <- o;
-            Bytes.set buf ((8 * k) + bit_in_byte) (Outcome.to_char o)
+          for bit = 0 to 7 do
+            match Outcome.of_char outs.[(8 * k) + bit] with
+            | Some o ->
+                rt.outcomes.((class_index * 8) + bit) <- o;
+                Outcome.tally_add rt.tally o;
+                Outcome.tally_add agg_tally o
+            | None ->
+                mismatch "segment record for shard %d holds invalid outcome %C"
+                  shard.Shard.id
+                  outs.[(8 * k) + bit]
           done;
-          Mutex.protect mu (fun () ->
-              for bit = 0 to 7 do
-                match Outcome.of_char (Bytes.get buf ((8 * k) + bit)) with
-                | Some o ->
-                    Outcome.tally_add rt.tally o;
-                    Outcome.tally_add agg_tally o
-                | None -> assert false
-              done;
-              rt.classes_done <- rt.classes_done + 1;
-              incr agg_classes_done;
-              rt.progress ~done_:rt.classes_done
-                ~total:rt.plan.Shard.classes_total ~tally:rt.tally;
-              emit_observe ())
+          rt.classes_done <- rt.classes_done + 1;
+          incr agg_classes_done;
+          rt.progress ~done_:rt.classes_done ~total:rt.plan.Shard.classes_total
+            ~tally:rt.tally
         done;
-        Mutex.protect mu (fun () ->
-            (match rt.writer with
-            | Some w -> Journal.append w (record_payload shard buf)
-            | None -> ());
-            rt.shard_done.(shard.Shard.id) <- true;
-            rt.shards_done <- rt.shards_done + 1;
-            incr agg_shards_done;
-            emit_observe ())
+        (match rt.writer with
+        | Some w ->
+            Journal.append w
+              (Runcell.record_payload shard (Bytes.of_string outs))
+        | None -> ());
+        rt.shard_done.(shard.Shard.id) <- true;
+        rt.shards_done <- rt.shards_done + 1;
+        incr agg_shards_done;
+        emit_observe ()
       in
-      Pool.run ~jobs ~tasks:(Array.length pending) (fun i ->
-          conduct_shard pending.(i));
+      let merge_line t line =
+        if t.corrupt = None then
+          match Journal.decode_line line with
+          | None ->
+              t.corrupt <-
+                Some
+                  (Printf.sprintf "wrote a CRC-invalid segment line in %s"
+                     (Worker.segment t.child))
+          | Some payload ->
+              if not t.header_ok then (
+                match Worker.segment_fingerprint payload with
+                | Some fp when fp = t.t_rt.fp -> t.header_ok <- true
+                | Some _ ->
+                    t.corrupt <-
+                      Some "wrote a segment for a different campaign"
+                | None -> t.corrupt <- Some "wrote a malformed segment header")
+              else
+                match Runcell.parse_record t.t_rt.plan payload with
+                | None -> t.corrupt <- Some "wrote a malformed segment record"
+                | Some (shard, outs) ->
+                    if not t.t_rt.shard_done.(shard.Shard.id) then
+                      apply_shard_live t.t_rt shard outs
+      in
+      (* Tail the segment from the last read position; complete lines are
+         merged, a trailing partial line (torn tail) stays pending. *)
+      let drain t =
+        (match t.seg_fd with
+        | None -> (
+            try
+              t.seg_fd <-
+                Some (Unix.openfile (Worker.segment t.child) [ Unix.O_RDONLY ] 0)
+            with Unix.Unix_error _ -> ())
+        | Some _ -> ());
+        match t.seg_fd with
+        | None -> ()
+        | Some fd ->
+            let chunk = Bytes.create 65536 in
+            let data = Buffer.create 256 in
+            Buffer.add_string data t.seg_pending;
+            let continue = ref true in
+            while !continue do
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> continue := false
+              | n -> Buffer.add_subbytes data chunk 0 n
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done;
+            let text = Buffer.contents data in
+            let len = String.length text in
+            let start = ref 0 in
+            let stop = ref false in
+            while not !stop do
+              match String.index_from_opt text !start '\n' with
+              | None ->
+                  t.seg_pending <- String.sub text !start (len - !start);
+                  stop := true
+              | Some nl ->
+                  merge_line t (String.sub text !start (nl - !start));
+                  start := nl + 1
+            done
+      in
+      let verdict t failures =
+        let rt = t.t_rt in
+        let unfinished =
+          List.filter
+            (fun id -> not rt.shard_done.(id))
+            (Array.to_list (Worker.assigned t.child))
+        in
+        let fail reason =
+          failures :=
+            Printf.sprintf "%s: worker %d (pid %d) %s%s"
+              (Spec.label rt.cell.Runcell.spec)
+              (Worker.index t.child) (Worker.pid t.child) reason
+              (match unfinished with
+              | [] -> ""
+              | ids ->
+                  Printf.sprintf
+                    "; shard%s %s unfinished — run again with --resume to \
+                     replay"
+                    (if List.length ids > 1 then "s" else "")
+                    (String.concat "," (List.map string_of_int ids)))
+            :: !failures
+        in
+        (match (t.corrupt, t.status, unfinished) with
+        | Some c, _, _ -> fail c
+        | None, Some (Unix.WEXITED 0), [] -> ()
+        | None, Some (Unix.WEXITED 0), _ :: _ ->
+            fail "exited 0 with unfinished shards"
+        | None, Some (Unix.WEXITED n), _ ->
+            fail (Printf.sprintf "exited with code %d" n)
+        | None, Some (Unix.WSIGNALED s), _ ->
+            fail (Printf.sprintf "was killed by %s" (signal_name s))
+        | None, Some (Unix.WSTOPPED s), _ ->
+            fail (Printf.sprintf "stopped by %s" (signal_name s))
+        | None, None, _ -> fail "was never reaped");
+        (* Everything merged lives in the campaign journal (when there is
+           one); the segment is scratch.  Keep it only as corruption
+           evidence. *)
+        if t.corrupt = None then
+          try Sys.remove (Worker.segment t.child) with Sys_error _ -> ()
+      in
+      let run_cell_processes rt failures =
+        let pending_ids =
+          Array.of_list
+            (List.filter_map
+               (fun (s : Shard.t) ->
+                 if rt.shard_done.(s.Shard.id) then None else Some s.Shard.id)
+               (Array.to_list rt.plan.Shard.shards))
+        in
+        let n = Array.length pending_ids in
+        if n > 0 then begin
+          let workers = min jobs n in
+          let seg_path i =
+            match rt.journal_path with
+            | Some p -> Printf.sprintf "%s.seg%d" p i
+            | None -> Filename.temp_file "fi-segment" ".journal"
+          in
+          let tracked =
+            List.init workers (fun i ->
+                let lo = i * n / workers and hi = (i + 1) * n / workers in
+                let job =
+                  {
+                    Worker.spec = rt.cell.Runcell.spec;
+                    fingerprint = rt.fp;
+                    shard_ids = Array.sub pending_ids lo (hi - lo);
+                    segment = seg_path i;
+                    index = i;
+                  }
+                in
+                {
+                  child = Worker.spawn job;
+                  t_rt = rt;
+                  seg_fd = None;
+                  seg_pending = "";
+                  header_ok = false;
+                  corrupt = None;
+                  eof = false;
+                  status = None;
+                })
+          in
+          let buf = Bytes.create 4096 in
+          let live () = List.filter (fun t -> not t.eof) tracked in
+          let rec supervise () =
+            match live () with
+            | [] -> ()
+            | alive ->
+                let fds = List.map (fun t -> Worker.status_fd t.child) alive in
+                let readable, _, _ =
+                  try Unix.select fds [] [] 0.5
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+                in
+                List.iter
+                  (fun t ->
+                    let fd = Worker.status_fd t.child in
+                    if List.mem fd readable then
+                      let k =
+                        try Unix.read fd buf 0 (Bytes.length buf)
+                        with Unix.Unix_error _ -> 0
+                      in
+                      if k = 0 then begin
+                        t.eof <- true;
+                        t.status <- Some (Worker.wait t.child);
+                        try Unix.close fd with Unix.Unix_error _ -> ()
+                      end)
+                  alive;
+                (* Merge whatever the doorbells (or deaths) made visible. *)
+                List.iter drain tracked;
+                supervise ()
+          in
+          supervise ();
+          List.iter drain tracked;
+          List.iter
+            (fun t ->
+              match t.seg_fd with
+              | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+              | None -> ())
+            tracked;
+          List.iter (fun t -> verdict t failures) tracked
+        end
+      in
+      let conduct_processes () =
+        let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+        let failures = ref [] in
+        Fun.protect
+          ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev)
+          (fun () ->
+            List.iter (fun rt -> run_cell_processes rt failures) rts_in_order);
+        match List.rev !failures with
+        | [] -> ()
+        | fs -> raise (Worker_failed (String.concat "\n" fs))
+      in
+
+      (match backend with
+      | Pool.Domains -> conduct_domains ()
+      | Pool.Processes -> conduct_processes ());
+
       List.map
         (fun rt ->
           assert (Array.for_all Fun.id rt.shard_done);
@@ -393,18 +561,19 @@ let run_matrix ?jobs ?progress ?(observe = fun _ -> ()) specs =
                 })
           in
           {
-            Scan.name = rt.cell.golden.Golden.program.Program.name;
-            variant = rt.cell.spec.Spec.variant;
-            cycles = rt.cell.golden.Golden.cycles;
-            ram_bytes = rt.cell.ram_bytes;
+            Scan.name = rt.cell.Runcell.golden.Golden.program.Program.name;
+            variant = rt.cell.Runcell.spec.Spec.variant;
+            cycles = rt.cell.Runcell.golden.Golden.cycles;
+            ram_bytes = rt.cell.Runcell.ram_bytes;
             experiments;
-            benign_weight = Defuse.known_benign_weight rt.cell.defuse;
+            benign_weight =
+              Defuse.known_benign_weight rt.cell.Runcell.defuse;
           })
         rts_in_order)
 
-let run_spec ?jobs ?progress ?observe spec =
+let run_spec ?backend ?jobs ?progress ?observe spec =
   match
-    run_matrix ?jobs
+    run_matrix ?backend ?jobs
       ?progress:(Option.map (fun p _ -> p) progress)
       ?observe [ spec ]
   with
@@ -415,9 +584,10 @@ let run_spec ?jobs ?progress ?observe spec =
 (* Compatibility wrapper: the PR-1 single-campaign entry point         *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(variant = "baseline") ?jobs ?shard_size ?journal ?(resume = false)
-    ?progress ?observe golden =
+let run ?(variant = "baseline") ?backend ?jobs ?shard_size ?journal
+    ?(resume = false) ?progress ?observe golden =
   if resume && journal = None then
     invalid_arg "Engine.run: ~resume requires ~journal";
   let policy = { Spec.default_policy with shard_size; journal; resume } in
-  run_spec ?jobs ?progress ?observe (Spec.of_golden ~variant ~policy golden)
+  run_spec ?backend ?jobs ?progress ?observe
+    (Spec.of_golden ~variant ~policy golden)

@@ -4,30 +4,53 @@
     (Section V): a campaign {!Spec.t} names a fault space (def/use-pruned
     memory, or the register file of Section VI-B), a program cell and an
     execution policy; the engine cuts the space's experiment-class list
-    into cycle-contiguous {!Shard}s, executes them on a {!Pool} of OCaml
-    5 domains — each shard on its own {!Injector.Checkpoint} session,
-    which is valid because injection cycles are non-decreasing within a
-    shard — and merges results by class index, so every returned
-    {!Scan.t} is bit-identical to its serial counterpart
-    ({!Scan.pruned} / {!Regspace.scan}) for {e any} worker count.
+    into cycle-contiguous {!Shard}s, executes them on a worker pool —
+    each shard on its own {!Injector.Checkpoint} session, which is valid
+    because injection cycles are non-decreasing within a shard — and
+    merges results by class index, so every returned {!Scan.t} is
+    bit-identical to its serial counterpart ({!Scan.pruned} /
+    {!Regspace.scan}) for {e any} worker count and {e either} backend.
+
+    Two {!Pool.backend}s conduct the shards:
+
+    - {!Pool.Domains} (default) — shared-memory OCaml 5 domains inside
+      this process, one pool across the whole matrix.
+    - {!Pool.Processes} — fork/exec'd {!Worker} processes.  Each worker
+      receives a marshalled spec plus a shard-id range over a pipe and
+      appends results to its own CRC-guarded journal {e segment}; the
+      parent merges segments into the campaign journal as doorbells
+      arrive, so the journal is the only state crossing the process
+      boundary.  A worker that exits nonzero, dies on a signal or writes
+      a corrupt segment leaves its unfinished shards unmerged; the
+      parent drives every other worker and cell to completion first
+      (maximal journal progress), then raises {!Worker_failed} — and a
+      [resume] run replays exactly the missing shards.
 
     {!run_matrix} drives a whole experiment matrix (a list of specs)
-    through {e one} shared pool: workers drain the first cell's shards
-    and spill into the next as slots free up, with a per-cell journal
-    each and one aggregate {!Progress.hook} across the matrix.
+    with a per-cell journal each and one aggregate {!Progress.hook}
+    across the matrix.
 
     Journals are keyed by a campaign fingerprint (space tag, program
     name, golden runtime, memory size, sizing policy, full class list
     and shard layout); resuming against a different campaign — including
     a register journal against a memory campaign or vice versa — raises
-    {!Journal_mismatch} instead of corrupting results.  When a policy
-    names a {!Catalog} directory, journal paths are derived from the
-    fingerprint and indexed in [journals.idx], so [resume] needs no
-    explicit path. *)
+    {!Journal_mismatch} instead of corrupting results.  A journal whose
+    {e middle} fails its CRC (storage corruption, as opposed to the torn
+    tail a crash leaves) is likewise rejected.  When a policy names a
+    {!Catalog} directory, journal paths are derived from the fingerprint
+    and indexed in [journals.idx], so [resume] needs no explicit path. *)
 
 exception Journal_mismatch of string
-(** The journal at the given path belongs to a different campaign (or
-    its records contradict the current shard plan). *)
+(** The journal at the given path belongs to a different campaign, its
+    records contradict the current shard plan, or a complete record
+    fails its CRC (storage corruption — only a torn {e tail} is a normal
+    crash artifact). *)
+
+exception Worker_failed of string
+(** A {!Pool.Processes} worker died (nonzero exit, signal) or wrote a
+    corrupt segment.  Raised only after every other worker and cell has
+    been driven as far as it will go and all journals are closed, so a
+    [resume] run replays exactly the shards the message lists. *)
 
 val fingerprint : Golden.t -> plan:Shard.plan -> int
 (** CRC-32 identity of the memory-space campaign over [golden] under
@@ -42,16 +65,22 @@ val fingerprint_spec : Spec.t -> int
     distinct journals. *)
 
 val run_matrix :
+  ?backend:Pool.backend ->
   ?jobs:int ->
   ?progress:(Spec.t -> Scan.progress) ->
   ?observe:Progress.hook ->
   Spec.t list ->
   Scan.t list
-(** [run_matrix specs] conducts every cell of the matrix over one shared
-    worker pool and returns the scans in spec order.
+(** [run_matrix specs] conducts every cell of the matrix and returns the
+    scans in spec order.
 
-    - [jobs] — worker domains for the whole matrix (default
-      {!Pool.default_jobs}[ ()]).
+    - [backend] — {!Pool.Domains} (default): one shared domain pool over
+      the whole matrix, workers drain the first cell's shards and spill
+      into the next as slots free up.  {!Pool.Processes}: cells run in
+      sequence, each fanned out over up to [jobs] fork/exec'd worker
+      processes ({!Worker}).
+    - [jobs] — worker count, resolved by {!Pool.resolve_jobs}: [0] (or
+      omitted) means {!Pool.default_jobs}[ ()].
     - [progress] — per-cell campaign callback factory: called once per
       spec at setup, and the resulting {!Scan.progress} observes that
       cell exactly as {!Scan.pruned}'s would (once per conducted class,
@@ -69,13 +98,16 @@ val run_matrix :
 
     Each returned scan is structurally equal to its serial counterpart
     ([Scan.pruned] for memory cells, [Regspace.scan] for register cells)
-    for any [jobs] — property-tested for [-j] ∈ {1, 2, 4}.
+    for any [jobs] and either backend — property-tested.
 
-    @raise Journal_mismatch when resuming against a foreign journal.
-    @raise Invalid_argument if [jobs < 1], or some policy sets [resume]
+    @raise Journal_mismatch when resuming against a foreign or corrupt
+    journal.
+    @raise Worker_failed when a process-backend worker dies.
+    @raise Invalid_argument if [jobs < 0], or some policy sets [resume]
     with neither [journal] nor [catalogue]. *)
 
 val run_spec :
+  ?backend:Pool.backend ->
   ?jobs:int ->
   ?progress:Scan.progress ->
   ?observe:Progress.hook ->
@@ -86,6 +118,7 @@ val run_spec :
 
 val run :
   ?variant:string ->
+  ?backend:Pool.backend ->
   ?jobs:int ->
   ?shard_size:int ->
   ?journal:string ->
@@ -100,7 +133,8 @@ val run :
     register space, weighted shard sizing and the journal catalogue,
     which this signature predates.
 
-    - [jobs] — worker domains (default {!Pool.default_jobs}[ ()]);
+    - [backend] — as in {!run_matrix}.
+    - [jobs] — worker count ([0]/omitted = {!Pool.default_jobs}[ ()]);
       [-j 1] runs inline, still sharded and journal-compatible with any
       other worker count.
     - [shard_size] — classes per shard (default
@@ -116,4 +150,6 @@ val run :
     (structural equality) — property-tested for [-j] ∈ {1, 2, 4}.
 
     @raise Journal_mismatch when resuming against a foreign journal.
-    @raise Invalid_argument if [jobs < 1] or [resume] without [journal]. *)
+    @raise Worker_failed when a process-backend worker dies.
+    @raise Invalid_argument if [jobs < 0] or [resume] without
+    [journal]. *)

@@ -39,24 +39,41 @@ let decode_line line =
     | None -> None
   else None
 
+type recovery =
+  | Clean
+  | Torn_tail of int
+  | Corrupt_record of { line : int }
+
 (* Scan the raw bytes for the longest prefix of valid records.  Returns
-   the records' payloads and the byte length of that prefix. *)
-let valid_prefix text =
+   the records' payloads, the byte length of that prefix, and how the
+   scan ended: [Clean] (every byte accounted for), [Torn_tail] (the last
+   line has no terminating newline — the signature of a crashed append),
+   or [Corrupt_record] (a {e complete} line fails its CRC — a single
+   writer cannot produce that by crashing, so the storage, not the
+   campaign, is at fault). *)
+let scan_prefix text =
   let len = String.length text in
   let records = ref [] in
   let pos = ref 0 in
-  let ok = ref true in
-  while !ok && !pos < len do
+  let line = ref 0 in
+  let recovery = ref Clean in
+  let stop = ref false in
+  while (not !stop) && !pos < len do
+    incr line;
     match String.index_from_opt text !pos '\n' with
-    | None -> ok := false (* torn tail: no terminating newline *)
+    | None ->
+        recovery := Torn_tail (len - !pos);
+        stop := true
     | Some nl -> (
         match decode_line (String.sub text !pos (nl - !pos)) with
         | Some payload ->
             records := payload :: !records;
             pos := nl + 1
-        | None -> ok := false)
+        | None ->
+            recovery := Corrupt_record { line = !line };
+            stop := true)
   done;
-  (List.rev !records, !pos)
+  (List.rev !records, !pos, !recovery)
 
 let read_file path =
   match open_in_bin path with
@@ -70,17 +87,25 @@ let load path =
   match read_file path with
   | None -> None
   | Some text -> (
-      match valid_prefix text with
-      | header :: records, _ -> Some (header, records)
-      | [], _ -> None)
+      match scan_prefix text with
+      | header :: records, _, _ -> Some (header, records)
+      | [], _, _ -> None)
+
+let replay path =
+  match read_file path with
+  | None -> None
+  | Some text -> (
+      match scan_prefix text with
+      | header :: records, _, recovery -> Some (header, records, recovery)
+      | [], _, _ -> None)
 
 let open_resume path =
   match read_file path with
   | None -> None
   | Some text -> (
-      match valid_prefix text with
-      | [], _ -> None
-      | header :: records, prefix_len ->
+      match scan_prefix text with
+      | [], _, _ -> None
+      | header :: records, prefix_len, _ ->
           let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
           Unix.ftruncate fd prefix_len;
           ignore (Unix.lseek fd prefix_len Unix.SEEK_SET);

@@ -8,13 +8,18 @@
 
     {!load} accepts exactly that: it returns the longest valid prefix of
     records and ignores anything after the first malformed or
-    CRC-mismatching line.  {!open_resume} additionally truncates the file
-    back to that valid prefix so that subsequent appends never merge into
-    a torn tail.
+    CRC-mismatching line.  {!replay} additionally classifies {e why} the
+    prefix ended ({!recovery}), which is what lets the engine tell a
+    crash artifact (torn tail — resumable) from storage corruption
+    (a complete line with a bad CRC — rejected loudly rather than
+    silently skewing weighted tallies).  {!open_resume} truncates the
+    file back to the valid prefix so that subsequent appends never merge
+    into a torn tail.
 
     The journal is format-agnostic — payload syntax belongs to the
     caller ({!Engine} stores one header record and one record per
-    completed shard). *)
+    completed shard; {!Worker} segments store a segment header and the
+    same shard records). *)
 
 type writer
 
@@ -28,12 +33,34 @@ val append : writer -> string -> unit
 
 val close : writer -> unit
 
+val decode_line : string -> string option
+(** Decode one journal line (without its newline) to its payload; [None]
+    if the line is malformed or its CRC does not match.  Exposed for
+    incremental readers (the engine tails worker journal segments as
+    they grow). *)
+
+type recovery =
+  | Clean  (** Every byte of the file is a valid record. *)
+  | Torn_tail of int
+      (** The last line has no terminating newline ([n] bytes dropped) —
+          the expected artifact of a crashed append; safe to resume. *)
+  | Corrupt_record of { line : int }
+      (** A {e complete} line (1-based [line]) fails its CRC.  A single
+          sequential writer cannot produce this by crashing — the
+          storage lied.  The engine refuses to resume such a journal. *)
+
 val load : string -> (string * string list) option
 (** [load path] is [Some (header, records)] — the first record and the
     remaining valid prefix — or [None] if the file is missing, empty or
     its header record is torn. *)
 
+val replay : string -> (string * string list * recovery) option
+(** Like {!load}, read-only, but also reports how the valid prefix
+    ended.  This is the engine's resume gate: [Corrupt_record] makes it
+    reject the journal instead of silently dropping the suffix. *)
+
 val open_resume : string -> (writer * string * string list) option
 (** Like {!load}, but also truncates the file to the valid prefix and
     returns a writer positioned there, ready to append the remaining
-    records. *)
+    records.  Callers that must distinguish corruption from a torn tail
+    check {!replay} first — truncation destroys the evidence. *)

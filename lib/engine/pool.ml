@@ -1,4 +1,19 @@
+type backend = Domains | Processes
+
+let backend_tag = function Domains -> "domains" | Processes -> "processes"
+
+let backend_of_string = function
+  | "domains" -> Some Domains
+  | "processes" -> Some Processes
+  | _ -> None
+
 let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs ?jobs () =
+  match jobs with
+  | None | Some 0 -> default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some j -> invalid_arg (Printf.sprintf "Pool.resolve_jobs: jobs %d" j)
 
 let run_inline tasks f =
   for i = 0 to tasks - 1 do

@@ -1,17 +1,41 @@
-(** A minimal Domain-based worker pool (OCaml 5 stdlib only).
+(** Worker-pool backends: a minimal Domain pool (OCaml 5 stdlib only)
+    plus the backend selector shared by every engine entry point.
 
-    Tasks are indices [0 .. tasks-1], claimed from an atomic counter in
-    ascending order, so earlier tasks start earlier regardless of the
-    worker count — there is no queue to build and no per-task
+    {!Domains} tasks are indices [0 .. tasks-1], claimed from an atomic
+    counter in ascending order, so earlier tasks start earlier regardless
+    of the worker count — there is no queue to build and no per-task
     allocation.  [run] blocks until every task has finished.
 
     With [jobs <= 1] (or fewer than two tasks) no domain is spawned and
     tasks run inline on the calling domain in index order; this path is
-    what makes [-j 1] behave exactly like a serial loop. *)
+    what makes [-j 1] behave exactly like a serial loop.
+
+    The {!Processes} backend is scheduled by {!Engine} itself (it needs
+    specs, journals and supervision — see {!Worker}); this module only
+    names it, so [--backend] means the same thing everywhere. *)
+
+type backend =
+  | Domains  (** Shared-memory OCaml 5 domains — one process. *)
+  | Processes
+      (** Fork/exec'd worker processes, one journal segment each;
+          supervised by the parent, crash-tolerant under [--resume]. *)
+
+val backend_tag : backend -> string
+(** ["domains"] / ["processes"] — the CLI and bench-artifact spelling. *)
+
+val backend_of_string : string -> backend option
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
     available parallelism (1 on a single-core host). *)
+
+val resolve_jobs : ?jobs:int -> unit -> int
+(** The one place a requested worker count becomes an actual one, shared
+    by the engine and the CLI so no two subcommands can disagree:
+    [None] and [Some 0] mean {!default_jobs}[ ()], [Some n] with
+    [n >= 1] means [n].
+
+    @raise Invalid_argument if [jobs] is negative. *)
 
 val run : jobs:int -> tasks:int -> (int -> unit) -> unit
 (** [run ~jobs ~tasks f] executes [f i] once for every

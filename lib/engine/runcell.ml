@@ -1,0 +1,132 @@
+exception Journal_mismatch of string
+
+let mismatch fmt = Printf.ksprintf (fun s -> raise (Journal_mismatch s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Analysed cells                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A spec resolved to everything a conductor needs: the session base
+   (golden run), the fault-space partition, and the per-experiment
+   conductor of its space. *)
+type cell = {
+  spec : Spec.t;
+  golden : Golden.t;
+  defuse : Defuse.t;
+  ram_bytes : int;
+  conduct : Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t;
+}
+
+let memory_cell spec golden =
+  {
+    spec;
+    golden;
+    defuse = golden.Golden.defuse;
+    ram_bytes = golden.Golden.program.Program.ram_size;
+    conduct = Scan.conduct_class;
+  }
+
+let register_cell spec (r : Regspace.t) =
+  {
+    spec;
+    golden = r.Regspace.golden;
+    defuse = r.Regspace.reg_defuse;
+    ram_bytes = Regspace.pseudo_ram_bytes;
+    conduct = Regspace.conduct;
+  }
+
+let analyse (spec : Spec.t) =
+  match (spec.Spec.space, spec.Spec.source) with
+  | Spec.Memory, Spec.Analysed_memory golden -> memory_cell spec golden
+  | Spec.Memory, Spec.Build build ->
+      memory_cell spec (Golden.run ?limit:spec.Spec.limit (build ()))
+  | Spec.Registers, Spec.Analysed_registers r -> register_cell spec r
+  | Spec.Registers, Spec.Build build ->
+      register_cell spec (Regspace.analyze ?limit:spec.Spec.limit (build ()))
+  | Spec.Memory, Spec.Analysed_registers _
+  | Spec.Registers, Spec.Analysed_memory _ ->
+      invalid_arg "Engine: spec space contradicts its analysed source"
+
+(* ------------------------------------------------------------------ *)
+(* Campaign identity and journal payloads                             *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint_of ~space ~name ~cycles ~ram_bytes
+    ~(classes : Defuse.byte_class array) ~(plan : Shard.plan) =
+  let buf = Buffer.create (64 + (Array.length classes * 12)) in
+  Buffer.add_string buf (Spec.space_tag space);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf name;
+  Buffer.add_string buf
+    (Printf.sprintf "|%d|%d|%d|%s|" cycles ram_bytes plan.Shard.shard_size
+       (Shard.sizing_tag plan.Shard.sizing));
+  Array.iter
+    (fun (c : Defuse.byte_class) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d;" c.Defuse.byte c.Defuse.t_start
+           c.Defuse.t_end))
+    classes;
+  Crc32.string (Buffer.contents buf)
+
+let fingerprint_cell cell ~plan =
+  fingerprint_of ~space:cell.spec.Spec.space
+    ~name:cell.golden.Golden.program.Program.name ~cycles:cell.golden.Golden.cycles
+    ~ram_bytes:cell.ram_bytes
+    ~classes:(Defuse.experiment_classes cell.defuse)
+    ~plan
+
+let plan_of_policy (policy : Spec.policy) classes =
+  Shard.plan ?shard_size:policy.Spec.shard_size ~weighted:policy.Spec.weighted
+    classes
+
+let header_payload cell ~(plan : Shard.plan) ~fp =
+  Printf.sprintf
+    "fi-engine v2 space=%s sizing=%s cycles=%d ram_bytes=%d classes=%d \
+     shard_size=%d shards=%d fingerprint=%s name=%s"
+    (Spec.space_tag cell.spec.Spec.space)
+    (Shard.sizing_tag plan.Shard.sizing)
+    cell.golden.Golden.cycles cell.ram_bytes plan.Shard.classes_total
+    plan.Shard.shard_size
+    (Array.length plan.Shard.shards)
+    (Crc32.to_hex fp) cell.golden.Golden.program.Program.name
+
+let record_payload (shard : Shard.t) outcomes_buf =
+  Printf.sprintf "shard=%d outcomes=%s" shard.Shard.id
+    (Bytes.to_string outcomes_buf)
+
+let parse_record (plan : Shard.plan) payload =
+  match String.index_opt payload ' ' with
+  | Some sp when String.length payload > 15 && String.sub payload 0 6 = "shard=" -> (
+      let id = int_of_string_opt (String.sub payload 6 (sp - 6)) in
+      let rest = String.sub payload (sp + 1) (String.length payload - sp - 1) in
+      if String.length rest < 9 || String.sub rest 0 9 <> "outcomes=" then None
+      else
+        let outs = String.sub rest 9 (String.length rest - 9) in
+        match id with
+        | Some id when id >= 0 && id < Array.length plan.Shard.shards ->
+            let shard = plan.Shard.shards.(id) in
+            if String.length outs <> 8 * Shard.classes_in shard then None
+            else Some (shard, outs)
+        | Some _ | None -> None)
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* The single-shard conductor                                         *)
+(* ------------------------------------------------------------------ *)
+
+let conduct_shard ?(on_class = fun ~class_index:_ _ -> ()) cell
+    ~(classes : Defuse.byte_class array) ~(plan : Shard.plan)
+    (shard : Shard.t) =
+  let session = Injector.session cell.golden in
+  let n = Shard.classes_in shard in
+  let buf = Bytes.create (8 * n) in
+  for k = 0 to n - 1 do
+    let class_index = plan.Shard.order.(shard.Shard.lo + k) in
+    let c = classes.(class_index) in
+    for bit_in_byte = 0 to 7 do
+      let o = cell.conduct session c ~bit_in_byte in
+      Bytes.set buf ((8 * k) + bit_in_byte) (Outcome.to_char o)
+    done;
+    on_class ~class_index (Bytes.sub_string buf (8 * k) 8)
+  done;
+  buf

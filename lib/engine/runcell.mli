@@ -1,0 +1,71 @@
+(** The cell conductor shared by the engine's backends.
+
+    A {!cell} is a {!Spec.t} resolved to everything a conductor needs:
+    the golden run, the fault-space partition, its RAM footprint and the
+    per-experiment conductor of its space.  Both execution backends use
+    this module — the {!Pool.Domains} scheduler inside {!Engine}, and the
+    fork/exec'd worker processes of {!Worker} — so the campaign identity
+    (fingerprints) and the journal wire format (header and shard-record
+    payloads) are defined here exactly once. *)
+
+exception Journal_mismatch of string
+(** Re-exported as {!Engine.Journal_mismatch}. *)
+
+val mismatch : ('a, unit, string, 'b) format4 -> 'a
+(** [mismatch fmt ...] raises {!Journal_mismatch} with the formatted
+    message. *)
+
+type cell = {
+  spec : Spec.t;
+  golden : Golden.t;
+  defuse : Defuse.t;  (** The space's def/use partition. *)
+  ram_bytes : int;  (** Real or pseudo (register-space) RAM size. *)
+  conduct : Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t;
+}
+
+val analyse : Spec.t -> cell
+(** Resolve a spec: run the golden (and, for register cells, the
+    register-trace) analysis if the source is a build thunk.
+    @raise Invalid_argument if the spec's space contradicts its analysed
+    source. *)
+
+val fingerprint_of :
+  space:Spec.space ->
+  name:string ->
+  cycles:int ->
+  ram_bytes:int ->
+  classes:Defuse.byte_class array ->
+  plan:Shard.plan ->
+  int
+(** CRC-32 campaign identity over the space tag, program name, golden
+    runtime, memory size, shard geometry/sizing and full class list. *)
+
+val fingerprint_cell : cell -> plan:Shard.plan -> int
+
+val plan_of_policy : Spec.policy -> Defuse.byte_class array -> Shard.plan
+(** The shard plan a policy prescribes for a class list — the single
+    place shard geometry is derived from a policy, shared by parent and
+    worker processes so both always agree on shard ids. *)
+
+val header_payload : cell -> plan:Shard.plan -> fp:int -> string
+(** The campaign journal's header record. *)
+
+val record_payload : Shard.t -> Bytes.t -> string
+(** One journal record: [shard=<id> outcomes=<8×classes chars>]. *)
+
+val parse_record : Shard.plan -> string -> (Shard.t * string) option
+(** Parse a {!record_payload} back against [plan]; [None] on any
+    malformation (bad id, wrong outcome-string length). *)
+
+val conduct_shard :
+  ?on_class:(class_index:int -> string -> unit) ->
+  cell ->
+  classes:Defuse.byte_class array ->
+  plan:Shard.plan ->
+  Shard.t ->
+  Bytes.t
+(** Conduct every experiment of one shard on a fresh checkpoint session
+    (valid because injection cycles are non-decreasing within a shard)
+    and return the packed outcome characters.  [on_class] is called once
+    per completed class with its index and its 8 outcome characters —
+    the hook the in-process backend uses for live tallies/progress. *)

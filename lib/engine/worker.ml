@@ -1,0 +1,186 @@
+let env_var = "FI_ENGINE_WORKER"
+let torture_var = "FI_ENGINE_TORTURE"
+let magic = "fiwork1\n"
+
+type job = {
+  spec : Spec.t;
+  fingerprint : int;
+  shard_ids : int array;
+  segment : string;
+  index : int;
+}
+
+(* The job crosses the pipe as [magic] + [Marshal] with [Closures]: the
+   worker is a fork/exec of the very same executable, so code pointers
+   captured by a [Spec.Build] thunk relocate correctly. *)
+let encode_job (job : job) = magic ^ Marshal.to_string job [ Marshal.Closures ]
+
+let segment_header ~fingerprint ~pid =
+  Printf.sprintf "fi-segment v1 fingerprint=%s pid=%d" (Crc32.to_hex fingerprint)
+    pid
+
+let segment_fingerprint header =
+  let prefix = "fi-segment v1 fingerprint=" in
+  let plen = String.length prefix in
+  if String.length header >= plen + 8 && String.sub header 0 plen = prefix then
+    Crc32.of_hex (String.sub header plen 8)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Torture hook (crash injection for the engine's own tests)          *)
+(* ------------------------------------------------------------------ *)
+
+type torture_mode = Exit | Raise | Sigkill | Torn
+
+type torture = { mode : torture_mode; after : int; only : int option }
+
+let parse_torture = function
+  | None | Some "" -> None
+  | Some s -> (
+      let mode_of = function
+        | "exit" -> Some Exit
+        | "raise" -> Some Raise
+        | "sigkill" -> Some Sigkill
+        | "torn" -> Some Torn
+        | _ -> None
+      in
+      match String.split_on_char ':' s with
+      | [ m; n ] -> (
+          match (mode_of m, int_of_string_opt n) with
+          | Some mode, Some after -> Some { mode; after; only = None }
+          | _ -> None)
+      | [ m; n; w ] -> (
+          match (mode_of m, int_of_string_opt n, int_of_string_opt w) with
+          | Some mode, Some after, Some only ->
+              Some { mode; after; only = Some only }
+          | _ -> None)
+      | _ -> None)
+
+let maybe_die torture ~index ~completed ~segment =
+  match torture with
+  | Some t
+    when (t.only = None || t.only = Some index) && completed = t.after -> (
+      match t.mode with
+      | Exit -> exit 7
+      | Raise -> failwith "torture: injected worker fault"
+      | Sigkill -> Unix.kill (Unix.getpid ()) Sys.sigkill
+      | Torn ->
+          (* A crash mid-append: raw partial record, no newline, then
+             die without cleanup. *)
+          let oc = open_out_gen [ Open_append; Open_binary ] 0o644 segment in
+          output_string oc "deadbeef torn-rec";
+          flush oc;
+          Unix.kill (Unix.getpid ()) Sys.sigkill)
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The worker side                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let serve ~input ~output =
+  set_binary_mode_in input true;
+  let seen = really_input_string input (String.length magic) in
+  if seen <> magic then failwith "worker: bad job magic on stdin";
+  let job : job = Marshal.from_channel input in
+  let cell = Runcell.analyse job.spec in
+  let classes = Defuse.experiment_classes cell.Runcell.defuse in
+  let plan = Runcell.plan_of_policy job.spec.Spec.policy classes in
+  let fp = Runcell.fingerprint_cell cell ~plan in
+  if fp <> job.fingerprint then
+    failwith
+      (Printf.sprintf
+         "worker: cell fingerprint %s disagrees with the parent's %s \
+          (nondeterministic build?)"
+         (Crc32.to_hex fp)
+         (Crc32.to_hex job.fingerprint));
+  let shards_total = Array.length plan.Shard.shards in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= shards_total then
+        failwith (Printf.sprintf "worker: shard id %d out of range" id))
+    job.shard_ids;
+  let torture = parse_torture (Sys.getenv_opt torture_var) in
+  let w =
+    Journal.create job.segment
+      ~header:(segment_header ~fingerprint:fp ~pid:(Unix.getpid ()))
+  in
+  Array.iteri
+    (fun completed id ->
+      maybe_die torture ~index:job.index ~completed ~segment:job.segment;
+      let shard = plan.Shard.shards.(id) in
+      let buf = Runcell.conduct_shard cell ~classes ~plan shard in
+      Journal.append w (Runcell.record_payload shard buf);
+      (* Doorbell: the record is fsync'd, the parent may merge it. *)
+      Printf.fprintf output "s %d\n" id;
+      flush output)
+    job.shard_ids;
+  maybe_die torture ~index:job.index ~completed:(Array.length job.shard_ids)
+    ~segment:job.segment;
+  Journal.close w;
+  output_string output "end\n";
+  flush output
+
+let guard () =
+  match Sys.getenv_opt env_var with
+  | Some "1" ->
+      (try serve ~input:stdin ~output:stdout
+       with exn ->
+         Printf.eprintf "fi worker (pid %d): %s\n%!" (Unix.getpid ())
+           (Printexc.to_string exn);
+         exit 3);
+      exit 0
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The parent side                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type child = {
+  pid : int;
+  index : int;
+  status_fd : Unix.file_descr;
+  segment : string;
+  assigned : int array;
+}
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let spawn (job : job) =
+  let job_r, job_w = Unix.pipe ~cloexec:true () in
+  let st_r, st_w = Unix.pipe ~cloexec:true () in
+  let env =
+    Array.append (Unix.environment ()) [| Printf.sprintf "%s=1" env_var |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env job_r st_w Unix.stderr
+  in
+  Unix.close job_r;
+  Unix.close st_w;
+  (* Ship the job.  The child may already be dead (torture, OOM): a
+     broken pipe here is a supervision event, not a parent crash — the
+     caller must have SIGPIPE ignored, which turns it into EPIPE. *)
+  (try write_all job_w (encode_job job)
+   with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) -> ());
+  (try Unix.close job_w with Unix.Unix_error _ -> ());
+  {
+    pid;
+    index = job.index;
+    status_fd = st_r;
+    segment = job.segment;
+    assigned = job.shard_ids;
+  }
+
+let pid c = c.pid
+let index c = c.index
+let status_fd c = c.status_fd
+let segment c = c.segment
+let assigned c = c.assigned
+let wait child = snd (Unix.waitpid [] child.pid)

@@ -1,0 +1,79 @@
+(** The fork/exec worker process of the {!Pool.Processes} backend.
+
+    A worker is this very executable re-exec'd with {!env_var} set: the
+    first thing every engine-hosting binary does is call {!guard}, which
+    diverts such a process into {!serve} before any other code runs.
+    The parent ships one {!job} — a marshalled {!Spec.t} (the [Closures]
+    flag relocates [Spec.Build] thunks, valid because parent and child
+    are the same binary), the campaign fingerprint, a shard-id range and
+    a segment path — down the child's stdin.  The worker re-analyses the
+    cell, checks its fingerprint against the parent's (a loud failure if
+    the build is nondeterministic), conducts its shards in order, and
+    appends each result record to its own CRC-guarded journal {e
+    segment} (same record format as the campaign journal, distinct
+    [fi-segment v1] header).  After each fsync'd append it writes a
+    doorbell line ([s <id>\n]) to stdout, so the parent can merge the
+    segment incrementally; EOF on that pipe is the parent's death
+    notice, whatever the cause.
+
+    The journal is the only shared state: a worker killed mid-shard
+    leaves at most a torn segment tail, which the parent's merge
+    ignores, so the shard stays unfinished and [--resume] replays it. *)
+
+val env_var : string
+(** ["FI_ENGINE_WORKER"] — set to ["1"] in a worker's environment. *)
+
+val torture_var : string
+(** ["FI_ENGINE_TORTURE"] — crash-injection hook for the engine's own
+    torture tests: ["MODE:N"] or ["MODE:N:WORKER"] makes a worker (the
+    [WORKER]-indexed one, or all) die once it has completed [N] shards.
+    [MODE] is [exit] (exit code 7), [raise] (uncaught exception, exit 3),
+    [sigkill] (SIGKILL itself between shards) or [torn] (append a raw
+    partial record, then SIGKILL — a crash mid-append).  Unset, empty or
+    unparseable values inject nothing. *)
+
+type job = {
+  spec : Spec.t;
+  fingerprint : int;  (** Parent's campaign fingerprint; verified. *)
+  shard_ids : int array;  (** Plan shard ids to conduct, in order. *)
+  segment : string;  (** Journal-segment path to (re)create. *)
+  index : int;  (** Worker index within its cell, for diagnostics. *)
+}
+
+val segment_header : fingerprint:int -> pid:int -> string
+val segment_fingerprint : string -> int option
+(** Parse a segment header back to its fingerprint ([None] if the
+    payload is not a segment header). *)
+
+val serve : input:in_channel -> output:out_channel -> unit
+(** The worker main loop: read one job from [input], conduct it, journal
+    to the segment, doorbell on [output].  Raises on any protocol or
+    fingerprint violation — {!guard} turns that into exit code 3. *)
+
+val guard : unit -> unit
+(** Call first in every [main] of a binary that runs campaigns (the CLI,
+    the test runners).  If {!env_var} is set, runs {!serve} over
+    stdin/stdout and exits (0 on success, 3 on failure) — otherwise
+    returns immediately. *)
+
+type child
+(** A spawned worker, parent side. *)
+
+val spawn : job -> child
+(** Fork/exec [Sys.executable_name] with {!env_var} set and ship it
+    [job].  The caller must be ignoring [SIGPIPE] (the engine's
+    processes scheduler is): a child that dies before reading its job
+    surfaces as a supervision event, not a parent crash. *)
+
+val pid : child -> int
+val index : child -> int
+val status_fd : child -> Unix.file_descr
+(** The doorbell pipe's read end: one line per completed shard, [end]
+    on clean completion, EOF when the child is gone.  The caller closes
+    it. *)
+
+val segment : child -> string
+val assigned : child -> int array
+
+val wait : child -> Unix.process_status
+(** [waitpid] (blocking; call after EOF on {!status_fd}). *)

@@ -1,4 +1,8 @@
 let () =
+  (* Before anything else: if this process was exec'd as a campaign
+     worker (the process backend re-execs the hosting binary), serve the
+     job and exit instead of running the test suite. *)
+  Worker.guard ();
   Alcotest.run "fipitfalls"
     [
       Test_prng.suite;
@@ -9,6 +13,7 @@ let () =
       Test_campaign.suite;
       Test_engine.suite;
       Test_matrix.suite;
+      Test_process.suite;
       Test_mir.suite;
       Test_kernel.suite;
       Test_optimize.suite;

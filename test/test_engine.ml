@@ -311,8 +311,14 @@ let test_engine_progress_interface () =
 
 let test_engine_bad_args () =
   let golden = Lazy.force hi_golden in
-  Alcotest.check_raises "jobs 0" (Invalid_argument "Engine.run: jobs 0")
-    (fun () -> ignore (Engine.run ~jobs:0 golden));
+  (* jobs 0 means "all cores" — Pool.resolve_jobs is the single
+     authority for both the engine and the CLI, so only negative counts
+     are rejected, with Pool's own message. *)
+  check_scans_identical "jobs 0 = all cores" (Lazy.force hi_serial)
+    (Engine.run ~jobs:0 golden);
+  Alcotest.check_raises "jobs -1"
+    (Invalid_argument "Pool.resolve_jobs: jobs -1") (fun () ->
+      ignore (Engine.run ~jobs:(-1) golden));
   Alcotest.check_raises "resume without journal"
     (Invalid_argument "Engine.run: ~resume requires ~journal") (fun () ->
       ignore (Engine.run ~resume:true golden))

@@ -1,0 +1,235 @@
+(* Worker-crash torture tests for the process backend — the slow,
+   adversarial matrix kept out of @tier1 and run by `dune build @torture`
+   (see DESIGN.md §7): every crash mode (clean nonzero exit, uncaught
+   exception, SIGKILL between shards, SIGKILL mid-append) injected into
+   journaled campaigns, on fixed fixtures and on qcheck-random programs,
+   always asserting the same three properties — the parent reports the
+   death, the campaign journal stays CRC-valid, and a --resume run
+   completes bit-identically to the serial scan. *)
+
+let () = Worker.guard ()
+
+let hi_golden = lazy (Golden.run (Hi.program ()))
+let hi_serial = lazy (Scan.pruned (Lazy.force hi_golden))
+let flag1_golden = lazy (Golden.run (Flag1.baseline ()))
+let flag1_serial = lazy (Scan.pruned (Lazy.force flag1_golden))
+
+let check_scans_identical msg serial parallel =
+  Alcotest.(check bool) (msg ^ " (structural)") true (serial = parallel);
+  Alcotest.(check string)
+    (msg ^ " (serialised)")
+    (Csv_io.to_string serial)
+    (Csv_io.to_string parallel)
+
+let with_temp_file f =
+  let path = Filename.temp_file "fitorture" ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (path :: List.init 8 (Printf.sprintf "%s.seg%d" path)))
+    (fun () -> f path)
+
+let with_torture value f =
+  Unix.putenv Worker.torture_var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv Worker.torture_var "") f
+
+let policy ~journal ?(resume = false) ?shard_size () =
+  { Spec.default_policy with Spec.journal = Some journal; resume; shard_size }
+
+(* ------------------------------------------------------------------ *)
+(* Differential: Processes = serial on the fixtures, any -j           *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_fixtures () =
+  List.iter
+    (fun (name, serial, golden) ->
+      List.iter
+        (fun jobs ->
+          check_scans_identical
+            (Printf.sprintf "%s processes -j %d" name jobs)
+            (Lazy.force serial)
+            (Engine.run_spec ~backend:Pool.Processes ~jobs
+               (Spec.of_golden (Lazy.force golden))))
+        [ 1; 2; 3 ])
+    [ ("hi", hi_serial, hi_golden); ("flag1", flag1_serial, flag1_golden) ]
+
+(* ------------------------------------------------------------------ *)
+(* The crash matrix                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Inject [mode] into every worker after one completed shard, over a
+   journaled 2-worker flag1 campaign with one class per shard; then
+   resume with the hook cleared. *)
+let crash_round_trip mode =
+  let serial = Lazy.force flag1_serial in
+  let golden = Lazy.force flag1_golden in
+  with_temp_file (fun path ->
+      let spec resume =
+        Spec.of_golden
+          ~policy:(policy ~journal:path ~resume ~shard_size:1 ())
+          golden
+      in
+      (match
+         with_torture
+           (Printf.sprintf "%s:1" mode)
+           (fun () ->
+             Engine.run_spec ~backend:Pool.Processes ~jobs:2 (spec false))
+       with
+      | _ -> Alcotest.failf "%s: expected Worker_failed" mode
+      | exception Engine.Worker_failed msg ->
+          Alcotest.(check bool)
+            (mode ^ ": failure names the cell") true
+            (String.length msg > 0
+            && String.starts_with ~prefix:"flag1" msg));
+      (* The campaign journal holds the shards completed before the
+         crash — CRC-valid to the last byte (only worker segments may be
+         torn, and their torn tails are never merged). *)
+      (match Journal.replay path with
+      | Some (_, records, Journal.Clean) ->
+          Alcotest.(check bool)
+            (mode ^ ": progress was journalled") true
+            (List.length records >= 1)
+      | Some (_, _, _) ->
+          Alcotest.failf "%s: campaign journal not clean after crash" mode
+      | None -> Alcotest.failf "%s: campaign journal unreadable" mode);
+      let snap = ref None in
+      let resumed =
+        Engine.run_spec ~backend:Pool.Processes ~jobs:2
+          ~observe:(fun s -> snap := Some s)
+          (spec true)
+      in
+      check_scans_identical (mode ^ ": crash + resume = serial") serial resumed;
+      match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check bool)
+            (mode ^ ": resumed without re-conducting") true
+            (s.Progress.resumed_classes > 0))
+
+let test_crash_exit () = crash_round_trip "exit"
+let test_crash_raise () = crash_round_trip "raise"
+let test_crash_sigkill () = crash_round_trip "sigkill"
+let test_crash_torn () = crash_round_trip "torn"
+
+(* A worker killed before conducting anything: the whole cell replays. *)
+let test_crash_immediately () =
+  let serial = Lazy.force hi_serial in
+  let golden = Lazy.force hi_golden in
+  with_temp_file (fun path ->
+      (match
+         with_torture "sigkill:0" (fun () ->
+             Engine.run_spec ~backend:Pool.Processes ~jobs:2
+               (Spec.of_golden
+                  ~policy:(policy ~journal:path ~shard_size:1 ())
+                  golden))
+       with
+      | _ -> Alcotest.fail "expected Worker_failed"
+      | exception Engine.Worker_failed _ -> ());
+      let resumed =
+        Engine.run_spec ~backend:Pool.Processes ~jobs:2
+          (Spec.of_golden
+             ~policy:(policy ~journal:path ~resume:true ~shard_size:1 ())
+             golden)
+      in
+      check_scans_identical "immediate kill + resume" serial resumed)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random programs under the crash matrix                     *)
+(* ------------------------------------------------------------------ *)
+
+let random_golden seed =
+  let open Builder in
+  let k = 1 + (seed mod 5) in
+  let source =
+    prog
+      ~name:(Printf.sprintf "trand%d" seed)
+      [ global "acc" ~init:[ seed mod 11 ]; array "buf" 4 ~init:[ 2; 7; 1; 8 ] ]
+      [
+        func "main" ~locals:[ "i" ]
+          (for_ "i" ~from:(i 0) ~below:(i k)
+             [
+               setg "acc" (g "acc" +: elem "buf" (l "i" %: i 4));
+               set_elem "buf" (l "i" %: i 4) (g "acc" ^: i seed);
+             ]
+          @ [ out (g "acc" &: i 255); ret_unit ]);
+      ]
+  in
+  Golden.run (Codegen.compile source)
+
+let qcheck_differential_memory =
+  QCheck.Test.make
+    ~name:"torture: processes = serial on random programs (memory)" ~count:6
+    QCheck.(pair (int_bound 10_000) (int_range 1 3))
+    (fun (seed, jobs) ->
+      let golden = random_golden seed in
+      Scan.pruned golden
+      = Engine.run_spec ~backend:Pool.Processes ~jobs (Spec.of_golden golden))
+
+let qcheck_differential_registers =
+  QCheck.Test.make
+    ~name:"torture: processes = serial on random programs (registers)"
+    ~count:4
+    QCheck.(pair (int_bound 10_000) (int_range 1 3))
+    (fun (seed, jobs) ->
+      let open Builder in
+      let source =
+        prog
+          ~name:(Printf.sprintf "rrand%d" seed)
+          [ global "x" ~init:[ seed mod 13 ] ]
+          [
+            func "main" ~locals:[]
+              [ setg "x" (g "x" *: i 3 +: i (seed mod 5));
+                out (g "x" &: i 255); ret_unit ];
+          ]
+      in
+      let rs = Regspace.analyze (Codegen.compile source) in
+      Regspace.scan rs
+      = Engine.run_spec ~backend:Pool.Processes ~jobs (Spec.of_regspace rs))
+
+let qcheck_sigkill_resume =
+  QCheck.Test.make
+    ~name:"torture: sigkill + resume is bit-identical on random programs"
+    ~count:4
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let golden = random_golden seed in
+      with_temp_file (fun path ->
+          let spec resume =
+            Spec.of_golden
+              ~policy:(policy ~journal:path ~resume ~shard_size:1 ())
+              golden
+          in
+          let died =
+            match
+              with_torture "sigkill:1" (fun () ->
+                  Engine.run_spec ~backend:Pool.Processes ~jobs:2 (spec false))
+            with
+            | _ -> false
+            | exception Engine.Worker_failed _ -> true
+          in
+          let resumed =
+            Engine.run_spec ~backend:Pool.Processes ~jobs:2 (spec true)
+          in
+          died && Scan.pruned golden = resumed))
+
+let () =
+  Alcotest.run "fi-torture"
+    [
+      ( "torture",
+        [
+          Alcotest.test_case "processes = serial (fixtures, j 1-3)" `Slow
+            test_differential_fixtures;
+          Alcotest.test_case "crash: clean nonzero exit" `Slow test_crash_exit;
+          Alcotest.test_case "crash: uncaught exception" `Slow test_crash_raise;
+          Alcotest.test_case "crash: sigkill between shards" `Slow
+            test_crash_sigkill;
+          Alcotest.test_case "crash: sigkill mid-append (torn segment)" `Slow
+            test_crash_torn;
+          Alcotest.test_case "crash: killed before any shard" `Slow
+            test_crash_immediately;
+          QCheck_alcotest.to_alcotest qcheck_differential_memory;
+          QCheck_alcotest.to_alcotest qcheck_differential_registers;
+          QCheck_alcotest.to_alcotest qcheck_sigkill_resume;
+        ] );
+    ]
