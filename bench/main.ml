@@ -379,6 +379,131 @@ let run_engine_parallel () =
   close_out oc;
   Printf.printf "wrote BENCH_engine.json\n"
 
+let run_engine_supervision () =
+  section
+    "ENGS | Supervision overhead and healing cost: undisturbed vs crashing \
+     vs hanging workers (splices \"supervision\" into BENCH_engine.json)";
+  let golden = Golden.run (Bin_sem2.baseline ()) in
+  let serial = Scan.pruned golden in
+  let jobs = 2 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let supervised ?shard_timeout () =
+    {
+      Spec.default_policy with
+      Spec.shard_timeout;
+      max_retries = 2;
+      quarantine = true;
+    }
+  in
+  let with_torture value f =
+    Unix.putenv Worker.torture_var value;
+    Fun.protect ~finally:(fun () -> Unix.putenv Worker.torture_var "") f
+  in
+  let run ?torture policy =
+    let snap = ref None in
+    let go () =
+      time (fun () ->
+          Engine.run_spec_result ~backend:Pool.Processes ~jobs
+            ~observe:(fun s -> snap := Some s)
+            (Spec.of_golden ~policy golden))
+    in
+    let result, t =
+      match torture with None -> go () | Some v -> with_torture v go
+    in
+    let retries, kills =
+      match !snap with
+      | Some s -> (s.Progress.retries, s.Progress.kills)
+      | None -> (0, 0)
+    in
+    (t, result.Engine.scan = serial, retries, kills)
+  in
+  (* Baseline: supervision off entirely — the seed engine's hot path. *)
+  let t_plain, ok_plain, _, _ = run Spec.default_policy in
+  (* Supervision armed but never triggered: the overhead claim. *)
+  let t_sup, ok_sup, r_sup, k_sup = run (supervised ~shard_timeout:60. ()) in
+  (* Every first worker crashes once: bounded retry heals in place. *)
+  let t_crash, ok_crash, r_crash, _ =
+    run ~torture:"exit:0:0" (supervised ())
+  in
+  (* One worker hangs: deadline kill + retry heals in place. *)
+  let t_hang, ok_hang, _, k_hang =
+    run ~torture:"hang:0:0" (supervised ~shard_timeout:0.5 ())
+  in
+  let overhead_pct = (t_sup -. t_plain) /. t_plain *. 100. in
+  Printf.printf "unsupervised        : %6.2f s  (bit-identical %b)\n" t_plain
+    ok_plain;
+  Printf.printf "supervised, healthy : %6.2f s  (overhead %+.1f%%, \
+                 bit-identical %b, retries %d, kills %d)\n"
+    t_sup overhead_pct ok_sup r_sup k_sup;
+  Printf.printf "crashing worker     : %6.2f s  (healed %b, retries %d)\n"
+    t_crash ok_crash r_crash;
+  Printf.printf "hung worker         : %6.2f s  (healed %b, kills %d)\n"
+    t_hang ok_hang k_hang;
+  let sup_json =
+    Printf.sprintf
+      "{\n\
+      \    \"jobs\": %d,\n\
+      \    \"unsupervised_seconds\": %.3f,\n\
+      \    \"supervised_seconds\": %.3f,\n\
+      \    \"overhead_percent\": %.2f,\n\
+      \    \"healthy_bit_identical\": %b,\n\
+      \    \"crash_heal_seconds\": %.3f,\n\
+      \    \"crash_healed\": %b,\n\
+      \    \"crash_retries\": %d,\n\
+      \    \"hang_heal_seconds\": %.3f,\n\
+      \    \"hang_healed\": %b,\n\
+      \    \"hang_kills\": %d\n\
+      \  }"
+      jobs t_plain t_sup overhead_pct (ok_plain && ok_sup) t_crash ok_crash
+      r_crash t_hang ok_hang k_hang
+  in
+  (* Splice into BENCH_engine.json next to the engine-parallel runs,
+     replacing any previous supervision section (idempotent re-runs);
+     write a minimal skeleton if engine-parallel has not run yet. *)
+  let path = "BENCH_engine.json" in
+  let base =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      text
+    end
+    else "{\n  \"benchmark\": \"bin_sem2/baseline\"\n}\n"
+  in
+  let find_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i =
+      if i + nn > nh then None
+      else if String.sub hay i nn = needle then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let trim_tail s =
+    let n = ref (String.length s) in
+    while !n > 0 && (s.[!n - 1] = '\n' || s.[!n - 1] = ' ') do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let body =
+    match find_sub base ",\n  \"supervision\":" with
+    | Some i -> String.sub base 0 i
+    | None ->
+        let t = trim_tail base in
+        let n = String.length t in
+        if n > 0 && t.[n - 1] = '}' then trim_tail (String.sub t 0 (n - 1))
+        else t
+  in
+  let oc = open_out path in
+  output_string oc (body ^ ",\n  \"supervision\": " ^ sup_json ^ "\n}\n");
+  close_out oc;
+  Printf.printf "spliced supervision into BENCH_engine.json\n"
+
 let run_matrix_parallel () =
   section
     "ENGM | Matrix engine: paper pairs back-to-back serial vs one \
@@ -564,6 +689,7 @@ let artifacts =
     ("registers", run_registers);
     ("engine", run_engine);
     ("engine-parallel", run_engine_parallel);
+    ("engine-supervision", run_engine_supervision);
     ("matrix-parallel", run_matrix_parallel);
     ("optimization", run_optimization);
     ("perf", run_perf);

@@ -78,6 +78,9 @@ type engine_opts = {
   resume : bool;
   shard_size : int option;
   weighted : bool;
+  shard_timeout : float option;
+  max_retries : int;
+  no_quarantine : bool;
 }
 
 let engine_opts_term =
@@ -139,10 +142,53 @@ let engine_opts_term =
     in
     Arg.(value & flag & info [ "weighted-shards" ] ~doc)
   in
+  let shard_timeout =
+    let doc =
+      "Supervision deadline in seconds ($(b,--backend processes)): a \
+       worker that completes no shard for $(docv) is declared hung (or \
+       stalled, if it still heartbeats), SIGKILLed, and its shards \
+       retried.  Default: derived from the observed shard rate (8× the \
+       mean per-worker shard time)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shard-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_retries =
+    let doc =
+      "Retry budget per shard: how many times a shard whose worker died \
+       (crash, hang, stall) is re-dispatched to a fresh worker, with \
+       exponential backoff, before it is quarantined (or, with \
+       $(b,--no-quarantine), fails the campaign).  0 disables automatic \
+       retry — recovery is then a manual $(b,--resume)."
+    in
+    Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let no_quarantine =
+    let doc =
+      "Fail the campaign ($(b,Worker_failed), nonzero exit) when a shard \
+       exhausts its retry budget, instead of quarantining the shard and \
+       completing the campaign without it."
+    in
+    Arg.(value & flag & info [ "no-quarantine" ] ~doc)
+  in
   Term.(
-    const (fun backend jobs journal resume shard_size weighted ->
-        { backend; jobs; journal; resume; shard_size; weighted })
-    $ backend $ jobs $ journal $ resume $ shard_size $ weighted)
+    const (fun backend jobs journal resume shard_size weighted shard_timeout
+               max_retries no_quarantine ->
+        {
+          backend;
+          jobs;
+          journal;
+          resume;
+          shard_size;
+          weighted;
+          shard_timeout;
+          max_retries;
+          no_quarantine;
+        })
+    $ backend $ jobs $ journal $ resume $ shard_size $ weighted $ shard_timeout
+    $ max_retries $ no_quarantine)
 
 let policy_of opts =
   {
@@ -151,6 +197,10 @@ let policy_of opts =
     journal = opts.journal;
     resume = opts.resume;
     catalogue = Some Catalog.default_dir;
+    shard_timeout = opts.shard_timeout;
+    max_retries = opts.max_retries;
+    quarantine = not opts.no_quarantine;
+    retry_backoff = Spec.default_policy.Spec.retry_backoff;
   }
 
 (* Jobs resolution lives in Pool.resolve_jobs — the engine uses the very
@@ -169,12 +219,44 @@ let engine_progress ~quiet =
         Printf.eprintf "\r%s%!" (Progress.render snap);
         if Progress.finished snap then prerr_newline ())
 
+(* Supervision events (worker killed, shard retried/quarantined) go to
+   stderr as they happen; a final quarantine report follows the run, so
+   a degraded campaign is impossible to mistake for a complete one. *)
+let report_quarantine results =
+  let qs =
+    List.concat_map (fun (r : Engine.result) -> r.Engine.quarantined) results
+  in
+  if qs <> [] then begin
+    Printf.eprintf
+      "fi-cli: WARNING: %d shard%s quarantined — the classes below were \
+       never conducted and hold No_effect placeholders:\n"
+      (List.length qs)
+      (if List.length qs > 1 then "s" else "");
+    List.iter
+      (fun (q : Engine.quarantined) ->
+        Printf.eprintf
+          "  %s: shard %d (%d classes) after %d attempt%s: %s\n"
+          q.Engine.q_cell q.Engine.q_shard q.Engine.q_classes
+          q.Engine.q_attempts
+          (if q.Engine.q_attempts > 1 then "s" else "")
+          q.Engine.q_cause)
+      qs;
+    Printf.eprintf
+      "fi-cli: re-run with --resume to give quarantined shards another \
+       chance.\n%!"
+  end
+
 let engine_matrix ~opts ~quiet specs =
   match
-    Engine.run_matrix ~backend:opts.backend ~jobs:(resolve_jobs opts.jobs)
-      ~observe:(engine_progress ~quiet) specs
+    Engine.run_matrix_results ~backend:opts.backend
+      ~jobs:(resolve_jobs opts.jobs)
+      ~observe:(engine_progress ~quiet)
+      ~on_event:(fun msg -> Printf.eprintf "\n[supervision] %s\n%!" msg)
+      specs
   with
-  | scans -> scans
+  | results ->
+      report_quarantine results;
+      List.map (fun (r : Engine.result) -> r.Engine.scan) results
   | exception Engine.Journal_mismatch msg -> or_die (Error msg)
   | exception Engine.Worker_failed msg -> or_die (Error msg)
 
@@ -447,6 +529,7 @@ let sample_cmd =
       if
         opts.jobs <> 1 || opts.backend <> Pool.Domains || opts.journal <> None
         || opts.resume || opts.shard_size <> None || opts.weighted
+        || opts.shard_timeout <> None
       then
         Some
           (engine_spec ~opts ~quiet:false
@@ -620,6 +703,57 @@ let report_cmd =
     Term.(const action $ which)
 
 (* ------------------------------------------------------------------ *)
+(* journal (maintenance of the catalogue)                             *)
+(* ------------------------------------------------------------------ *)
+
+let journal_cmd =
+  let dir =
+    Arg.(
+      value
+      & opt string Catalog.default_dir
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Journal-catalogue directory (default $(b,_artifacts)).")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Report what compaction would do without deleting or \
+                rewriting anything.")
+  in
+  let compact_cmd =
+    let action dir dry_run =
+      let c =
+        Catalog.compact ~dry_run ~finished:Runcell.journal_finished ~dir ()
+      in
+      Format.printf
+        "%s%d entries examined: %d finished journal%s %s, %d superseded \
+         entr%s and %d dangling entr%s pruned, %d kept@."
+        (if dry_run then "[dry run] " else "")
+        c.Catalog.examined c.Catalog.folded
+        (if c.Catalog.folded = 1 then "" else "s")
+        (if dry_run then "would be folded" else "folded")
+        c.Catalog.superseded
+        (if c.Catalog.superseded = 1 then "y" else "ies")
+        c.Catalog.dangling
+        (if c.Catalog.dangling = 1 then "y" else "ies")
+        c.Catalog.kept
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Fold finished campaign journals into the CSV store and prune \
+            superseded or dangling $(b,journals.idx) entries.  A journal \
+            is finished when it replays cleanly and every plan shard has \
+            a record; unfinished ones — including quarantine-degraded \
+            journals, which $(b,--resume) can still heal — are kept.")
+      Term.(const action $ dir $ dry_run)
+  in
+  Cmd.group
+    (Cmd.info "journal" ~doc:"Maintain the journal catalogue.")
+    [ compact_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* worker                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -657,4 +791,4 @@ let () =
   let info = Cmd.info "fi-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ run_cmd; trace_cmd; campaign_cmd; matrix_cmd; sample_cmd; compare_cmd;
-      asm_cmd; poisson_cmd; report_cmd; list_cmd; worker_cmd ]))
+      asm_cmd; poisson_cmd; report_cmd; journal_cmd; list_cmd; worker_cmd ]))

@@ -42,3 +42,67 @@ let record ~dir ~fingerprint ~path =
     Printf.fprintf oc "%s %s\n" (Crc32.to_hex fingerprint) path;
     close_out oc
   end
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rewrite ~dir entries =
+  ensure_dir dir;
+  let tmp = index_path ~dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  List.iter
+    (fun (fp, path) -> Printf.fprintf oc "%s %s\n" (Crc32.to_hex fp) path)
+    entries;
+  close_out oc;
+  Sys.rename tmp (index_path ~dir)
+
+type compaction = {
+  examined : int;
+  kept : int;
+  folded : int;
+  superseded : int;
+  dangling : int;
+}
+
+let compact ?(dry_run = false) ~finished ~dir () =
+  let all = entries ~dir in
+  let examined = List.length all in
+  (* Later entries win: walk newest-first, keep the first occurrence of
+     each fingerprint, drop the rest as superseded. *)
+  let seen = Hashtbl.create 16 in
+  let current =
+    List.fold_left
+      (fun acc (fp, path) ->
+        if Hashtbl.mem seen fp then acc
+        else begin
+          Hashtbl.add seen fp ();
+          (fp, path) :: acc
+        end)
+      [] (List.rev all)
+  in
+  let superseded = examined - List.length current in
+  let folded = ref 0 and dangling = ref 0 in
+  let kept =
+    List.filter
+      (fun (_, path) ->
+        if not (Sys.file_exists path) then begin
+          incr dangling;
+          false
+        end
+        else if finished path then begin
+          incr folded;
+          if not dry_run then (try Sys.remove path with Sys_error _ -> ());
+          false
+        end
+        else true)
+      current
+  in
+  if not dry_run then rewrite ~dir kept;
+  {
+    examined;
+    kept = List.length kept;
+    folded = !folded;
+    superseded;
+    dangling = !dangling;
+  }

@@ -29,3 +29,26 @@ val lookup : dir:string -> fingerprint:int -> string option
 val record : dir:string -> fingerprint:int -> path:string -> unit
 (** Append [fingerprint → path], creating directory and index on first
     use; a no-op if that mapping is already the current one. *)
+
+val rewrite : dir:string -> (int * string) list -> unit
+(** Replace the whole index with these entries, atomically (write to a
+    temp file, then rename).  Compaction's primitive. *)
+
+type compaction = {
+  examined : int;  (** Index lines parsed. *)
+  kept : int;  (** Entries still in the index afterwards. *)
+  folded : int;  (** Finished journals removed (results live in CSV). *)
+  superseded : int;  (** Older duplicate entries dropped. *)
+  dangling : int;  (** Entries whose journal file no longer exists. *)
+}
+
+val compact :
+  ?dry_run:bool -> finished:(string -> bool) -> dir:string -> unit -> compaction
+(** Fold the catalogue: drop superseded and dangling entries, and for
+    every current entry whose journal [finished] judges complete
+    (normally {!Runcell.journal_finished} — the campaign's results are
+    then reproducible from the CSV store), delete the journal file and
+    its entry.  Unfinished journals — including quarantine-degraded
+    ones, which [--resume] can still heal — are kept.  With [dry_run]
+    nothing is deleted or rewritten; the returned summary reports what
+    {e would} happen. *)

@@ -24,6 +24,21 @@ let fingerprint_spec spec =
   Runcell.fingerprint_cell cell ~plan
 
 (* ------------------------------------------------------------------ *)
+(* Results (scan + quarantine report)                                 *)
+(* ------------------------------------------------------------------ *)
+
+type quarantined = {
+  q_cell : string;
+  q_shard : int;
+  q_classes : int;
+  q_class_indices : int array;
+  q_attempts : int;
+  q_cause : string;
+}
+
+type result = { scan : Scan.t; quarantined : quarantined list }
+
+(* ------------------------------------------------------------------ *)
 (* Journal resolution (explicit path or catalogue)                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -53,6 +68,9 @@ type runtime = {
   fp : int;
   outcomes : Outcome.t array;
   shard_done : bool array;
+  retries : int array;  (** Retry attempts burned, per shard. *)
+  quarantined : bool array;
+  mutable q_info : (int * int * string) list;  (** Newest first. *)
   tally : Outcome.tally;
   progress : Scan.progress;
   journal_path : string option;
@@ -72,6 +90,7 @@ let setup cell ~progress =
   let total = plan.Shard.classes_total in
   let outcomes = Array.make (8 * total) Outcome.No_effect in
   let shard_done = Array.make (Array.length plan.Shard.shards) false in
+  let retries = Array.make (Array.length plan.Shard.shards) 0 in
   let tally = Outcome.tally_create () in
   let apply_record (shard : Shard.t) outs =
     for k = 0 to Shard.classes_in shard - 1 do
@@ -117,15 +136,29 @@ let setup cell ~progress =
                   end;
                   List.iter
                     (fun r ->
-                      match Runcell.parse_record plan r with
-                      | Some (shard, outs) when not shard_done.(shard.Shard.id)
-                        ->
-                          apply_record shard outs;
-                          shard_done.(shard.Shard.id) <- true
-                      | Some (shard, _) ->
-                          mismatch "journal has duplicate record for shard %d"
-                            shard.Shard.id
-                      | None -> mismatch "journal has malformed record %S" r)
+                      match Runcell.parse_supervision r with
+                      | Some (Runcell.Retry { shard; attempt; _ }) ->
+                          (* Resume composes with retry accounting: the
+                             budget a shard burned before the crash stays
+                             burned. *)
+                          if shard >= 0 && shard < Array.length retries then
+                            retries.(shard) <- max retries.(shard) attempt
+                      | Some (Runcell.Quarantine _) ->
+                          (* Informational: a resumed campaign gives the
+                             shard a fresh dispatch (its burned retries
+                             above still count). *)
+                          ()
+                      | None -> (
+                          match Runcell.parse_record plan r with
+                          | Some (shard, outs)
+                            when not shard_done.(shard.Shard.id) ->
+                              apply_record shard outs;
+                              shard_done.(shard.Shard.id) <- true
+                          | Some (shard, _) ->
+                              mismatch
+                                "journal has duplicate record for shard %d"
+                                shard.Shard.id
+                          | None -> mismatch "journal has malformed record %S" r))
                     records;
                   Some w))
   in
@@ -145,6 +178,9 @@ let setup cell ~progress =
     fp;
     outcomes;
     shard_done;
+    retries;
+    quarantined = Array.make (Array.length plan.Shard.shards) false;
+    q_info = [];
     tally;
     progress;
     journal_path;
@@ -159,17 +195,23 @@ let setup cell ~progress =
 (* Process-backend supervision state                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* One record per spawned worker: its doorbell pipe, the read cursor
-   into its journal segment, and what became of it. *)
+(* One record per spawned worker: its doorbell pipe, heartbeat clocks,
+   the read cursor into its journal segment, and what became of it. *)
 type tracked = {
   child : Worker.child;
   t_rt : runtime;
+  spawned_at : float;
+  mutable last_beat : float;  (** Last byte seen on the doorbell pipe. *)
+  mutable last_progress : float;  (** Last [s]/[end] doorbell line. *)
+  mutable st_pending : string;  (** Partial trailing doorbell line. *)
   mutable seg_fd : Unix.file_descr option;
   mutable seg_pending : string;  (** Partial trailing segment line. *)
   mutable header_ok : bool;
   mutable corrupt : string option;
+  mutable killed : string option;  (** Supervisor kill reason. *)
   mutable eof : bool;
   mutable status : Unix.process_status option;
+  mutable settled : bool;
 }
 
 let signal_name s =
@@ -179,12 +221,56 @@ let signal_name s =
   else if s = Sys.sigsegv then "SIGSEGV"
   else Printf.sprintf "signal %d" s
 
+(* EINTR is a retry, EAGAIN/EWOULDBLOCK mean "nothing yet"; only real
+   errors (and 0) are the worker's death notice.  Mapping every
+   [Unix_error] to EOF — as this loop once did — declares a live worker
+   dead on any stray signal. *)
+let rec read_status fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> `Eof
+  | k -> `Data k
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_status fd buf
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Nothing
+  | exception Unix.Unix_error _ -> `Eof
+
+(* Protocol lines on the doorbell pipe: [h] is a heartbeat, [s <id>]
+   and [end] are shard progress (and count as beats too).  Anything
+   else is stray stdout from the hosted binary's own initialisation
+   (the worker is a re-exec of whatever executable embeds the engine)
+   and must NOT count as a heartbeat — otherwise one banner line at
+   startup makes a genuinely hung worker look merely stalled.
+   Distinguishing beats from progress is what separates a hung worker
+   (silent) from a stalled one (chatty, but going nowhere). *)
+let note_status_data t data now =
+  let rec go = function
+    | [] -> ()
+    | [ tail ] -> t.st_pending <- tail
+    | line :: rest ->
+        if
+          line = "end"
+          || (String.length line >= 2 && String.sub line 0 2 = "s ")
+        then begin
+          t.last_beat <- now;
+          t.last_progress <- now
+        end
+        else if line = "h" then t.last_beat <- now;
+        go rest
+  in
+  go (String.split_on_char '\n' (t.st_pending ^ data))
+
+(* When supervision is on but no [--shard-timeout] was given and no
+   shard has completed yet, this ceiling bounds the wait for the very
+   first completion (otherwise a campaign whose every worker hangs at
+   shard 0 would give the derived deadline nothing to derive from). *)
+let bootstrap_deadline = 60.
+
 (* ------------------------------------------------------------------ *)
 (* The matrix scheduler                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ())
-    specs =
+let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
+    ?(observe = fun _ -> ()) ?(on_event = fun _ -> ()) specs =
   let jobs = Pool.resolve_jobs ?jobs () in
   let progress_of =
     match progress with None -> fun _ -> Scan.no_progress | Some p -> p
@@ -235,9 +321,14 @@ let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ()
         (fun rt -> Outcome.tally_merge ~into:agg_tally rt.tally)
         rts_in_order;
       let agg_classes_done = ref agg_resumed in
-      let agg_shards_done =
-        ref (List.fold_left (fun a rt -> a + rt.resumed_shards) 0 rts_in_order)
+      let agg_resumed_shards =
+        List.fold_left (fun a rt -> a + rt.resumed_shards) 0 rts_in_order
       in
+      let agg_shards_done = ref agg_resumed_shards in
+      let agg_retries = ref 0 in
+      let agg_kills = ref 0 in
+      let agg_q_shards = ref 0 in
+      let agg_q_classes = ref 0 in
       let t0 = Unix.gettimeofday () in
       let mu = Mutex.create () in
       let emit_observe () =
@@ -245,8 +336,11 @@ let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ()
           (Progress.make ~classes_done:!agg_classes_done
              ~classes_total:agg_classes_total ~shards_done:!agg_shards_done
              ~shards_total:agg_shards_total ~resumed_classes:agg_resumed
+             ~retries:!agg_retries ~kills:!agg_kills
+             ~quarantined_shards:!agg_q_shards
+             ~quarantined_classes:!agg_q_classes
              ~elapsed:(Unix.gettimeofday () -. t0)
-             ~tally:agg_tally)
+             ~tally:agg_tally ())
       in
       List.iter
         (fun rt ->
@@ -260,7 +354,10 @@ let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ()
       (* Domains backend: one shared pool over every pending shard of
          every cell; tasks are claimed in cell order, so workers drain
          cell 1 first but spill into cell 2 as soon as slots free up —
-         no back-to-back barrier between cells. *)
+         no back-to-back barrier between cells.  Supervision here is
+         report-only: domains share the heap and cannot be SIGKILLed,
+         so a blown deadline fires [on_event] and the pool still joins
+         every domain. *)
       (* -------------------------------------------------------------- *)
       let conduct_domains () =
         let pending =
@@ -306,17 +403,36 @@ let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ()
               incr agg_shards_done;
               emit_observe ())
         in
-        Pool.run ~jobs ~tasks:(Array.length pending) (fun i ->
-            conduct_shard pending.(i))
+        let deadline =
+          List.fold_left
+            (fun acc (s : Spec.t) ->
+              match (s.Spec.policy.Spec.shard_timeout, acc) with
+              | None, acc -> acc
+              | Some t, None -> Some t
+              | Some t, Some a -> Some (Float.min t a))
+            None specs
+        in
+        let on_stall ~stalled_for =
+          on_event
+            (Printf.sprintf
+               "domain pool stalled: no shard completed for %.1fs (hung \
+                domain?) — still waiting, domains cannot be killed"
+               stalled_for)
+        in
+        Pool.run ?deadline ~on_stall ~jobs ~tasks:(Array.length pending)
+          (fun i -> conduct_shard pending.(i))
       in
 
       (* -------------------------------------------------------------- *)
       (* Processes backend: fork/exec'd workers, one journal segment
          each, merged into the campaign journal as doorbells arrive.
-         Cells run one after another (each gets the full worker count);
-         a dead or corrupt worker is recorded and reported after every
-         cell has been driven as far as it will go, so the journals hold
-         maximal progress for --resume. *)
+         Cells run one after another (each gets the full worker count).
+         With supervision off (the library default policy), a dead or
+         corrupt worker is recorded and reported after every cell has
+         been driven as far as it will go — the seed behaviour.  With
+         supervision on, a dead/hung/stalled worker's unfinished shards
+         are re-dispatched (bounded, with backoff), and a shard that
+         exhausts its budget is quarantined or failed per policy. *)
       (* -------------------------------------------------------------- *)
       let apply_shard_live rt (shard : Shard.t) outs =
         let n = Shard.classes_in shard in
@@ -408,47 +524,24 @@ let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ()
                   start := nl + 1
             done
       in
-      let verdict t failures =
-        let rt = t.t_rt in
-        let unfinished =
-          List.filter
-            (fun id -> not rt.shard_done.(id))
-            (Array.to_list (Worker.assigned t.child))
-        in
-        let fail reason =
-          failures :=
-            Printf.sprintf "%s: worker %d (pid %d) %s%s"
-              (Spec.label rt.cell.Runcell.spec)
-              (Worker.index t.child) (Worker.pid t.child) reason
-              (match unfinished with
-              | [] -> ""
-              | ids ->
-                  Printf.sprintf
-                    "; shard%s %s unfinished — run again with --resume to \
-                     replay"
-                    (if List.length ids > 1 then "s" else "")
-                    (String.concat "," (List.map string_of_int ids)))
-            :: !failures
-        in
-        (match (t.corrupt, t.status, unfinished) with
-        | Some c, _, _ -> fail c
-        | None, Some (Unix.WEXITED 0), [] -> ()
-        | None, Some (Unix.WEXITED 0), _ :: _ ->
-            fail "exited 0 with unfinished shards"
-        | None, Some (Unix.WEXITED n), _ ->
-            fail (Printf.sprintf "exited with code %d" n)
-        | None, Some (Unix.WSIGNALED s), _ ->
-            fail (Printf.sprintf "was killed by %s" (signal_name s))
-        | None, Some (Unix.WSTOPPED s), _ ->
-            fail (Printf.sprintf "stopped by %s" (signal_name s))
-        | None, None, _ -> fail "was never reaped");
-        (* Everything merged lives in the campaign journal (when there is
-           one); the segment is scratch.  Keep it only as corruption
-           evidence. *)
-        if t.corrupt = None then
-          try Sys.remove (Worker.segment t.child) with Sys_error _ -> ()
+      let status_cause t =
+        match (t.killed, t.corrupt, t.status) with
+        | Some reason, _, _ -> reason
+        | None, Some c, _ -> c
+        | None, None, Some (Unix.WEXITED 0) -> "exited 0 with unfinished shards"
+        | None, None, Some (Unix.WEXITED n) ->
+            Printf.sprintf "exited with code %d" n
+        | None, None, Some (Unix.WSIGNALED s) ->
+            Printf.sprintf "was killed by %s" (signal_name s)
+        | None, None, Some (Unix.WSTOPPED s) ->
+            Printf.sprintf "stopped by %s" (signal_name s)
+        | None, None, None -> "was never reaped"
       in
       let run_cell_processes rt failures =
+        let policy = rt.cell.Runcell.spec.Spec.policy in
+        let sup = Spec.supervised policy in
+        let max_retries = policy.Spec.max_retries in
+        let label = Spec.label rt.cell.Runcell.spec in
         let pending_ids =
           Array.of_list
             (List.filter_map
@@ -458,73 +551,335 @@ let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ()
         in
         let n = Array.length pending_ids in
         if n > 0 then begin
-          let workers = min jobs n in
+          let spawn_counter = ref 0 in
+          let tracked = ref [] in
+          (* (shard id, earliest dispatch time); dispatch sorts by id. *)
+          let queue = ref (List.map (fun id -> (id, 0.)) (Array.to_list pending_ids)) in
           let seg_path i =
             match rt.journal_path with
             | Some p -> Printf.sprintf "%s.seg%d" p i
             | None -> Filename.temp_file "fi-segment" ".journal"
           in
-          let tracked =
-            List.init workers (fun i ->
-                let lo = i * n / workers and hi = (i + 1) * n / workers in
-                let job =
-                  {
-                    Worker.spec = rt.cell.Runcell.spec;
-                    fingerprint = rt.fp;
-                    shard_ids = Array.sub pending_ids lo (hi - lo);
-                    segment = seg_path i;
-                    index = i;
-                  }
-                in
+          let live () = List.filter (fun t -> not t.eof) !tracked in
+          let spawn_workers ids k =
+            let n = Array.length ids in
+            let k = min k n in
+            for i = 0 to k - 1 do
+              let lo = i * n / k and hi = (i + 1) * n / k in
+              let idx = !spawn_counter in
+              incr spawn_counter;
+              let job =
+                {
+                  Worker.spec = rt.cell.Runcell.spec;
+                  fingerprint = rt.fp;
+                  shard_ids = Array.sub ids lo (hi - lo);
+                  segment = seg_path idx;
+                  index = idx;
+                }
+              in
+              let now = Unix.gettimeofday () in
+              tracked :=
                 {
                   child = Worker.spawn job;
                   t_rt = rt;
+                  spawned_at = now;
+                  last_beat = now;
+                  last_progress = now;
+                  st_pending = "";
                   seg_fd = None;
                   seg_pending = "";
                   header_ok = false;
                   corrupt = None;
+                  killed = None;
                   eof = false;
                   status = None;
-                })
+                  settled = false;
+                }
+                :: !tracked
+            done
+          in
+          let dispatch () =
+            let free = jobs - List.length (live ()) in
+            if free > 0 && !queue <> [] then begin
+              let now = Unix.gettimeofday () in
+              let eligible, later =
+                List.partition (fun (_, nb) -> nb <= now) !queue
+              in
+              if eligible <> [] then begin
+                queue := later;
+                let ids = Array.of_list (List.map fst eligible) in
+                Array.sort compare ids;
+                spawn_workers ids free
+              end
+            end
+          in
+          (* The shard deadline: explicit policy, else derived from the
+             observed shard rate (8× the mean per-worker shard time seen
+             so far across the matrix), else the bootstrap ceiling. *)
+          let current_deadline () =
+            if not sup then None
+            else
+              match policy.Spec.shard_timeout with
+              | Some t -> Some t
+              | None ->
+                  let completions = !agg_shards_done - agg_resumed_shards in
+                  if completions > 0 then
+                    Some
+                      (Float.max 1.0
+                         (8. *. float_of_int jobs
+                         *. (Unix.gettimeofday () -. t0)
+                         /. float_of_int completions))
+                  else Some bootstrap_deadline
+          in
+          let requeue ids nb =
+            queue := !queue @ List.map (fun id -> (id, nb)) ids
+          in
+          let settle t =
+            t.settled <- true;
+            drain t;
+            (match t.seg_fd with
+            | Some fd ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                t.seg_fd <- None
+            | None -> ());
+            let unfinished =
+              List.filter
+                (fun id -> not (rt.shard_done.(id) || rt.quarantined.(id)))
+                (Array.to_list (Worker.assigned t.child))
+            in
+            let clean =
+              t.killed = None && t.corrupt = None
+              && t.status = Some (Unix.WEXITED 0)
+              && unfinished = []
+            in
+            if not clean then begin
+              let cause = status_cause t in
+              let widx = Worker.index t.child and wpid = Worker.pid t.child in
+              if not sup then
+                failures :=
+                  Printf.sprintf "%s: worker %d (pid %d) %s%s" label widx wpid
+                    cause
+                    (match unfinished with
+                    | [] -> ""
+                    | ids ->
+                        Printf.sprintf
+                          "; shard%s %s unfinished — run again with --resume \
+                           to replay"
+                          (if List.length ids > 1 then "s" else "")
+                          (String.concat "," (List.map string_of_int ids)))
+                  :: !failures
+              else
+                match unfinished with
+                | [] ->
+                    (* Died after finishing everything it was assigned:
+                       nothing to recover. *)
+                    on_event
+                      (Printf.sprintf
+                         "%s: worker %d (pid %d) %s (all assigned shards \
+                          complete; nothing to retry)"
+                         label widx wpid cause)
+                | first :: rest ->
+                    (* Charge a retry attempt only when the worker made
+                       NO progress: then [first] — the shard being
+                       conducted at death — is the prime suspect.  A
+                       worker that completed shards before dying is
+                       evidence of a transient or positional fault, not
+                       of [first] being poisonous, and charging it would
+                       let sustained churn quarantine healthy shards
+                       (every death would bill whichever shard happened
+                       to be next in line).  Termination is preserved:
+                       an uncharged requeue always comes with at least
+                       one newly completed shard, so there can be at
+                       most [shards_total] of them — and a genuinely
+                       poisoned shard still converges to quarantine,
+                       because once its neighbours drain it is
+                       dispatched at the head of a queue and every
+                       death then charges it. *)
+                    let progressed =
+                      List.length unfinished
+                      < Array.length (Worker.assigned t.child)
+                    in
+                    if not progressed then
+                      rt.retries.(first) <- rt.retries.(first) + 1;
+                    let attempt = rt.retries.(first) in
+                    if (not progressed) && attempt > max_retries then
+                      if policy.Spec.quarantine then begin
+                        rt.quarantined.(first) <- true;
+                        rt.q_info <- (first, attempt, cause) :: rt.q_info;
+                        incr agg_q_shards;
+                        agg_q_classes :=
+                          !agg_q_classes
+                          + Shard.classes_in rt.plan.Shard.shards.(first);
+                        (match rt.writer with
+                        | Some w ->
+                            Journal.append w
+                              (Runcell.supervision_payload
+                                 (Runcell.Quarantine
+                                    { shard = first; attempts = attempt; cause }))
+                        | None -> ());
+                        on_event
+                          (Printf.sprintf
+                             "%s: shard %d quarantined after %d failed \
+                              attempt%s (last worker %d (pid %d) %s)"
+                             label first attempt
+                             (if attempt > 1 then "s" else "")
+                             widx wpid cause);
+                        if rest <> [] then requeue rest (Unix.gettimeofday ());
+                        emit_observe ()
+                      end
+                      else begin
+                        failures :=
+                          Printf.sprintf
+                            "%s: shard %d failed %d time%s (last: worker %d \
+                             (pid %d) %s); retry budget exhausted — run again \
+                             with --resume to replay"
+                            label first attempt
+                            (if attempt > 1 then "s" else "")
+                            widx wpid cause
+                          :: !failures;
+                        (* Still drive the untouched shards to completion:
+                           maximal journal progress for --resume. *)
+                        if rest <> [] then requeue rest (Unix.gettimeofday ())
+                      end
+                    else begin
+                      (* Journal the budget change only when there is
+                         one: uncharged requeues leave nothing for
+                         --resume to restore. *)
+                      if not progressed then
+                        (match rt.writer with
+                        | Some w ->
+                            Journal.append w
+                              (Runcell.supervision_payload
+                                 (Runcell.Retry
+                                    { shard = first; attempt; cause }))
+                        | None -> ());
+                      incr agg_retries;
+                      let delay =
+                        policy.Spec.retry_backoff
+                        *. (2. ** float_of_int (max 0 (attempt - 1)))
+                      in
+                      requeue unfinished (Unix.gettimeofday () +. delay);
+                      on_event
+                        (Printf.sprintf
+                           "%s: worker %d (pid %d) %s; retrying shard%s %s \
+                            (%s, backoff %.2fs)"
+                           label widx wpid cause
+                           (if List.length unfinished > 1 then "s" else "")
+                           (String.concat ","
+                              (List.map string_of_int unfinished))
+                           (if progressed then
+                              "no charge — worker had completed shards"
+                            else
+                              Printf.sprintf "attempt %d/%d for shard %d"
+                                attempt max_retries first)
+                           delay);
+                      emit_observe ()
+                    end
+            end;
+            (* Everything merged lives in the campaign journal (when
+               there is one); the segment is scratch.  Keep it only as
+               corruption evidence. *)
+            if t.corrupt = None then
+              try Sys.remove (Worker.segment t.child) with Sys_error _ -> ()
           in
           let buf = Bytes.create 4096 in
-          let live () = List.filter (fun t -> not t.eof) tracked in
           let rec supervise () =
-            match live () with
-            | [] -> ()
-            | alive ->
+            dispatch ();
+            match (live (), !queue) with
+            | [], [] -> ()
+            | [], q ->
+                (* Everything is backing off; sleep to the earliest
+                   dispatch time. *)
+                let now = Unix.gettimeofday () in
+                let earliest =
+                  List.fold_left (fun a (_, nb) -> Float.min a nb) infinity q
+                in
+                if earliest > now then
+                  Unix.sleepf (Float.min 0.5 (earliest -. now));
+                supervise ()
+            | alive, _ ->
+                let now = Unix.gettimeofday () in
+                let timeout =
+                  let t_dl =
+                    match current_deadline () with
+                    | None -> 0.5
+                    | Some dl ->
+                        List.fold_left
+                          (fun acc t ->
+                            Float.min acc (dl -. (now -. t.last_progress)))
+                          0.5 alive
+                  in
+                  let t_nb =
+                    List.fold_left
+                      (fun acc (_, nb) -> Float.min acc (nb -. now))
+                      t_dl !queue
+                  in
+                  Float.max 0.01 (Float.min 0.5 t_nb)
+                in
                 let fds = List.map (fun t -> Worker.status_fd t.child) alive in
                 let readable, _, _ =
-                  try Unix.select fds [] [] 0.5
+                  try Unix.select fds [] [] timeout
                   with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
                 in
                 List.iter
                   (fun t ->
                     let fd = Worker.status_fd t.child in
                     if List.mem fd readable then
-                      let k =
-                        try Unix.read fd buf 0 (Bytes.length buf)
-                        with Unix.Unix_error _ -> 0
-                      in
-                      if k = 0 then begin
-                        t.eof <- true;
-                        t.status <- Some (Worker.wait t.child);
-                        try Unix.close fd with Unix.Unix_error _ -> ()
-                      end)
+                      match read_status fd buf with
+                      | `Nothing -> ()
+                      | `Data k ->
+                          note_status_data t
+                            (Bytes.sub_string buf 0 k)
+                            (Unix.gettimeofday ())
+                      | `Eof ->
+                          t.eof <- true;
+                          t.status <- Some (Worker.wait t.child);
+                          (try Unix.close fd with Unix.Unix_error _ -> ()))
                   alive;
-                (* Merge whatever the doorbells (or deaths) made visible. *)
-                List.iter drain tracked;
+                (* Merge whatever the doorbells (or deaths) made
+                   visible. *)
+                List.iter (fun t -> if not t.settled then drain t) !tracked;
+                List.iter
+                  (fun t -> if t.eof && not t.settled then settle t)
+                  !tracked;
+                (* Deadline pass: kill what stopped progressing. *)
+                (match current_deadline () with
+                | None -> ()
+                | Some dl ->
+                    let now = Unix.gettimeofday () in
+                    List.iter
+                      (fun t ->
+                        if (not t.eof) && t.killed = None then
+                          let stuck = now -. t.last_progress in
+                          if stuck > dl then begin
+                            let reason =
+                              if now -. t.last_beat > dl then
+                                Printf.sprintf
+                                  "hung (no heartbeat for %.1fs, deadline \
+                                   %.1fs)"
+                                  (now -. t.last_beat) dl
+                              else
+                                Printf.sprintf
+                                  "stalled (heartbeats flowing but no shard \
+                                   completed for %.1fs, deadline %.1fs)"
+                                  stuck dl
+                            in
+                            t.killed <- Some reason;
+                            incr agg_kills;
+                            Worker.kill t.child;
+                            on_event
+                              (Printf.sprintf
+                                 "%s: worker %d (pid %d) %s — SIGKILLed"
+                                 label (Worker.index t.child)
+                                 (Worker.pid t.child) reason);
+                            emit_observe ()
+                          end)
+                      (live ()));
                 supervise ()
           in
           supervise ();
-          List.iter drain tracked;
-          List.iter
-            (fun t ->
-              match t.seg_fd with
-              | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
-              | None -> ())
-            tracked;
-          List.iter (fun t -> verdict t failures) tracked
+          (* Belt and braces: every worker is dead and settled here. *)
+          List.iter (fun t -> if not t.settled then settle t) !tracked
         end
       in
       let conduct_processes () =
@@ -545,10 +900,16 @@ let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ()
 
       List.map
         (fun rt ->
-          assert (Array.for_all Fun.id rt.shard_done);
+          assert (
+            Array.for_all Fun.id
+              (Array.mapi
+                 (fun i d -> d || rt.quarantined.(i))
+                 rt.shard_done));
           let total = rt.plan.Shard.classes_total in
           (* Deterministic merge: identical construction to the serial
-             conductors. *)
+             conductors.  Quarantined classes keep the No_effect
+             placeholder — callers must consult [quarantined] before
+             treating the scan as complete. *)
           let experiments =
             Array.init (8 * total) (fun idx ->
                 let c = rt.classes.(idx / 8) in
@@ -560,16 +921,65 @@ let run_matrix ?(backend = Pool.Domains) ?jobs ?progress ?(observe = fun _ -> ()
                   outcome = rt.outcomes.(idx);
                 })
           in
-          {
-            Scan.name = rt.cell.Runcell.golden.Golden.program.Program.name;
-            variant = rt.cell.Runcell.spec.Spec.variant;
-            cycles = rt.cell.Runcell.golden.Golden.cycles;
-            ram_bytes = rt.cell.Runcell.ram_bytes;
-            experiments;
-            benign_weight =
-              Defuse.known_benign_weight rt.cell.Runcell.defuse;
-          })
+          let scan =
+            {
+              Scan.name = rt.cell.Runcell.golden.Golden.program.Program.name;
+              variant = rt.cell.Runcell.spec.Spec.variant;
+              cycles = rt.cell.Runcell.golden.Golden.cycles;
+              ram_bytes = rt.cell.Runcell.ram_bytes;
+              experiments;
+              benign_weight =
+                Defuse.known_benign_weight rt.cell.Runcell.defuse;
+            }
+          in
+          let quarantined =
+            List.rev_map
+              (fun (shard_id, attempts, cause) ->
+                let s = rt.plan.Shard.shards.(shard_id) in
+                {
+                  q_cell = Spec.label rt.cell.Runcell.spec;
+                  q_shard = shard_id;
+                  q_classes = Shard.classes_in s;
+                  q_class_indices =
+                    Array.init (Shard.classes_in s) (fun k ->
+                        rt.plan.Shard.order.(s.Shard.lo + k));
+                  q_attempts = attempts;
+                  q_cause = cause;
+                })
+              rt.q_info
+          in
+          { scan; quarantined })
         rts_in_order)
+
+let run_spec_result ?backend ?jobs ?progress ?observe ?on_event spec =
+  match
+    run_matrix_results ?backend ?jobs
+      ?progress:(Option.map (fun p _ -> p) progress)
+      ?observe ?on_event [ spec ]
+  with
+  | [ r ] -> r
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Scan-only wrappers: quarantine degrades to Worker_failed            *)
+(* ------------------------------------------------------------------ *)
+
+let quarantine_failure qs =
+  Worker_failed
+    (String.concat "\n"
+       (List.map
+          (fun q ->
+            Printf.sprintf
+              "%s: shard %d (%d classes) quarantined after %d attempts (%s)"
+              q.q_cell q.q_shard q.q_classes q.q_attempts q.q_cause)
+          qs))
+
+let run_matrix ?backend ?jobs ?progress ?observe specs =
+  let results = run_matrix_results ?backend ?jobs ?progress ?observe specs in
+  (match List.concat_map (fun (r : result) -> r.quarantined) results with
+  | [] -> ()
+  | qs -> raise (quarantine_failure qs));
+  List.map (fun r -> r.scan) results
 
 let run_spec ?backend ?jobs ?progress ?observe spec =
   match

@@ -26,6 +26,40 @@
       (maximal journal progress), then raises {!Worker_failed} — and a
       [resume] run replays exactly the missing shards.
 
+    {2 Supervision}
+
+    With a supervising policy ({!Spec.supervised}: an explicit
+    [shard_timeout], [max_retries > 0] or [quarantine]), the processes
+    backend is {e self-healing} — campaigns complete, bit-identical to
+    the serial scan, despite crashing, hanging or stalling workers:
+
+    - {b Deadlines.}  Workers heartbeat on their doorbell pipe (one
+      line per conducted class).  A worker that completes no shard
+      within the deadline — [shard_timeout], or 8× the observed mean
+      per-worker shard time when unset — is declared hung (silent) or
+      stalled (heartbeats without progress), SIGKILLed, and its torn
+      segment tail discarded.
+    - {b Bounded retry.}  A dead worker's unfinished shards return to
+      the dispatch queue; the shard being conducted at death is
+      charged a retry attempt only when the worker completed no shard
+      of its assignment (a death after progress requeues without
+      burning budget).  Re-dispatch backs off exponentially
+      ([retry_backoff × 2ⁿ⁻¹]) and each shard's budget is
+      [max_retries].  Every retry is journaled as a supervision record,
+      so retry accounting survives [resume].
+    - {b Quarantine.}  A shard that exhausts its budget is isolated
+      when [quarantine] is set: the campaign completes, every other
+      shard's results are returned, and the shard is reported in
+      {!result.quarantined} (its classes keep the [No_effect]
+      placeholder in the scan — consult [quarantined] before treating a
+      scan as complete).  With [quarantine] unset, exhaustion raises
+      {!Worker_failed} as before.
+
+    The scan-only entry points ({!run_matrix}, {!run_spec}, {!run})
+    never return a silently degraded scan: if anything was quarantined
+    they raise {!Worker_failed}.  Use {!run_matrix_results} /
+    {!run_spec_result} to receive the quarantine report instead.
+
     {!run_matrix} drives a whole experiment matrix (a list of specs)
     with a per-cell journal each and one aggregate {!Progress.hook}
     across the matrix.
@@ -48,9 +82,30 @@ exception Journal_mismatch of string
 
 exception Worker_failed of string
 (** A {!Pool.Processes} worker died (nonzero exit, signal) or wrote a
-    corrupt segment.  Raised only after every other worker and cell has
-    been driven as far as it will go and all journals are closed, so a
-    [resume] run replays exactly the shards the message lists. *)
+    corrupt segment — and supervision either was off or exhausted a
+    shard's retry budget with [quarantine] unset; or a scan-only entry
+    point had quarantined shards to report.  Raised only after every
+    other worker and cell has been driven as far as it will go and all
+    journals are closed, so a [resume] run replays exactly the shards
+    the message lists. *)
+
+type quarantined = {
+  q_cell : string;  (** The cell's {!Spec.label}. *)
+  q_shard : int;  (** Plan shard id. *)
+  q_classes : int;  (** Experiment classes the shard carries. *)
+  q_class_indices : int array;
+      (** Their class indices — the exact coordinates left unconducted. *)
+  q_attempts : int;  (** Worker deaths charged before isolation. *)
+  q_cause : string;  (** The last worker's cause of death. *)
+}
+(** One shard given up after killing its worker [max_retries + 1]
+    times. *)
+
+type result = { scan : Scan.t; quarantined : quarantined list }
+(** A cell's outcome under supervision.  [quarantined = []] means the
+    scan is complete and bit-identical to its serial counterpart;
+    otherwise the listed shards' classes hold [No_effect] placeholders
+    and every other class is still exact. *)
 
 val fingerprint : Golden.t -> plan:Shard.plan -> int
 (** CRC-32 identity of the memory-space campaign over [golden] under
@@ -64,6 +119,31 @@ val fingerprint_spec : Spec.t -> int
     and register space — or under count- and weight-sized shards — gets
     distinct journals. *)
 
+val run_matrix_results :
+  ?backend:Pool.backend ->
+  ?jobs:int ->
+  ?progress:(Spec.t -> Scan.progress) ->
+  ?observe:Progress.hook ->
+  ?on_event:(string -> unit) ->
+  Spec.t list ->
+  result list
+(** The supervision-aware matrix entry point: like {!run_matrix} but
+    returns each cell's {!result} — scan plus quarantine report —
+    instead of raising on quarantined shards.  [on_event] receives one
+    human-readable line per supervision event (worker killed on
+    deadline, shard retry dispatched, shard quarantined, domain-pool
+    stall), as they happen; it defaults to silence. *)
+
+val run_spec_result :
+  ?backend:Pool.backend ->
+  ?jobs:int ->
+  ?progress:Scan.progress ->
+  ?observe:Progress.hook ->
+  ?on_event:(string -> unit) ->
+  Spec.t ->
+  result
+(** The single-cell {!run_matrix_results}. *)
+
 val run_matrix :
   ?backend:Pool.backend ->
   ?jobs:int ->
@@ -72,7 +152,9 @@ val run_matrix :
   Spec.t list ->
   Scan.t list
 (** [run_matrix specs] conducts every cell of the matrix and returns the
-    scans in spec order.
+    scans in spec order.  Raises {!Worker_failed} if supervision
+    quarantined anything — this entry point never returns a silently
+    degraded scan.
 
     - [backend] — {!Pool.Domains} (default): one shared domain pool over
       the whole matrix, workers drain the first cell's shards and spill

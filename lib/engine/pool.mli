@@ -35,13 +35,28 @@ val resolve_jobs : ?jobs:int -> unit -> int
     [None] and [Some 0] mean {!default_jobs}[ ()], [Some n] with
     [n >= 1] means [n].
 
-    @raise Invalid_argument if [jobs] is negative. *)
+    @raise Invalid_argument if [jobs] is negative, with a message that
+    says so and points at [0] as the all-cores spelling. *)
 
-val run : jobs:int -> tasks:int -> (int -> unit) -> unit
+val run :
+  ?deadline:float ->
+  ?on_stall:(stalled_for:float -> unit) ->
+  jobs:int ->
+  tasks:int ->
+  (int -> unit) ->
+  unit
 (** [run ~jobs ~tasks f] executes [f i] once for every
     [i] in [0 .. tasks-1] on up to [jobs] domains (never more than
     [tasks]).  If one or more tasks raise, the remaining claimed tasks
     still finish, no new tasks are claimed, and the first exception is
     re-raised after all workers have joined.
+
+    [deadline] arms a watchdog domain: if no task completes for
+    [deadline] seconds while work remains, [on_stall] fires (once per
+    stall episode; re-armed by the next completion).  Unlike the
+    processes backend there is no kill path — domains share the heap,
+    so a hung domain is {e reported}, not SIGKILLed, and [run] still
+    joins it.  No watchdog runs on the inline ([jobs = 1] or
+    [tasks <= 1]) path.
 
     @raise Invalid_argument if [jobs < 1] or [tasks < 0]. *)

@@ -5,6 +5,10 @@ type snapshot = {
   shards_done : int;
   shards_total : int;
   resumed_classes : int;
+  retries : int;
+  kills : int;
+  quarantined_shards : int;
+  quarantined_classes : int;
   elapsed : float;
   rate : float;
   eta : float option;
@@ -13,18 +17,22 @@ type snapshot = {
 
 type hook = snapshot -> unit
 
-let finished s = s.classes_done >= s.classes_total
+(* Quarantined classes will never be conducted: a degraded campaign
+   that has accounted every other class is finished, not 99% done. *)
+let finished s = s.classes_done + s.quarantined_classes >= s.classes_total
 
 let make ~classes_done ~classes_total ~shards_done ~shards_total
-    ~resumed_classes ~elapsed ~tally =
+    ~resumed_classes ?(retries = 0) ?(kills = 0) ?(quarantined_shards = 0)
+    ?(quarantined_classes = 0) ~elapsed ~tally () =
   let conducted = 8 * (classes_done - resumed_classes) in
   let rate =
     if conducted > 0 && elapsed > 0. then float_of_int conducted /. elapsed
     else 0.
   in
+  let remaining = classes_total - classes_done - quarantined_classes in
   let eta =
-    if rate <= 0. || classes_done >= classes_total then None
-    else Some (float_of_int (8 * (classes_total - classes_done)) /. rate)
+    if rate <= 0. || remaining <= 0 then None
+    else Some (float_of_int (8 * remaining) /. rate)
   in
   {
     classes_done;
@@ -33,6 +41,10 @@ let make ~classes_done ~classes_total ~shards_done ~shards_total
     shards_done;
     shards_total;
     resumed_classes;
+    retries;
+    kills;
+    quarantined_shards;
+    quarantined_classes;
     elapsed;
     rate;
     eta;
@@ -79,6 +91,12 @@ let render s =
     (Printf.sprintf " | %d failures" (Outcome.tally_failures s.tally));
   if s.resumed_classes > 0 then
     Buffer.add_string buf (Printf.sprintf " | %d resumed" s.resumed_classes);
+  if s.retries > 0 || s.kills > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf " | %d retries/%d kills" s.retries s.kills);
+  if s.quarantined_shards > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf " | %d quarantined" s.quarantined_shards);
   Buffer.contents buf
 
 let throttled ?(interval = 0.1) ?(now = Unix.gettimeofday) hook =

@@ -16,6 +16,15 @@ type snapshot = {
   shards_total : int;
   resumed_classes : int;
       (** Classes recovered from the journal rather than conducted. *)
+  retries : int;
+      (** Supervision re-dispatch events: each time a dead or killed
+          worker's unfinished shards went back on the queue. *)
+  kills : int;
+      (** Workers SIGKILLed by the supervisor for blowing the shard
+          deadline (hung or stalled). *)
+  quarantined_shards : int;  (** Shards isolated after budget exhaustion. *)
+  quarantined_classes : int;
+      (** Classes those shards carry — never conducted this run. *)
   elapsed : float;  (** Seconds since the engine started. *)
   rate : float;
       (** Experiments conducted (resumed ones excluded) per second of
@@ -28,6 +37,9 @@ type snapshot = {
 type hook = snapshot -> unit
 
 val finished : snapshot -> bool
+(** Conducted plus quarantined classes cover the space: a
+    quarantine-degraded campaign that accounted everything else is
+    finished, not forever 99% done. *)
 
 val make :
   classes_done:int ->
@@ -35,11 +47,17 @@ val make :
   shards_done:int ->
   shards_total:int ->
   resumed_classes:int ->
+  ?retries:int ->
+  ?kills:int ->
+  ?quarantined_shards:int ->
+  ?quarantined_classes:int ->
   elapsed:float ->
   tally:Outcome.tally ->
+  unit ->
   snapshot
 (** Derive the computed fields ([experiments_done], [rate], [eta]) from
-    the raw counters.  Copies [tally]. *)
+    the raw counters.  Copies [tally].  The supervision counters default
+    to [0] (an unsupervised campaign). *)
 
 val render : snapshot -> string
 (** One-line live progress suitable for a [\r]-refreshed terminal, e.g.

@@ -90,6 +90,17 @@ let header_payload cell ~(plan : Shard.plan) ~fp =
     (Array.length plan.Shard.shards)
     (Crc32.to_hex fp) cell.golden.Golden.program.Program.name
 
+let key_int key tok =
+  let p = key ^ "=" in
+  let plen = String.length p in
+  if String.length tok > plen && String.sub tok 0 plen = p then
+    int_of_string_opt (String.sub tok plen (String.length tok - plen))
+  else None
+
+let header_shard_count header =
+  (* "... shards=N ..." somewhere in a v2 header payload. *)
+  List.find_map (key_int "shards") (String.split_on_char ' ' header)
+
 let record_payload (shard : Shard.t) outcomes_buf =
   Printf.sprintf "shard=%d outcomes=%s" shard.Shard.id
     (Bytes.to_string outcomes_buf)
@@ -109,6 +120,82 @@ let parse_record (plan : Shard.plan) payload =
             else Some (shard, outs)
         | Some _ | None -> None)
   | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Supervision records                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Supervision events share the campaign journal with shard records:
+   [sup retry ...] / [sup quarantine ...] lines, so a resumed campaign
+   knows how many retries a shard has already burned and which shards
+   were given up.  The free-form [cause] comes last so it may contain
+   spaces; newlines are sanitized away (the journal forbids them). *)
+
+type supervision =
+  | Retry of { shard : int; attempt : int; cause : string }
+  | Quarantine of { shard : int; attempts : int; cause : string }
+
+let sanitize_cause s =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let supervision_payload = function
+  | Retry { shard; attempt; cause } ->
+      Printf.sprintf "sup retry shard=%d attempt=%d cause=%s" shard attempt
+        (sanitize_cause cause)
+  | Quarantine { shard; attempts; cause } ->
+      Printf.sprintf "sup quarantine shard=%d attempts=%d cause=%s" shard
+        attempts (sanitize_cause cause)
+
+let parse_supervision payload =
+  let marker = " cause=" in
+  let mlen = String.length marker in
+  let n = String.length payload in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub payload i mlen = marker then
+      Some (String.sub payload 0 i, String.sub payload (i + mlen) (n - i - mlen))
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some (head, cause) -> (
+      match String.split_on_char ' ' head with
+      | [ "sup"; "retry"; sh; at ] -> (
+          match (key_int "shard" sh, key_int "attempt" at) with
+          | Some shard, Some attempt -> Some (Retry { shard; attempt; cause })
+          | _ -> None)
+      | [ "sup"; "quarantine"; sh; at ] -> (
+          match (key_int "shard" sh, key_int "attempts" at) with
+          | Some shard, Some attempts ->
+              Some (Quarantine { shard; attempts; cause })
+          | _ -> None)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Journal completion (compaction's gate)                             *)
+(* ------------------------------------------------------------------ *)
+
+let journal_finished path =
+  match Journal.replay path with
+  | Some (header, records, Journal.Clean) -> (
+      match header_shard_count header with
+      | None -> false (* not an engine campaign header *)
+      | Some total ->
+          let seen = Array.make (max 1 total) false in
+          List.iter
+            (fun payload ->
+              if String.length payload > 6 && String.sub payload 0 6 = "shard="
+              then
+                match String.index_opt payload ' ' with
+                | Some sp -> (
+                    match int_of_string_opt (String.sub payload 6 (sp - 6)) with
+                    | Some id when id >= 0 && id < total -> seen.(id) <- true
+                    | Some _ | None -> ())
+                | None -> ())
+            records;
+          total = 0 || Array.for_all Fun.id seen)
+  | Some (_, _, (Journal.Torn_tail _ | Journal.Corrupt_record _)) | None ->
+      false
 
 (* ------------------------------------------------------------------ *)
 (* The single-shard conductor                                         *)

@@ -57,6 +57,35 @@ val parse_record : Shard.plan -> string -> (Shard.t * string) option
 (** Parse a {!record_payload} back against [plan]; [None] on any
     malformation (bad id, wrong outcome-string length). *)
 
+val header_shard_count : string -> int option
+(** The [shards=N] token of a {!header_payload} ([None] for anything
+    else, e.g. a worker segment header). *)
+
+type supervision =
+  | Retry of { shard : int; attempt : int; cause : string }
+      (** Shard [shard]'s worker died ([cause]); the supervisor
+          re-dispatched it as attempt [attempt] (1-based). *)
+  | Quarantine of { shard : int; attempts : int; cause : string }
+      (** Shard [shard] exhausted its retry budget after [attempts]
+          worker deaths and was isolated. *)
+
+val supervision_payload : supervision -> string
+(** The journal payload of a supervision event ([sup retry ...] /
+    [sup quarantine ...]); [cause] is newline-sanitized.  Shares the
+    campaign journal with shard records, so retry accounting and
+    [--resume] compose: a resumed campaign restores each shard's burned
+    attempt count before conducting anything. *)
+
+val parse_supervision : string -> supervision option
+(** Parse a {!supervision_payload} ([None] for any other payload). *)
+
+val journal_finished : string -> bool
+(** Whether [path] is a {e finished} campaign journal: replays [Clean]
+    with an engine header, and every plan shard id has a record.  This
+    is journal compaction's gate — only such journals may be folded
+    into the CSV store and pruned.  Torn, corrupt, quarantine-degraded
+    or foreign files are all [false]. *)
+
 val conduct_shard :
   ?on_class:(class_index:int -> string -> unit) ->
   cell ->

@@ -13,6 +13,10 @@ type policy = {
   journal : string option;
   resume : bool;
   catalogue : string option;
+  shard_timeout : float option;
+  max_retries : int;
+  quarantine : bool;
+  retry_backoff : float;
 }
 
 let default_policy =
@@ -22,7 +26,14 @@ let default_policy =
     journal = None;
     resume = false;
     catalogue = None;
+    shard_timeout = None;
+    max_retries = 0;
+    quarantine = false;
+    retry_backoff = 0.05;
   }
+
+let supervised policy =
+  policy.shard_timeout <> None || policy.max_retries > 0 || policy.quarantine
 
 type t = {
   benchmark : string;

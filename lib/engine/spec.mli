@@ -46,10 +46,40 @@ type policy = {
           this directory and records [fingerprint → path] in
           [<dir>/journals.idx] on close, so a later [resume] needs no
           explicit path. *)
+  shard_timeout : float option;
+      (** Supervision deadline, in seconds, for one worker to make shard
+          progress.  [None] derives a deadline from the observed shard
+          rate once enough shards have completed (and imposes none
+          before that).  A worker that blows the deadline is declared
+          hung, SIGKILLed, and its unfinished shards retried.  Not part
+          of the campaign fingerprint. *)
+  max_retries : int;
+      (** Retry budget {e per shard}: how many times a shard whose
+          worker died (crash, hang, stall) is re-dispatched to a fresh
+          worker before it is given up — quarantined if [quarantine],
+          failed otherwise.  [0] disables automatic retry (the seed
+          behaviour: a dead worker surfaces as [Engine.Worker_failed]
+          and recovery is a manual [--resume]). *)
+  quarantine : bool;
+      (** Isolate a shard that exhausts [max_retries] instead of failing
+          the cell: the campaign completes, the shard's classes stay
+          unconducted, and the engine reports it in
+          [Engine.result.quarantined].  With [quarantine = false] an
+          exhausted shard raises [Engine.Worker_failed] as before. *)
+  retry_backoff : float;
+      (** Base, in seconds, of the exponential backoff before a shard's
+          [n]-th retry dispatch: [retry_backoff *. 2. ** (n - 1)]. *)
 }
 
 val default_policy : policy
-(** No journal, no catalogue, no resume, count-sized default shards. *)
+(** No journal, no catalogue, no resume, count-sized default shards —
+    and no supervision: [shard_timeout = None], [max_retries = 0],
+    [quarantine = false], [retry_backoff = 0.05] (the seed engine's
+    exact behaviour). *)
+
+val supervised : policy -> bool
+(** Whether any supervision feature is on: an explicit [shard_timeout],
+    a nonzero [max_retries], or [quarantine]. *)
 
 type t = {
   benchmark : string;  (** e.g. ["bin_sem2"]. *)

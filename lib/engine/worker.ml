@@ -30,7 +30,7 @@ let segment_fingerprint header =
 (* Torture hook (crash injection for the engine's own tests)          *)
 (* ------------------------------------------------------------------ *)
 
-type torture_mode = Exit | Raise | Sigkill | Torn
+type torture_mode = Exit | Raise | Sigkill | Torn | Hang | Stall | Poison
 
 type torture = { mode : torture_mode; after : int; only : int option }
 
@@ -42,6 +42,9 @@ let parse_torture = function
         | "raise" -> Some Raise
         | "sigkill" -> Some Sigkill
         | "torn" -> Some Torn
+        | "hang" -> Some Hang
+        | "stall" -> Some Stall
+        | "poison" -> Some Poison
         | _ -> None
       in
       match String.split_on_char ':' s with
@@ -56,11 +59,14 @@ let parse_torture = function
           | _ -> None)
       | _ -> None)
 
-let maybe_die torture ~index ~completed ~segment =
+let maybe_die torture ~index ~completed ~segment ~output =
   match torture with
   | Some t
-    when (t.only = None || t.only = Some index) && completed = t.after -> (
+    when t.mode <> Poison
+         && (t.only = None || t.only = Some index)
+         && completed = t.after -> (
       match t.mode with
+      | Poison -> ()
       | Exit -> exit 7
       | Raise -> failwith "torture: injected worker fault"
       | Sigkill -> Unix.kill (Unix.getpid ()) Sys.sigkill
@@ -70,7 +76,32 @@ let maybe_die torture ~index ~completed ~segment =
           let oc = open_out_gen [ Open_append; Open_binary ] 0o644 segment in
           output_string oc "deadbeef torn-rec";
           flush oc;
-          Unix.kill (Unix.getpid ()) Sys.sigkill)
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+      | Hang ->
+          (* Silent wedge: no heartbeat, no progress, never exits.  Only
+             the parent's deadline can end this worker. *)
+          while true do
+            Unix.sleep 3600
+          done
+      | Stall ->
+          (* Livelock: the worker stays chatty — heartbeats keep
+             flowing — but shard progress stops forever. *)
+          while true do
+            output_string output "h\n";
+            flush output;
+            Unix.sleepf 0.02
+          done)
+  | Some _ | None -> ()
+
+(* Poison is keyed by {e plan shard id}, not completed-shard count, so
+   the fault deterministically follows one coordinate range through any
+   re-dispatch — the shard kills every worker it is ever assigned to,
+   which is exactly what quarantine exists for. *)
+let maybe_poison torture ~index ~shard_id =
+  match torture with
+  | Some { mode = Poison; after; only }
+    when (only = None || only = Some index) && shard_id = after ->
+      Unix.kill (Unix.getpid ()) Sys.sigkill
   | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -104,18 +135,33 @@ let serve ~input ~output =
     Journal.create job.segment
       ~header:(segment_header ~fingerprint:fp ~pid:(Unix.getpid ()))
   in
+  (* Heartbeats: one [h] line per conducted class, throttled, so the
+     parent can tell a slow shard from a hung worker.  Lost beats are
+     harmless — the deadline just bites a little earlier. *)
+  let last_beat = ref 0. in
+  let heartbeat ~class_index:_ _ =
+    let now = Unix.gettimeofday () in
+    if now -. !last_beat >= 0.01 then (
+      last_beat := now;
+      output_string output "h\n";
+      flush output)
+  in
   Array.iteri
     (fun completed id ->
-      maybe_die torture ~index:job.index ~completed ~segment:job.segment;
+      maybe_die torture ~index:job.index ~completed ~segment:job.segment
+        ~output;
+      maybe_poison torture ~index:job.index ~shard_id:id;
       let shard = plan.Shard.shards.(id) in
-      let buf = Runcell.conduct_shard cell ~classes ~plan shard in
+      let buf =
+        Runcell.conduct_shard ~on_class:heartbeat cell ~classes ~plan shard
+      in
       Journal.append w (Runcell.record_payload shard buf);
       (* Doorbell: the record is fsync'd, the parent may merge it. *)
       Printf.fprintf output "s %d\n" id;
       flush output)
     job.shard_ids;
   maybe_die torture ~index:job.index ~completed:(Array.length job.shard_ids)
-    ~segment:job.segment;
+    ~segment:job.segment ~output;
   Journal.close w;
   output_string output "end\n";
   flush output
@@ -184,3 +230,7 @@ let status_fd c = c.status_fd
 let segment c = c.segment
 let assigned c = c.assigned
 let wait child = snd (Unix.waitpid [] child.pid)
+
+let kill child =
+  try Unix.kill child.pid Sys.sigkill
+  with Unix.Unix_error _ -> () (* already reaped / gone *)

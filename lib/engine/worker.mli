@@ -24,20 +24,29 @@ val env_var : string
 (** ["FI_ENGINE_WORKER"] — set to ["1"] in a worker's environment. *)
 
 val torture_var : string
-(** ["FI_ENGINE_TORTURE"] — crash-injection hook for the engine's own
+(** ["FI_ENGINE_TORTURE"] — fault-injection hook for the engine's own
     torture tests: ["MODE:N"] or ["MODE:N:WORKER"] makes a worker (the
-    [WORKER]-indexed one, or all) die once it has completed [N] shards.
-    [MODE] is [exit] (exit code 7), [raise] (uncaught exception, exit 3),
-    [sigkill] (SIGKILL itself between shards) or [torn] (append a raw
-    partial record, then SIGKILL — a crash mid-append).  Unset, empty or
-    unparseable values inject nothing. *)
+    [WORKER]-indexed one, or all) misbehave once it has completed [N]
+    shards.  [MODE] is [exit] (exit code 7), [raise] (uncaught
+    exception, exit 3), [sigkill] (SIGKILL itself between shards),
+    [torn] (append a raw partial record, then SIGKILL — a crash
+    mid-append), [hang] (sleep forever: no heartbeat, no progress — only
+    a supervision deadline ends it) or [stall] (livelock: heartbeats
+    keep flowing but shard progress stops).  [poison:S[:W]] is
+    different: [S] is a {e plan shard id}, and the worker SIGKILLs
+    itself immediately before conducting that shard — the deterministic
+    poison coordinate that exercises shard quarantine, since it follows
+    the shard through every retry.  Unset, empty or unparseable values
+    inject nothing. *)
 
 type job = {
   spec : Spec.t;
   fingerprint : int;  (** Parent's campaign fingerprint; verified. *)
   shard_ids : int array;  (** Plan shard ids to conduct, in order. *)
   segment : string;  (** Journal-segment path to (re)create. *)
-  index : int;  (** Worker index within its cell, for diagnostics. *)
+  index : int;
+      (** Spawn ordinal within the cell (retry workers get fresh
+          indices), for diagnostics and [torture] targeting. *)
 }
 
 val segment_header : fingerprint:int -> pid:int -> string
@@ -68,12 +77,18 @@ val spawn : job -> child
 val pid : child -> int
 val index : child -> int
 val status_fd : child -> Unix.file_descr
-(** The doorbell pipe's read end: one line per completed shard, [end]
-    on clean completion, EOF when the child is gone.  The caller closes
-    it. *)
+(** The doorbell pipe's read end: [h] heartbeat lines while a shard is
+    being conducted (one per class, throttled), [s <id>] per completed
+    shard, [end] on clean completion, EOF when the child is gone.  The
+    caller closes it. *)
 
 val segment : child -> string
 val assigned : child -> int array
 
 val wait : child -> Unix.process_status
-(** [waitpid] (blocking; call after EOF on {!status_fd}). *)
+(** [waitpid] (blocking; call after EOF on {!status_fd} — or after
+    {!kill}). *)
+
+val kill : child -> unit
+(** SIGKILL the worker (no-op if it is already gone).  The supervisor's
+    answer to a blown deadline; follow with {!wait} to reap it. *)

@@ -14,6 +14,7 @@ let () =
       Test_engine.suite;
       Test_matrix.suite;
       Test_process.suite;
+      Test_supervision.suite;
       Test_mir.suite;
       Test_kernel.suite;
       Test_optimize.suite;

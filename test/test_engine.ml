@@ -317,8 +317,9 @@ let test_engine_bad_args () =
   check_scans_identical "jobs 0 = all cores" (Lazy.force hi_serial)
     (Engine.run ~jobs:0 golden);
   Alcotest.check_raises "jobs -1"
-    (Invalid_argument "Pool.resolve_jobs: jobs -1") (fun () ->
-      ignore (Engine.run ~jobs:(-1) golden));
+    (Invalid_argument
+       "Pool.resolve_jobs: negative job count -1 (use 0 for all cores)")
+    (fun () -> ignore (Engine.run ~jobs:(-1) golden));
   Alcotest.check_raises "resume without journal"
     (Invalid_argument "Engine.run: ~resume requires ~journal") (fun () ->
       ignore (Engine.run ~resume:true golden))

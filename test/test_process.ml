@@ -24,7 +24,7 @@ let with_temp_file f =
     ~finally:(fun () ->
       List.iter
         (fun p -> try Sys.remove p with Sys_error _ -> ())
-        (path :: List.init 8 (Printf.sprintf "%s.seg%d" path)))
+        (path :: List.init 32 (Printf.sprintf "%s.seg%d" path)))
     (fun () -> f path)
 
 let read_file path =
@@ -49,8 +49,9 @@ let test_resolve_jobs () =
   Alcotest.(check int) "omitted means all cores" (Pool.default_jobs ())
     (Pool.resolve_jobs ());
   Alcotest.check_raises "negative"
-    (Invalid_argument "Pool.resolve_jobs: jobs -2") (fun () ->
-      ignore (Pool.resolve_jobs ~jobs:(-2) ()))
+    (Invalid_argument
+       "Pool.resolve_jobs: negative job count -2 (use 0 for all cores)")
+    (fun () -> ignore (Pool.resolve_jobs ~jobs:(-2) ()))
 
 let test_backend_names () =
   List.iter

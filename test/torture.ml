@@ -1,13 +1,21 @@
 (* Worker-crash torture tests for the process backend — the slow,
    adversarial matrix kept out of @tier1 and run by `dune build @torture`
    (see DESIGN.md §7): every crash mode (clean nonzero exit, uncaught
-   exception, SIGKILL between shards, SIGKILL mid-append) injected into
-   journaled campaigns, on fixed fixtures and on qcheck-random programs,
-   always asserting the same three properties — the parent reports the
-   death, the campaign journal stays CRC-valid, and a --resume run
-   completes bit-identically to the serial scan. *)
+   exception, SIGKILL between shards, SIGKILL mid-append, hang, stall,
+   poisoned shard) injected into journaled campaigns, on fixed fixtures
+   and on qcheck-random programs, asserting the same properties — the
+   parent reports the death, the campaign journal stays CRC-valid, and
+   either supervision heals the campaign in place (bit-identical to the
+   serial scan, no manual --resume) or a --resume run completes
+   bit-identically.
+
+   `dune build @torture-smoke` sets FI_TORTURE_SMOKE=1 and runs only
+   the fast representative subset (one test per supervision mechanism,
+   a few seconds total). *)
 
 let () = Worker.guard ()
+
+let smoke = Sys.getenv_opt "FI_TORTURE_SMOKE" = Some "1"
 
 let hi_golden = lazy (Golden.run (Hi.program ()))
 let hi_serial = lazy (Scan.pruned (Lazy.force hi_golden))
@@ -27,7 +35,7 @@ let with_temp_file f =
     ~finally:(fun () ->
       List.iter
         (fun p -> try Sys.remove p with Sys_error _ -> ())
-        (path :: List.init 8 (Printf.sprintf "%s.seg%d" path)))
+        (path :: List.init 32 (Printf.sprintf "%s.seg%d" path)))
     (fun () -> f path)
 
 let with_torture value f =
@@ -187,6 +195,219 @@ let qcheck_differential_registers =
       Regspace.scan rs
       = Engine.run_spec ~backend:Pool.Processes ~jobs (Spec.of_regspace rs))
 
+(* ------------------------------------------------------------------ *)
+(* Supervision: heal, exhaust, quarantine — and compose with resume   *)
+(* ------------------------------------------------------------------ *)
+
+let sup_policy ?journal ?(resume = false) ?shard_size ?shard_timeout
+    ?(max_retries = 2) ?(quarantine = false) () =
+  {
+    Spec.default_policy with
+    Spec.journal;
+    resume;
+    shard_size;
+    shard_timeout;
+    max_retries;
+    quarantine;
+  }
+
+(* Every worker wedges (silently, or chattily for [stall]) after its
+   first completed shard — including retry workers.  Supervision must
+   kill each one on deadline and keep re-dispatching until the campaign
+   completes bit-identically, with no manual --resume and nothing
+   quarantined: the fault is transient per worker, not tied to a
+   shard. *)
+let supervised_heal torture =
+  let serial = Lazy.force hi_serial in
+  let golden = Lazy.force hi_golden in
+  let snap = ref None in
+  let result =
+    with_torture torture (fun () ->
+        Engine.run_spec_result ~backend:Pool.Processes ~jobs:2
+          ~observe:(fun s -> snap := Some s)
+          (Spec.of_golden
+             ~policy:(sup_policy ~shard_size:1 ~shard_timeout:0.4 ())
+             golden))
+  in
+  check_scans_identical (torture ^ ": supervision healed in place") serial
+    result.Engine.scan;
+  Alcotest.(check int) (torture ^ ": nothing quarantined") 0
+    (List.length result.Engine.quarantined);
+  match !snap with
+  | None -> Alcotest.fail "observe never called"
+  | Some s ->
+      Alcotest.(check bool) (torture ^ ": workers were killed") true
+        (s.Progress.kills >= 1)
+
+let test_heal_hang () = supervised_heal "hang:1"
+let test_heal_stall () = supervised_heal "stall:1"
+
+(* A shard that kills every worker it is assigned to, with quarantine
+   OFF: the retry budget must be spent (journaled as supervision
+   records), the campaign must fail loudly naming the exhausted shard —
+   and a clean --resume run must then heal bit-identically, proving
+   retry and resume compose. *)
+let test_retry_exhaustion_then_resume () =
+  let serial = Lazy.force hi_serial in
+  let golden = Lazy.force hi_golden in
+  with_temp_file (fun path ->
+      (match
+         with_torture "poison:0" (fun () ->
+             Engine.run_spec ~backend:Pool.Processes ~jobs:2
+               (Spec.of_golden
+                  ~policy:
+                    (sup_policy ~journal:path ~shard_size:1 ~max_retries:1 ())
+                  golden))
+       with
+      | _ -> Alcotest.fail "expected Worker_failed on budget exhaustion"
+      | exception Engine.Worker_failed msg ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec scan i =
+              i + nn <= nh
+              && (String.sub hay i nn = needle || scan (i + 1))
+            in
+            scan 0
+          in
+          Alcotest.(check bool) "failure names the exhausted budget" true
+            (contains msg "retry budget exhausted"));
+      (* The journal stayed clean and recorded the retry decisions. *)
+      (match Journal.replay path with
+      | Some (_, records, Journal.Clean) ->
+          Alcotest.(check bool) "supervision records journalled" true
+            (List.exists
+               (fun payload -> Runcell.parse_supervision payload <> None)
+               records)
+      | _ -> Alcotest.fail "campaign journal not clean after exhaustion");
+      let snap = ref None in
+      let resumed =
+        Engine.run_spec ~backend:Pool.Processes ~jobs:2
+          ~observe:(fun s -> snap := Some s)
+          (Spec.of_golden
+             ~policy:
+               (sup_policy ~journal:path ~resume:true ~shard_size:1
+                  ~max_retries:1 ())
+             golden)
+      in
+      check_scans_identical "exhaustion + resume = serial" serial resumed;
+      match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check bool) "healthy shard was recovered, not redone" true
+            (s.Progress.resumed_classes > 0))
+
+(* The same poisoned shard with quarantine ON: the campaign completes,
+   isolates exactly that shard, returns exact results everywhere else —
+   and a clean --resume heals to the full serial scan. *)
+let test_quarantine_then_resume () =
+  let serial = Lazy.force flag1_serial in
+  let golden = Lazy.force flag1_golden in
+  with_temp_file (fun path ->
+      let degraded =
+        with_torture "poison:1" (fun () ->
+            Engine.run_spec_result ~backend:Pool.Processes ~jobs:3
+              (Spec.of_golden
+                 ~policy:
+                   (sup_policy ~journal:path ~shard_size:1 ~max_retries:1
+                      ~quarantine:true ())
+                 golden))
+      in
+      (match degraded.Engine.quarantined with
+      | [ q ] ->
+          Alcotest.(check int) "the poisoned shard" 1 q.Engine.q_shard;
+          Alcotest.(check int) "budget fully burned" 2 q.Engine.q_attempts;
+          let excluded = q.Engine.q_class_indices in
+          let total = Array.length serial.Scan.experiments / 8 in
+          for ci = 0 to total - 1 do
+            if not (Array.exists (( = ) ci) excluded) then
+              Alcotest.(check bool)
+                (Printf.sprintf "class %d exact despite quarantine" ci)
+                true
+                (Array.sub degraded.Engine.scan.Scan.experiments (8 * ci) 8
+                = Array.sub serial.Scan.experiments (8 * ci) 8)
+          done
+      | qs ->
+          Alcotest.failf "expected exactly one quarantined shard, got %d"
+            (List.length qs));
+      let healed =
+        Engine.run_spec_result ~backend:Pool.Processes ~jobs:3
+          (Spec.of_golden
+             ~policy:
+               (sup_policy ~journal:path ~resume:true ~shard_size:1
+                  ~max_retries:1 ~quarantine:true ())
+             golden)
+      in
+      check_scans_identical "quarantine + resume = serial" serial
+        healed.Engine.scan;
+      Alcotest.(check int) "quarantine cleared on resume" 0
+        (List.length healed.Engine.quarantined))
+
+(* Sustained churn: EVERY worker (including replacements) is SIGKILLed
+   after one completed shard, for the whole campaign.  Each death makes
+   progress, so no shard may be charged a retry attempt — the campaign
+   must complete bit-identically with nothing quarantined.  (Regression:
+   charging the next-in-line shard on every death let churn exhaust a
+   healthy shard's budget and quarantine it.) *)
+let test_sustained_churn_heals () =
+  let serial = Lazy.force flag1_serial in
+  let golden = Lazy.force flag1_golden in
+  let shard_size = Array.length serial.Scan.experiments / 8 / 8 in
+  let snap = ref None in
+  let result =
+    with_torture "sigkill:1" (fun () ->
+        Engine.run_spec_result ~backend:Pool.Processes ~jobs:2
+          ~observe:(fun s -> snap := Some s)
+          (Spec.of_golden
+             ~policy:(sup_policy ~shard_size ~quarantine:true ())
+             golden))
+  in
+  check_scans_identical "churn healed bit-identically" serial
+    result.Engine.scan;
+  Alcotest.(check int) "nothing quarantined under churn" 0
+    (List.length result.Engine.quarantined);
+  match !snap with
+  | None -> Alcotest.fail "observe never called"
+  | Some s ->
+      Alcotest.(check bool) "churn forced retries" true
+        (s.Progress.retries >= 1)
+
+(* Supervision on an UNDISTURBED campaign must be invisible: same scan,
+   no kills, no retries, nothing quarantined. *)
+let test_supervision_invisible_when_healthy () =
+  let serial = Lazy.force flag1_serial in
+  let snap = ref None in
+  let result =
+    Engine.run_spec_result ~backend:Pool.Processes ~jobs:3
+      ~observe:(fun s -> snap := Some s)
+      (Spec.of_golden
+         ~policy:(sup_policy ~shard_timeout:30. ~quarantine:true ())
+         (Lazy.force flag1_golden))
+  in
+  check_scans_identical "supervised healthy run = serial" serial
+    result.Engine.scan;
+  Alcotest.(check int) "nothing quarantined" 0
+    (List.length result.Engine.quarantined);
+  match !snap with
+  | None -> Alcotest.fail "observe never called"
+  | Some s ->
+      Alcotest.(check int) "no kills" 0 s.Progress.kills;
+      Alcotest.(check int) "no retries" 0 s.Progress.retries
+
+let qcheck_supervised_crash_heals =
+  QCheck.Test.make
+    ~name:"torture: supervision heals transient crashes on random programs"
+    ~count:4
+    QCheck.(pair (int_bound 10_000) (int_range 2 3))
+    (fun (seed, jobs) ->
+      let golden = random_golden seed in
+      let result =
+        with_torture "exit:0:0" (fun () ->
+            Engine.run_spec_result ~backend:Pool.Processes ~jobs
+              (Spec.of_golden ~policy:(sup_policy ()) golden))
+      in
+      result.Engine.quarantined = []
+      && Scan.pruned golden = result.Engine.scan)
+
 let qcheck_sigkill_resume =
   QCheck.Test.make
     ~name:"torture: sigkill + resume is bit-identical on random programs"
@@ -214,22 +435,49 @@ let qcheck_sigkill_resume =
           died && Scan.pruned golden = resumed))
 
 let () =
-  Alcotest.run "fi-torture"
+  (* Each entry is [in_smoke_subset, test]: with FI_TORTURE_SMOKE=1
+     (the @torture-smoke alias) only one fast representative per
+     supervision mechanism runs — a few seconds instead of minutes. *)
+  let matrix =
     [
-      ( "torture",
-        [
-          Alcotest.test_case "processes = serial (fixtures, j 1-3)" `Slow
-            test_differential_fixtures;
-          Alcotest.test_case "crash: clean nonzero exit" `Slow test_crash_exit;
-          Alcotest.test_case "crash: uncaught exception" `Slow test_crash_raise;
-          Alcotest.test_case "crash: sigkill between shards" `Slow
-            test_crash_sigkill;
-          Alcotest.test_case "crash: sigkill mid-append (torn segment)" `Slow
-            test_crash_torn;
-          Alcotest.test_case "crash: killed before any shard" `Slow
-            test_crash_immediately;
-          QCheck_alcotest.to_alcotest qcheck_differential_memory;
-          QCheck_alcotest.to_alcotest qcheck_differential_registers;
-          QCheck_alcotest.to_alcotest qcheck_sigkill_resume;
-        ] );
+      ( false,
+        Alcotest.test_case "processes = serial (fixtures, j 1-3)" `Slow
+          test_differential_fixtures );
+      (true, Alcotest.test_case "crash: clean nonzero exit" `Slow test_crash_exit);
+      ( false,
+        Alcotest.test_case "crash: uncaught exception" `Slow test_crash_raise );
+      ( false,
+        Alcotest.test_case "crash: sigkill between shards" `Slow
+          test_crash_sigkill );
+      ( false,
+        Alcotest.test_case "crash: sigkill mid-append (torn segment)" `Slow
+          test_crash_torn );
+      ( false,
+        Alcotest.test_case "crash: killed before any shard" `Slow
+          test_crash_immediately );
+      (true, Alcotest.test_case "supervision heals hangs" `Slow test_heal_hang);
+      ( false,
+        Alcotest.test_case "supervision heals stalls" `Slow test_heal_stall );
+      ( true,
+        Alcotest.test_case "retry exhaustion, then resume" `Slow
+          test_retry_exhaustion_then_resume );
+      ( false,
+        Alcotest.test_case "poisoned shard quarantined, then resume" `Slow
+          test_quarantine_then_resume );
+      ( false,
+        Alcotest.test_case "sustained churn heals without quarantine" `Slow
+          test_sustained_churn_heals );
+      ( true,
+        Alcotest.test_case "supervision invisible on a healthy run" `Slow
+          test_supervision_invisible_when_healthy );
+      (false, QCheck_alcotest.to_alcotest qcheck_differential_memory);
+      (false, QCheck_alcotest.to_alcotest qcheck_differential_registers);
+      (false, QCheck_alcotest.to_alcotest qcheck_supervised_crash_heals);
+      (false, QCheck_alcotest.to_alcotest qcheck_sigkill_resume);
     ]
+  in
+  let selected =
+    List.filter_map (fun (fast, t) -> if (not smoke) || fast then Some t else None)
+      matrix
+  in
+  Alcotest.run "fi-torture" [ ("torture", selected) ]
