@@ -504,6 +504,99 @@ let run_engine_supervision () =
   close_out oc;
   Printf.printf "spliced supervision into BENCH_engine.json\n"
 
+let run_engine_net () =
+  section
+    "ENGN | Distributed engine: bin_sem2 over a loopback worker daemon vs \
+     the Processes backend (splices \"net\" into BENCH_engine.json)";
+  let golden = Golden.run (Bin_sem2.baseline ()) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, t_serial = time (fun () -> Scan.pruned golden) in
+  let jobs = 2 in
+  let procs, t_procs =
+    time (fun () -> Engine.run ~backend:Pool.Processes ~jobs golden)
+  in
+  match Remote.spawn_daemon ~workers:jobs () with
+  | Error e -> Printf.printf "engine-net skipped: no daemon (%s)\n" e
+  | Ok (pid, addr) ->
+      Fun.protect
+        ~finally:(fun () -> Remote.kill_daemon pid)
+        (fun () ->
+          let net, t_net =
+            time (fun () ->
+                Engine.run
+                  ~backend:(Pool.Sockets [ Addr.to_string addr ])
+                  ~jobs golden)
+          in
+          let identical = net = serial && procs = serial in
+          let overhead_pct = (t_net -. t_procs) /. t_procs *. 100. in
+          Printf.printf "serial Scan.pruned      : %6.2f s\n" t_serial;
+          Printf.printf "processes -j %d          : %6.2f s\n" jobs t_procs;
+          Printf.printf
+            "sockets loopback -j %d   : %6.2f s  (overhead vs processes \
+             %+.1f%%, bit-identical %b)\n"
+            jobs t_net overhead_pct identical;
+          let net_json =
+            Printf.sprintf
+              "{\n\
+              \    \"transport\": \"tcp-loopback\",\n\
+              \    \"jobs\": %d,\n\
+              \    \"serial_seconds\": %.3f,\n\
+              \    \"processes_seconds\": %.3f,\n\
+              \    \"sockets_seconds\": %.3f,\n\
+              \    \"overhead_vs_processes_pct\": %.1f,\n\
+              \    \"bit_identical\": %b\n\
+              \  }"
+              jobs t_serial t_procs t_net overhead_pct identical
+          in
+          (* Splice next to the engine-parallel/supervision sections,
+             replacing any previous net section (idempotent re-runs);
+             write a minimal skeleton if engine-parallel has not run
+             yet. *)
+          let path = "BENCH_engine.json" in
+          let base =
+            if Sys.file_exists path then begin
+              let ic = open_in_bin path in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              text
+            end
+            else "{\n  \"benchmark\": \"bin_sem2/baseline\"\n}\n"
+          in
+          let find_sub hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec scan i =
+              if i + nn > nh then None
+              else if String.sub hay i nn = needle then Some i
+              else scan (i + 1)
+            in
+            scan 0
+          in
+          let trim_tail s =
+            let n = ref (String.length s) in
+            while !n > 0 && (s.[!n - 1] = '\n' || s.[!n - 1] = ' ') do
+              decr n
+            done;
+            String.sub s 0 !n
+          in
+          let body =
+            match find_sub base ",\n  \"net\":" with
+            | Some i -> String.sub base 0 i
+            | None ->
+                let t = trim_tail base in
+                let n = String.length t in
+                if n > 0 && t.[n - 1] = '}' then
+                  trim_tail (String.sub t 0 (n - 1))
+                else t
+          in
+          let oc = open_out path in
+          output_string oc (body ^ ",\n  \"net\": " ^ net_json ^ "\n}\n");
+          close_out oc;
+          Printf.printf "spliced net into BENCH_engine.json\n")
+
 let run_matrix_parallel () =
   section
     "ENGM | Matrix engine: paper pairs back-to-back serial vs one \
@@ -690,6 +783,7 @@ let artifacts =
     ("engine", run_engine);
     ("engine-parallel", run_engine_parallel);
     ("engine-supervision", run_engine_supervision);
+    ("engine-net", run_engine_net);
     ("matrix-parallel", run_matrix_parallel);
     ("optimization", run_optimization);
     ("perf", run_perf);
@@ -697,8 +791,10 @@ let artifacts =
 
 let () =
   (* If this process was exec'd as a campaign worker (the engine's
-     process backend re-execs the hosting binary), serve and exit. *)
+     process backend re-execs the hosting binary) or as a remote-worker
+     daemon (the sockets backend does the same), serve and exit. *)
   Worker.guard ();
+  Remote.guard ();
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

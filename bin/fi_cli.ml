@@ -73,6 +73,7 @@ let or_die = function
    thing everywhere. *)
 type engine_opts = {
   backend : Pool.backend;
+  workers : string option;
   jobs : int;
   journal : string option;
   resume : bool;
@@ -87,23 +88,45 @@ let engine_opts_term =
   let backend =
     let doc =
       "Campaign execution backend: $(b,domains) (shared-memory OCaml \
-       domains in this process) or $(b,processes) (fork/exec'd worker \
+       domains in this process), $(b,processes) (fork/exec'd worker \
        processes, one crash-isolated journal segment each — a killed \
        worker only costs its unfinished shards, which $(b,--resume) \
-       replays).  Results are bit-identical either way."
+       replays) or $(b,sockets) (remote worker daemons — requires \
+       $(b,--workers)).  Results are bit-identical in every case."
     in
     Arg.(
       value
-      & opt (enum [ ("domains", Pool.Domains); ("processes", Pool.Processes) ])
+      & opt
+          (enum
+             [
+               ("domains", Pool.Domains);
+               ("processes", Pool.Processes);
+               ("sockets", Pool.Sockets []);
+             ])
           Pool.Domains
       & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let workers =
+    let doc =
+      "Comma-separated $(b,HOST:PORT) addresses of remote worker daemons \
+       (each started with $(b,fi-cli worker serve)).  Implies $(b,--backend \
+       sockets).  Jobs and journal-segment records cross the connections; \
+       the journal stays the only shared state, so $(b,--resume) heals a \
+       campaign whose remote workers vanished."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workers" ] ~docv:"HOST:PORT[,HOST:PORT...]" ~doc)
   in
   let jobs =
     let doc =
       "Workers (domains or processes, per $(b,--backend)) for the \
        campaign engine; 0 means all cores \
-       ($(b,Domain.recommended_domain_count)).  Results are bit-identical \
-       for every value."
+       ($(b,Domain.recommended_domain_count)).  With $(b,--workers), \
+       bounds $(i,per-remote-host) concurrency instead, and 0 lets each \
+       daemon decide (its advertised capacity).  Results are \
+       bit-identical for every value."
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
@@ -174,10 +197,11 @@ let engine_opts_term =
     Arg.(value & flag & info [ "no-quarantine" ] ~doc)
   in
   Term.(
-    const (fun backend jobs journal resume shard_size weighted shard_timeout
-               max_retries no_quarantine ->
+    const (fun backend workers jobs journal resume shard_size weighted
+               shard_timeout max_retries no_quarantine ->
         {
           backend;
+          workers;
           jobs;
           journal;
           resume;
@@ -187,8 +211,8 @@ let engine_opts_term =
           max_retries;
           no_quarantine;
         })
-    $ backend $ jobs $ journal $ resume $ shard_size $ weighted $ shard_timeout
-    $ max_retries $ no_quarantine)
+    $ backend $ workers $ jobs $ journal $ resume $ shard_size $ weighted
+    $ shard_timeout $ max_retries $ no_quarantine)
 
 let policy_of opts =
   {
@@ -203,11 +227,28 @@ let policy_of opts =
     retry_backoff = Spec.default_policy.Spec.retry_backoff;
   }
 
+(* --workers names hosts, --backend names a strategy; together they
+   resolve to one backend value here, so every engine subcommand agrees
+   on what the pair means: --workers implies sockets, sockets without
+   --workers is an error (there is nothing to connect to). *)
+let backend_of opts =
+  match (opts.backend, opts.workers) with
+  | (Pool.Domains | Pool.Processes), None -> opts.backend
+  | _, Some hosts -> (
+      match Addr.parse_list hosts with
+      | Ok addrs -> Pool.Sockets (List.map Addr.to_string addrs)
+      | Error msg -> or_die (Error msg))
+  | Pool.Sockets _, None ->
+      or_die
+        (Error
+           "--backend sockets needs --workers HOST:PORT[,HOST:PORT...] (start \
+            daemons with `fi-cli worker serve`)")
+
 (* Jobs resolution lives in Pool.resolve_jobs — the engine uses the very
    same function, so `-j 0` can never mean different things to different
-   subcommands (or to the two backends). *)
-let resolve_jobs jobs =
-  match Pool.resolve_jobs ~jobs () with
+   subcommands (or to the backends). *)
+let resolve_jobs ?backend jobs =
+  match Pool.resolve_jobs ?backend ~jobs () with
   | n -> n
   | exception Invalid_argument _ ->
       or_die (Error (Printf.sprintf "invalid job count %d" jobs))
@@ -247,9 +288,10 @@ let report_quarantine results =
   end
 
 let engine_matrix ~opts ~quiet specs =
+  let backend = backend_of opts in
   match
-    Engine.run_matrix_results ~backend:opts.backend
-      ~jobs:(resolve_jobs opts.jobs)
+    Engine.run_matrix_results ~backend
+      ~jobs:(resolve_jobs ~backend opts.jobs)
       ~observe:(engine_progress ~quiet)
       ~on_event:(fun msg -> Printf.eprintf "\n[supervision] %s\n%!" msg)
       specs
@@ -451,9 +493,16 @@ let matrix_cmd =
                    }
                    s)
     in
-    if not quiet then
-      Printf.eprintf "matrix: %d cells on %d worker(s)\n%!" (List.length specs)
-        (resolve_jobs opts.jobs);
+    (if not quiet then
+       match resolve_jobs ~backend:(backend_of opts) opts.jobs with
+       | 0 ->
+           Printf.eprintf
+             "matrix: %d cells on remote workers (daemon-decided concurrency)\n\
+              %!"
+             (List.length specs)
+       | n ->
+           Printf.eprintf "matrix: %d cells on %d worker(s)\n%!"
+             (List.length specs) n);
     let scans = engine_matrix ~opts ~quiet specs in
     let t =
       Table.create
@@ -527,7 +576,8 @@ let sample_cmd =
        all requested domains, and survives crashes. *)
     let oracle =
       if
-        opts.jobs <> 1 || opts.backend <> Pool.Domains || opts.journal <> None
+        opts.jobs <> 1 || opts.backend <> Pool.Domains
+        || opts.workers <> None || opts.journal <> None
         || opts.resume || opts.shard_size <> None || opts.weighted
         || opts.shard_timeout <> None
       then
@@ -758,15 +808,66 @@ let journal_cmd =
 (* ------------------------------------------------------------------ *)
 
 let worker_cmd =
-  let action () = Worker.serve ~input:stdin ~output:stdout in
-  Cmd.v
+  let serve_cmd =
+    let listen =
+      let doc =
+        "Address to listen on.  Port $(b,0) lets the kernel pick one; the \
+         actual address is announced on stdout as $(b,fi-net listening \
+         HOST:PORT ...)."
+      in
+      Arg.(
+        value
+        & opt string "127.0.0.1:0"
+        & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+    in
+    let workers =
+      let doc =
+        "Concurrent conducting workers (one forked child per accepted \
+         connection); this is also the capacity advertised in the \
+         handshake, which a conductor running $(b,-j 0) adopts.  0 means \
+         all cores."
+      in
+      Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+    in
+    let action listen workers =
+      let listen =
+        match Addr.parse listen with Ok a -> a | Error e -> or_die (Error e)
+      in
+      let workers =
+        if workers = 0 then Pool.default_jobs ()
+        else if workers < 0 then
+          or_die (Error (Printf.sprintf "invalid worker count %d" workers))
+        else workers
+      in
+      Remote.serve ~listen ~workers
+        ~announce:(fun line ->
+          print_endline line;
+          flush stdout)
+        ()
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run a remote campaign-worker daemon: accept framed-TCP \
+            connections from a conductor ($(b,--workers HOST:PORT)), \
+            authenticate each via the protocol-version + binary-digest \
+            handshake (both ends must run the byte-identical fi-cli \
+            binary), and conduct the shipped shards exactly as a local \
+            $(b,--backend processes) worker would, streaming journal \
+            records back over the connection.  Runs until killed.")
+      Term.(const action $ listen $ workers)
+  in
+  let stdio_action () = Worker.serve ~input:stdin ~output:stdout in
+  Cmd.group
+    ~default:Term.(const stdio_action $ const ())
     (Cmd.info "worker"
        ~doc:
-         "Serve one campaign-worker job over stdin/stdout (the \
-          $(b,--backend processes) child protocol).  Normally entered \
-          automatically via the $(b,FI_ENGINE_WORKER) environment \
-          variable, not by hand.")
-    Term.(const action $ const ())
+         "Campaign worker entry points: the default serves one job over \
+          stdin/stdout (the $(b,--backend processes) child protocol, \
+          normally entered automatically via the $(b,FI_ENGINE_WORKER) \
+          environment variable); $(b,worker serve) runs a remote worker \
+          daemon for $(b,--backend sockets).")
+    [ serve_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* list                                                               *)
@@ -782,8 +883,10 @@ let list_cmd =
 
 let () =
   (* Must run before anything else: a process exec'd with
-     FI_ENGINE_WORKER=1 is a campaign worker, not a CLI. *)
+     FI_ENGINE_WORKER=1 is a campaign worker, not a CLI, and one exec'd
+     with FI_ENGINE_NET_SERVE is a remote-worker daemon. *)
   Worker.guard ();
+  Remote.guard ();
   let doc =
     "fault-injection campaigns, metrics and pitfall analyses on the \
      deterministic RISC simulator"

@@ -192,23 +192,58 @@ let setup cell ~progress =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Process-backend supervision state                                  *)
+(* Worker-backend supervision state (Processes and Sockets)           *)
 (* ------------------------------------------------------------------ *)
 
-(* One record per spawned worker: its doorbell pipe, heartbeat clocks,
-   the read cursor into its journal segment, and what became of it. *)
+(* How a cell's shards reach their workers: the fork/exec backend with
+   a total seat count, or the sockets backend with one seat cap per
+   probed daemon host. *)
+type cell_mode =
+  | Local_processes of int
+  | Remote_hosts of (Addr.t * int) array
+
+(* The supervisor's handle on one spawned worker.  [Piped] is a local
+   fork/exec child (doorbell pipe + journal segment).  [Netted] is a
+   connection to a remote daemon's worker: the same two streams arrive
+   re-framed ([Door] and [Seg] frames), and tearing the connection down
+   replaces SIGKILL.  [Stillborn] is a dispatch that never produced a
+   worker (connect or handshake failure): it settles through the
+   ordinary supervision path, so refusals and dead hosts earn retries,
+   backoff and quarantine exactly like any other worker death. *)
+type link =
+  | Piped of Worker.child
+  | Netted of Remote.client
+  | Stillborn of { sb_index : int; sb_assigned : int array; sb_peer : string }
+
+let link_assigned = function
+  | Piped c -> Worker.assigned c
+  | Netted (c : Remote.client) -> c.Remote.assigned
+  | Stillborn s -> s.sb_assigned
+
+let link_who = function
+  | Piped c ->
+      Printf.sprintf "worker %d (pid %d)" (Worker.index c) (Worker.pid c)
+  | Netted c ->
+      Printf.sprintf "remote worker %d (%s)" c.Remote.index
+        (Transport.peer c.Remote.conn)
+  | Stillborn s -> Printf.sprintf "remote worker %d (%s)" s.sb_index s.sb_peer
+
+(* One record per spawned worker: its event stream, heartbeat clocks,
+   the read cursor into its journal segment (local workers), and what
+   became of it. *)
 type tracked = {
-  child : Worker.child;
+  link : link;
   t_rt : runtime;
   spawned_at : float;
-  mutable last_beat : float;  (** Last byte seen on the doorbell pipe. *)
+  mutable last_beat : float;  (** Last doorbell activity seen. *)
   mutable last_progress : float;  (** Last [s]/[end] doorbell line. *)
   mutable st_pending : string;  (** Partial trailing doorbell line. *)
   mutable seg_fd : Unix.file_descr option;
   mutable seg_pending : string;  (** Partial trailing segment line. *)
   mutable header_ok : bool;
   mutable corrupt : string option;
-  mutable killed : string option;  (** Supervisor kill reason. *)
+  mutable killed : string option;  (** Supervisor teardown reason. *)
+  mutable remote_err : string option;  (** [Err] frame / frame corruption. *)
   mutable eof : bool;
   mutable status : Unix.process_status option;
   mutable settled : bool;
@@ -221,40 +256,29 @@ let signal_name s =
   else if s = Sys.sigsegv then "SIGSEGV"
   else Printf.sprintf "signal %d" s
 
-(* EINTR is a retry, EAGAIN/EWOULDBLOCK mean "nothing yet"; only real
-   errors (and 0) are the worker's death notice.  Mapping every
-   [Unix_error] to EOF — as this loop once did — declares a live worker
-   dead on any stray signal. *)
-let rec read_status fd buf =
-  match Unix.read fd buf 0 (Bytes.length buf) with
-  | 0 -> `Eof
-  | k -> `Data k
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_status fd buf
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      `Nothing
-  | exception Unix.Unix_error _ -> `Eof
+(* Protocol lines on the doorbell (pipe lines or [Door] frames): [h] is
+   a heartbeat, [s <id>] and [end] are shard progress (and count as
+   beats too).  Anything else is stray stdout from the hosted binary's
+   own initialisation (the worker is a re-exec of whatever executable
+   embeds the engine) and must NOT count as a heartbeat — otherwise one
+   banner line at startup makes a genuinely hung worker look merely
+   stalled.  Distinguishing beats from progress is what separates a
+   hung worker (silent) from a stalled one (chatty, but going
+   nowhere). *)
+let note_door_line t line now =
+  if line = "end" || (String.length line >= 2 && String.sub line 0 2 = "s ")
+  then begin
+    t.last_beat <- now;
+    t.last_progress <- now
+  end
+  else if line = "h" then t.last_beat <- now
 
-(* Protocol lines on the doorbell pipe: [h] is a heartbeat, [s <id>]
-   and [end] are shard progress (and count as beats too).  Anything
-   else is stray stdout from the hosted binary's own initialisation
-   (the worker is a re-exec of whatever executable embeds the engine)
-   and must NOT count as a heartbeat — otherwise one banner line at
-   startup makes a genuinely hung worker look merely stalled.
-   Distinguishing beats from progress is what separates a hung worker
-   (silent) from a stalled one (chatty, but going nowhere). *)
 let note_status_data t data now =
   let rec go = function
     | [] -> ()
     | [ tail ] -> t.st_pending <- tail
     | line :: rest ->
-        if
-          line = "end"
-          || (String.length line >= 2 && String.sub line 0 2 = "s ")
-        then begin
-          t.last_beat <- now;
-          t.last_progress <- now
-        end
-        else if line = "h" then t.last_beat <- now;
+        note_door_line t line now;
         go rest
   in
   go (String.split_on_char '\n' (t.st_pending ^ data))
@@ -271,7 +295,16 @@ let bootstrap_deadline = 60.
 
 let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
     ?(observe = fun _ -> ()) ?(on_event = fun _ -> ()) specs =
-  let jobs = Pool.resolve_jobs ?jobs () in
+  let jobs = Pool.resolve_jobs ~backend ?jobs () in
+  let worker_hosts =
+    match backend with
+    | Pool.Sockets [] ->
+        invalid_arg
+          "Engine.run: the sockets backend needs at least one HOST:PORT \
+           worker address (--workers)"
+    | Pool.Sockets hosts -> List.map Addr.parse_exn hosts
+    | Pool.Domains | Pool.Processes -> []
+  in
   let progress_of =
     match progress with None -> fun _ -> Scan.no_progress | Some p -> p
   in
@@ -464,14 +497,22 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
         incr agg_shards_done;
         emit_observe ()
       in
+      (* One merge path for both worker backends: a local worker's
+         journal segment and a remote worker's [Seg] frame stream carry
+         the same CRC-guarded lines (header first, then one record per
+         shard), so the dedup / fingerprint / corruption verdicts cannot
+         diverge between them. *)
       let merge_line t line =
+        let source () =
+          match t.link with
+          | Piped c -> Printf.sprintf "segment line in %s" (Worker.segment c)
+          | Netted _ | Stillborn _ -> "record line over its connection"
+        in
         if t.corrupt = None then
           match Journal.decode_line line with
           | None ->
               t.corrupt <-
-                Some
-                  (Printf.sprintf "wrote a CRC-invalid segment line in %s"
-                     (Worker.segment t.child))
+                Some (Printf.sprintf "wrote a CRC-invalid %s" (source ()))
           | Some payload ->
               if not t.header_ok then (
                 match Worker.segment_fingerprint payload with
@@ -487,61 +528,95 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                     if not t.t_rt.shard_done.(shard.Shard.id) then
                       apply_shard_live t.t_rt shard outs
       in
-      (* Tail the segment from the last read position; complete lines are
-         merged, a trailing partial line (torn tail) stays pending. *)
+      (* Tail a local worker's segment from the last read position;
+         complete lines are merged, a trailing partial line (torn tail)
+         stays pending.  Remote workers have no segment file — their
+         lines were merged as [Seg] frames arrived — so this is a no-op
+         for them. *)
       let drain t =
-        (match t.seg_fd with
-        | None -> (
-            try
-              t.seg_fd <-
-                Some (Unix.openfile (Worker.segment t.child) [ Unix.O_RDONLY ] 0)
-            with Unix.Unix_error _ -> ())
-        | Some _ -> ());
-        match t.seg_fd with
-        | None -> ()
-        | Some fd ->
-            let chunk = Bytes.create 65536 in
-            let data = Buffer.create 256 in
-            Buffer.add_string data t.seg_pending;
-            let continue = ref true in
-            while !continue do
-              match Unix.read fd chunk 0 (Bytes.length chunk) with
-              | 0 -> continue := false
-              | n -> Buffer.add_subbytes data chunk 0 n
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-            done;
-            let text = Buffer.contents data in
-            let len = String.length text in
-            let start = ref 0 in
-            let stop = ref false in
-            while not !stop do
-              match String.index_from_opt text !start '\n' with
-              | None ->
-                  t.seg_pending <- String.sub text !start (len - !start);
-                  stop := true
-              | Some nl ->
-                  merge_line t (String.sub text !start (nl - !start));
-                  start := nl + 1
-            done
+        match t.link with
+        | Netted _ | Stillborn _ -> ()
+        | Piped child -> (
+            (match t.seg_fd with
+            | None -> (
+                try
+                  t.seg_fd <-
+                    Some
+                      (Unix.openfile (Worker.segment child) [ Unix.O_RDONLY ] 0)
+                with Unix.Unix_error _ -> ())
+            | Some _ -> ());
+            match t.seg_fd with
+            | None -> ()
+            | Some fd ->
+                let chunk = Bytes.create 65536 in
+                let data = Buffer.create 256 in
+                Buffer.add_string data t.seg_pending;
+                let continue = ref true in
+                while !continue do
+                  match Sysio.read_once fd chunk 0 (Bytes.length chunk) with
+                  | 0 -> continue := false
+                  | n -> Buffer.add_subbytes data chunk 0 n
+                done;
+                let text = Buffer.contents data in
+                let len = String.length text in
+                let start = ref 0 in
+                let stop = ref false in
+                while not !stop do
+                  match String.index_from_opt text !start '\n' with
+                  | None ->
+                      t.seg_pending <- String.sub text !start (len - !start);
+                      stop := true
+                  | Some nl ->
+                      merge_line t (String.sub text !start (nl - !start));
+                      start := nl + 1
+                done)
       in
       let status_cause t =
-        match (t.killed, t.corrupt, t.status) with
+        match (t.killed, t.corrupt, t.link) with
         | Some reason, _, _ -> reason
         | None, Some c, _ -> c
-        | None, None, Some (Unix.WEXITED 0) -> "exited 0 with unfinished shards"
-        | None, None, Some (Unix.WEXITED n) ->
-            Printf.sprintf "exited with code %d" n
-        | None, None, Some (Unix.WSIGNALED s) ->
-            Printf.sprintf "was killed by %s" (signal_name s)
-        | None, None, Some (Unix.WSTOPPED s) ->
-            Printf.sprintf "stopped by %s" (signal_name s)
-        | None, None, None -> "was never reaped"
+        | None, None, (Netted _ | Stillborn _) -> (
+            match t.remote_err with
+            | Some e -> e
+            | None -> "closed its connection with unfinished shards")
+        | None, None, Piped _ -> (
+            match t.status with
+            | Some (Unix.WEXITED 0) -> "exited 0 with unfinished shards"
+            | Some (Unix.WEXITED n) -> Printf.sprintf "exited with code %d" n
+            | Some (Unix.WSIGNALED s) ->
+                Printf.sprintf "was killed by %s" (signal_name s)
+            | Some (Unix.WSTOPPED s) ->
+                Printf.sprintf "stopped by %s" (signal_name s)
+            | None -> "was never reaped")
       in
-      let run_cell_processes rt failures =
+      (* Everything a remote worker says arrives as frames; doorbell
+         lines and segment lines feed the exact machinery the pipe
+         backend uses. *)
+      let handle_frame t (kind, payload) =
+        match kind with
+        | Frame.Door -> note_door_line t payload (Unix.gettimeofday ())
+        | Frame.Seg -> merge_line t payload
+        | Frame.Err ->
+            if t.remote_err = None then
+              t.remote_err <- Some (Printf.sprintf "reported: %s" payload)
+        | Frame.Hello | Frame.Job ->
+            if t.remote_err = None then
+              t.remote_err <-
+                Some
+                  (Printf.sprintf "sent an unexpected %s frame"
+                     (Frame.kind_tag kind))
+      in
+      let run_cell mode rt failures =
         let policy = rt.cell.Runcell.spec.Spec.policy in
         let sup = Spec.supervised policy in
         let max_retries = policy.Spec.max_retries in
         let label = Spec.label rt.cell.Runcell.spec in
+        let capacity =
+          match mode with
+          | Local_processes jobs -> jobs
+          | Remote_hosts seats ->
+              Array.fold_left (fun acc (_, cap) -> acc + cap) 0 seats
+        in
         let pending_ids =
           Array.of_list
             (List.filter_map
@@ -561,45 +636,104 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
             | None -> Filename.temp_file "fi-segment" ".journal"
           in
           let live () = List.filter (fun t -> not t.eof) !tracked in
+          (* Per-host seat accounting for the sockets backend: a host's
+             live connections occupy its seats; stillborn dispatches
+             never do. *)
+          let host_live addr =
+            List.fold_left
+              (fun acc t ->
+                match t.link with
+                | Netted c when (not t.eof) && c.Remote.addr = addr -> acc + 1
+                | _ -> acc)
+              0 !tracked
+          in
+          let free_seats () =
+            match mode with
+            | Local_processes jobs -> jobs - List.length (live ())
+            | Remote_hosts seats ->
+                Array.fold_left
+                  (fun acc (addr, cap) -> acc + max 0 (cap - host_live addr))
+                  0 seats
+          in
+          let pick_host seats =
+            Array.fold_left
+              (fun acc (addr, cap) ->
+                let free = cap - host_live addr in
+                match acc with
+                | Some (_, best) when best >= free -> acc
+                | _ -> if free > 0 then Some (addr, free) else acc)
+              None seats
+          in
+          let make_tracked ?err link now =
+            {
+              link;
+              t_rt = rt;
+              spawned_at = now;
+              last_beat = now;
+              last_progress = now;
+              st_pending = "";
+              seg_fd = None;
+              seg_pending = "";
+              header_ok = false;
+              corrupt = None;
+              killed = None;
+              remote_err = err;
+              eof = (match link with Stillborn _ -> true | _ -> false);
+              status = None;
+              settled = false;
+            }
+          in
+          let spawn_one shard_ids =
+            let idx = !spawn_counter in
+            incr spawn_counter;
+            let now = Unix.gettimeofday () in
+            let entry =
+              match mode with
+              | Local_processes _ ->
+                  let job =
+                    {
+                      Worker.spec = rt.cell.Runcell.spec;
+                      fingerprint = rt.fp;
+                      shard_ids;
+                      segment = seg_path idx;
+                      index = idx;
+                    }
+                  in
+                  make_tracked (Piped (Worker.spawn job)) now
+              | Remote_hosts seats -> (
+                  let stillborn peer err =
+                    make_tracked ~err
+                      (Stillborn
+                         {
+                           sb_index = idx;
+                           sb_assigned = shard_ids;
+                           sb_peer = peer;
+                         })
+                      now
+                  in
+                  match pick_host seats with
+                  | None -> stillborn "no host" "had no free worker seat"
+                  | Some (addr, _) -> (
+                      match
+                        Remote.dispatch ~addr ~fingerprint:rt.fp
+                          ~program:rt.cell.Runcell.golden.Golden.program
+                          ~spec:rt.cell.Runcell.spec ~shard_ids ~index:idx
+                      with
+                      | Ok client -> make_tracked (Netted client) now
+                      | Error msg -> stillborn (Addr.to_string addr) msg))
+            in
+            tracked := entry :: !tracked
+          in
           let spawn_workers ids k =
             let n = Array.length ids in
             let k = min k n in
             for i = 0 to k - 1 do
               let lo = i * n / k and hi = (i + 1) * n / k in
-              let idx = !spawn_counter in
-              incr spawn_counter;
-              let job =
-                {
-                  Worker.spec = rt.cell.Runcell.spec;
-                  fingerprint = rt.fp;
-                  shard_ids = Array.sub ids lo (hi - lo);
-                  segment = seg_path idx;
-                  index = idx;
-                }
-              in
-              let now = Unix.gettimeofday () in
-              tracked :=
-                {
-                  child = Worker.spawn job;
-                  t_rt = rt;
-                  spawned_at = now;
-                  last_beat = now;
-                  last_progress = now;
-                  st_pending = "";
-                  seg_fd = None;
-                  seg_pending = "";
-                  header_ok = false;
-                  corrupt = None;
-                  killed = None;
-                  eof = false;
-                  status = None;
-                  settled = false;
-                }
-                :: !tracked
+              spawn_one (Array.sub ids lo (hi - lo))
             done
           in
           let dispatch () =
-            let free = jobs - List.length (live ()) in
+            let free = free_seats () in
             if free > 0 && !queue <> [] then begin
               let now = Unix.gettimeofday () in
               let eligible, later =
@@ -626,7 +760,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                   if completions > 0 then
                     Some
                       (Float.max 1.0
-                         (8. *. float_of_int jobs
+                         (8. *. float_of_int capacity
                          *. (Unix.gettimeofday () -. t0)
                          /. float_of_int completions))
                   else Some bootstrap_deadline
@@ -645,20 +779,22 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
             let unfinished =
               List.filter
                 (fun id -> not (rt.shard_done.(id) || rt.quarantined.(id)))
-                (Array.to_list (Worker.assigned t.child))
+                (Array.to_list (link_assigned t.link))
             in
             let clean =
               t.killed = None && t.corrupt = None
-              && t.status = Some (Unix.WEXITED 0)
               && unfinished = []
+              && (match t.link with
+                 | Piped _ -> t.status = Some (Unix.WEXITED 0)
+                 | Netted _ -> t.remote_err = None
+                 | Stillborn _ -> false)
             in
             if not clean then begin
               let cause = status_cause t in
-              let widx = Worker.index t.child and wpid = Worker.pid t.child in
+              let who = link_who t.link in
               if not sup then
                 failures :=
-                  Printf.sprintf "%s: worker %d (pid %d) %s%s" label widx wpid
-                    cause
+                  Printf.sprintf "%s: %s %s%s" label who cause
                     (match unfinished with
                     | [] -> ""
                     | ids ->
@@ -675,9 +811,9 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                        nothing to recover. *)
                     on_event
                       (Printf.sprintf
-                         "%s: worker %d (pid %d) %s (all assigned shards \
-                          complete; nothing to retry)"
-                         label widx wpid cause)
+                         "%s: %s %s (all assigned shards complete; nothing to \
+                          retry)"
+                         label who cause)
                 | first :: rest ->
                     (* Charge a retry attempt only when the worker made
                        NO progress: then [first] — the shard being
@@ -697,7 +833,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                        death then charges it. *)
                     let progressed =
                       List.length unfinished
-                      < Array.length (Worker.assigned t.child)
+                      < Array.length (link_assigned t.link)
                     in
                     if not progressed then
                       rt.retries.(first) <- rt.retries.(first) + 1;
@@ -720,22 +856,22 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                         on_event
                           (Printf.sprintf
                              "%s: shard %d quarantined after %d failed \
-                              attempt%s (last worker %d (pid %d) %s)"
+                              attempt%s (last: %s %s)"
                              label first attempt
                              (if attempt > 1 then "s" else "")
-                             widx wpid cause);
+                             who cause);
                         if rest <> [] then requeue rest (Unix.gettimeofday ());
                         emit_observe ()
                       end
                       else begin
                         failures :=
                           Printf.sprintf
-                            "%s: shard %d failed %d time%s (last: worker %d \
-                             (pid %d) %s); retry budget exhausted — run again \
-                             with --resume to replay"
+                            "%s: shard %d failed %d time%s (last: %s %s); \
+                             retry budget exhausted — run again with --resume \
+                             to replay"
                             label first attempt
                             (if attempt > 1 then "s" else "")
-                            widx wpid cause
+                            who cause
                           :: !failures;
                         (* Still drive the untouched shards to completion:
                            maximal journal progress for --resume. *)
@@ -761,9 +897,8 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                       requeue unfinished (Unix.gettimeofday () +. delay);
                       on_event
                         (Printf.sprintf
-                           "%s: worker %d (pid %d) %s; retrying shard%s %s \
-                            (%s, backoff %.2fs)"
-                           label widx wpid cause
+                           "%s: %s %s; retrying shard%s %s (%s, backoff %.2fs)"
+                           label who cause
                            (if List.length unfinished > 1 then "s" else "")
                            (String.concat ","
                               (List.map string_of_int unfinished))
@@ -778,13 +913,24 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
             end;
             (* Everything merged lives in the campaign journal (when
                there is one); the segment is scratch.  Keep it only as
-               corruption evidence. *)
-            if t.corrupt = None then
-              try Sys.remove (Worker.segment t.child) with Sys_error _ -> ()
+               corruption evidence.  A remote worker's "segment" is its
+               connection — just make sure it is torn down. *)
+            match t.link with
+            | Piped c ->
+                if t.corrupt = None then (
+                  try Sys.remove (Worker.segment c) with Sys_error _ -> ())
+            | Netted c -> Transport.close c.Remote.conn
+            | Stillborn _ -> ()
           in
           let buf = Bytes.create 4096 in
           let rec supervise () =
             dispatch ();
+            (* Stillborn dispatches are born settled-pending: push them
+               through supervision now so their shards requeue (with
+               retries and backoff) even when nothing else is alive. *)
+            List.iter
+              (fun t -> if t.eof && not t.settled then settle t)
+              !tracked;
             match (live (), !queue) with
             | [], [] -> ()
             | [], q ->
@@ -816,25 +962,47 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                   in
                   Float.max 0.01 (Float.min 0.5 t_nb)
                 in
-                let fds = List.map (fun t -> Worker.status_fd t.child) alive in
-                let readable, _, _ =
-                  try Unix.select fds [] [] timeout
-                  with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+                let link_fd t =
+                  match t.link with
+                  | Piped c -> Some (Worker.status_fd c)
+                  | Netted c -> Some (Transport.fd c.Remote.conn)
+                  | Stillborn _ -> None
                 in
+                let fds = List.filter_map link_fd alive in
+                let readable = Sysio.select_read fds timeout in
                 List.iter
                   (fun t ->
-                    let fd = Worker.status_fd t.child in
-                    if List.mem fd readable then
-                      match read_status fd buf with
-                      | `Nothing -> ()
-                      | `Data k ->
-                          note_status_data t
-                            (Bytes.sub_string buf 0 k)
-                            (Unix.gettimeofday ())
-                      | `Eof ->
-                          t.eof <- true;
-                          t.status <- Some (Worker.wait t.child);
-                          (try Unix.close fd with Unix.Unix_error _ -> ()))
+                    match t.link with
+                    | Stillborn _ -> ()
+                    | Piped c -> (
+                        let fd = Worker.status_fd c in
+                        if List.mem fd readable then
+                          match Sysio.read_avail fd buf with
+                          | `Nothing -> ()
+                          | `Data k ->
+                              note_status_data t
+                                (Bytes.sub_string buf 0 k)
+                                (Unix.gettimeofday ())
+                          | `Eof ->
+                              t.eof <- true;
+                              t.status <- Some (Worker.wait c);
+                              Sysio.close_quietly fd)
+                    | Netted c ->
+                        if List.mem (Transport.fd c.Remote.conn) readable then (
+                          match Transport.pump c.Remote.conn with
+                          | `Frames frames ->
+                              List.iter (handle_frame t) frames
+                          | `Eof ->
+                              t.eof <- true;
+                              Transport.close c.Remote.conn
+                          | `Corrupt msg ->
+                              if t.remote_err = None then
+                                t.remote_err <-
+                                  Some
+                                    (Printf.sprintf "sent a corrupt frame (%s)"
+                                       msg);
+                              t.eof <- true;
+                              Transport.close c.Remote.conn))
                   alive;
                 (* Merge whatever the doorbells (or deaths) made
                    visible. *)
@@ -866,12 +1034,23 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                             in
                             t.killed <- Some reason;
                             incr agg_kills;
-                            Worker.kill t.child;
+                            let how =
+                              match t.link with
+                              | Piped c ->
+                                  Worker.kill c;
+                                  "SIGKILLed"
+                              | Netted c ->
+                                  (* Teardown replaces SIGKILL: a remote
+                                     worker whose socket dies stops
+                                     mattering, whatever it is doing. *)
+                                  Transport.close c.Remote.conn;
+                                  t.eof <- true;
+                                  "connection torn down"
+                              | Stillborn _ -> "stillborn"
+                            in
                             on_event
-                              (Printf.sprintf
-                                 "%s: worker %d (pid %d) %s — SIGKILLed"
-                                 label (Worker.index t.child)
-                                 (Worker.pid t.child) reason);
+                              (Printf.sprintf "%s: %s %s — %s" label
+                                 (link_who t.link) reason how);
                             emit_observe ()
                           end)
                       (live ()));
@@ -882,21 +1061,50 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
           List.iter (fun t -> if not t.settled then settle t) !tracked
         end
       in
-      let conduct_processes () =
+      (* Both worker backends run under SIGPIPE-ignore: a worker (or
+         daemon) that dies mid-write must surface as a supervision
+         event, never as a parent crash.  [make_mode] runs inside the
+         protected region because the sockets backend probes its hosts
+         (connect + hello) before conducting anything — unreachable
+         hosts, protocol mismatches and foreign binaries fail fast,
+         before a single shard is dispatched. *)
+      let conduct_workers make_mode =
         let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
         let failures = ref [] in
         Fun.protect
           ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev)
           (fun () ->
-            List.iter (fun rt -> run_cell_processes rt failures) rts_in_order);
+            let mode = make_mode () in
+            List.iter (fun rt -> run_cell mode rt failures) rts_in_order);
         match List.rev !failures with
         | [] -> ()
         | fs -> raise (Worker_failed (String.concat "\n" fs))
       in
+      let probe_hosts () =
+        Remote_hosts
+          (Array.of_list
+             (List.map
+                (fun addr ->
+                  match Remote.probe addr with
+                  | Ok h ->
+                      (* -j bounds per-host concurrency; 0 defers to the
+                         capacity the daemon advertised in its hello. *)
+                      let cap =
+                        if jobs = 0 then max 1 h.Handshake.capacity else jobs
+                      in
+                      (addr, cap)
+                  | Error msg ->
+                      raise
+                        (Worker_failed
+                           (Printf.sprintf "worker host %s: %s"
+                              (Addr.to_string addr) msg)))
+                worker_hosts))
+      in
 
       (match backend with
       | Pool.Domains -> conduct_domains ()
-      | Pool.Processes -> conduct_processes ());
+      | Pool.Processes -> conduct_workers (fun () -> Local_processes jobs)
+      | Pool.Sockets _ -> conduct_workers probe_hosts);
 
       List.map
         (fun rt ->

@@ -9,9 +9,9 @@
     because injection cycles are non-decreasing within a shard — and
     merges results by class index, so every returned {!Scan.t} is
     bit-identical to its serial counterpart ({!Scan.pruned} /
-    {!Regspace.scan}) for {e any} worker count and {e either} backend.
+    {!Regspace.scan}) for {e any} worker count and {e any} backend.
 
-    Two {!Pool.backend}s conduct the shards:
+    Three {!Pool.backend}s conduct the shards:
 
     - {!Pool.Domains} (default) — shared-memory OCaml 5 domains inside
       this process, one pool across the whole matrix.
@@ -25,13 +25,27 @@
       parent drives every other worker and cell to completion first
       (maximal journal progress), then raises {!Worker_failed} — and a
       [resume] run replays exactly the missing shards.
+    - {!Pool.Sockets} — {!Remote} worker daemons reached over TCP
+      ([fi-cli worker serve] on each host).  Every connection opens
+      with a protocol-version + binary-digest handshake; jobs carry the
+      cell {e description} (program image, policy, shard ids — never
+      closures), which the daemon re-analyses, refusing on campaign-
+      fingerprint disagreement.  Results stream back as the same
+      CRC-guarded journal-record lines a local segment holds, merged by
+      the same dedup/CRC/fingerprint checks, so the §9 guarantees carry
+      over verbatim; a vanished daemon is a dead worker, and [resume]
+      heals its campaign on a fresh fleet.  [jobs] bounds {e per-host}
+      concurrency ([0] adopts each daemon's advertised capacity).
 
     {2 Supervision}
 
     With a supervising policy ({!Spec.supervised}: an explicit
     [shard_timeout], [max_retries > 0] or [quarantine]), the processes
-    backend is {e self-healing} — campaigns complete, bit-identical to
-    the serial scan, despite crashing, hanging or stalling workers:
+    and sockets backends are {e self-healing} — campaigns complete,
+    bit-identical to the serial scan, despite crashing, hanging or
+    stalling workers (for remote workers, SIGKILL becomes connection
+    teardown and a heartbeat is a [Door] frame; the supervision logic
+    is shared):
 
     - {b Deadlines.}  Workers heartbeat on their doorbell pipe (one
       line per conducted class).  A worker that completes no shard
@@ -160,7 +174,9 @@ val run_matrix :
       the whole matrix, workers drain the first cell's shards and spill
       into the next as slots free up.  {!Pool.Processes}: cells run in
       sequence, each fanned out over up to [jobs] fork/exec'd worker
-      processes ({!Worker}).
+      processes ({!Worker}).  {!Pool.Sockets}: like [Processes], but
+      the workers are {!Remote} daemons on the named [HOST:PORT]s and
+      [jobs] bounds per-host concurrency.
     - [jobs] — worker count, resolved by {!Pool.resolve_jobs}: [0] (or
       omitted) means {!Pool.default_jobs}[ ()].
     - [progress] — per-cell campaign callback factory: called once per
@@ -180,11 +196,12 @@ val run_matrix :
 
     Each returned scan is structurally equal to its serial counterpart
     ([Scan.pruned] for memory cells, [Regspace.scan] for register cells)
-    for any [jobs] and either backend — property-tested.
+    for any [jobs] and any backend — property-tested.
 
     @raise Journal_mismatch when resuming against a foreign or corrupt
     journal.
-    @raise Worker_failed when a process-backend worker dies.
+    @raise Worker_failed when a process-backend worker or a remote
+    worker dies (or a sockets fleet is unreachable or mismatched).
     @raise Invalid_argument if [jobs < 0], or some policy sets [resume]
     with neither [journal] nor [catalogue]. *)
 

@@ -1,21 +1,15 @@
 type writer = { fd : Unix.file_descr; mutable closed : bool }
 
-let encode payload =
+let encode_line payload =
   if String.contains payload '\n' then
-    invalid_arg "Journal.append: payload contains a newline";
-  Printf.sprintf "%s %s\n" (Crc32.to_hex (Crc32.string payload)) payload
-
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
-  let written = ref 0 in
-  while !written < n do
-    written := !written + Unix.write fd b !written (n - !written)
-  done
+    invalid_arg "Journal.encode_line: payload contains a newline";
+  Printf.sprintf "%s %s" (Crc32.to_hex (Crc32.string payload)) payload
 
 let append w payload =
   if w.closed then invalid_arg "Journal.append: closed";
-  write_all w.fd (encode payload);
+  if String.contains payload '\n' then
+    invalid_arg "Journal.append: payload contains a newline";
+  Sysio.write_string w.fd (encode_line payload ^ "\n");
   Unix.fsync w.fd
 
 let close w =

@@ -33,6 +33,13 @@ val append : writer -> string -> unit
 
 val close : writer -> unit
 
+val encode_line : string -> string
+(** Render one payload as a journal line (CRC hex, space, payload; no
+    trailing newline) — the inverse of {!decode_line}.  Exposed for the
+    socket transport, whose remote workers stream journal-format lines
+    in {!Frame.Seg} frames instead of appending to a local segment.
+    @raise Invalid_argument if the payload contains a newline. *)
+
 val decode_line : string -> string option
 (** Decode one journal line (without its newline) to its payload; [None]
     if the line is malformed or its CRC does not match.  Exposed for

@@ -1,19 +1,33 @@
-type backend = Domains | Processes
+type backend = Domains | Processes | Sockets of string list
 
-let backend_tag = function Domains -> "domains" | Processes -> "processes"
+let backend_tag = function
+  | Domains -> "domains"
+  | Processes -> "processes"
+  | Sockets _ -> "sockets"
 
 let backend_of_string = function
   | "domains" -> Some Domains
   | "processes" -> Some Processes
+  | "sockets" -> Some (Sockets [])
   | _ -> None
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let resolve_jobs ?jobs () =
-  match jobs with
-  | None | Some 0 -> default_jobs ()
-  | Some j when j >= 1 -> j
-  | Some j ->
+let resolve_jobs ?backend ?jobs () =
+  match (backend, jobs) with
+  (* Remote hosts size themselves: 0 defers to each daemon's advertised
+     capacity, anything positive bounds the per-host connection count.
+     Local backends have no daemon to defer to, so 0 means all cores. *)
+  | Some (Sockets _), (None | Some 0) -> 0
+  | (None | Some (Domains | Processes)), (None | Some 0) -> default_jobs ()
+  | _, Some j when j >= 1 -> j
+  | Some (Sockets _), Some j ->
+      invalid_arg
+        (Printf.sprintf
+           "Pool.resolve_jobs: negative job count %d (use 0 to let each \
+            worker daemon decide)"
+           j)
+  | _, Some j ->
       invalid_arg
         (Printf.sprintf
            "Pool.resolve_jobs: negative job count %d (use 0 for all cores)" j)

@@ -19,24 +19,42 @@ type backend =
   | Processes
       (** Fork/exec'd worker processes, one journal segment each;
           supervised by the parent, crash-tolerant under [--resume]. *)
+  | Sockets of string list
+      (** Remote worker daemons ([fi-cli worker serve]) addressed as
+          ["HOST:PORT"] strings; jobs and journal-segment records cross
+          framed TCP connections ({!Remote}), the journal stays the only
+          shared state.  The list must be non-empty. *)
 
 val backend_tag : backend -> string
-(** ["domains"] / ["processes"] — the CLI and bench-artifact spelling. *)
+(** ["domains"] / ["processes"] / ["sockets"] — the CLI and
+    bench-artifact spelling. *)
 
 val backend_of_string : string -> backend option
+(** ["sockets"] parses to [Sockets []] — a naming, not a runnable
+    backend; callers must supply the host list (the CLI's
+    [--workers]). *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
     available parallelism (1 on a single-core host). *)
 
-val resolve_jobs : ?jobs:int -> unit -> int
+val resolve_jobs : ?backend:backend -> ?jobs:int -> unit -> int
 (** The one place a requested worker count becomes an actual one, shared
-    by the engine and the CLI so no two subcommands can disagree:
-    [None] and [Some 0] mean {!default_jobs}[ ()], [Some n] with
-    [n >= 1] means [n].
+    by the engine and the CLI so no two subcommands (or backends) can
+    disagree about [-j]:
+
+    - Local backends ([Domains], [Processes], or no [backend]): [None]
+      and [Some 0] mean {!default_jobs}[ ()]; [Some n ≥ 1] means [n]
+      workers total.
+    - [Sockets]: [-j] bounds {e per-remote-host} concurrency — [Some n ≥
+      1] means at most [n] simultaneous connections to each host; [None]
+      and [Some 0] return [0], the "let each daemon decide" sentinel
+      (the engine then uses the capacity each daemon advertises in its
+      handshake).
 
     @raise Invalid_argument if [jobs] is negative, with a message that
-    says so and points at [0] as the all-cores spelling. *)
+    says so and points at [0] as the all-cores (or daemon-decides)
+    spelling. *)
 
 val run :
   ?deadline:float ->

@@ -1,0 +1,394 @@
+let serve_var = "FI_ENGINE_NET_SERVE"
+
+(* Supervision-loop patience for peers that connect but never speak:
+   mutable so the torture suite can shrink them (a half-open peer then
+   costs half a second, not the production ten). *)
+let connect_timeout = ref 10.
+let handshake_timeout = ref 10.
+
+(* ------------------------------------------------------------------ *)
+(* The wire job                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the fork/exec worker's job, nothing here may capture code: the
+   peer is another machine, so [Spec.Build] closures cannot cross.  The
+   job is the Runcell-level cell description — the assembled program
+   image plus the policy fields that shape the shard plan — and the
+   worker re-derives everything else (golden run, fault-space classes,
+   fingerprint) on its own silicon, refusing on disagreement.  Marshal
+   without [Closures] is plain portable data; the handshake's binary
+   digest pins both ends to the same executable, which makes the
+   marshalling format (and the analysis) agree by construction. *)
+type wire_job = {
+  benchmark : string;
+  variant : string;
+  space : Spec.space;
+  limit : int option;
+  shard_size : int option;
+  weighted : bool;
+  program : Program.t;
+  fingerprint : int;
+  shard_ids : int array;
+  index : int;
+}
+
+let wire_magic = "fi-wire v1\n"
+
+let encode_job (job : wire_job) = wire_magic ^ Marshal.to_string job []
+
+let decode_job s =
+  let mlen = String.length wire_magic in
+  if String.length s <= mlen || String.sub s 0 mlen <> wire_magic then None
+  else
+    match (Marshal.from_string s mlen : wire_job) with
+    | job -> Some job
+    | exception _ -> None
+
+let wire_of_spec (spec : Spec.t) ~program ~fingerprint ~shard_ids ~index =
+  {
+    benchmark = spec.Spec.benchmark;
+    variant = spec.Spec.variant;
+    space = spec.Spec.space;
+    limit = spec.Spec.limit;
+    shard_size = spec.Spec.policy.Spec.shard_size;
+    weighted = spec.Spec.policy.Spec.weighted;
+    program;
+    fingerprint;
+    shard_ids;
+    index;
+  }
+
+(* Only the plan-shaping policy fields cross the wire: journalling,
+   resume and supervision belong to the conducting parent. *)
+let spec_of_wire (job : wire_job) =
+  {
+    Spec.benchmark = job.benchmark;
+    variant = job.variant;
+    space = job.space;
+    source = Spec.Build (fun () -> job.program);
+    limit = job.limit;
+    policy =
+      {
+        Spec.default_policy with
+        Spec.shard_size = job.shard_size;
+        weighted = job.weighted;
+      };
+  }
+
+let program_of_spec (spec : Spec.t) =
+  match spec.Spec.source with
+  | Spec.Analysed_memory g -> g.Golden.program
+  | Spec.Analysed_registers r -> r.Regspace.golden.Golden.program
+  | Spec.Build build -> build ()
+
+(* ------------------------------------------------------------------ *)
+(* Client side (the conducting engine)                                *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  conn : Transport.conn;
+  addr : Addr.t;
+  index : int;
+  assigned : int array;
+}
+
+let shake conn ~fingerprint =
+  let mine = Handshake.hello ~fingerprint () in
+  Transport.send conn Frame.Hello (Handshake.encode mine);
+  match Transport.recv ~timeout:!handshake_timeout conn with
+  | None -> Error "connection closed during handshake"
+  | Some (Frame.Err, msg) -> Error (Printf.sprintf "peer refused: %s" msg)
+  | Some (Frame.Hello, payload) -> (
+      match Handshake.decode payload with
+      | None -> Error "peer sent a malformed hello"
+      | Some theirs -> (
+          match Handshake.check ~mine ~theirs with
+          | Ok () -> Ok theirs
+          | Error _ as e -> e))
+  | Some (kind, _) ->
+      Error
+        (Printf.sprintf "peer sent a %s frame instead of a hello"
+           (Frame.kind_tag kind))
+
+let with_conn addr f =
+  match Transport.connect ~timeout:!connect_timeout addr with
+  | Error _ as e -> e
+  | Ok conn -> (
+      match f conn with
+      | r -> r
+      | exception Frame.Corrupt msg ->
+          Transport.close conn;
+          Error msg
+      | exception Unix.Unix_error (err, _, _) ->
+          Transport.close conn;
+          Error (Unix.error_message err))
+
+let probe addr =
+  with_conn addr (fun conn ->
+      let r = shake conn ~fingerprint:"" in
+      Transport.close conn;
+      r)
+
+let dispatch ~addr ~fingerprint ~program ~spec ~shard_ids ~index =
+  with_conn addr (fun conn ->
+      match shake conn ~fingerprint:(Crc32.to_hex fingerprint) with
+      | Error _ as e ->
+          Transport.close conn;
+          e
+      | Ok _ ->
+          Transport.send conn Frame.Job
+            (encode_job
+               (wire_of_spec spec ~program ~fingerprint ~shard_ids ~index));
+          Ok { conn; addr; index; assigned = shard_ids })
+
+(* ------------------------------------------------------------------ *)
+(* Worker side: conducting one connection                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The net flavours of the crash-injection vocabulary (see
+   {!Worker.torture_var}): same modes, but [Torn] streams a CRC-invalid
+   record line instead of tearing a local segment file — the wire
+   equivalent of a mid-append crash. *)
+let net_die (torture : Worker.torture option) conn ~index ~completed =
+  match torture with
+  | Some t
+    when t.Worker.mode <> Worker.Poison
+         && (t.Worker.only = None || t.Worker.only = Some index)
+         && completed = t.Worker.after -> (
+      match t.Worker.mode with
+      | Worker.Poison -> ()
+      | Worker.Exit -> exit 7
+      | Worker.Raise -> failwith "torture: injected remote-worker fault"
+      | Worker.Sigkill -> Unix.kill (Unix.getpid ()) Sys.sigkill
+      | Worker.Torn ->
+          Transport.send conn Frame.Seg "deadbeef torn-rec";
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+      | Worker.Hang ->
+          while true do
+            Unix.sleep 3600
+          done
+      | Worker.Stall ->
+          while true do
+            Transport.send conn Frame.Door "h";
+            Unix.sleepf 0.02
+          done)
+  | Some _ | None -> ()
+
+let net_poison (torture : Worker.torture option) ~index ~shard_id =
+  match torture with
+  | Some { Worker.mode = Worker.Poison; after; only }
+    when (only = None || only = Some index) && shard_id = after ->
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+  | Some _ | None -> ()
+
+let conduct conn (job : wire_job) =
+  let spec = spec_of_wire job in
+  let cell = Runcell.analyse spec in
+  let classes = Defuse.experiment_classes cell.Runcell.defuse in
+  let plan = Runcell.plan_of_policy spec.Spec.policy classes in
+  let fp = Runcell.fingerprint_cell cell ~plan in
+  if fp <> job.fingerprint then
+    failwith
+      (Printf.sprintf
+         "re-analysed cell fingerprint %s disagrees with the conductor's %s \
+          (mismatched build or nondeterministic analysis?)"
+         (Crc32.to_hex fp)
+         (Crc32.to_hex job.fingerprint));
+  let shards_total = Array.length plan.Shard.shards in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= shards_total then
+        failwith (Printf.sprintf "shard id %d out of range" id))
+    job.shard_ids;
+  let torture = Worker.parse_torture (Sys.getenv_opt Worker.torture_var) in
+  Transport.send conn Frame.Seg
+    (Journal.encode_line
+       (Worker.segment_header ~fingerprint:fp ~pid:(Unix.getpid ())));
+  let last_beat = ref 0. in
+  let heartbeat ~class_index:_ _ =
+    let now = Unix.gettimeofday () in
+    if now -. !last_beat >= 0.01 then begin
+      last_beat := now;
+      Transport.send conn Frame.Door "h"
+    end
+  in
+  Array.iteri
+    (fun completed id ->
+      net_die torture conn ~index:job.index ~completed;
+      net_poison torture ~index:job.index ~shard_id:id;
+      let shard = plan.Shard.shards.(id) in
+      let buf =
+        Runcell.conduct_shard ~on_class:heartbeat cell ~classes ~plan shard
+      in
+      Transport.send conn Frame.Seg
+        (Journal.encode_line (Runcell.record_payload shard buf));
+      Transport.send conn Frame.Door (Printf.sprintf "s %d" id))
+    job.shard_ids;
+  net_die torture conn ~index:job.index
+    ~completed:(Array.length job.shard_ids);
+  Transport.send conn Frame.Door "end"
+
+let serve_connection ~capacity conn =
+  match Transport.recv ~timeout:!handshake_timeout conn with
+  | None -> () (* connected, said nothing, left — a port scan *)
+  | Some (Frame.Hello, payload) -> (
+      let mine = Handshake.hello ~capacity () in
+      (match Handshake.decode payload with
+      | None -> failwith "malformed hello"
+      | Some theirs -> (
+          match Handshake.check ~mine ~theirs with
+          | Ok () -> ()
+          | Error msg ->
+              Transport.send conn Frame.Err msg;
+              failwith msg));
+      Transport.send conn Frame.Hello (Handshake.encode mine);
+      match Transport.recv ~timeout:!handshake_timeout conn with
+      | None -> () (* a probe: hello exchange only *)
+      | Some (Frame.Job, payload) -> (
+          match decode_job payload with
+          | None -> failwith "undecodable job payload"
+          | Some job -> conduct conn job)
+      | Some (kind, _) ->
+          failwith
+            (Printf.sprintf "expected a job frame, got %s"
+               (Frame.kind_tag kind)))
+  | Some (kind, _) ->
+      failwith
+        (Printf.sprintf "expected a hello frame, got %s" (Frame.kind_tag kind))
+
+(* ------------------------------------------------------------------ *)
+(* The daemon                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let announce_line addr ~workers =
+  Printf.sprintf "fi-net listening %s workers=%d digest=%s"
+    (Addr.to_string addr) workers
+    (Handshake.self_digest ())
+
+let parse_announce line =
+  match String.split_on_char ' ' line with
+  | "fi-net" :: "listening" :: addr :: _ -> (
+      match Addr.parse addr with Ok a -> Some a | Error _ -> None)
+  | _ -> None
+
+let serve ~listen ~workers ?(announce = fun _ -> ()) () =
+  if workers < 1 then
+    invalid_arg (Printf.sprintf "Remote.serve: workers %d" workers);
+  match Transport.listen listen with
+  | Error msg -> failwith msg
+  | Ok (lfd, addr) ->
+      ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+      announce (announce_line addr ~workers);
+      let live = ref 0 in
+      let reap ~block =
+        let flags = if block then [] else [ Unix.WNOHANG ] in
+        let continue = ref (!live > 0) in
+        while !continue do
+          match Unix.waitpid flags (-1) with
+          | 0, _ -> continue := false
+          | _ -> decr live;
+              if !live = 0 || not block then continue := false
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              live := 0;
+              continue := false
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done
+      in
+      while true do
+        reap ~block:false;
+        while !live >= workers do
+          reap ~block:true
+        done;
+        let conn = Transport.accept lfd in
+        match Unix.fork () with
+        | 0 ->
+            Sysio.close_quietly lfd;
+            (try
+               serve_connection ~capacity:workers conn;
+               Transport.close conn;
+               exit 0
+             with exn ->
+               (try
+                  Transport.send conn Frame.Err (Printexc.to_string exn);
+                  Transport.close conn
+                with _ -> ());
+               Printf.eprintf "fi-net worker (pid %d): %s\n%!"
+                 (Unix.getpid ()) (Printexc.to_string exn);
+               exit 3)
+        | _pid ->
+            incr live;
+            (* Close the parent's copy only — no shutdown, the child owns
+               the connection. *)
+            Sysio.close_quietly (Transport.fd conn)
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Re-exec entry point (tests, bench, and `fi-cli worker serve`)       *)
+(* ------------------------------------------------------------------ *)
+
+let guard () =
+  match Sys.getenv_opt serve_var with
+  | None | Some "" -> ()
+  | Some value ->
+      (try
+         (match String.split_on_char ';' value with
+         | [ addr; workers ] -> (
+             match (Addr.parse addr, int_of_string_opt workers) with
+             | Ok listen, Some workers ->
+                 (* Lead a fresh process group so killing the daemon
+                    (group) also takes down its conducting children. *)
+                 (try ignore (Unix.setsid ()) with Unix.Unix_error _ -> ());
+                 serve ~listen ~workers
+                   ~announce:(fun line ->
+                     print_endline line;
+                     flush stdout)
+                   ()
+             | _ -> failwith (Printf.sprintf "bad %s value %S" serve_var value))
+         | _ -> failwith (Printf.sprintf "bad %s value %S" serve_var value));
+         exit 0
+       with exn ->
+         Printf.eprintf "fi-net daemon (pid %d): %s\n%!" (Unix.getpid ())
+           (Printexc.to_string exn);
+         exit 3)
+
+let spawn_daemon ?(listen = { Addr.host = "127.0.0.1"; port = 0 }) ~workers ()
+    =
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let env =
+    Array.append (Unix.environment ())
+      [|
+        Printf.sprintf "%s=%s;%d" serve_var (Addr.to_string listen) workers;
+      |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  (* The hosting binary may print unrelated lines before [guard] runs
+     (module initialisers — test registration, banners).  Skip until the
+     announce line, within reason.  Leave the channel open afterwards:
+     closing it would close the pipe and could SIGPIPE a chatty daemon;
+     the descriptor dies with us. *)
+  let rec await budget last =
+    if budget = 0 then
+      Error (Printf.sprintf "daemon announced %S instead of an address" last)
+    else
+      match input_line ic with
+      | line -> (
+          match parse_announce line with
+          | Some addr -> Ok (pid, addr)
+          | None -> await (budget - 1) line)
+      | exception End_of_file ->
+          ignore (Unix.waitpid [] pid);
+          Error "daemon exited before announcing its address"
+  in
+  await 64 "<nothing>"
+
+let kill_daemon pid =
+  (try Unix.kill (-pid) Sys.sigkill
+   with Unix.Unix_error _ -> (
+     try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()));
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()

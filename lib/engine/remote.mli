@@ -1,0 +1,142 @@
+(** The distributed flavour of the campaign worker: remote daemons
+    reached over {!Transport} connections, the {!Pool.Sockets} backend's
+    other half.
+
+    Where the fork/exec worker ({!Worker}) ships a marshalled closure
+    down a pipe, a remote job must cross machines, so nothing in it may
+    capture code: {!wire_job} is the Runcell-level cell description —
+    the assembled program image, the plan-shaping policy fields and the
+    campaign fingerprint — marshalled {e without} [Closures].  The
+    worker re-analyses the cell from scratch and refuses (an {!Frame.Err}
+    frame, then close) if its own fingerprint disagrees, so a campaign's
+    results stay bit-identical however its shards are placed.
+
+    Protocol, client → worker: [Hello] (version + binary digest +
+    campaign fingerprint), worker answers [Hello] (version + digest +
+    advertised capacity) or [Err]; then one [Job] frame.  Worker →
+    client while conducting: [Seg] frames each carrying one
+    journal-format line (the [fi-segment v1] header first, then one
+    CRC-guarded record per shard) and [Door] frames carrying the
+    doorbell lines ([h] / [s <id>] / [end]) — the same two streams the
+    pipe worker produces, re-framed, so the engine merges and supervises
+    both backends with the same machinery.  Teardown of the connection
+    replaces [SIGKILL]: a worker whose socket dies stops mattering, and
+    its unfinished shards are requeued exactly as for a killed process.
+
+    The daemon ([fi-cli worker serve], or any binary whose main calls
+    {!guard}) forks one child per accepted connection, at most [workers]
+    conducting at once. *)
+
+val serve_var : string
+(** ["FI_ENGINE_NET_SERVE"] — ["HOST:PORT;WORKERS"] in the environment
+    diverts {!guard} into {!serve}: how tests and the bench spawn a
+    loopback daemon by re-exec'ing themselves ({!spawn_daemon}). *)
+
+val connect_timeout : float ref
+val handshake_timeout : float ref
+(** Patience for connecting to and handshaking with a peer (seconds,
+    default 10).  Mutable so the torture suite can make half-open-peer
+    tests fast; production code leaves them alone. *)
+
+(** {1 Wire job} *)
+
+type wire_job = {
+  benchmark : string;
+  variant : string;
+  space : Spec.space;
+  limit : int option;
+  shard_size : int option;
+  weighted : bool;
+  program : Program.t;  (** The assembled image — plain data. *)
+  fingerprint : int;  (** Conductor's campaign fingerprint; verified. *)
+  shard_ids : int array;
+  index : int;  (** Spawn ordinal, for diagnostics and torture. *)
+}
+
+val encode_job : wire_job -> string
+(** Versioned wire format: a [fi-wire v1] magic then [Marshal] {e
+    without} [Closures] — sound because {!Handshake.check} already
+    pinned both ends to byte-identical binaries. *)
+
+val decode_job : string -> wire_job option
+
+val wire_of_spec :
+  Spec.t ->
+  program:Program.t ->
+  fingerprint:int ->
+  shard_ids:int array ->
+  index:int ->
+  wire_job
+
+val spec_of_wire : wire_job -> Spec.t
+(** Rebuild a [Spec.Build] spec around the shipped image.  Only the
+    plan-shaping policy fields cross the wire; journalling, resume and
+    supervision stay with the conducting parent. *)
+
+val program_of_spec : Spec.t -> Program.t
+(** Extract the program image a spec describes (building it if the
+    source is a thunk). *)
+
+(** {1 Client side (the conducting engine)} *)
+
+type client = {
+  conn : Transport.conn;
+  addr : Addr.t;
+  index : int;
+  assigned : int array;
+}
+
+val probe : Addr.t -> (Handshake.hello, string) result
+(** Connect, exchange hellos, close.  How the engine validates every
+    [--workers] host up front (unreachable, wrong version, wrong
+    binary) and learns its advertised capacity. *)
+
+val dispatch :
+  addr:Addr.t ->
+  fingerprint:int ->
+  program:Program.t ->
+  spec:Spec.t ->
+  shard_ids:int array ->
+  index:int ->
+  (client, string) result
+(** Connect, handshake, ship one job.  [Error] covers refusal, timeout
+    and connection failure — the engine turns it into a stillborn worker
+    and lets supervision retry. *)
+
+(** {1 Worker side} *)
+
+val serve_connection : capacity:int -> Transport.conn -> unit
+(** Conduct one connection: handshake (refusing on mismatch), then at
+    most one job.  Raises on protocol violations and fingerprint
+    disagreement — the daemon's per-connection child turns that into an
+    [Err] frame and exit code 3. *)
+
+val serve :
+  listen:Addr.t ->
+  workers:int ->
+  ?announce:(string -> unit) ->
+  unit ->
+  unit
+(** The daemon: bind (port [0] lets the kernel pick), call [announce]
+    with the [fi-net listening HOST:PORT …] line (actual port), then
+    accept forever, forking one child per connection with at most
+    [workers] conducting at once.  Never returns normally. *)
+
+val announce_line : Addr.t -> workers:int -> string
+val parse_announce : string -> Addr.t option
+
+val guard : unit -> unit
+(** Call right after {!Worker.guard} in every engine-hosting main: if
+    {!serve_var} is set, become a daemon (announcing on stdout, leading
+    a fresh process group so killing the group takes the conducting
+    children too) and never return. *)
+
+val spawn_daemon :
+  ?listen:Addr.t -> workers:int -> unit -> (int * Addr.t, string) result
+(** Re-exec this executable as a daemon ({!serve_var}) and read the
+    announced address back (default listen: [127.0.0.1:0]).  Returns
+    the daemon's pid and actual address.  Test/bench harness. *)
+
+val kill_daemon : int -> unit
+(** SIGKILL the daemon's process group (conducting children included)
+    and reap it — the torture suite's cluster-power-cut. *)

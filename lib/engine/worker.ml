@@ -189,14 +189,6 @@ type child = {
   assigned : int array;
 }
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
-  let written = ref 0 in
-  while !written < n do
-    written := !written + Unix.write fd b !written (n - !written)
-  done
-
 let spawn (job : job) =
   let job_r, job_w = Unix.pipe ~cloexec:true () in
   let st_r, st_w = Unix.pipe ~cloexec:true () in
@@ -213,7 +205,7 @@ let spawn (job : job) =
   (* Ship the job.  The child may already be dead (torture, OOM): a
      broken pipe here is a supervision event, not a parent crash — the
      caller must have SIGPIPE ignored, which turns it into EPIPE. *)
-  (try write_all job_w (encode_job job)
+  (try Sysio.write_string job_w (encode_job job)
    with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) -> ());
   (try Unix.close job_w with Unix.Unix_error _ -> ());
   {

@@ -39,6 +39,17 @@ val torture_var : string
     the shard through every retry.  Unset, empty or unparseable values
     inject nothing. *)
 
+type torture_mode = Exit | Raise | Sigkill | Torn | Hang | Stall | Poison
+
+type torture = { mode : torture_mode; after : int; only : int option }
+(** A parsed {!torture_var} value.  Exposed (with {!parse_torture}) so
+    the socket transport's remote workers ({!Remote}) honour the same
+    crash-injection vocabulary as the fork/exec workers — the torture
+    matrix then drives both backends from one environment variable. *)
+
+val parse_torture : string option -> torture option
+(** Parse a {!torture_var} value; [None] on unset/empty/unparseable. *)
+
 type job = {
   spec : Spec.t;
   fingerprint : int;  (** Parent's campaign fingerprint; verified. *)

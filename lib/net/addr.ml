@@ -1,0 +1,51 @@
+type t = { host : string; port : int }
+
+let to_string { host; port } = Printf.sprintf "%s:%d" host port
+
+let parse s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "address %S: expected HOST:PORT" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      if host = "" then Error (Printf.sprintf "address %S: empty host" s)
+      else
+        (* int_of_string accepts 0x/0o/_ literal syntax; a port is plain
+           decimal only. *)
+        let decimal =
+          port <> "" && String.for_all (fun c -> c >= '0' && c <= '9') port
+        in
+        match (if decimal then int_of_string_opt port else None) with
+        | Some p when p >= 0 && p <= 65535 -> Ok { host; port = p }
+        | Some p -> Error (Printf.sprintf "address %S: port %d out of range" s p)
+        | None -> Error (Printf.sprintf "address %S: bad port %S" s port))
+
+let parse_exn s =
+  match parse s with Ok a -> a | Error msg -> invalid_arg ("Addr." ^ msg)
+
+let parse_list s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc rest
+    | one :: rest -> (
+        match parse one with
+        | Ok a -> go (a :: acc) rest
+        | Error _ as e -> e)
+  in
+  match go [] (List.map String.trim (String.split_on_char ',' s)) with
+  | Ok [] -> Error (Printf.sprintf "address list %S: no addresses" s)
+  | r -> r
+
+let inet_addr { host; _ } =
+  match Unix.inet_addr_of_string host with
+  | addr -> Some addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> None
+      | { Unix.h_addr_list; _ } -> Some h_addr_list.(0)
+      | exception Not_found -> None)
+
+let sockaddr t =
+  match inet_addr t with
+  | Some a -> Some (Unix.ADDR_INET (a, t.port))
+  | None -> None

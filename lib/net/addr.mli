@@ -1,0 +1,20 @@
+(** [HOST:PORT] endpoint addresses for the socket transport. *)
+
+type t = { host : string; port : int }
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Parse ["HOST:PORT"].  The split is on the {e last} colon. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on a malformed address. *)
+
+val parse_list : string -> (t list, string) result
+(** Parse a comma-separated ["HOST:PORT,HOST:PORT,…"] list (empty
+    elements skipped; an empty list is an error). *)
+
+val inet_addr : t -> Unix.inet_addr option
+(** Resolve the host (dotted quad first, then [gethostbyname]). *)
+
+val sockaddr : t -> Unix.sockaddr option

@@ -1,0 +1,134 @@
+type kind = Hello | Job | Door | Seg | Err
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let kind_byte = function
+  | Hello -> '\001'
+  | Job -> '\002'
+  | Door -> '\003'
+  | Seg -> '\004'
+  | Err -> '\005'
+
+let kind_of_byte = function
+  | '\001' -> Some Hello
+  | '\002' -> Some Job
+  | '\003' -> Some Door
+  | '\004' -> Some Seg
+  | '\005' -> Some Err
+  | _ -> None
+
+let kind_tag = function
+  | Hello -> "hello"
+  | Job -> "job"
+  | Door -> "door"
+  | Seg -> "seg"
+  | Err -> "err"
+
+(* A frame that claims to be bigger than any message the protocol ships
+   is garbage (or an attack), not a message: refuse before allocating. *)
+let max_payload = 64 * 1024 * 1024
+
+let header_len = 9 (* kind byte + 4-byte BE length + 4-byte BE CRC-32 *)
+
+let put_u32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u32 s off =
+  (Char.code (Bytes.get s off) lsl 24)
+  lor (Char.code (Bytes.get s (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get s (off + 2)) lsl 8)
+  lor Char.code (Bytes.get s (off + 3))
+
+let encode kind payload =
+  let n = String.length payload in
+  if n > max_payload then
+    invalid_arg (Printf.sprintf "Frame.encode: payload of %d bytes" n);
+  let b = Bytes.create (header_len + n) in
+  Bytes.set b 0 (kind_byte kind);
+  put_u32 b 1 n;
+  put_u32 b 5 (Crc32.string payload);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+let send fd kind payload = Sysio.write_string fd (encode kind payload)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoding                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The decoder owns a growable byte buffer: [feed] appends raw socket
+   data, [next] peels complete frames off the front.  TCP gives no
+   message boundaries, so a frame routinely arrives split across reads
+   — partial frames simply stay buffered. *)
+type decoder = { mutable buf : Bytes.t; mutable len : int }
+
+let decoder () = { buf = Bytes.create 4096; len = 0 }
+
+let buffered d = d.len
+
+let feed d data off len =
+  let need = d.len + len in
+  if need > Bytes.length d.buf then begin
+    let cap = ref (max 4096 (2 * Bytes.length d.buf)) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit d.buf 0 bigger 0 d.len;
+    d.buf <- bigger
+  end;
+  Bytes.blit data off d.buf d.len len;
+  d.len <- need
+
+let feed_string d s = feed d (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let next d =
+  if d.len < header_len then None
+  else begin
+    let kind =
+      match kind_of_byte (Bytes.get d.buf 0) with
+      | Some k -> k
+      | None -> corrupt "unknown frame kind %d" (Char.code (Bytes.get d.buf 0))
+    in
+    let n = get_u32 d.buf 1 in
+    if n > max_payload then corrupt "frame claims %d-byte payload" n;
+    if d.len < header_len + n then None
+    else begin
+      let crc = get_u32 d.buf 5 in
+      let payload = Bytes.sub_string d.buf header_len n in
+      if Crc32.string payload <> crc then
+        corrupt "frame CRC mismatch (%s, %d bytes)" (kind_tag kind) n;
+      let rest = d.len - header_len - n in
+      Bytes.blit d.buf (header_len + n) d.buf 0 rest;
+      d.len <- rest;
+      Some (kind, payload)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Blocking receive (the worker side's simple loop)                   *)
+(* ------------------------------------------------------------------ *)
+
+let recv ?timeout fd d =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match next d with
+    | Some frame -> Some frame
+    | None -> (
+        (match timeout with
+        | Some t when not (Sysio.wait_readable fd t) ->
+            corrupt "timed out waiting for a frame (%.1fs)" t
+        | _ -> ());
+        match Sysio.read_avail fd chunk with
+        | `Eof -> if buffered d > 0 then corrupt "EOF inside a frame" else None
+        | `Data k ->
+            feed d chunk 0 k;
+            go ()
+        | `Nothing -> go ())
+  in
+  go ()

@@ -1,0 +1,73 @@
+let protocol_version = 1
+
+let self_digest_memo = ref None
+
+let self_digest () =
+  match !self_digest_memo with
+  | Some d -> d
+  | None ->
+      let d =
+        try Digest.to_hex (Digest.file Sys.executable_name)
+        with Sys_error _ -> "unknown"
+      in
+      self_digest_memo := Some d;
+      d
+
+type hello = {
+  version : int;
+  digest : string;
+  fingerprint : string;  (** Campaign CRC hex (client), [""] otherwise. *)
+  capacity : int;  (** Worker slots advertised (server), [0] otherwise. *)
+}
+
+let hello ?(fingerprint = "") ?(capacity = 0) () =
+  { version = protocol_version; digest = self_digest (); fingerprint; capacity }
+
+let encode h =
+  Printf.sprintf "fi-net hello version=%d digest=%s cap=%d fp=%s" h.version
+    h.digest h.capacity h.fingerprint
+
+let key_value tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+      Some
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+  | None -> None
+
+let decode s =
+  match String.split_on_char ' ' s with
+  | "fi-net" :: "hello" :: fields ->
+      let assoc = List.filter_map key_value fields in
+      let int_field k =
+        Option.bind (List.assoc_opt k assoc) int_of_string_opt
+      in
+      let str_field k = Option.value ~default:"" (List.assoc_opt k assoc) in
+      (match (int_field "version", List.assoc_opt "digest" assoc) with
+      | Some version, Some digest ->
+          Some
+            {
+              version;
+              digest;
+              fingerprint = str_field "fp";
+              capacity = Option.value ~default:0 (int_field "cap");
+            }
+      | _ -> None)
+  | _ -> None
+
+(* The binary digest is the load-bearing check: job payloads are
+   marshalled plain data, sound only between identical executables —
+   and identical executables also guarantee identical analyses, which
+   is what keeps remote results bit-identical. *)
+let check ~mine ~theirs =
+  if theirs.version <> mine.version then
+    Error
+      (Printf.sprintf "protocol version mismatch: peer speaks v%d, we speak v%d"
+         theirs.version mine.version)
+  else if theirs.digest <> mine.digest then
+    Error
+      (Printf.sprintf
+         "binary digest mismatch: peer runs %s, we run %s — deploy the same \
+          executable on every host"
+         theirs.digest mine.digest)
+  else Ok ()

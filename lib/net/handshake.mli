@@ -1,0 +1,33 @@
+(** The connection preamble: protocol version + binary digest +
+    campaign fingerprint.
+
+    Both ends exchange a {!hello} frame first.  {!check} refuses a peer
+    whose protocol version or executable digest differs — the wire job
+    format is marshalled plain data, sound only between byte-identical
+    binaries, and byte-identical binaries are also what makes remote
+    analysis (and therefore campaign results) bit-identical.  The
+    campaign fingerprint travels in the client's hello as an advisory
+    label; the authoritative check is the worker's own re-analysis
+    (see {!Remote}). *)
+
+val protocol_version : int
+
+val self_digest : unit -> string
+(** Hex MD5 of [Sys.executable_name], memoized ("unknown" if the
+    executable cannot be read). *)
+
+type hello = {
+  version : int;
+  digest : string;
+  fingerprint : string;  (** Campaign CRC hex (client side), else [""]. *)
+  capacity : int;  (** Advertised worker slots (server side), else [0]. *)
+}
+
+val hello : ?fingerprint:string -> ?capacity:int -> unit -> hello
+(** This process's hello: {!protocol_version} + {!self_digest}. *)
+
+val encode : hello -> string
+val decode : string -> hello option
+
+val check : mine:hello -> theirs:hello -> (unit, string) result
+(** Version and digest equality; the error names the mismatch. *)

@@ -1,8 +1,10 @@
 let () =
   (* Before anything else: if this process was exec'd as a campaign
-     worker (the process backend re-execs the hosting binary), serve the
-     job and exit instead of running the test suite. *)
+     worker (the process backend re-execs the hosting binary) or as a
+     remote-worker daemon (the sockets backend does the same), serve
+     instead of running the test suite. *)
   Worker.guard ();
+  Remote.guard ();
   Alcotest.run "fipitfalls"
     [
       Test_prng.suite;
@@ -14,6 +16,7 @@ let () =
       Test_engine.suite;
       Test_matrix.suite;
       Test_process.suite;
+      Test_net.suite;
       Test_supervision.suite;
       Test_mir.suite;
       Test_kernel.suite;

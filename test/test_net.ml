@@ -1,0 +1,408 @@
+(* Tests for the socket transport and the distributed (Pool.Sockets)
+   backend: frame/handshake/wire-job codecs and their corruption
+   rejection, endpoint parsing, the -j semantics for remote hosts, and
+   loopback differential equivalence — a campaign conducted by remote
+   worker daemons must be bit-identical to the Processes, Domains and
+   serial conductors, including after a daemon vanishes mid-campaign
+   and the journal is healed with --resume.  The slow/adversarial
+   network crash matrix lives in torture.ml behind @torture. *)
+
+let hi_golden = lazy (Golden.run (Hi.program ()))
+let hi_serial = lazy (Scan.pruned (Lazy.force hi_golden))
+let hi_regs = lazy (Regspace.analyze (Hi.program ()))
+let flag1_golden = lazy (Golden.run (Flag1.baseline ()))
+let flag1_serial = lazy (Scan.pruned (Lazy.force flag1_golden))
+
+let check_scans_identical msg serial parallel =
+  Alcotest.(check bool) (msg ^ " (structural)") true (serial = parallel);
+  Alcotest.(check string)
+    (msg ^ " (serialised)")
+    (Csv_io.to_string serial)
+    (Csv_io.to_string parallel)
+
+let with_temp_file f =
+  let path = Filename.temp_file "finet" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let with_daemon ?(workers = 2) f =
+  match Remote.spawn_daemon ~workers () with
+  | Error e -> Alcotest.fail e
+  | Ok (pid, addr) ->
+      Fun.protect ~finally:(fun () -> Remote.kill_daemon pid) (fun () -> f addr)
+
+let sockets_of addr = Pool.Sockets [ Addr.to_string addr ]
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint addresses                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr () =
+  (match Addr.parse "127.0.0.1:9000" with
+  | Ok { Addr.host = "127.0.0.1"; port = 9000 } -> ()
+  | _ -> Alcotest.fail "dotted quad");
+  Alcotest.(check string)
+    "roundtrip" "node7:80"
+    (Addr.to_string (Addr.parse_exn "node7:80"));
+  List.iter
+    (fun s ->
+      match Addr.parse s with
+      | Ok _ -> Alcotest.failf "parsed %S" s
+      | Error _ -> ())
+    [ ""; "nohost"; ":80"; "h:"; "h:0x50"; "h:-1"; "h:65536" ];
+  (match Addr.parse_list "a:1,b:2, c:3 ," with
+  | Ok [ a; b; c ] ->
+      Alcotest.(check (list string))
+        "list" [ "a:1"; "b:2"; "c:3" ]
+        (List.map Addr.to_string [ a; b; c ])
+  | _ -> Alcotest.fail "list of three");
+  match Addr.parse_list " , " with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty list must not parse"
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let frames =
+    [
+      (Frame.Hello, "fi-net hello");
+      (Frame.Job, String.init 4096 (fun i -> Char.chr (i land 0xff)));
+      (Frame.Door, "s 12");
+      (Frame.Seg, "deadbeef payload");
+      (Frame.Err, "");
+    ]
+  in
+  let wire =
+    String.concat "" (List.map (fun (k, p) -> Frame.encode k p) frames)
+  in
+  (* Byte-at-a-time feeding: TCP preserves order, not boundaries. *)
+  let d = Frame.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Frame.feed_string d (String.make 1 c);
+      let rec drain () =
+        match Frame.next d with
+        | Some f ->
+            got := f :: !got;
+            drain ()
+        | None -> ()
+      in
+      drain ())
+    wire;
+  Alcotest.(check bool) "all frames back" true (List.rev !got = frames);
+  Alcotest.(check int) "nothing buffered" 0 (Frame.buffered d)
+
+let test_frame_rejects_corruption () =
+  let expect_corrupt what wire =
+    let d = Frame.decoder () in
+    Frame.feed_string d wire;
+    let rec drain () = match Frame.next d with Some _ -> drain () | None -> () in
+    match drain () with
+    | () -> Alcotest.failf "%s: accepted" what
+    | exception Frame.Corrupt _ -> ()
+  in
+  let good = Frame.encode Frame.Seg "a CRC-guarded record line" in
+  (* Flip one payload byte: the length still matches, the CRC cannot. *)
+  let flipped =
+    String.mapi
+      (fun i c ->
+        if i = String.length good - 3 then Char.chr (Char.code c lxor 0x40)
+        else c)
+      good
+  in
+  expect_corrupt "payload bit flip" flipped;
+  expect_corrupt "unknown kind" ("\255" ^ String.sub good 1 (String.length good - 1));
+  (* A length claim past the cap must be rejected from the header alone,
+     before anyone tries to buffer 2 GiB. *)
+  let oversized = Bytes.of_string (String.sub good 0 Frame.header_len) in
+  Bytes.set_int32_be oversized 1 0x7fffffffl;
+  expect_corrupt "oversized claim" (Bytes.to_string oversized)
+
+(* ------------------------------------------------------------------ *)
+(* Handshake                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_handshake () =
+  let mine = Handshake.hello ~fingerprint:"cafe1234" ~capacity:3 () in
+  (match Handshake.decode (Handshake.encode mine) with
+  | Some h -> Alcotest.(check bool) "roundtrip" true (h = mine)
+  | None -> Alcotest.fail "decode");
+  Alcotest.(check bool) "self-check passes" true
+    (Handshake.check ~mine ~theirs:mine = Ok ());
+  (match Handshake.check ~mine ~theirs:{ mine with Handshake.version = 999 } with
+  | Error msg ->
+      Alcotest.(check bool) "names version" true
+        (String.length msg > 0)
+  | Ok () -> Alcotest.fail "version mismatch accepted");
+  (match
+     Handshake.check ~mine
+       ~theirs:{ mine with Handshake.digest = String.make 32 '0' }
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "digest mismatch accepted");
+  Alcotest.(check bool) "garbage rejected" true
+    (Handshake.decode "fi-net hullo version=one" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Wire job codec                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_job () =
+  let spec = Spec.of_golden (Lazy.force hi_golden) in
+  let job =
+    Remote.wire_of_spec spec
+      ~program:(Remote.program_of_spec spec)
+      ~fingerprint:0x1234abcd ~shard_ids:[| 2; 0; 5 |] ~index:7
+  in
+  (match Remote.decode_job (Remote.encode_job job) with
+  | Some j ->
+      Alcotest.(check bool) "roundtrip" true (j = job);
+      (* The re-built spec must analyse to the same fingerprint as the
+         conductor's — the property the worker-side refusal rests on. *)
+      Alcotest.(check int) "re-analysis agrees"
+        (Engine.fingerprint_spec spec)
+        (Engine.fingerprint_spec (Remote.spec_of_wire j))
+  | None -> Alcotest.fail "roundtrip decode");
+  Alcotest.(check bool) "wrong magic rejected" true
+    (Remote.decode_job ("fi-wire v0\n" ^ String.make 40 'x') = None);
+  Alcotest.(check bool) "truncation rejected" true
+    (Remote.decode_job (String.sub (Remote.encode_job job) 0 24) = None)
+
+(* ------------------------------------------------------------------ *)
+(* -j semantics for remote hosts                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_resolve_jobs_sockets () =
+  let sockets = Pool.Sockets [ "h:1" ] in
+  Alcotest.(check int) "0 defers to the daemons" 0
+    (Pool.resolve_jobs ~backend:sockets ~jobs:0 ());
+  Alcotest.(check int) "omitted defers to the daemons" 0
+    (Pool.resolve_jobs ~backend:sockets ());
+  Alcotest.(check int) "positive bounds per-host concurrency" 3
+    (Pool.resolve_jobs ~backend:sockets ~jobs:3 ());
+  Alcotest.check_raises "negative"
+    (Invalid_argument
+       "Pool.resolve_jobs: negative job count -2 (use 0 to let each worker \
+        daemon decide)")
+    (fun () -> ignore (Pool.resolve_jobs ~backend:sockets ~jobs:(-2) ()));
+  Alcotest.(check bool) "tag roundtrip" true
+    (Pool.backend_of_string (Pool.backend_tag sockets) = Some (Pool.Sockets []));
+  match
+    Engine.run_spec ~backend:(Pool.Sockets [])
+      (Spec.of_golden (Lazy.force hi_golden))
+  with
+  | _ -> Alcotest.fail "Sockets [] must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Handshake rejection over a real connection                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fake daemon that speaks exactly one scripted reply: how the client
+   side's refusal paths are exercised without building a broken real
+   daemon.  It runs on a domain, not a forked child — Unix.fork is
+   unavailable once earlier suites have spawned domains. *)
+let with_fake_server respond f =
+  match Transport.listen { Addr.host = "127.0.0.1"; port = 0 } with
+  | Error e -> Alcotest.fail e
+  | Ok (lfd, addr) ->
+      let server =
+        Domain.spawn (fun () ->
+            match Transport.accept lfd with
+            | conn ->
+                (try respond conn with _ -> ());
+                Transport.close conn
+            | exception _ -> ())
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* Unblock accept if the client never connected. *)
+          (match Transport.connect ~timeout:1. addr with
+          | Ok c -> Transport.close c
+          | Error _ -> ());
+          Sysio.close_quietly lfd;
+          Domain.join server)
+        (fun () -> f addr)
+
+let expect_probe_error what respond check_msg =
+  with_fake_server respond (fun addr ->
+      match Remote.probe addr with
+      | Ok _ -> Alcotest.failf "%s: probe accepted" what
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error mentions it (%s)" what msg)
+            true (check_msg msg))
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_probe_rejects_bad_peers () =
+  let reply h conn =
+    (match Transport.recv ~timeout:5. conn with
+    | Some (Frame.Hello, _) -> ()
+    | _ -> failwith "no hello");
+    Transport.send conn Frame.Hello (Handshake.encode h)
+  in
+  let me = Handshake.hello () in
+  expect_probe_error "protocol version"
+    (reply { me with Handshake.version = 999 })
+    (fun m -> contains m "version");
+  expect_probe_error "foreign binary"
+    (reply { me with Handshake.digest = String.make 32 'f' })
+    (fun m -> contains m "binar" || contains m "digest");
+  expect_probe_error "frame garbage"
+    (fun conn ->
+      ignore (Transport.recv ~timeout:5. conn);
+      Sysio.write_string (Transport.fd conn) "HTTP/1.1 400 Bad Request\r\n")
+    (fun _ -> true);
+  expect_probe_error "immediate close"
+    (fun _ -> ())
+    (fun m -> contains m "closed")
+
+(* ------------------------------------------------------------------ *)
+(* Loopback differential: Sockets = Processes = Domains = serial      *)
+(* ------------------------------------------------------------------ *)
+
+let test_sockets_equal_serial_memory () =
+  let serial = Lazy.force hi_serial in
+  let spec = Spec.of_golden (Lazy.force hi_golden) in
+  with_daemon (fun addr ->
+      (* -j 1 and 2 bound per-host concurrency; 0 adopts the daemon's
+         advertised capacity. *)
+      List.iter
+        (fun jobs ->
+          let sock =
+            Engine.run_spec ~backend:(sockets_of addr) ~jobs spec
+          in
+          check_scans_identical
+            (Printf.sprintf "hi sockets -j %d = serial" jobs)
+            serial sock;
+          check_scans_identical
+            (Printf.sprintf "hi sockets -j %d = processes" jobs)
+            (Engine.run_spec ~backend:Pool.Processes ~jobs:2 spec)
+            sock;
+          check_scans_identical
+            (Printf.sprintf "hi sockets -j %d = domains" jobs)
+            (Engine.run_spec ~backend:Pool.Domains ~jobs:2 spec)
+            sock)
+        [ 1; 2; 0 ])
+
+let test_sockets_equal_serial_registers () =
+  let rs = Lazy.force hi_regs in
+  let serial = Regspace.scan rs in
+  with_daemon (fun addr ->
+      check_scans_identical "hi registers sockets = serial" serial
+        (Engine.run_spec ~backend:(sockets_of addr) ~jobs:2
+           (Spec.of_regspace rs)))
+
+let test_sockets_matrix () =
+  let specs =
+    [
+      Spec.of_golden (Lazy.force hi_golden);
+      Spec.of_regspace (Lazy.force hi_regs);
+      Spec.of_golden (Lazy.force flag1_golden);
+    ]
+  in
+  let serials =
+    [
+      Lazy.force hi_serial;
+      Regspace.scan (Lazy.force hi_regs);
+      Lazy.force flag1_serial;
+    ]
+  in
+  with_daemon (fun addr ->
+      let snap = ref None in
+      let scans =
+        Engine.run_matrix ~backend:(sockets_of addr) ~jobs:2
+          ~observe:(fun s -> snap := Some s)
+          specs
+      in
+      List.iteri
+        (fun i (serial, scan) ->
+          check_scans_identical
+            (Printf.sprintf "sockets matrix cell %d" i)
+            serial scan)
+        (List.combine serials scans);
+      match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check bool) "finished" true (Progress.finished s);
+          Alcotest.(check int) "all shards" s.Progress.shards_total
+            s.Progress.shards_done)
+
+(* ------------------------------------------------------------------ *)
+(* Remote crash + resume (the full matrix lives behind @torture)      *)
+(* ------------------------------------------------------------------ *)
+
+let with_torture value f =
+  Unix.putenv Worker.torture_var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv Worker.torture_var "") f
+
+let test_remote_crash_and_resume () =
+  let serial = Lazy.force hi_serial in
+  let golden = Lazy.force hi_golden in
+  with_temp_file (fun path ->
+      let spec resume =
+        Spec.of_golden
+          ~policy:
+            {
+              Spec.default_policy with
+              Spec.journal = Some path;
+              resume;
+              shard_size = Some 1;
+            }
+          golden
+      in
+      (* The daemon inherits the torture env: remote worker 0 dies
+         before conducting anything, worker 1 finishes its share.  The
+         unsupervised default policy reports the death and keeps the
+         journal valid. *)
+      with_torture "exit:0:0" (fun () ->
+          with_daemon (fun addr ->
+              match
+                Engine.run_spec ~backend:(sockets_of addr) ~jobs:2 (spec false)
+              with
+              | _ -> Alcotest.fail "expected Worker_failed"
+              | exception Engine.Worker_failed msg ->
+                  Alcotest.(check bool) "names the remote worker" true
+                    (contains msg "remote worker")));
+      (match Journal.replay path with
+      | Some (_, _, Journal.Clean) -> ()
+      | _ -> Alcotest.fail "journal not CRC-valid after remote death");
+      (* The crashed daemon is gone; a fresh fleet heals the campaign. *)
+      with_daemon (fun addr ->
+          let resumed =
+            Engine.run_spec ~backend:(sockets_of addr) ~jobs:2 (spec true)
+          in
+          check_scans_identical "remote crash + resume = serial" serial
+            resumed))
+
+let suite =
+  ( "net-backend",
+    [
+      Alcotest.test_case "addresses parse and reject" `Quick test_addr;
+      Alcotest.test_case "frames roundtrip through a byte stream" `Quick
+        test_frame_roundtrip;
+      Alcotest.test_case "frames reject corruption" `Quick
+        test_frame_rejects_corruption;
+      Alcotest.test_case "handshake rejects mismatches" `Quick test_handshake;
+      Alcotest.test_case "wire jobs roundtrip without closures" `Quick
+        test_wire_job;
+      Alcotest.test_case "-j bounds per-host concurrency" `Quick
+        test_resolve_jobs_sockets;
+      Alcotest.test_case "probe rejects wrong peers" `Quick
+        test_probe_rejects_bad_peers;
+      Alcotest.test_case "sockets = processes = domains = serial (memory)"
+        `Slow test_sockets_equal_serial_memory;
+      Alcotest.test_case "sockets = serial (registers)" `Slow
+        test_sockets_equal_serial_registers;
+      Alcotest.test_case "sockets matrix" `Slow test_sockets_matrix;
+      Alcotest.test_case "remote crash + resume" `Slow
+        test_remote_crash_and_resume;
+    ] )

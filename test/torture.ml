@@ -1,19 +1,23 @@
-(* Worker-crash torture tests for the process backend — the slow,
-   adversarial matrix kept out of @tier1 and run by `dune build @torture`
-   (see DESIGN.md §7): every crash mode (clean nonzero exit, uncaught
-   exception, SIGKILL between shards, SIGKILL mid-append, hang, stall,
-   poisoned shard) injected into journaled campaigns, on fixed fixtures
-   and on qcheck-random programs, asserting the same properties — the
-   parent reports the death, the campaign journal stays CRC-valid, and
-   either supervision heals the campaign in place (bit-identical to the
-   serial scan, no manual --resume) or a --resume run completes
-   bit-identically.
+(* Worker-crash torture tests for the process and sockets backends —
+   the slow, adversarial matrix kept out of @tier1 and run by
+   `dune build @torture` (see DESIGN.md §7): every crash mode (clean
+   nonzero exit, uncaught exception, SIGKILL between shards, SIGKILL
+   mid-append, hang, stall, poisoned shard) injected into journaled
+   campaigns, on fixed fixtures and on qcheck-random programs, asserting
+   the same properties — the parent reports the death, the campaign
+   journal stays CRC-valid, and either supervision heals the campaign in
+   place (bit-identical to the serial scan, no manual --resume) or a
+   --resume run completes bit-identically.  The same matrix then runs
+   over TCP (loopback daemons, DESIGN.md §11): crash modes injected into
+   remote conducting workers, half-open peers, and a whole fleet
+   SIGKILLed mid-campaign with --resume healing the journal.
 
    `dune build @torture-smoke` sets FI_TORTURE_SMOKE=1 and runs only
    the fast representative subset (one test per supervision mechanism,
    a few seconds total). *)
 
 let () = Worker.guard ()
+let () = Remote.guard ()
 
 let smoke = Sys.getenv_opt "FI_TORTURE_SMOKE" = Some "1"
 
@@ -434,6 +438,245 @@ let qcheck_sigkill_resume =
           in
           died && Scan.pruned golden = resumed))
 
+(* ------------------------------------------------------------------ *)
+(* The crash matrix over the network (Pool.Sockets on the loopback)   *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_daemon ?(workers = 2) f =
+  match Remote.spawn_daemon ~workers () with
+  | Error e -> Alcotest.fail e
+  | Ok (pid, addr) ->
+      Fun.protect ~finally:(fun () -> Remote.kill_daemon pid) (fun () -> f addr)
+
+let sockets_of addr = Pool.Sockets [ Addr.to_string addr ]
+
+(* The crash_round_trip story told over TCP, with the extra twist the
+   wire makes possible: the torture-struck fleet is torn down entirely
+   after the failure, and a FRESH daemon heals the journal with resume
+   — remote workers vanishing between runs must cost nothing but the
+   unfinished shards.  The daemon must be spawned inside [with_torture]:
+   it inherits the environment at spawn, and its conducting children
+   inherit it from the daemon. *)
+let net_round_trip mode =
+  let serial = Lazy.force flag1_serial in
+  let golden = Lazy.force flag1_golden in
+  with_temp_file (fun path ->
+      let spec resume =
+        Spec.of_golden
+          ~policy:(policy ~journal:path ~resume ~shard_size:1 ())
+          golden
+      in
+      with_torture
+        (Printf.sprintf "%s:1" mode)
+        (fun () ->
+          with_daemon (fun addr ->
+              match
+                Engine.run_spec ~backend:(sockets_of addr) ~jobs:2 (spec false)
+              with
+              | _ -> Alcotest.failf "net %s: expected Worker_failed" mode
+              | exception Engine.Worker_failed msg ->
+                  Alcotest.(check bool)
+                    (mode ^ ": failure names the remote worker")
+                    true
+                    (contains msg "remote worker")));
+      (match Journal.replay path with
+      | Some (_, records, Journal.Clean) ->
+          Alcotest.(check bool)
+            (mode ^ ": progress was journalled over the wire")
+            true
+            (List.length records >= 1)
+      | Some (_, _, _) ->
+          Alcotest.failf "net %s: campaign journal not clean" mode
+      | None -> Alcotest.failf "net %s: campaign journal unreadable" mode);
+      let snap = ref None in
+      let resumed =
+        with_daemon (fun addr ->
+            Engine.run_spec ~backend:(sockets_of addr) ~jobs:2
+              ~observe:(fun s -> snap := Some s)
+              (spec true))
+      in
+      check_scans_identical
+        (mode ^ ": remote crash + fresh fleet + resume = serial")
+        serial resumed;
+      match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check bool)
+            (mode ^ ": resumed without re-conducting")
+            true
+            (s.Progress.resumed_classes > 0))
+
+let test_net_crash_exit () = net_round_trip "exit"
+let test_net_crash_raise () = net_round_trip "raise"
+let test_net_crash_sigkill () = net_round_trip "sigkill"
+let test_net_crash_torn () = net_round_trip "torn"
+
+(* Wedged remote workers: supervision must notice the blown deadline,
+   tear the connection down (the network's SIGKILL) and re-dispatch
+   until the campaign heals in place — no manual resume. *)
+let net_heal torture =
+  let serial = Lazy.force hi_serial in
+  let golden = Lazy.force hi_golden in
+  let snap = ref None in
+  let result =
+    with_torture torture (fun () ->
+        with_daemon (fun addr ->
+            Engine.run_spec_result ~backend:(sockets_of addr) ~jobs:2
+              ~observe:(fun s -> snap := Some s)
+              (Spec.of_golden
+                 ~policy:(sup_policy ~shard_size:1 ~shard_timeout:0.4 ())
+                 golden)))
+  in
+  check_scans_identical (torture ^ ": supervision healed over the wire") serial
+    result.Engine.scan;
+  Alcotest.(check int) (torture ^ ": nothing quarantined") 0
+    (List.length result.Engine.quarantined);
+  match !snap with
+  | None -> Alcotest.fail "observe never called"
+  | Some s ->
+      Alcotest.(check bool) (torture ^ ": connections were torn down") true
+        (s.Progress.kills >= 1)
+
+let test_net_heal_hang () = net_heal "hang:1"
+let test_net_heal_stall () = net_heal "stall:1"
+
+(* A poisoned shard on a remote fleet: budget burned, exactly that shard
+   quarantined, everything else exact — then a fresh fleet resumes to
+   the full serial scan.  Identical verdicts to the local backends. *)
+let test_net_quarantine_then_resume () =
+  let serial = Lazy.force flag1_serial in
+  let golden = Lazy.force flag1_golden in
+  with_temp_file (fun path ->
+      let degraded =
+        with_torture "poison:1" (fun () ->
+            with_daemon ~workers:3 (fun addr ->
+                Engine.run_spec_result ~backend:(sockets_of addr) ~jobs:3
+                  (Spec.of_golden
+                     ~policy:
+                       (sup_policy ~journal:path ~shard_size:1 ~max_retries:1
+                          ~quarantine:true ())
+                     golden)))
+      in
+      (match degraded.Engine.quarantined with
+      | [ q ] -> Alcotest.(check int) "the poisoned shard" 1 q.Engine.q_shard
+      | qs ->
+          Alcotest.failf "expected exactly one quarantined shard, got %d"
+            (List.length qs));
+      let healed =
+        with_daemon ~workers:3 (fun addr ->
+            Engine.run_spec_result ~backend:(sockets_of addr) ~jobs:3
+              (Spec.of_golden
+                 ~policy:
+                   (sup_policy ~journal:path ~resume:true ~shard_size:1
+                      ~max_retries:1 ~quarantine:true ())
+                 golden))
+      in
+      check_scans_identical "net quarantine + resume = serial" serial
+        healed.Engine.scan;
+      Alcotest.(check int) "quarantine cleared on resume" 0
+        (List.length healed.Engine.quarantined))
+
+(* A half-open peer: accepts the connection, then goes silent.  The
+   handshake deadline must convert it into a refusal at probe time and
+   a loud Worker_failed before any shard is dispatched — never a hung
+   campaign.  The silent peer runs on a domain (Unix.fork is off-limits
+   once domains exist), and the handshake timeout is shrunk so the test
+   takes tenths of a second, not the production ten. *)
+let test_net_half_open () =
+  let saved_c = !Remote.connect_timeout
+  and saved_h = !Remote.handshake_timeout in
+  Remote.connect_timeout := 2.0;
+  Remote.handshake_timeout := 0.3;
+  Fun.protect
+    ~finally:(fun () ->
+      Remote.connect_timeout := saved_c;
+      Remote.handshake_timeout := saved_h)
+    (fun () ->
+      match Transport.listen { Addr.host = "127.0.0.1"; port = 0 } with
+      | Error e -> Alcotest.fail e
+      | Ok (lfd, addr) ->
+          let stop = Atomic.make false in
+          let server =
+            Domain.spawn (fun () ->
+                match Transport.accept lfd with
+                | conn ->
+                    while not (Atomic.get stop) do
+                      Unix.sleepf 0.02
+                    done;
+                    Transport.close conn
+                | exception _ -> ())
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Atomic.set stop true;
+              (match Transport.connect ~timeout:1. addr with
+              | Ok c -> Transport.close c
+              | Error _ -> ());
+              Sysio.close_quietly lfd;
+              Domain.join server)
+            (fun () ->
+              (match Remote.probe addr with
+              | Ok _ -> Alcotest.fail "half-open peer passed the probe"
+              | Error _ -> ());
+              match
+                Engine.run_spec ~backend:(sockets_of addr) ~jobs:1
+                  (Spec.of_golden (Lazy.force hi_golden))
+              with
+              | _ -> Alcotest.fail "expected Worker_failed"
+              | exception Engine.Worker_failed msg ->
+                  Alcotest.(check bool) "refusal names the host" true
+                    (contains msg "worker host")))
+
+(* The whole daemon SIGKILLed mid-campaign — every connection dies at
+   once with shards in flight.  The journal must stay CRC-valid to the
+   last merged record, and a fresh fleet + --resume must complete
+   bit-identically: the acceptance scenario of DESIGN.md §11. *)
+let test_net_daemon_vanishes_then_resume () =
+  let serial = Lazy.force flag1_serial in
+  let golden = Lazy.force flag1_golden in
+  with_temp_file (fun path ->
+      let spec resume =
+        Spec.of_golden
+          ~policy:(policy ~journal:path ~resume ~shard_size:1 ())
+          golden
+      in
+      (match Remote.spawn_daemon ~workers:2 () with
+      | Error e -> Alcotest.fail e
+      | Ok (pid, addr) ->
+          let killed = ref false in
+          Fun.protect
+            ~finally:(fun () -> if not !killed then Remote.kill_daemon pid)
+            (fun () ->
+              match
+                Engine.run_spec ~backend:(sockets_of addr) ~jobs:2
+                  ~observe:(fun s ->
+                    (* First merged shard: pull the plug on the fleet. *)
+                    if (not !killed) && s.Progress.shards_done >= 1 then begin
+                      killed := true;
+                      Remote.kill_daemon pid
+                    end)
+                  (spec false)
+              with
+              | _ -> Alcotest.fail "expected Worker_failed"
+              | exception Engine.Worker_failed _ ->
+                  Alcotest.(check bool) "the fleet was killed mid-campaign"
+                    true !killed));
+      (match Journal.replay path with
+      | Some (_, records, Journal.Clean) ->
+          Alcotest.(check bool) "journal survived the vanished fleet" true
+            (List.length records >= 1)
+      | _ -> Alcotest.fail "campaign journal not clean after daemon death");
+      let resumed =
+        with_daemon (fun addr ->
+            Engine.run_spec ~backend:(sockets_of addr) ~jobs:2 (spec true))
+      in
+      check_scans_identical "vanished fleet + resume = serial" serial resumed)
+
 let () =
   (* Each entry is [in_smoke_subset, test]: with FI_TORTURE_SMOKE=1
      (the @torture-smoke alias) only one fast representative per
@@ -470,6 +713,33 @@ let () =
       ( true,
         Alcotest.test_case "supervision invisible on a healthy run" `Slow
           test_supervision_invisible_when_healthy );
+      ( true,
+        Alcotest.test_case "net crash: clean nonzero exit" `Slow
+          test_net_crash_exit );
+      ( false,
+        Alcotest.test_case "net crash: uncaught exception" `Slow
+          test_net_crash_raise );
+      ( false,
+        Alcotest.test_case "net crash: sigkill between shards" `Slow
+          test_net_crash_sigkill );
+      ( false,
+        Alcotest.test_case "net crash: corrupt frame then death" `Slow
+          test_net_crash_torn );
+      ( false,
+        Alcotest.test_case "net supervision heals hangs" `Slow
+          test_net_heal_hang );
+      ( false,
+        Alcotest.test_case "net supervision heals stalls" `Slow
+          test_net_heal_stall );
+      ( false,
+        Alcotest.test_case "net poisoned shard quarantined, then resume" `Slow
+          test_net_quarantine_then_resume );
+      ( true,
+        Alcotest.test_case "net half-open connection refused loudly" `Slow
+          test_net_half_open );
+      ( true,
+        Alcotest.test_case "net daemon vanishes mid-campaign, resume heals"
+          `Slow test_net_daemon_vanishes_then_resume );
       (false, QCheck_alcotest.to_alcotest qcheck_differential_memory);
       (false, QCheck_alcotest.to_alcotest qcheck_differential_registers);
       (false, QCheck_alcotest.to_alcotest qcheck_supervised_crash_heals);
