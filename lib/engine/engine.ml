@@ -628,6 +628,12 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
         if n > 0 then begin
           let spawn_counter = ref 0 in
           let tracked = ref [] in
+          (* Hosts whose last dispatch failed: re-dials get a short
+             patience so a dead host stalls the (blocking, serial)
+             dispatch path for a couple of seconds, not the full
+             connect+handshake timeouts on every backoff round. *)
+          let suspect_hosts : (Addr.t, unit) Hashtbl.t = Hashtbl.create 4 in
+          let redial_patience = 2.0 in
           (* (shard id, earliest dispatch time); dispatch sorts by id. *)
           let queue = ref (List.map (fun id -> (id, 0.)) (Array.to_list pending_ids)) in
           let seg_path i =
@@ -714,13 +720,22 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                   match pick_host seats with
                   | None -> stillborn "no host" "had no free worker seat"
                   | Some (addr, _) -> (
+                      let patience =
+                        if Hashtbl.mem suspect_hosts addr then
+                          Some redial_patience
+                        else None
+                      in
                       match
-                        Remote.dispatch ~addr ~fingerprint:rt.fp
+                        Remote.dispatch ?patience ~addr ~fingerprint:rt.fp
                           ~program:rt.cell.Runcell.golden.Golden.program
-                          ~spec:rt.cell.Runcell.spec ~shard_ids ~index:idx
+                          ~spec:rt.cell.Runcell.spec ~shard_ids ~index:idx ()
                       with
-                      | Ok client -> make_tracked (Netted client) now
-                      | Error msg -> stillborn (Addr.to_string addr) msg))
+                      | Ok client ->
+                          Hashtbl.remove suspect_hosts addr;
+                          make_tracked (Netted client) now
+                      | Error msg ->
+                          Hashtbl.replace suspect_hosts addr ();
+                          stillborn (Addr.to_string addr) msg))
             in
             tracked := entry :: !tracked
           in

@@ -92,10 +92,11 @@ type client = {
   assigned : int array;
 }
 
-let shake conn ~fingerprint =
+let shake ?timeout conn ~fingerprint =
+  let timeout = Option.value timeout ~default:!handshake_timeout in
   let mine = Handshake.hello ~fingerprint () in
   Transport.send conn Frame.Hello (Handshake.encode mine);
-  match Transport.recv ~timeout:!handshake_timeout conn with
+  match Transport.recv ~timeout conn with
   | None -> Error "connection closed during handshake"
   | Some (Frame.Err, msg) -> Error (Printf.sprintf "peer refused: %s" msg)
   | Some (Frame.Hello, payload) -> (
@@ -110,8 +111,9 @@ let shake conn ~fingerprint =
         (Printf.sprintf "peer sent a %s frame instead of a hello"
            (Frame.kind_tag kind))
 
-let with_conn addr f =
-  match Transport.connect ~timeout:!connect_timeout addr with
+let with_conn ?timeout addr f =
+  let timeout = Option.value timeout ~default:!connect_timeout in
+  match Transport.connect ~timeout addr with
   | Error _ as e -> e
   | Ok conn -> (
       match f conn with
@@ -129,9 +131,21 @@ let probe addr =
       Transport.close conn;
       r)
 
-let dispatch ~addr ~fingerprint ~program ~spec ~shard_ids ~index =
-  with_conn addr (fun conn ->
-      match shake conn ~fingerprint:(Crc32.to_hex fingerprint) with
+(* [patience] caps both the connect and handshake timeouts: the engine
+   shortens it when re-dialling a host that already failed once, so a
+   dead host costs the supervision loop seconds, not two full default
+   timeouts on every backoff round. *)
+let dispatch ?patience ~addr ~fingerprint ~program ~spec ~shard_ids ~index ()
+    =
+  let cap dflt =
+    match patience with Some p -> Float.min p dflt | None -> dflt
+  in
+  with_conn ~timeout:(cap !connect_timeout) addr (fun conn ->
+      match
+        shake conn
+          ~timeout:(cap !handshake_timeout)
+          ~fingerprint:(Crc32.to_hex fingerprint)
+      with
       | Error _ as e ->
           Transport.close conn;
           e
@@ -280,14 +294,19 @@ let serve ~listen ~workers ?(announce = fun _ -> ()) () =
       ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
       announce (announce_line addr ~workers);
       let live = ref 0 in
+      (* Non-blocking: drain every already-exited child.  Blocking:
+         return after reaping ONE child — a single freed seat must
+         unblock accept immediately (the caller's [while !live >=
+         workers] re-checks), not wait for the whole wave to finish. *)
       let reap ~block =
         let flags = if block then [] else [ Unix.WNOHANG ] in
         let continue = ref (!live > 0) in
         while !continue do
           match Unix.waitpid flags (-1) with
           | 0, _ -> continue := false
-          | _ -> decr live;
-              if !live = 0 || not block then continue := false
+          | _ ->
+              decr live;
+              if block || !live = 0 then continue := false
           | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
               live := 0;
               continue := false

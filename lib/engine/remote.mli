@@ -92,16 +92,22 @@ val probe : Addr.t -> (Handshake.hello, string) result
     binary) and learns its advertised capacity. *)
 
 val dispatch :
+  ?patience:float ->
   addr:Addr.t ->
   fingerprint:int ->
   program:Program.t ->
   spec:Spec.t ->
   shard_ids:int array ->
   index:int ->
+  unit ->
   (client, string) result
 (** Connect, handshake, ship one job.  [Error] covers refusal, timeout
     and connection failure — the engine turns it into a stillborn worker
-    and lets supervision retry. *)
+    and lets supervision retry.  [patience] caps the connect and
+    handshake timeouts (whichever is smaller wins): the engine shortens
+    re-dials to hosts that already failed once so a dead host cannot
+    stall the supervision loop for the full default timeouts on every
+    backoff round. *)
 
 (** {1 Worker side} *)
 

@@ -1,13 +1,37 @@
 type t = { host : string; port : int }
 
-let to_string { host; port } = Printf.sprintf "%s:%d" host port
+let to_string { host; port } =
+  (* An IPv6 literal's own colons would make HOST:PORT ambiguous:
+     re-bracket it so to_string/parse roundtrip. *)
+  if String.contains host ':' then Printf.sprintf "[%s]:%d" host port
+  else Printf.sprintf "%s:%d" host port
+
+let split_host_port s =
+  if String.length s > 0 && s.[0] = '[' then
+    (* [V6LITERAL]:PORT — brackets delimit the host, colons and all. *)
+    match String.index_opt s ']' with
+    | None -> Error (Printf.sprintf "address %S: missing ']'" s)
+    | Some j when j + 1 >= String.length s || s.[j + 1] <> ':' ->
+        Error (Printf.sprintf "address %S: expected [HOST]:PORT" s)
+    | Some j ->
+        Ok (String.sub s 1 (j - 1), String.sub s (j + 2) (String.length s - j - 2))
+  else
+    match String.rindex_opt s ':' with
+    | None -> Error (Printf.sprintf "address %S: expected HOST:PORT" s)
+    | Some i ->
+        let host = String.sub s 0 i in
+        if String.contains host ':' then
+          (* A bare IPv6 literal: splitting on the last colon would eat
+             its final hextet as the port. *)
+          Error
+            (Printf.sprintf
+               "address %S: bracket IPv6 literals as [HOST]:PORT" s)
+        else Ok (host, String.sub s (i + 1) (String.length s - i - 1))
 
 let parse s =
-  match String.rindex_opt s ':' with
-  | None -> Error (Printf.sprintf "address %S: expected HOST:PORT" s)
-  | Some i -> (
-      let host = String.sub s 0 i in
-      let port = String.sub s (i + 1) (String.length s - i - 1) in
+  match split_host_port s with
+  | Error _ as e -> e
+  | Ok (host, port) -> (
       if host = "" then Error (Printf.sprintf "address %S: empty host" s)
       else
         (* int_of_string accepts 0x/0o/_ literal syntax; a port is plain

@@ -3,9 +3,14 @@
 type t = { host : string; port : int }
 
 val to_string : t -> string
+(** Inverse of {!parse}: a host containing colons (an IPv6 literal) is
+    re-bracketed as ["[HOST]:PORT"]. *)
 
 val parse : string -> (t, string) result
-(** Parse ["HOST:PORT"].  The split is on the {e last} colon. *)
+(** Parse ["HOST:PORT"] (split on the {e last} colon) or the bracketed
+    IPv6 form ["[::1]:PORT"] (brackets stripped before resolution).  A
+    bare IPv6 literal is rejected with a pointer at the bracketed form —
+    its last hextet would otherwise be misread as the port. *)
 
 val parse_exn : string -> t
 (** @raise Invalid_argument on a malformed address. *)

@@ -116,13 +116,20 @@ let next d =
 
 let recv ?timeout fd d =
   let chunk = Bytes.create 65536 in
+  (* The timeout is a budget for the WHOLE frame, not per read: an
+     absolute deadline shrinks the wait each round, so a peer dribbling
+     one byte per near-timeout interval (a slow loris) cannot keep the
+     receive — and a daemon worker's seat — alive forever. *)
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
   let rec go () =
     match next d with
     | Some frame -> Some frame
     | None -> (
-        (match timeout with
-        | Some t when not (Sysio.wait_readable fd t) ->
-            corrupt "timed out waiting for a frame (%.1fs)" t
+        (match (deadline, timeout) with
+        | Some dl, Some t ->
+            let left = dl -. Unix.gettimeofday () in
+            if left <= 0. || not (Sysio.wait_readable fd left) then
+              corrupt "timed out waiting for a frame (%.1fs)" t
         | _ -> ());
         match Sysio.read_avail fd chunk with
         | `Eof -> if buffered d > 0 then corrupt "EOF inside a frame" else None

@@ -49,6 +49,8 @@ val next : decoder -> (kind * string) option
 
 val recv : ?timeout:float -> Unix.file_descr -> decoder -> (kind * string) option
 (** Blocking receive: read and {!feed} until one frame completes.
-    [None] on clean EOF between frames.
+    [None] on clean EOF between frames.  [timeout] is a budget for the
+    whole frame (an absolute deadline), not per read — dribbling bytes
+    cannot stretch it.
     @raise Corrupt on a framing violation, EOF inside a frame, or when
     [timeout] seconds pass without a complete frame. *)

@@ -58,12 +58,21 @@ let decode s =
 (* The binary digest is the load-bearing check: job payloads are
    marshalled plain data, sound only between identical executables —
    and identical executables also guarantee identical analyses, which
-   is what keeps remote results bit-identical. *)
+   is what keeps remote results bit-identical.  An "unknown" digest
+   (unreadable executable) must therefore refuse, not match: two
+   different binaries that both failed to hash would otherwise compare
+   equal and wave unsound Marshal data through. *)
 let check ~mine ~theirs =
   if theirs.version <> mine.version then
     Error
       (Printf.sprintf "protocol version mismatch: peer speaks v%d, we speak v%d"
          theirs.version mine.version)
+  else if mine.digest = "unknown" || theirs.digest = "unknown" then
+    Error
+      (Printf.sprintf
+         "binary digest unavailable (%s executable unreadable) — refusing: \
+          the digest check is what makes shipped jobs safe to unmarshal"
+         (if mine.digest = "unknown" then "our" else "peer's"))
   else if theirs.digest <> mine.digest then
     Error
       (Printf.sprintf

@@ -14,7 +14,8 @@ val protocol_version : int
 
 val self_digest : unit -> string
 (** Hex MD5 of [Sys.executable_name], memoized ("unknown" if the
-    executable cannot be read). *)
+    executable cannot be read — {!check} refuses such hellos, on either
+    side, so two unhashable binaries can never pass as identical). *)
 
 type hello = {
   version : int;
@@ -30,4 +31,6 @@ val encode : hello -> string
 val decode : string -> hello option
 
 val check : mine:hello -> theirs:hello -> (unit, string) result
-(** Version and digest equality; the error names the mismatch. *)
+(** Version and digest equality; the error names the mismatch.  An
+    ["unknown"] digest on either side is itself a refusal — the digest
+    guard is what makes the wire job's [Marshal] payload safe. *)

@@ -45,12 +45,28 @@ let test_addr () =
   Alcotest.(check string)
     "roundtrip" "node7:80"
     (Addr.to_string (Addr.parse_exn "node7:80"));
+  (* IPv6 literals: bracketed form parses (brackets stripped), bare form
+     is rejected — its last hextet would be misread as the port. *)
+  (match Addr.parse "[::1]:9000" with
+  | Ok { Addr.host = "::1"; port = 9000 } -> ()
+  | _ -> Alcotest.fail "bracketed v6 loopback");
+  Alcotest.(check string)
+    "v6 roundtrip re-brackets" "[fe80::1]:80"
+    (Addr.to_string (Addr.parse_exn "[fe80::1]:80"));
+  (match Addr.parse "::1" with
+  | Error msg ->
+      Alcotest.(check bool) "bare v6 error points at brackets" true
+        (Astring_contains.contains msg "[HOST]:PORT")
+  | Ok _ -> Alcotest.fail "bare v6 literal must not parse");
   List.iter
     (fun s ->
       match Addr.parse s with
       | Ok _ -> Alcotest.failf "parsed %S" s
       | Error _ -> ())
-    [ ""; "nohost"; ":80"; "h:"; "h:0x50"; "h:-1"; "h:65536" ];
+    [
+      ""; "nohost"; ":80"; "h:"; "h:0x50"; "h:-1"; "h:65536"; "[::1]";
+      "[::1]80"; "[]:80"; "[::1:80";
+    ];
   (match Addr.parse_list "a:1,b:2, c:3 ," with
   | Ok [ a; b; c ] ->
       Alcotest.(check (list string))
@@ -144,6 +160,17 @@ let test_handshake () =
    with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "digest mismatch accepted");
+  (* Two unhashable binaries must not pass as identical: "unknown" on
+     either side is a refusal, never a match. *)
+  let unknown = { mine with Handshake.digest = "unknown" } in
+  (match Handshake.check ~mine:unknown ~theirs:unknown with
+  | Error msg ->
+      Alcotest.(check bool) "unknown = unknown refused" true
+        (Astring_contains.contains msg "unavailable")
+  | Ok () -> Alcotest.fail "two unknown digests accepted");
+  (match Handshake.check ~mine ~theirs:unknown with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "peer's unknown digest accepted");
   Alcotest.(check bool) "garbage rejected" true
     (Handshake.decode "fi-net hullo version=one" = None)
 
@@ -264,6 +291,46 @@ let test_probe_rejects_bad_peers () =
   expect_probe_error "immediate close"
     (fun _ -> ())
     (fun m -> contains m "closed")
+
+(* ------------------------------------------------------------------ *)
+(* Receive deadline is a whole-frame budget                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A slow loris dribbles one byte per interval, each arrival comfortably
+   inside a naive per-read timeout: only an absolute whole-frame
+   deadline can cut it off.  Regression test for Frame.recv applying
+   ?timeout per wait_readable call. *)
+let test_recv_whole_frame_deadline () =
+  let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev)
+    (fun () ->
+      let frame = Frame.encode Frame.Door "h" in
+      with_fake_server
+        (fun conn ->
+          (* Never complete the frame; keep feeding until the client
+             hangs up (EPIPE under SIGPIPE-ignore ends the loop). *)
+          String.iteri
+            (fun i c ->
+              if i < String.length frame - 1 then begin
+                Sysio.write_string (Transport.fd conn) (String.make 1 c);
+                Unix.sleepf 0.2
+              end)
+            frame)
+        (fun addr ->
+          match Transport.connect ~timeout:1. addr with
+          | Error e -> Alcotest.fail e
+          | Ok conn ->
+              let t0 = Unix.gettimeofday () in
+              (match Transport.recv ~timeout:0.5 conn with
+              | exception Frame.Corrupt _ -> ()
+              | _ -> Alcotest.fail "dribbled partial frame did not time out");
+              let dt = Unix.gettimeofday () -. t0 in
+              Transport.close conn;
+              Alcotest.(check bool)
+                (Printf.sprintf "timed out on total budget (%.2fs)" dt)
+                true
+                (dt < 1.4)))
 
 (* ------------------------------------------------------------------ *)
 (* Loopback differential: Sockets = Processes = Domains = serial      *)
@@ -398,6 +465,8 @@ let suite =
         test_resolve_jobs_sockets;
       Alcotest.test_case "probe rejects wrong peers" `Quick
         test_probe_rejects_bad_peers;
+      Alcotest.test_case "recv deadline spans the whole frame" `Quick
+        test_recv_whole_frame_deadline;
       Alcotest.test_case "sockets = processes = domains = serial (memory)"
         `Slow test_sockets_equal_serial_memory;
       Alcotest.test_case "sockets = serial (registers)" `Slow
