@@ -597,6 +597,143 @@ let run_engine_net () =
           close_out oc;
           Printf.printf "spliced net into BENCH_engine.json\n")
 
+let run_engine_cache () =
+  section
+    "ENGC | Result cache: bin_sem2 cold campaign vs warm replay from the \
+     content-addressed store, plus service cache-hit dispatch latency \
+     (splices \"cache\" into BENCH_engine.json)";
+  let dir = Filename.temp_file "fibench" ".store" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun name -> Sys.remove (Filename.concat dir name))
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let golden = Golden.run (Bin_sem2.baseline ()) in
+      let policy =
+        {
+          Spec.default_policy with
+          Spec.catalogue = Some dir;
+          cache = Some dir;
+        }
+      in
+      let jobs = 2 in
+      let run () =
+        Engine.run_spec_result ~backend:Pool.Domains ~jobs
+          (Spec.of_golden ~policy golden)
+      in
+      let cold, t_cold = time run in
+      let warm, t_warm = time run in
+      let identical = cold.Engine.scan = warm.Engine.scan in
+      let speedup = t_cold /. t_warm in
+      Printf.printf "cold campaign -j %d      : %6.2f s\n" jobs t_cold;
+      Printf.printf
+        "warm replay (cache hit) : %6.3f s  (speedup %.0fx, hit %b, \
+         bit-identical %b)\n"
+        t_warm speedup warm.Engine.cached identical;
+      (* Cache-hit dispatch latency through the service front door: the
+         store is warm, so each submit is answered without scheduling a
+         single shard. *)
+      let config =
+        { Service.default_config with Service.artifacts = dir; jobs }
+      in
+      let t_dispatch =
+        match Service.spawn_daemon ~config () with
+        | Error e ->
+            Printf.printf "service latency skipped: no daemon (%s)\n" e;
+            nan
+        | Ok (pid, addr) ->
+            Fun.protect
+              ~finally:(fun () -> Service.kill_daemon pid)
+              (fun () ->
+                let cell =
+                  Service.cell_of_spec (Spec.of_golden ~policy golden)
+                in
+                let hit () =
+                  match Service.submit ~addr [ cell ] with
+                  | Ok [ r ] when r.Service.r_cached -> ()
+                  | Ok _ -> failwith "service returned a non-hit"
+                  | Error msg -> failwith msg
+                in
+                hit () (* connect-path warmup *);
+                let rounds = 10 in
+                let (), t =
+                  time (fun () ->
+                      for _ = 1 to rounds do
+                        hit ()
+                      done)
+                in
+                let per = t /. float_of_int rounds in
+                Printf.printf
+                  "service cache-hit dispatch: %6.1f ms/submission (%d \
+                   rounds)\n"
+                  (per *. 1000.) rounds;
+                per)
+      in
+      let cache_json =
+        Printf.sprintf
+          "{\n\
+          \    \"jobs\": %d,\n\
+          \    \"cold_seconds\": %.3f,\n\
+          \    \"warm_seconds\": %.4f,\n\
+          \    \"speedup\": %.1f,\n\
+          \    \"warm_cached\": %b,\n\
+          \    \"bit_identical\": %b,\n\
+          \    \"service_hit_dispatch_ms\": %.2f\n\
+          \  }"
+          jobs t_cold t_warm speedup warm.Engine.cached identical
+          (t_dispatch *. 1000.)
+      in
+      let path = "BENCH_engine.json" in
+      let base =
+        if Sys.file_exists path then begin
+          let ic = open_in_bin path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          text
+        end
+        else "{\n  \"benchmark\": \"bin_sem2/baseline\"\n}\n"
+      in
+      let find_sub hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec scan i =
+          if i + nn > nh then None
+          else if String.sub hay i nn = needle then Some i
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      let trim_tail s =
+        let n = ref (String.length s) in
+        while !n > 0 && (s.[!n - 1] = '\n' || s.[!n - 1] = ' ') do
+          decr n
+        done;
+        String.sub s 0 !n
+      in
+      let body =
+        match find_sub base ",\n  \"cache\":" with
+        | Some i -> String.sub base 0 i
+        | None ->
+            let t = trim_tail base in
+            let n = String.length t in
+            if n > 0 && t.[n - 1] = '}' then trim_tail (String.sub t 0 (n - 1))
+            else t
+      in
+      let oc = open_out path in
+      output_string oc (body ^ ",\n  \"cache\": " ^ cache_json ^ "\n}\n");
+      close_out oc;
+      Printf.printf "spliced cache into BENCH_engine.json\n")
+
 let run_matrix_parallel () =
   section
     "ENGM | Matrix engine: paper pairs back-to-back serial vs one \
@@ -784,6 +921,7 @@ let artifacts =
     ("engine-parallel", run_engine_parallel);
     ("engine-supervision", run_engine_supervision);
     ("engine-net", run_engine_net);
+    ("engine-cache", run_engine_cache);
     ("matrix-parallel", run_matrix_parallel);
     ("optimization", run_optimization);
     ("perf", run_perf);
@@ -795,6 +933,7 @@ let () =
      daemon (the sockets backend does the same), serve and exit. *)
   Worker.guard ();
   Remote.guard ();
+  Service.guard ();
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

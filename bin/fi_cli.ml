@@ -82,6 +82,8 @@ type engine_opts = {
   shard_timeout : float option;
   max_retries : int;
   no_quarantine : bool;
+  no_cache : bool;
+  secret : string option;
 }
 
 let engine_opts_term =
@@ -196,9 +198,29 @@ let engine_opts_term =
     in
     Arg.(value & flag & info [ "no-quarantine" ] ~doc)
   in
+  let no_cache =
+    let doc =
+      "Skip the content-addressed result cache \
+       ($(b,_artifacts/results.idx)): always conduct every shard, and \
+       do not publish this run's journals for future reuse.  Without \
+       this flag a cell whose (program image × fault space × policy) \
+       key is already cached replays the finished journal — \
+       bit-identical results, zero shard executions."
+    in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let secret =
+    let doc =
+      "Shared-secret file for fleet authentication: every handshake \
+       with a remote worker (or campaign service) carries an HMAC tag \
+       derived from $(docv)'s contents, and peers without the same \
+       secret are refused.  Both ends must pass $(b,--secret)."
+    in
+    Arg.(value & opt (some string) None & info [ "secret" ] ~docv:"FILE" ~doc)
+  in
   Term.(
     const (fun backend workers jobs journal resume shard_size weighted
-               shard_timeout max_retries no_quarantine ->
+               shard_timeout max_retries no_quarantine no_cache secret ->
         {
           backend;
           workers;
@@ -210,9 +232,11 @@ let engine_opts_term =
           shard_timeout;
           max_retries;
           no_quarantine;
+          no_cache;
+          secret;
         })
     $ backend $ workers $ jobs $ journal $ resume $ shard_size $ weighted
-    $ shard_timeout $ max_retries $ no_quarantine)
+    $ shard_timeout $ max_retries $ no_quarantine $ no_cache $ secret)
 
 let policy_of opts =
   {
@@ -225,7 +249,13 @@ let policy_of opts =
     max_retries = opts.max_retries;
     quarantine = not opts.no_quarantine;
     retry_backoff = Spec.default_policy.Spec.retry_backoff;
+    cache = (if opts.no_cache then None else Some Catalog.default_dir);
   }
+
+let secret_of opts =
+  match opts.secret with
+  | None -> None
+  | Some file -> Some (or_die (Hmac.load_secret file))
 
 (* --workers names hosts, --backend names a strategy; together they
    resolve to one backend value here, so every engine subcommand agrees
@@ -294,10 +324,17 @@ let engine_matrix ~opts ~quiet specs =
       ~jobs:(resolve_jobs ~backend opts.jobs)
       ~observe:(engine_progress ~quiet)
       ~on_event:(fun msg -> Printf.eprintf "\n[supervision] %s\n%!" msg)
-      specs
+      ?secret:(secret_of opts) specs
   with
   | results ->
       report_quarantine results;
+      (match List.filter (fun (r : Engine.result) -> r.Engine.cached) results with
+      | [] -> ()
+      | hits when not quiet ->
+          Printf.eprintf "fi-cli: %d of %d cell%s served from the result cache\n%!"
+            (List.length hits) (List.length results)
+            (if List.length results > 1 then "s" else "")
+      | _ -> ());
       List.map (fun (r : Engine.result) -> r.Engine.scan) results
   | exception Engine.Journal_mismatch msg -> or_die (Error msg)
   | exception Engine.Worker_failed msg -> or_die (Error msg)
@@ -774,7 +811,11 @@ let journal_cmd =
   let compact_cmd =
     let action dir dry_run =
       let c =
-        Catalog.compact ~dry_run ~finished:Runcell.journal_finished ~dir ()
+        (* Journals the result cache still points at must survive
+           compaction: folding one into CSV would turn every future
+           cache hit on that cell into a miss. *)
+        Catalog.compact ~dry_run ~finished:Runcell.journal_finished
+          ~protect:(Cache.referenced ~dir) ~dir ()
       in
       Format.printf
         "%s%d entries examined: %d finished journal%s %s, %d superseded \
@@ -829,7 +870,19 @@ let worker_cmd =
       in
       Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
     in
-    let action listen workers =
+    let secret =
+      let doc =
+        "Arm shared-secret handshake authentication: every connecting \
+         conductor must present an HMAC tag derived from the secret in \
+         $(docv) (first line, whitespace-trimmed).  Conductors pass the \
+         same file via $(b,--secret)."
+      in
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "secret" ] ~docv:"FILE" ~doc)
+    in
+    let action listen workers secret =
       let listen =
         match Addr.parse listen with Ok a -> a | Error e -> or_die (Error e)
       in
@@ -839,7 +892,10 @@ let worker_cmd =
           or_die (Error (Printf.sprintf "invalid worker count %d" workers))
         else workers
       in
-      Remote.serve ~listen ~workers
+      let secret =
+        Option.map (fun file -> or_die (Hmac.load_secret file)) secret
+      in
+      Remote.serve ~listen ~workers ?secret
         ~announce:(fun line ->
           print_endline line;
           flush stdout)
@@ -855,7 +911,7 @@ let worker_cmd =
             binary), and conduct the shipped shards exactly as a local \
             $(b,--backend processes) worker would, streaming journal \
             records back over the connection.  Runs until killed.")
-      Term.(const action $ listen $ workers)
+      Term.(const action $ listen $ workers $ secret)
   in
   let stdio_action () = Worker.serve ~input:stdin ~output:stdout in
   Cmd.group
@@ -868,6 +924,216 @@ let worker_cmd =
           environment variable); $(b,worker serve) runs a remote worker \
           daemon for $(b,--backend sockets).")
     [ serve_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* serve / submit / status — the campaign service                     *)
+(* ------------------------------------------------------------------ *)
+
+let svc_secret_arg =
+  let doc =
+    "Shared-secret file for handshake authentication (HMAC over the \
+     hello).  Both the service and its clients — and, when the service \
+     drives a worker fleet, the workers — must name byte-identical \
+     secrets."
+  in
+  Arg.(value & opt (some string) None & info [ "secret" ] ~docv:"FILE" ~doc)
+
+let svc_addr_arg =
+  let doc = "Campaign-service address (from its announce line)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "to" ] ~docv:"HOST:PORT" ~doc)
+
+let svc_secret_of file = Option.map (fun f -> or_die (Hmac.load_secret f)) file
+
+let serve_cmd =
+  let listen =
+    let doc =
+      "Address to listen on.  Port $(b,0) lets the kernel pick; the \
+       actual address is announced on stdout as $(b,fi-svc listening \
+       HOST:PORT ...)."
+    in
+    Arg.(
+      value
+      & opt string Service.default_config.Service.listen
+      & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let workers =
+    let doc =
+      "Comma-separated $(b,HOST:PORT) worker daemons the service conducts \
+       campaigns on (each started with $(b,fi-cli worker serve)).  \
+       Without it, campaigns run locally on $(b,--local-backend)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workers" ] ~docv:"HOST:PORT[,HOST:PORT...]" ~doc)
+  in
+  let local_backend =
+    Arg.(
+      value & opt string "domains"
+      & info [ "local-backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Backend for fleet-less operation: $(b,domains) or \
+             $(b,processes).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker parallelism per campaign; 0 = all cores.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int Service.default_config.Service.window
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Admission window: how many jobs one client host may have \
+             queued before further submissions are refused.")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt string Catalog.default_dir
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Artifact directory: campaign journals, the journal \
+             catalogue and the content-addressed result store all live \
+             here.")
+  in
+  let action listen workers local_backend jobs window dir secret_file =
+    let workers =
+      match workers with
+      | None -> []
+      | Some hosts -> (
+          match Addr.parse_list hosts with
+          | Ok addrs -> List.map Addr.to_string addrs
+          | Error msg -> or_die (Error msg))
+    in
+    (if Pool.backend_of_string local_backend = None then
+       or_die (Error (Printf.sprintf "unknown --local-backend %S" local_backend)));
+    if jobs < 0 then
+      or_die (Error (Printf.sprintf "invalid job count %d" jobs));
+    if window < 1 then
+      or_die (Error (Printf.sprintf "invalid admission window %d" window));
+    let config =
+      {
+        Service.listen;
+        workers;
+        local_backend;
+        jobs;
+        window;
+        artifacts = dir;
+        secret_file;
+      }
+    in
+    match Service.serve ~config ~announce:(fun line ->
+        print_endline line;
+        flush stdout) ()
+    with
+    | () -> ()
+    | exception Failure msg -> or_die (Error msg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign service: a resident daemon that accepts \
+          campaign submissions ($(b,fi-cli submit)) over framed TCP, \
+          queues them fairly per client host, conducts them on its \
+          backend, streams progress back, and answers submissions whose \
+          every cell is already in the content-addressed result store \
+          instantly — without occupying the worker fleet.")
+    Term.(
+      const action $ listen $ workers $ local_backend $ jobs $ window $ dir
+      $ svc_secret_arg)
+
+let submit_cmd =
+  let pairs =
+    Arg.(
+      value & flag
+      & info [ "pairs" ]
+          ~doc:"Submit only the paper's Figure 2 pairs instead of the \
+                whole suite.")
+  in
+  let registers =
+    Arg.(
+      value & flag
+      & info [ "registers" ]
+          ~doc:"Campaign over the register fault space instead of main \
+                memory.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress.") in
+  let action addr pairs registers quiet secret_file =
+    let addr = or_die (Addr.parse addr) in
+    let secret = svc_secret_of secret_file in
+    let space = if registers then Spec.Registers else Spec.Memory in
+    let specs =
+      if pairs then Suite.paper_specs ~space ()
+      else Suite.spec_matrix ~space ()
+    in
+    let cells = List.map Service.cell_of_spec specs in
+    if not quiet then
+      Printf.eprintf "submit: %d cell%s to %s\n%!" (List.length cells)
+        (if List.length cells > 1 then "s" else "")
+        (Addr.to_string addr);
+    let on_progress line =
+      if not quiet then Printf.eprintf "\r%s%!" line
+    in
+    let results = or_die (Service.submit ?secret ~on_progress ~addr cells) in
+    if not quiet then prerr_newline ();
+    let t =
+      Table.create
+        ~columns:
+          [ ("cell", Table.Left); ("experiments", Table.Right);
+            ("coverage", Table.Right); ("failures", Table.Right);
+            ("P(Failure)", Table.Right); ("origin", Table.Left) ]
+    in
+    List.iter
+      (fun (r : Service.wire_result) ->
+        let scan = r.Service.r_scan in
+        Table.row t
+          [ r.Service.r_label;
+            string_of_int (Array.length scan.Scan.experiments);
+            Printf.sprintf "%.3f%%" (100.0 *. Metrics.coverage scan);
+            string_of_int (Metrics.failure_count scan);
+            Printf.sprintf "%.3e" (Metrics.failure_probability scan);
+            (if r.Service.r_cached then "cache" else "run") ])
+      results;
+    Table.print t;
+    let qs = List.concat_map (fun r -> r.Service.r_quarantined) results in
+    if qs <> [] then
+      Printf.eprintf
+        "fi-cli: WARNING: the service quarantined %d shard%s — those \
+         classes hold No_effect placeholders.\n%!"
+        (List.length qs)
+        (if List.length qs > 1 then "s" else "")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a benchmark matrix to a running campaign service \
+          ($(b,fi-cli serve)) and await its results.  Cells the service \
+          has already conducted — for you or anyone else — come back \
+          instantly from its result store, marked $(b,cache) in the \
+          origin column.")
+    Term.(
+      const action $ svc_addr_arg $ pairs $ registers $ quiet
+      $ svc_secret_arg)
+
+let status_cmd =
+  let action addr secret_file =
+    let addr = or_die (Addr.parse addr) in
+    let secret = svc_secret_of secret_file in
+    print_endline (or_die (Service.status ?secret ~addr ()))
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"One-line status of a running campaign service: connected \
+             clients, queue depth, fleet busyness, published result-store \
+             cells.")
+    Term.(const action $ svc_addr_arg $ svc_secret_arg)
 
 (* ------------------------------------------------------------------ *)
 (* list                                                               *)
@@ -883,10 +1149,12 @@ let list_cmd =
 
 let () =
   (* Must run before anything else: a process exec'd with
-     FI_ENGINE_WORKER=1 is a campaign worker, not a CLI, and one exec'd
-     with FI_ENGINE_NET_SERVE is a remote-worker daemon. *)
+     FI_ENGINE_WORKER=1 is a campaign worker, not a CLI, one exec'd
+     with FI_ENGINE_NET_SERVE is a remote-worker daemon, and one with
+     FI_ENGINE_SVC_SERVE is a campaign-service daemon. *)
   Worker.guard ();
   Remote.guard ();
+  Service.guard ();
   let doc =
     "fault-injection campaigns, metrics and pitfall analyses on the \
      deterministic RISC simulator"
@@ -894,4 +1162,5 @@ let () =
   let info = Cmd.info "fi-cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ run_cmd; trace_cmd; campaign_cmd; matrix_cmd; sample_cmd; compare_cmd;
-      asm_cmd; poisson_cmd; report_cmd; journal_cmd; list_cmd; worker_cmd ]))
+      asm_cmd; poisson_cmd; report_cmd; journal_cmd; list_cmd; worker_cmd;
+      serve_cmd; submit_cmd; status_cmd ]))

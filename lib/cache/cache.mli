@@ -1,0 +1,62 @@
+(** The content-addressed result store: [cell key → finished journal].
+
+    A campaign cell's key ({!cell_key}) is a stable fingerprint of
+    everything that determines its results — program image digest,
+    fault space, and the plan-shaping execution policy (experiment
+    limit, shard size, weighted sampling).  Any campaign or matrix that
+    reaches a cell whose key is already in the store gets the finished
+    journal for free; the engine replays it through the same
+    CRC/fingerprint-guarded merge path a [--resume] uses, so a cache
+    hit is bit-identical to a fresh run by construction.
+
+    The store is a sibling of the journal catalogue ({e journals.idx}):
+    one append-only line index per artifact directory, later entries
+    winning, junk lines skipped, writers serialised by {!Lockfile}.
+    Only {e finished, unquarantined} journals may be published — the
+    engine enforces that; the store just records the mapping. *)
+
+val index_name : string
+(** ["results.idx"]. *)
+
+val index_path : dir:string -> string
+val ensure_dir : string -> unit
+
+val key_length : int
+(** Length of every {!cell_key} (32: hex MD5). *)
+
+val cell_key :
+  image:string ->
+  space:string ->
+  limit:int option ->
+  shard_size:int option ->
+  weighted:bool ->
+  string
+(** Hex MD5 over a versioned canonical rendering of the cell identity.
+    [image] is the program-image digest (hex), [space] the fault-space
+    tag.  Supervision and journal-placement policy are deliberately
+    excluded: they cannot change results. *)
+
+type entry = {
+  key : string;  (** {!cell_key} hex. *)
+  fingerprint : int;  (** Campaign CRC-32 the journal must carry. *)
+  path : string;  (** The finished journal. *)
+}
+
+val parse_line : string -> entry option
+val encode_line : entry -> string
+
+val entries : dir:string -> entry list
+(** All parseable index lines, in file order (missing index = none). *)
+
+val lookup : dir:string -> string -> entry option
+(** Latest entry for this key, if any. *)
+
+val publish : dir:string -> key:string -> fingerprint:int -> path:string -> unit
+(** Append [key → (fingerprint, path)] under the index lock, creating
+    directory and index on first use; a no-op if that mapping is
+    already current.  Callers must only publish journals that are
+    complete and unquarantined. *)
+
+val referenced : dir:string -> string -> bool
+(** Membership test over every journal path the store references —
+    compaction uses it to keep cache-backed journals alive. *)

@@ -1,0 +1,15 @@
+(** Advisory whole-file locks ([Unix.lockf]) for index writers.
+
+    The lock is a sidecar [<path>.lock] file, not the index itself —
+    compaction replaces the index inode by rename, which would strand a
+    lock taken on the old inode while new writers lock the new one.
+    Locks are per-process (lockf semantics): this serialises processes,
+    which is the concurrency the service introduces. *)
+
+val lock_path : string -> string
+(** [path ^ ".lock"] — the sidecar the lock is taken on. *)
+
+val with_lock : string -> (unit -> 'a) -> 'a
+(** [with_lock path f] runs [f] holding an exclusive advisory lock
+    keyed to [path] (blocking until free), releasing on return or
+    exception.  Creates the sidecar on first use. *)

@@ -32,16 +32,20 @@ let lookup ~dir ~fingerprint =
     (fun acc (fp, path) -> if fp = fingerprint then Some path else acc)
     None (entries ~dir)
 
+(* The lock brackets the read-check AND the append: with concurrent
+   campaigns on one host (the service's normal case), check-then-append
+   without exclusion can interleave two half-lines into junk. *)
 let record ~dir ~fingerprint ~path =
-  if lookup ~dir ~fingerprint <> Some path then begin
-    ensure_dir dir;
-    let oc =
-      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644
-        (index_path ~dir)
-    in
-    Printf.fprintf oc "%s %s\n" (Crc32.to_hex fingerprint) path;
-    close_out oc
-  end
+  ensure_dir dir;
+  Lockfile.with_lock (index_path ~dir) (fun () ->
+      if lookup ~dir ~fingerprint <> Some path then begin
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644
+            (index_path ~dir)
+        in
+        Printf.fprintf oc "%s %s\n" (Crc32.to_hex fingerprint) path;
+        close_out oc
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Compaction                                                         *)
@@ -65,7 +69,7 @@ type compaction = {
   dangling : int;
 }
 
-let compact ?(dry_run = false) ~finished ~dir () =
+let compact ?(dry_run = false) ?(protect = fun _ -> false) ~finished ~dir () =
   let all = entries ~dir in
   let examined = List.length all in
   (* Later entries win: walk newest-first, keep the first occurrence of
@@ -90,7 +94,7 @@ let compact ?(dry_run = false) ~finished ~dir () =
           incr dangling;
           false
         end
-        else if finished path then begin
+        else if finished path && not (protect path) then begin
           incr folded;
           if not dry_run then (try Sys.remove path with Sys_error _ -> ());
           false

@@ -28,7 +28,10 @@ val lookup : dir:string -> fingerprint:int -> string option
 
 val record : dir:string -> fingerprint:int -> path:string -> unit
 (** Append [fingerprint → path], creating directory and index on first
-    use; a no-op if that mapping is already the current one. *)
+    use; a no-op if that mapping is already the current one.  The
+    check-and-append runs under the index's {!Lockfile} — concurrent
+    campaigns on one host (the service's normal case) cannot interleave
+    index lines. *)
 
 val rewrite : dir:string -> (int * string) list -> unit
 (** Replace the whole index with these entries, atomically (write to a
@@ -43,12 +46,20 @@ type compaction = {
 }
 
 val compact :
-  ?dry_run:bool -> finished:(string -> bool) -> dir:string -> unit -> compaction
+  ?dry_run:bool ->
+  ?protect:(string -> bool) ->
+  finished:(string -> bool) ->
+  dir:string ->
+  unit ->
+  compaction
 (** Fold the catalogue: drop superseded and dangling entries, and for
     every current entry whose journal [finished] judges complete
     (normally {!Runcell.journal_finished} — the campaign's results are
     then reproducible from the CSV store), delete the journal file and
     its entry.  Unfinished journals — including quarantine-degraded
-    ones, which [--resume] can still heal — are kept.  With [dry_run]
-    nothing is deleted or rewritten; the returned summary reports what
-    {e would} happen. *)
+    ones, which [--resume] can still heal — are kept, as is any journal
+    [protect] claims (the CLI passes the result cache's
+    {!Cache.referenced}: a cache-backed journal IS the cached result —
+    deleting it would turn every future hit into a miss).  With
+    [dry_run] nothing is deleted or rewritten; the returned summary
+    reports what {e would} happen. *)

@@ -36,7 +36,11 @@ type quarantined = {
   q_cause : string;
 }
 
-type result = { scan : Scan.t; quarantined : quarantined list }
+type result = {
+  scan : Scan.t;
+  quarantined : quarantined list;
+  cached : bool;  (** Served from the result store — zero shards executed. *)
+}
 
 (* ------------------------------------------------------------------ *)
 (* Journal resolution (explicit path or catalogue)                    *)
@@ -79,6 +83,8 @@ type runtime = {
   resumed_shards : int;
   mutable classes_done : int;
   mutable shards_done : int;
+  cache_key : string option;  (** {!Cache.cell_key}, when caching is on. *)
+  from_cache : bool;  (** Whole cell replayed from the result store. *)
 }
 
 let setup cell ~progress =
@@ -107,7 +113,88 @@ let setup cell ~progress =
       done
     done
   in
-  let journal_path = resolve_journal ~fingerprint:fp policy in
+  (* --------------------------------------------------------------- *)
+  (* Result-store consult.  The cell key fingerprints everything that
+     determines results (program image × fault space × plan-shaping
+     policy); a published journal under that key replays through the
+     same parse/apply path a --resume uses, so a hit is bit-identical
+     to a fresh run and costs zero shard executions.  Anything short
+     of a complete, header-matching, every-shard-covered journal is
+     treated as a miss — in particular a quarantine-degraded journal,
+     which lacks records for its quarantined shards. *)
+  (* --------------------------------------------------------------- *)
+  let cache_key =
+    match policy.Spec.cache with
+    | None -> None
+    | Some _ ->
+        let image =
+          Digest.to_hex
+            (Digest.string
+               (Marshal.to_string cell.Runcell.golden.Golden.program []))
+        in
+        Some
+          (Cache.cell_key ~image
+             ~space:(Spec.space_tag cell.Runcell.spec.Spec.space)
+             ~limit:cell.Runcell.spec.Spec.limit
+             ~shard_size:policy.Spec.shard_size ~weighted:policy.Spec.weighted)
+  in
+  let cached_records =
+    match (policy.Spec.cache, cache_key) with
+    | Some dir, Some key -> (
+        match Cache.lookup ~dir key with
+        | Some e when e.Cache.fingerprint = fp -> (
+            match Journal.replay e.Cache.path with
+            | Some (hdr, records, Journal.Clean) when hdr = header ->
+                Some records
+            | Some _ | None | (exception Sys_error _) -> None)
+        | Some _ | None -> None)
+    | _ -> None
+  in
+  let from_cache =
+    match cached_records with
+    | None -> false
+    | Some records -> (
+        (* Validate before touching any state: every shard covered
+           exactly once by a well-formed record with sane outcome
+           characters.  Validation failure is a miss, never an error —
+           the run falls through to conducting normally. *)
+        let exception Unservable in
+        match
+          let seen = Array.make (Array.length plan.Shard.shards) false in
+          let parsed =
+            List.filter_map
+              (fun r ->
+                if Runcell.parse_supervision r <> None then None
+                else
+                  match Runcell.parse_record plan r with
+                  | Some ((shard : Shard.t), outs) ->
+                      if
+                        seen.(shard.Shard.id)
+                        || not
+                             (String.for_all
+                                (fun c -> Outcome.of_char c <> None)
+                                outs)
+                      then raise Unservable;
+                      seen.(shard.Shard.id) <- true;
+                      Some (shard, outs)
+                  | None -> raise Unservable)
+              records
+          in
+          if not (Array.for_all Fun.id seen) then raise Unservable;
+          parsed
+        with
+        | parsed ->
+            List.iter
+              (fun ((shard : Shard.t), outs) ->
+                apply_record shard outs;
+                shard_done.(shard.Shard.id) <- true)
+              parsed;
+            true
+        | exception Unservable -> false)
+  in
+  let journal_path =
+    if from_cache then None else resolve_journal ~fingerprint:fp policy
+  in
   let writer =
     match journal_path with
     | None -> None
@@ -189,6 +276,8 @@ let setup cell ~progress =
     resumed_shards;
     classes_done = resumed_classes;
     shards_done = resumed_shards;
+    cache_key;
+    from_cache;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -294,7 +383,7 @@ let bootstrap_deadline = 60.
 (* ------------------------------------------------------------------ *)
 
 let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
-    ?(observe = fun _ -> ()) ?(on_event = fun _ -> ()) specs =
+    ?(observe = fun _ -> ()) ?(on_event = fun _ -> ()) ?secret specs =
   let jobs = Pool.resolve_jobs ~backend ?jobs () in
   let worker_hosts =
     match backend with
@@ -599,7 +688,8 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
         | Frame.Err ->
             if t.remote_err = None then
               t.remote_err <- Some (Printf.sprintf "reported: %s" payload)
-        | Frame.Hello | Frame.Job ->
+        | Frame.Hello | Frame.Job | Frame.Submit | Frame.Stat | Frame.Prog
+        | Frame.Res ->
             if t.remote_err = None then
               t.remote_err <-
                 Some
@@ -726,7 +816,8 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                         else None
                       in
                       match
-                        Remote.dispatch ?patience ~addr ~fingerprint:rt.fp
+                        Remote.dispatch ?patience ?secret ~addr
+                          ~fingerprint:rt.fp
                           ~program:rt.cell.Runcell.golden.Golden.program
                           ~spec:rt.cell.Runcell.spec ~shard_ids ~index:idx ()
                       with
@@ -1100,7 +1191,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
           (Array.of_list
              (List.map
                 (fun addr ->
-                  match Remote.probe addr with
+                  match Remote.probe ?secret addr with
                   | Ok h ->
                       (* -j bounds per-host concurrency; 0 defers to the
                          capacity the daemon advertised in its hello. *)
@@ -1171,14 +1262,31 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                 })
               rt.q_info
           in
-          { scan; quarantined })
+          (* Publish to the result store only what a future consult can
+             trust blindly: a freshly conducted cell whose every shard
+             completed and whose journal is on disk.  A quarantined cell
+             never publishes — its journal lacks the quarantined shards'
+             records, and serving it as a hit would launder a degraded
+             run into a complete one. *)
+          (match
+             (rt.cell.Runcell.spec.Spec.policy.Spec.cache, rt.cache_key,
+              rt.journal_path)
+           with
+          | Some dir, Some key, Some path
+            when (not rt.from_cache)
+                 && quarantined = []
+                 && Array.for_all Fun.id rt.shard_done -> (
+              try Cache.publish ~dir ~key ~fingerprint:rt.fp ~path
+              with Sys_error _ | Unix.Unix_error _ -> ())
+          | _ -> ());
+          { scan; quarantined; cached = rt.from_cache })
         rts_in_order)
 
-let run_spec_result ?backend ?jobs ?progress ?observe ?on_event spec =
+let run_spec_result ?backend ?jobs ?progress ?observe ?on_event ?secret spec =
   match
     run_matrix_results ?backend ?jobs
       ?progress:(Option.map (fun p _ -> p) progress)
-      ?observe ?on_event [ spec ]
+      ?observe ?on_event ?secret [ spec ]
   with
   | [ r ] -> r
   | _ -> assert false

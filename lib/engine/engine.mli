@@ -86,7 +86,25 @@
     {e middle} fails its CRC (storage corruption, as opposed to the torn
     tail a crash leaves) is likewise rejected.  When a policy names a
     {!Catalog} directory, journal paths are derived from the fingerprint
-    and indexed in [journals.idx], so [resume] needs no explicit path. *)
+    and indexed in [journals.idx], so [resume] needs no explicit path.
+
+    {2 The result cache}
+
+    When a policy names a {!Cache} directory, every cell is looked up in
+    the content-addressed result store {e before} any shard is
+    scheduled.  The cell key ({!Cache.cell_key}) digests the program
+    image, the fault-space tag and the plan-shaping policy fields
+    (experiment limit, shard size, weighted sizing) — everything that
+    determines results; supervision and journal placement are excluded
+    because they cannot change them.  A hit replays the published
+    journal through the same parse/apply path a [resume] uses (header
+    equality, per-record CRC, per-shard dedup), so cached results are
+    bit-identical to a fresh run by construction, with {e zero} shard
+    executions — {!result.cached} reports it.  Anything short of a
+    complete, header-matching journal covering every shard is a miss
+    and the cell conducts normally: in particular a quarantine-degraded
+    journal can never be served as a hit, and on clean completion a
+    cell is only published when nothing was quarantined. *)
 
 exception Journal_mismatch of string
 (** The journal at the given path belongs to a different campaign, its
@@ -115,7 +133,15 @@ type quarantined = {
 (** One shard given up after killing its worker [max_retries + 1]
     times. *)
 
-type result = { scan : Scan.t; quarantined : quarantined list }
+type result = {
+  scan : Scan.t;
+  quarantined : quarantined list;
+  cached : bool;
+      (** The whole cell was served from the {!Cache} result store:
+          outcomes replayed from a published journal, zero shards
+          executed.  Always [false] when the policy's [cache] is
+          [None]. *)
+}
 (** A cell's outcome under supervision.  [quarantined = []] means the
     scan is complete and bit-identical to its serial counterpart;
     otherwise the listed shards' classes hold [No_effect] placeholders
@@ -139,14 +165,21 @@ val run_matrix_results :
   ?progress:(Spec.t -> Scan.progress) ->
   ?observe:Progress.hook ->
   ?on_event:(string -> unit) ->
+  ?secret:string ->
   Spec.t list ->
   result list
 (** The supervision-aware matrix entry point: like {!run_matrix} but
-    returns each cell's {!result} — scan plus quarantine report —
-    instead of raising on quarantined shards.  [on_event] receives one
+    returns each cell's {!result} — scan plus quarantine report plus
+    cache provenance — instead of raising on quarantined shards.
+    Cells whose policy names a {!Cache} directory are consulted in the
+    result store first (see the module preamble); hits skip scheduling
+    entirely and return with [cached = true].  [on_event] receives one
     human-readable line per supervision event (worker killed on
     deadline, shard retry dispatched, shard quarantined, domain-pool
-    stall), as they happen; it defaults to silence. *)
+    stall), as they happen; it defaults to silence.  [secret] arms
+    shared-secret handshake authentication towards every
+    {!Pool.Sockets} worker daemon (which must have been started with
+    the same secret). *)
 
 val run_spec_result :
   ?backend:Pool.backend ->
@@ -154,6 +187,7 @@ val run_spec_result :
   ?progress:Scan.progress ->
   ?observe:Progress.hook ->
   ?on_event:(string -> unit) ->
+  ?secret:string ->
   Spec.t ->
   result
 (** The single-cell {!run_matrix_results}. *)

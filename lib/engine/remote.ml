@@ -92,9 +92,9 @@ type client = {
   assigned : int array;
 }
 
-let shake ?timeout conn ~fingerprint =
+let shake ?timeout ?secret conn ~fingerprint =
   let timeout = Option.value timeout ~default:!handshake_timeout in
-  let mine = Handshake.hello ~fingerprint () in
+  let mine = Handshake.hello ~fingerprint ?secret () in
   Transport.send conn Frame.Hello (Handshake.encode mine);
   match Transport.recv ~timeout conn with
   | None -> Error "connection closed during handshake"
@@ -103,7 +103,7 @@ let shake ?timeout conn ~fingerprint =
       match Handshake.decode payload with
       | None -> Error "peer sent a malformed hello"
       | Some theirs -> (
-          match Handshake.check ~mine ~theirs with
+          match Handshake.check ?secret ~mine ~theirs () with
           | Ok () -> Ok theirs
           | Error _ as e -> e))
   | Some (kind, _) ->
@@ -125,9 +125,9 @@ let with_conn ?timeout addr f =
           Transport.close conn;
           Error (Unix.error_message err))
 
-let probe addr =
+let probe ?secret addr =
   with_conn addr (fun conn ->
-      let r = shake conn ~fingerprint:"" in
+      let r = shake ?secret conn ~fingerprint:"" in
       Transport.close conn;
       r)
 
@@ -135,8 +135,8 @@ let probe addr =
    shortens it when re-dialling a host that already failed once, so a
    dead host costs the supervision loop seconds, not two full default
    timeouts on every backoff round. *)
-let dispatch ?patience ~addr ~fingerprint ~program ~spec ~shard_ids ~index ()
-    =
+let dispatch ?patience ?secret ~addr ~fingerprint ~program ~spec ~shard_ids
+    ~index () =
   let cap dflt =
     match patience with Some p -> Float.min p dflt | None -> dflt
   in
@@ -144,6 +144,7 @@ let dispatch ?patience ~addr ~fingerprint ~program ~spec ~shard_ids ~index ()
       match
         shake conn
           ~timeout:(cap !handshake_timeout)
+          ?secret
           ~fingerprint:(Crc32.to_hex fingerprint)
       with
       | Error _ as e ->
@@ -242,15 +243,15 @@ let conduct conn (job : wire_job) =
     ~completed:(Array.length job.shard_ids);
   Transport.send conn Frame.Door "end"
 
-let serve_connection ~capacity conn =
+let serve_connection ~capacity ?secret conn =
   match Transport.recv ~timeout:!handshake_timeout conn with
   | None -> () (* connected, said nothing, left — a port scan *)
   | Some (Frame.Hello, payload) -> (
-      let mine = Handshake.hello ~capacity () in
+      let mine = Handshake.hello ~capacity ?secret () in
       (match Handshake.decode payload with
       | None -> failwith "malformed hello"
       | Some theirs -> (
-          match Handshake.check ~mine ~theirs with
+          match Handshake.check ?secret ~mine ~theirs () with
           | Ok () -> ()
           | Error msg ->
               Transport.send conn Frame.Err msg;
@@ -285,7 +286,7 @@ let parse_announce line =
       match Addr.parse addr with Ok a -> Some a | Error _ -> None)
   | _ -> None
 
-let serve ~listen ~workers ?(announce = fun _ -> ()) () =
+let serve ~listen ~workers ?secret ?(announce = fun _ -> ()) () =
   if workers < 1 then
     invalid_arg (Printf.sprintf "Remote.serve: workers %d" workers);
   match Transport.listen listen with
@@ -323,7 +324,7 @@ let serve ~listen ~workers ?(announce = fun _ -> ()) () =
         | 0 ->
             Sysio.close_quietly lfd;
             (try
-               serve_connection ~capacity:workers conn;
+               serve_connection ~capacity:workers ?secret conn;
                Transport.close conn;
                exit 0
              with exn ->
@@ -350,34 +351,50 @@ let guard () =
   | None | Some "" -> ()
   | Some value ->
       (try
-         (match String.split_on_char ';' value with
-         | [ addr; workers ] -> (
-             match (Addr.parse addr, int_of_string_opt workers) with
-             | Ok listen, Some workers ->
-                 (* Lead a fresh process group so killing the daemon
-                    (group) also takes down its conducting children. *)
-                 (try ignore (Unix.setsid ()) with Unix.Unix_error _ -> ());
-                 serve ~listen ~workers
-                   ~announce:(fun line ->
-                     print_endline line;
-                     flush stdout)
-                   ()
-             | _ -> failwith (Printf.sprintf "bad %s value %S" serve_var value))
-         | _ -> failwith (Printf.sprintf "bad %s value %S" serve_var value));
+         let bad () = failwith (Printf.sprintf "bad %s value %S" serve_var value) in
+         let addr, workers, secret_file =
+           match String.split_on_char ';' value with
+           | [ addr; workers ] -> (addr, workers, None)
+           | [ addr; workers; secret ] -> (addr, workers, Some secret)
+           | _ -> bad ()
+         in
+         let secret =
+           match secret_file with
+           | None -> None
+           | Some file -> (
+               match Hmac.load_secret file with
+               | Ok s -> Some s
+               | Error msg -> failwith msg)
+         in
+         (match (Addr.parse addr, int_of_string_opt workers) with
+         | Ok listen, Some workers ->
+             (* Lead a fresh process group so killing the daemon
+                (group) also takes down its conducting children. *)
+             (try ignore (Unix.setsid ()) with Unix.Unix_error _ -> ());
+             serve ~listen ~workers ?secret
+               ~announce:(fun line ->
+                 print_endline line;
+                 flush stdout)
+               ()
+         | _ -> bad ());
          exit 0
        with exn ->
          Printf.eprintf "fi-net daemon (pid %d): %s\n%!" (Unix.getpid ())
            (Printexc.to_string exn);
          exit 3)
 
-let spawn_daemon ?(listen = { Addr.host = "127.0.0.1"; port = 0 }) ~workers ()
-    =
+let spawn_daemon ?(listen = { Addr.host = "127.0.0.1"; port = 0 }) ~workers
+    ?secret_file () =
   let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let value =
+    match secret_file with
+    | None -> Printf.sprintf "%s;%d" (Addr.to_string listen) workers
+    | Some file ->
+        Printf.sprintf "%s;%d;%s" (Addr.to_string listen) workers file
+  in
   let env =
     Array.append (Unix.environment ())
-      [|
-        Printf.sprintf "%s=%s;%d" serve_var (Addr.to_string listen) workers;
-      |]
+      [| Printf.sprintf "%s=%s" serve_var value |]
   in
   let pid =
     Unix.create_process_env Sys.executable_name

@@ -28,9 +28,10 @@
     conducting at once. *)
 
 val serve_var : string
-(** ["FI_ENGINE_NET_SERVE"] — ["HOST:PORT;WORKERS"] in the environment
-    diverts {!guard} into {!serve}: how tests and the bench spawn a
-    loopback daemon by re-exec'ing themselves ({!spawn_daemon}). *)
+(** ["FI_ENGINE_NET_SERVE"] — ["HOST:PORT;WORKERS"] (optionally
+    ["HOST:PORT;WORKERS;SECRET_FILE"]) in the environment diverts
+    {!guard} into {!serve}: how tests and the bench spawn a loopback
+    daemon by re-exec'ing themselves ({!spawn_daemon}). *)
 
 val connect_timeout : float ref
 val handshake_timeout : float ref
@@ -86,13 +87,26 @@ type client = {
   assigned : int array;
 }
 
-val probe : Addr.t -> (Handshake.hello, string) result
+val shake :
+  ?timeout:float ->
+  ?secret:string ->
+  Transport.conn ->
+  fingerprint:string ->
+  (Handshake.hello, string) result
+(** The client half of the hello exchange on an open connection: send
+    ours, await theirs, {!Handshake.check}.  Shared with the campaign
+    service's thin clients, which handshake against the same binary
+    digest (and, when armed, the same shared secret) as worker
+    dispatch. *)
+
+val probe : ?secret:string -> Addr.t -> (Handshake.hello, string) result
 (** Connect, exchange hellos, close.  How the engine validates every
     [--workers] host up front (unreachable, wrong version, wrong
-    binary) and learns its advertised capacity. *)
+    binary, wrong shared secret) and learns its advertised capacity. *)
 
 val dispatch :
   ?patience:float ->
+  ?secret:string ->
   addr:Addr.t ->
   fingerprint:int ->
   program:Program.t ->
@@ -111,15 +125,17 @@ val dispatch :
 
 (** {1 Worker side} *)
 
-val serve_connection : capacity:int -> Transport.conn -> unit
-(** Conduct one connection: handshake (refusing on mismatch), then at
-    most one job.  Raises on protocol violations and fingerprint
-    disagreement — the daemon's per-connection child turns that into an
-    [Err] frame and exit code 3. *)
+val serve_connection : capacity:int -> ?secret:string -> Transport.conn -> unit
+(** Conduct one connection: handshake (refusing on version, digest or
+    shared-secret mismatch), then at most one job.  Raises on protocol
+    violations and fingerprint disagreement — the daemon's
+    per-connection child turns that into an [Err] frame and exit
+    code 3. *)
 
 val serve :
   listen:Addr.t ->
   workers:int ->
+  ?secret:string ->
   ?announce:(string -> unit) ->
   unit ->
   unit
@@ -138,10 +154,15 @@ val guard : unit -> unit
     children too) and never return. *)
 
 val spawn_daemon :
-  ?listen:Addr.t -> workers:int -> unit -> (int * Addr.t, string) result
+  ?listen:Addr.t ->
+  workers:int ->
+  ?secret_file:string ->
+  unit ->
+  (int * Addr.t, string) result
 (** Re-exec this executable as a daemon ({!serve_var}) and read the
     announced address back (default listen: [127.0.0.1:0]).  Returns
-    the daemon's pid and actual address.  Test/bench harness. *)
+    the daemon's pid and actual address.  [secret_file] arms
+    shared-secret auth on the spawned daemon.  Test/bench harness. *)
 
 val kill_daemon : int -> unit
 (** SIGKILL the daemon's process group (conducting children included)

@@ -17,6 +17,7 @@ type policy = {
   max_retries : int;
   quarantine : bool;
   retry_backoff : float;
+  cache : string option;
 }
 
 let default_policy =
@@ -30,6 +31,7 @@ let default_policy =
     max_retries = 0;
     quarantine = false;
     retry_backoff = 0.05;
+    cache = None;
   }
 
 let supervised policy =

@@ -69,6 +69,13 @@ type policy = {
   retry_backoff : float;
       (** Base, in seconds, of the exponential backoff before a shard's
           [n]-th retry dispatch: [retry_backoff *. 2. ** (n - 1)]. *)
+  cache : string option;
+      (** Result-cache directory ({!Cache}).  When set, the engine
+          consults the content-addressed store before scheduling any
+          shards — a hit replays the cached journal to bit-identical
+          results with zero shard executions — and publishes this
+          cell's journal on clean completion.  [None] disables both
+          directions.  Not part of the campaign fingerprint. *)
 }
 
 val default_policy : policy

@@ -1,4 +1,13 @@
-type kind = Hello | Job | Door | Seg | Err
+type kind =
+  | Hello
+  | Job
+  | Door
+  | Seg
+  | Err
+  | Submit
+  | Stat
+  | Prog
+  | Res
 
 exception Corrupt of string
 
@@ -10,6 +19,10 @@ let kind_byte = function
   | Door -> '\003'
   | Seg -> '\004'
   | Err -> '\005'
+  | Submit -> '\006'
+  | Stat -> '\007'
+  | Prog -> '\008'
+  | Res -> '\009'
 
 let kind_of_byte = function
   | '\001' -> Some Hello
@@ -17,6 +30,10 @@ let kind_of_byte = function
   | '\003' -> Some Door
   | '\004' -> Some Seg
   | '\005' -> Some Err
+  | '\006' -> Some Submit
+  | '\007' -> Some Stat
+  | '\008' -> Some Prog
+  | '\009' -> Some Res
   | _ -> None
 
 let kind_tag = function
@@ -25,6 +42,10 @@ let kind_tag = function
   | Door -> "door"
   | Seg -> "seg"
   | Err -> "err"
+  | Submit -> "submit"
+  | Stat -> "stat"
+  | Prog -> "prog"
+  | Res -> "res"
 
 (* A frame that claims to be bigger than any message the protocol ships
    is garbage (or an attack), not a message: refuse before allocating. *)
@@ -44,6 +65,13 @@ let get_u32 s off =
   lor (Char.code (Bytes.get s (off + 2)) lsl 8)
   lor Char.code (Bytes.get s (off + 3))
 
+(* The CRC covers the kind byte as well as the payload: a bit flip that
+   turns one valid kind into another must surface as [Corrupt], never as
+   a well-formed frame of the wrong kind. *)
+let frame_crc kind_ch payload =
+  let seed = Crc32.update 0 (String.make 1 kind_ch) ~pos:0 ~len:1 in
+  Crc32.update seed payload ~pos:0 ~len:(String.length payload)
+
 let encode kind payload =
   let n = String.length payload in
   if n > max_payload then
@@ -51,7 +79,7 @@ let encode kind payload =
   let b = Bytes.create (header_len + n) in
   Bytes.set b 0 (kind_byte kind);
   put_u32 b 1 n;
-  put_u32 b 5 (Crc32.string payload);
+  put_u32 b 5 (frame_crc (kind_byte kind) payload);
   Bytes.blit_string payload 0 b header_len n;
   Bytes.unsafe_to_string b
 
@@ -101,7 +129,7 @@ let next d =
     else begin
       let crc = get_u32 d.buf 5 in
       let payload = Bytes.sub_string d.buf header_len n in
-      if Crc32.string payload <> crc then
+      if frame_crc (Bytes.get d.buf 0) payload <> crc then
         corrupt "frame CRC mismatch (%s, %d bytes)" (kind_tag kind) n;
       let rest = d.len - header_len - n in
       Bytes.blit d.buf (header_len + n) d.buf 0 rest;

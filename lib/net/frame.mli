@@ -1,13 +1,14 @@
 (** Length-prefixed, CRC-framed messages — the socket transport's unit
     of exchange.
 
-    A frame is [kind (1 byte) · payload length (u32 BE) · CRC-32 of the
-    payload (u32 BE) · payload].  The CRC extends the campaign journal's
-    per-record guard to the wire: a flipped bit in transit surfaces as
-    {!Corrupt}, never as a silently wrong shard record.  TCP preserves
-    order but not boundaries, so receiving is split into {!feed}
-    (append raw bytes) and {!next} (peel one complete frame), with
-    partial frames staying buffered. *)
+    A frame is [kind (1 byte) · payload length (u32 BE) · CRC-32 of
+    kind + payload (u32 BE) · payload].  The CRC extends the campaign
+    journal's per-record guard to the wire: a flipped bit in transit —
+    in the payload or in the kind byte itself — surfaces as {!Corrupt},
+    never as a silently wrong (or wrongly typed) shard record.  TCP
+    preserves order but not boundaries, so receiving is split into
+    {!feed} (append raw bytes) and {!next} (peel one complete frame),
+    with partial frames staying buffered. *)
 
 type kind =
   | Hello  (** Handshake, both directions ({!Handshake}). *)
@@ -15,6 +16,10 @@ type kind =
   | Door  (** Doorbell line, worker → client: [h], [s <id>], [end]. *)
   | Seg  (** One journal-segment line (CRC-hex + payload), worker → client. *)
   | Err  (** Human-readable refusal/failure, either direction, then close. *)
+  | Submit  (** One campaign/matrix submission, client → service ({!Service}). *)
+  | Stat  (** Service status line, service → client. *)
+  | Prog  (** Rendered {!Progress} snapshot for a running cell, service → client. *)
+  | Res  (** Final result payload for a submission, service → client, then close. *)
 
 exception Corrupt of string
 (** A frame-level violation: unknown kind, oversized length, payload CRC

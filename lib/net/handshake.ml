@@ -18,14 +18,32 @@ type hello = {
   digest : string;
   fingerprint : string;  (** Campaign CRC hex (client), [""] otherwise. *)
   capacity : int;  (** Worker slots advertised (server), [0] otherwise. *)
+  mac : string;  (** HMAC tag over the rest of the hello, [""] if unkeyed. *)
 }
 
-let hello ?(fingerprint = "") ?(capacity = 0) () =
-  { version = protocol_version; digest = self_digest (); fingerprint; capacity }
-
-let encode h =
+(* The MAC covers everything else in the hello, so a keyed peer cannot
+   have its advertised digest or capacity tampered with in transit. *)
+let encode_base h =
   Printf.sprintf "fi-net hello version=%d digest=%s cap=%d fp=%s" h.version
     h.digest h.capacity h.fingerprint
+
+let hello ?(fingerprint = "") ?(capacity = 0) ?secret () =
+  let h =
+    {
+      version = protocol_version;
+      digest = self_digest ();
+      fingerprint;
+      capacity;
+      mac = "";
+    }
+  in
+  match secret with
+  | None -> h
+  | Some key -> { h with mac = Hmac.mac ~key (encode_base h) }
+
+let encode h =
+  if h.mac = "" then encode_base h
+  else Printf.sprintf "%s mac=%s" (encode_base h) h.mac
 
 let key_value tok =
   match String.index_opt tok '=' with
@@ -51,6 +69,7 @@ let decode s =
               digest;
               fingerprint = str_field "fp";
               capacity = Option.value ~default:0 (int_field "cap");
+              mac = str_field "mac";
             }
       | _ -> None)
   | _ -> None
@@ -62,12 +81,8 @@ let decode s =
    (unreadable executable) must therefore refuse, not match: two
    different binaries that both failed to hash would otherwise compare
    equal and wave unsound Marshal data through. *)
-let check ~mine ~theirs =
-  if theirs.version <> mine.version then
-    Error
-      (Printf.sprintf "protocol version mismatch: peer speaks v%d, we speak v%d"
-         theirs.version mine.version)
-  else if mine.digest = "unknown" || theirs.digest = "unknown" then
+let check_identity ~mine ~theirs =
+  if mine.digest = "unknown" || theirs.digest = "unknown" then
     Error
       (Printf.sprintf
          "binary digest unavailable (%s executable unreadable) — refusing: \
@@ -80,3 +95,29 @@ let check ~mine ~theirs =
           executable on every host"
          theirs.digest mine.digest)
   else Ok ()
+
+(* Auth is checked before identity: a peer outside the deployment's
+   trust domain learns nothing about which binary we run from the
+   refusal.  The three auth failures are deliberately distinct — "you
+   sent no tag", "you demand a secret we lack", "our secrets differ" —
+   because they call for three different operator fixes. *)
+let check ?secret ~mine ~theirs () =
+  if theirs.version <> mine.version then
+    Error
+      (Printf.sprintf "protocol version mismatch: peer speaks v%d, we speak v%d"
+         theirs.version mine.version)
+  else
+    match (secret, theirs.mac) with
+    | Some _, "" ->
+        Error
+          "peer sent no auth tag but this end requires a shared secret \
+           (--secret) — refusing"
+    | None, tag when tag <> "" ->
+        Error
+          "peer requires a shared secret this end was not given (--secret) — \
+           refusing"
+    | Some key, tag when not (Hmac.verify ~key (encode_base theirs) tag) ->
+        Error
+          "shared-secret mismatch: peer's auth tag does not verify — the two \
+           ends hold different secrets"
+    | _ -> check_identity ~mine ~theirs

@@ -22,15 +22,22 @@ type hello = {
   digest : string;
   fingerprint : string;  (** Campaign CRC hex (client side), else [""]. *)
   capacity : int;  (** Advertised worker slots (server side), else [0]. *)
+  mac : string;
+      (** {!Hmac} tag over the rest of the hello when a shared secret is
+          in force, [""] otherwise. *)
 }
 
-val hello : ?fingerprint:string -> ?capacity:int -> unit -> hello
-(** This process's hello: {!protocol_version} + {!self_digest}. *)
+val hello : ?fingerprint:string -> ?capacity:int -> ?secret:string -> unit -> hello
+(** This process's hello: {!protocol_version} + {!self_digest}.  With
+    [?secret], the hello carries an HMAC tag over its other fields. *)
 
 val encode : hello -> string
 val decode : string -> hello option
 
-val check : mine:hello -> theirs:hello -> (unit, string) result
-(** Version and digest equality; the error names the mismatch.  An
+val check : ?secret:string -> mine:hello -> theirs:hello -> unit -> (unit, string) result
+(** Version, shared-secret, and digest equality; the error names the
+    mismatch.  Auth failures are distinct: a peer that sent no tag while
+    we hold a secret, a peer that demands a secret we lack, and a tag
+    that fails to verify each refuse with their own message.  An
     ["unknown"] digest on either side is itself a refusal — the digest
     guard is what makes the wire job's [Marshal] payload safe. *)

@@ -1,0 +1,42 @@
+(* HMAC-MD5 (RFC 2104) over the stdlib's Digest.  MD5's collision
+   weakness is irrelevant inside HMAC's keyed construction, and the
+   stdlib ships nothing stronger — this guards a lab fleet's front
+   door against accidental cross-talk and drive-by connections, not
+   nation states. *)
+
+let block_size = 64
+
+let normalise_key key =
+  let key = if String.length key > block_size then Digest.string key else key in
+  let b = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  b
+
+let xor_with pad key =
+  String.init block_size (fun i ->
+      Char.chr (Char.code (Bytes.get key i) lxor pad))
+
+let mac ~key msg =
+  let key = normalise_key key in
+  let inner = Digest.string (xor_with 0x36 key ^ msg) in
+  Digest.to_hex (Digest.string (xor_with 0x5c key ^ inner))
+
+(* Compare without short-circuiting: an attacker timing a byte-by-byte
+   [String.equal] could recover a valid tag prefix by prefix. *)
+let verify ~key msg tag =
+  let expect = mac ~key msg in
+  String.length tag = String.length expect
+  &&
+  let diff = ref 0 in
+  String.iteri
+    (fun i c -> diff := !diff lor (Char.code c lxor Char.code expect.[i]))
+    tag;
+  !diff = 0
+
+let load_secret path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | raw -> (
+      match String.trim raw with
+      | "" -> Error (Printf.sprintf "%s: secret file is empty" path)
+      | secret -> Ok secret)

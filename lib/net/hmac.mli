@@ -1,0 +1,18 @@
+(** HMAC-MD5 (RFC 2104) over the stdlib [Digest] — the shared-secret
+    tag carried in authenticated {!Handshake} hellos.
+
+    MD5's collision weakness does not reach inside HMAC's keyed
+    construction; this is fleet-hygiene authentication (refuse peers
+    that don't hold the deployment's secret file), not a defence
+    against cryptanalytic adversaries. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the lowercase-hex HMAC-MD5 tag of [msg]. *)
+
+val verify : key:string -> string -> string -> bool
+(** [verify ~key msg tag]: does [tag] match {!mac}[ ~key msg]?
+    Constant-time over the tag bytes. *)
+
+val load_secret : string -> (string, string) result
+(** Read a shared secret from a file, trimming surrounding whitespace.
+    [Error] if the file is unreadable or holds only whitespace. *)

@@ -1,0 +1,63 @@
+(* Fair FIFO-per-client admission queue.
+
+   One FIFO per client key, served round-robin across keys: a client
+   that floods the service delays only its own later jobs, never
+   another client's first.  The admission window bounds how much any
+   one client may have pending — refusal is immediate and explicit, so
+   back-pressure reaches the submitter instead of growing an unbounded
+   heap in the daemon. *)
+
+type 'a t = {
+  window : int;
+  queues : (string, 'a Queue.t) Hashtbl.t;
+  mutable ring : string list;  (** Clients with pending jobs; head serves next. *)
+}
+
+let create ~window =
+  if window < 1 then invalid_arg (Printf.sprintf "Fairq.create: window %d" window);
+  { window; queues = Hashtbl.create 8; ring = [] }
+
+let pending_for t client =
+  match Hashtbl.find_opt t.queues client with
+  | None -> 0
+  | Some q -> Queue.length q
+
+let pending t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0
+
+let clients t = List.length t.ring
+
+let admit t ~client job =
+  let depth = pending_for t client in
+  if depth >= t.window then
+    Error
+      (Printf.sprintf
+         "admission window full: client %s already has %d job%s queued"
+         client depth
+         (if depth > 1 then "s" else ""))
+  else begin
+    let q =
+      match Hashtbl.find_opt t.queues client with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add t.queues client q;
+          t.ring <- t.ring @ [ client ];
+          q
+    in
+    Queue.add job q;
+    Ok (depth + 1)
+  end
+
+let take t =
+  match t.ring with
+  | [] -> None
+  | client :: rest ->
+      let q = Hashtbl.find t.queues client in
+      let job = Queue.pop q in
+      if Queue.is_empty q then begin
+        Hashtbl.remove t.queues client;
+        t.ring <- rest
+      end
+      else t.ring <- rest @ [ client ];
+      Some (client, job)

@@ -1,0 +1,129 @@
+(** Campaign-as-a-service: a resident daemon that accepts fault-injection
+    campaign specs over the framed {!Frame} protocol, executes them on
+    its configured backend (local pools or a {!Remote} worker fleet),
+    streams progress back, and serves repeat submissions straight from
+    the {!Cache} result store without touching the fleet.
+
+    The daemon ([fi-cli serve]) holds one listening socket.  Each client
+    connection carries one job: hello exchange (version + binary digest
+    + optional shared-secret tag, exactly as worker dispatch), a
+    [Submit] frame with the versioned submission payload, then [Stat] /
+    [Prog] progress lines until the [Res] frame with every cell's
+    result.  Jobs from different client hosts are queued fairly
+    ({!Fairq}: FIFO within a host, round-robin across hosts) with a
+    bounded per-host admission window; the fleet conducts one campaign
+    at a time.  Submissions whose every cell is already published in
+    the result store bypass the queue entirely and are answered
+    immediately by a dedicated local replay — a cache hit is never
+    delayed behind someone else's campaign.
+
+    A client that disconnects mid-run does not kill its campaign: the
+    runner finishes, publishes the cells to the result store, and the
+    work is a cache hit for whoever asks next. *)
+
+val serve_var : string
+(** Environment variable carrying a hex-encoded daemon {!config}; set
+    by {!spawn_daemon}, consumed by {!guard}. *)
+
+val handshake_timeout : float ref
+
+(** {2 Wire formats}
+
+    Versioned, magic-prefixed, [Marshal] {e without} closures — sound
+    because the handshake's binary digest pins both ends to the same
+    executable, same as {!Remote}'s job wire format. *)
+
+type wire_cell = {
+  c_benchmark : string;
+  c_variant : string;
+  c_space : Spec.space;
+  c_limit : int option;
+  c_shard_size : int option;
+  c_weighted : bool;
+  c_program : Program.t;  (** The assembled image — never a closure. *)
+}
+(** One cell of a submission: the program image plus the plan-shaping
+    spec fields.  Execution policy (journalling, supervision, caching)
+    is the {e service's} to decide — submitters describe the campaign,
+    not how the daemon runs it. *)
+
+type wire_quarantined = {
+  wq_shard : int;
+  wq_classes : int;
+  wq_attempts : int;
+  wq_cause : string;
+}
+
+type wire_result = {
+  r_label : string;
+  r_scan : Scan.t;
+  r_cached : bool;  (** Served from the result store — zero shards run. *)
+  r_quarantined : wire_quarantined list;
+}
+
+val encode_submission : wire_cell list -> string
+val decode_submission : string -> wire_cell list option
+val encode_results : wire_result list -> string
+val decode_results : string -> wire_result list option
+
+val cell_of_spec : Spec.t -> wire_cell
+(** Flatten a local {!Spec.t} (assembling its image if the source is a
+    build thunk) into its wire description. *)
+
+(** {2 Daemon} *)
+
+type config = {
+  listen : string;  (** HOST:PORT, port 0 = kernel-assigned. *)
+  workers : string list;  (** Remote fleet; [[]] = run locally. *)
+  local_backend : string;  (** {!Pool.backend_of_string} tag used when no fleet. *)
+  jobs : int;  (** 0 = {!Pool.default_jobs}. *)
+  window : int;  (** {!Fairq} admission window, per client host. *)
+  artifacts : string;  (** Catalogue + result-store directory. *)
+  secret_file : string option;
+      (** Arms shared-secret handshake auth for clients {e and} towards
+          fleet workers. *)
+}
+
+val default_config : config
+
+val serve : ?config:config -> ?announce:(string -> unit) -> unit -> unit
+(** Run the daemon loop; never returns normally.  [announce] receives
+    the one-line listening banner (host, actual port, binary digest)
+    once the socket is bound.
+    @raise Failure on bind failure, bad backend tag or unreadable
+    secret file. *)
+
+val announce_line : Addr.t -> string
+val parse_announce : string -> Addr.t option
+
+val guard : unit -> unit
+(** Call first thing in [main].  No-op unless {!serve_var} is set, in
+    which case this process {e is} a service daemon: detach into a new
+    session, serve forever, never return.  Exit code 3 on startup
+    failure. *)
+
+val spawn_daemon : ?config:config -> unit -> (int * Addr.t, string) result
+(** Re-exec this binary as a service daemon ({!guard} path) and await
+    its announce line.  Returns the daemon's pid and actual bound
+    address.  Test and bench harness — production deployments run
+    [fi-cli serve] directly. *)
+
+val kill_daemon : int -> unit
+(** SIGKILL the daemon's process group and reap it. *)
+
+(** {2 Thin clients} *)
+
+val submit :
+  ?secret:string ->
+  ?on_progress:(string -> unit) ->
+  addr:Addr.t ->
+  wire_cell list ->
+  (wire_result list, string) result
+(** Connect, handshake, submit the cells, stream progress lines into
+    [on_progress], return the per-cell results.  [Error] covers
+    refusal (auth, admission window, malformed payload), transport
+    failure, and a daemon that died mid-campaign. *)
+
+val status : ?secret:string -> addr:Addr.t -> unit -> (string, string) result
+(** One-line daemon status: connected clients, queue depth, fleet
+    busyness, published cache cells. *)

@@ -5,6 +5,12 @@ let () =
      instead of running the test suite. *)
   Worker.guard ();
   Remote.guard ();
+  Service.guard ();
+  (* Test-only re-exec helpers: cross-process contenders spawned by
+     the cache-lock and concurrent-client tests (Unix.fork is
+     unavailable once domains have run in this binary). *)
+  Test_cache.helper_guard ();
+  Test_service.helper_guard ();
   Alcotest.run "fipitfalls"
     [
       Test_prng.suite;
@@ -27,4 +33,6 @@ let () =
       Test_extensions.suite;
       Test_more.suite;
       Test_breakdown.suite;
+      Test_cache.suite;
+      Test_service.suite;
     ]

@@ -1,0 +1,401 @@
+(* Tests for the content-addressed result store (lib/cache) and its
+   engine integration: cell keying, the sidecar index lock, publish /
+   lookup semantics, bit-identical cache hits in both fault spaces,
+   zero shard executions on a warm cell, quarantine never published,
+   policy-distinct cells never colliding, and compaction protecting
+   cache-referenced journals. *)
+
+let contains = Astring_contains.contains
+let hi_golden = lazy (Golden.run (Hi.program ()))
+let hi_serial = lazy (Scan.pruned (Lazy.force hi_golden))
+
+let check_scans_identical msg serial parallel =
+  Alcotest.(check bool) (msg ^ " (structural)") true (serial = parallel);
+  Alcotest.(check string)
+    (msg ^ " (serialised)")
+    (Csv_io.to_string serial)
+    (Csv_io.to_string parallel)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ficache" ".store" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun name -> Sys.remove (Filename.concat dir name))
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let with_torture value f =
+  Unix.putenv Worker.torture_var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv Worker.torture_var "") f
+
+(* Re-exec guard for the cross-process lock test below.  [Unix.fork]
+   is unavailable once this binary has spawned domains, so the
+   contending process is a fresh copy of the test executable: it
+   announces readiness, blocks on the lock named in the environment,
+   then leaves a witness file next to it. *)
+let lock_helper_var = "FI_TEST_LOCK_HELPER"
+
+let helper_guard () =
+  match Sys.getenv_opt lock_helper_var with
+  | None | Some "" -> ()
+  | Some target ->
+      let mark name =
+        let path = Filename.concat (Filename.dirname target) name in
+        let oc = open_out path in
+        output_string oc "locked";
+        close_out oc
+      in
+      mark "ready";
+      Lockfile.with_lock target (fun () -> mark "witness");
+      exit 0
+
+let spawn_helper var value =
+  let env =
+    Array.append (Unix.environment ()) [| Printf.sprintf "%s=%s" var value |]
+  in
+  Unix.create_process_env Sys.executable_name [| Sys.executable_name |] env
+    Unix.stdin Unix.stdout Unix.stderr
+
+let cache_policy ?journal ?shard_size ?(weighted = false) dir =
+  {
+    Spec.default_policy with
+    Spec.journal;
+    shard_size;
+    weighted;
+    catalogue = Some dir;
+    cache = Some dir;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Keying                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_key_distinct () =
+  let base =
+    Cache.cell_key ~image:"img" ~space:"memory" ~limit:None ~shard_size:None
+      ~weighted:false
+  in
+  let same =
+    Cache.cell_key ~image:"img" ~space:"memory" ~limit:None ~shard_size:None
+      ~weighted:false
+  in
+  Alcotest.(check string) "deterministic" base same;
+  Alcotest.(check int) "hex key length" Cache.key_length (String.length base);
+  let variants =
+    [
+      Cache.cell_key ~image:"img2" ~space:"memory" ~limit:None
+        ~shard_size:None ~weighted:false;
+      Cache.cell_key ~image:"img" ~space:"registers" ~limit:None
+        ~shard_size:None ~weighted:false;
+      Cache.cell_key ~image:"img" ~space:"memory" ~limit:(Some 4096)
+        ~shard_size:None ~weighted:false;
+      Cache.cell_key ~image:"img" ~space:"memory" ~limit:None
+        ~shard_size:(Some 8) ~weighted:false;
+      Cache.cell_key ~image:"img" ~space:"memory" ~limit:None ~shard_size:None
+        ~weighted:true;
+    ]
+  in
+  List.iteri
+    (fun i k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "variant %d differs from base" i)
+        true (k <> base))
+    variants;
+  let uniq = List.sort_uniq compare (base :: variants) in
+  Alcotest.(check int) "all six keys distinct" 6 (List.length uniq)
+
+(* ------------------------------------------------------------------ *)
+(* Sidecar index lock                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lockfile_roundtrip () =
+  with_temp_dir (fun dir ->
+      let target = Filename.concat dir "results.idx" in
+      let v = Lockfile.with_lock target (fun () -> 41 + 1) in
+      Alcotest.(check int) "body result returned" 42 v;
+      Alcotest.(check bool) "sidecar created" true
+        (Sys.file_exists (Lockfile.lock_path target));
+      (* Released on return: a second acquisition doesn't deadlock. *)
+      Alcotest.(check int) "re-acquirable" 7
+        (Lockfile.with_lock target (fun () -> 7));
+      (* Released on exception too. *)
+      (match Lockfile.with_lock target (fun () -> failwith "boom") with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "exception swallowed");
+      Alcotest.(check int) "re-acquirable after raise" 9
+        (Lockfile.with_lock target (fun () -> 9)))
+
+let test_lockfile_excludes_across_processes () =
+  with_temp_dir (fun dir ->
+      let target = Filename.concat dir "results.idx" in
+      let ready = Filename.concat dir "ready" in
+      let witness = Filename.concat dir "witness" in
+      let await path =
+        let deadline = Unix.gettimeofday () +. 10. in
+        while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline
+        do
+          Unix.sleepf 0.02
+        done;
+        Sys.file_exists path
+      in
+      let pid = ref 0 in
+      Lockfile.with_lock target (fun () ->
+          (* A fresh process contending for the same lock must block
+             until we release: wait for it to start, give it a moment
+             to reach the lock, then verify it hasn't run. *)
+          pid := spawn_helper lock_helper_var target;
+          Alcotest.(check bool) "contender started" true (await ready);
+          Unix.sleepf 0.3;
+          Alcotest.(check bool) "child blocked while we hold the lock"
+            false (Sys.file_exists witness));
+      (* Release by returning: the contender acquires and runs. *)
+      Alcotest.(check bool) "child ran after release" true (await witness);
+      ignore (Unix.waitpid [] !pid))
+
+(* ------------------------------------------------------------------ *)
+(* Index semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_publish_lookup_roundtrip () =
+  with_temp_dir (fun dir ->
+      let key =
+        Cache.cell_key ~image:"x" ~space:"memory" ~limit:None ~shard_size:None
+          ~weighted:false
+      in
+      Alcotest.(check bool) "empty store misses" true
+        (Cache.lookup ~dir key = None);
+      let path = Filename.concat dir "with space.journal" in
+      Cache.publish ~dir ~key ~fingerprint:0xdeadbeef ~path;
+      (match Cache.lookup ~dir key with
+      | None -> Alcotest.fail "published entry not found"
+      | Some e ->
+          Alcotest.(check string) "path (with spaces) survives" path
+            e.Cache.path;
+          Alcotest.(check bool) "fingerprint survives" true
+            (e.Cache.fingerprint = 0xdeadbeef));
+      (* Re-publishing the same key is idempotent-ish: last wins. *)
+      Cache.publish ~dir ~key ~fingerprint:0x1234 ~path:"/elsewhere/a.j";
+      (match Cache.lookup ~dir key with
+      | Some e ->
+          Alcotest.(check bool) "last publication wins" true
+            (e.Cache.fingerprint = 0x1234)
+      | None -> Alcotest.fail "entry vanished");
+      (* Corrupt lines are tolerated, not fatal. *)
+      let oc =
+        open_out_gen [ Open_append ] 0o644 (Cache.index_path ~dir)
+      in
+      output_string oc "not a valid line\nzz short\n";
+      close_out oc;
+      Alcotest.(check bool) "lookup survives garbage lines" true
+        (Cache.lookup ~dir key <> None);
+      Alcotest.(check bool) "referenced tracks published paths" true
+        (Cache.referenced ~dir "/elsewhere/a.j");
+      Alcotest.(check bool) "unpublished path not referenced" false
+        (Cache.referenced ~dir "/elsewhere/b.j"))
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration: warm hits                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_cached ?backend ?jobs ~dir golden =
+  Engine.run_spec_result ?backend ?jobs
+    (Spec.of_golden ~policy:(cache_policy dir) golden)
+
+let test_memory_hit_bit_identical () =
+  with_temp_dir (fun dir ->
+      let golden = Lazy.force hi_golden in
+      let serial = Lazy.force hi_serial in
+      let cold = run_cached ~dir golden in
+      Alcotest.(check bool) "cold run is not a hit" false cold.Engine.cached;
+      check_scans_identical "cold = serial" serial cold.Engine.scan;
+      let warm = run_cached ~dir golden in
+      Alcotest.(check bool) "warm run is a hit" true warm.Engine.cached;
+      check_scans_identical "warm = serial" serial warm.Engine.scan;
+      check_scans_identical "warm = cold" cold.Engine.scan warm.Engine.scan)
+
+let test_register_hit_bit_identical () =
+  with_temp_dir (fun dir ->
+      let spec builddir =
+        Spec.registers ~benchmark:"hi" ~policy:(cache_policy builddir)
+          (fun () -> Hi.program ())
+      in
+      let serial = Regspace.scan (Regspace.analyze (Hi.program ())) in
+      let cold = Engine.run_spec_result (spec dir) in
+      Alcotest.(check bool) "cold register run not a hit" false
+        cold.Engine.cached;
+      check_scans_identical "cold registers = serial" serial cold.Engine.scan;
+      let warm = Engine.run_spec_result (spec dir) in
+      Alcotest.(check bool) "warm register run is a hit" true
+        warm.Engine.cached;
+      check_scans_identical "warm registers = cold" cold.Engine.scan
+        warm.Engine.scan)
+
+(* The acceptance bar: a warm matrix re-runs with ZERO shard
+   executions.  Proof by sabotage — under [exit:0] torture every
+   process-backend worker dies the instant it starts, so the warm run
+   can only complete cleanly (no retries, no quarantine) if no worker
+   was ever spawned. *)
+let test_warm_run_executes_no_shards () =
+  with_temp_dir (fun dir ->
+      let golden = Lazy.force hi_golden in
+      let cold = run_cached ~backend:Pool.Processes ~jobs:2 ~dir golden in
+      Alcotest.(check bool) "cold completes" false cold.Engine.cached;
+      let events = ref [] in
+      let warm =
+        with_torture "exit:0" (fun () ->
+            Engine.run_spec_result ~backend:Pool.Processes ~jobs:2
+              ~on_event:(fun msg -> events := msg :: !events)
+              (Spec.of_golden ~policy:(cache_policy dir) golden))
+      in
+      Alcotest.(check bool) "warm run is a hit" true warm.Engine.cached;
+      Alcotest.(check int) "no supervision events — nothing ran" 0
+        (List.length !events);
+      Alcotest.(check int) "nothing quarantined" 0
+        (List.length warm.Engine.quarantined);
+      check_scans_identical "sabotaged warm run = cold" cold.Engine.scan
+        warm.Engine.scan)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine and policy separation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_quarantined_never_published () =
+  with_temp_dir (fun dir ->
+      let golden = Lazy.force hi_golden in
+      let policy =
+        {
+          (cache_policy ~shard_size:1 dir) with
+          Spec.max_retries = 0;
+          quarantine = true;
+        }
+      in
+      let degraded =
+        with_torture "exit:0" (fun () ->
+            Engine.run_spec_result ~backend:Pool.Processes ~jobs:2
+              (Spec.of_golden ~policy golden))
+      in
+      Alcotest.(check bool) "campaign was degraded" true
+        (degraded.Engine.quarantined <> []);
+      Alcotest.(check int) "nothing published to the store" 0
+        (List.length (Cache.entries ~dir));
+      (* And a follow-up run is NOT served from cache. *)
+      let followup = run_cached ~dir golden in
+      Alcotest.(check bool) "follow-up re-runs instead of hitting" false
+        followup.Engine.cached)
+
+let test_policy_keys_do_not_collide () =
+  with_temp_dir (fun dir ->
+      let golden = Lazy.force hi_golden in
+      let run policy =
+        Engine.run_spec_result (Spec.of_golden ~policy golden)
+      in
+      let cold = run (cache_policy dir) in
+      Alcotest.(check bool) "cold miss" false cold.Engine.cached;
+      (* Same program, different plan geometry: per-class shards and
+         weighted sizing each key differently — no collision with the
+         default-geometry publication. *)
+      let sharded = run (cache_policy ~shard_size:1 dir) in
+      Alcotest.(check bool) "shard_size=1 cell misses" false
+        sharded.Engine.cached;
+      let weighted = run (cache_policy ~weighted:true dir) in
+      Alcotest.(check bool) "weighted cell misses" false
+        weighted.Engine.cached;
+      (* Each geometry is now warm under its own key. *)
+      Alcotest.(check bool) "default geometry hits" true
+        (run (cache_policy dir)).Engine.cached;
+      Alcotest.(check bool) "shard_size=1 hits its own entry" true
+        (run (cache_policy ~shard_size:1 dir)).Engine.cached;
+      Alcotest.(check bool) "weighted hits its own entry" true
+        (run (cache_policy ~weighted:true dir)).Engine.cached)
+
+(* ------------------------------------------------------------------ *)
+(* Compaction protection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_compact_protects_cache_referenced_journals () =
+  with_temp_dir (fun dir ->
+      let golden = Lazy.force hi_golden in
+      let cold = run_cached ~dir golden in
+      Alcotest.(check bool) "cold populated the store" false
+        cold.Engine.cached;
+      let journal =
+        match Cache.entries ~dir with
+        | [ e ] -> e.Cache.path
+        | es ->
+            Alcotest.failf "expected one store entry, found %d"
+              (List.length es)
+      in
+      Alcotest.(check bool) "journal finished (compactable on merit)" true
+        (Runcell.journal_finished journal);
+      (* Unprotected compaction WOULD fold it (dry run proves intent)... *)
+      let unprotected =
+        Catalog.compact ~dry_run:true ~finished:Runcell.journal_finished ~dir
+          ()
+      in
+      Alcotest.(check int) "dry run would fold the journal" 1
+        unprotected.Catalog.folded;
+      (* ...but the CLI's protected compaction keeps it. *)
+      let protected_ =
+        Catalog.compact ~finished:Runcell.journal_finished
+          ~protect:(Cache.referenced ~dir) ~dir ()
+      in
+      Alcotest.(check int) "protected compaction folds nothing" 0
+        protected_.Catalog.folded;
+      Alcotest.(check bool) "journal file survives" true
+        (Sys.file_exists journal);
+      (* The store still serves it — the whole point of protection. *)
+      let warm = run_cached ~dir golden in
+      Alcotest.(check bool) "post-compaction warm run still hits" true
+        warm.Engine.cached)
+
+(* A cached journal that rots on disk (truncation, corruption) must
+   degrade to a miss — never to a wrong scan. *)
+let test_corrupt_cached_journal_degrades_to_miss () =
+  with_temp_dir (fun dir ->
+      let golden = Lazy.force hi_golden in
+      let serial = Lazy.force hi_serial in
+      let cold = run_cached ~dir golden in
+      check_scans_identical "cold = serial" serial cold.Engine.scan;
+      (match Cache.entries ~dir with
+      | [ e ] ->
+          let oc = open_out_bin e.Cache.path in
+          output_string oc "fi-journal torn garbage\n";
+          close_out oc
+      | _ -> Alcotest.fail "expected one store entry");
+      let warm = run_cached ~dir golden in
+      Alcotest.(check bool) "rotten journal is a miss, not a hit" false
+        warm.Engine.cached;
+      check_scans_identical "re-run is still exact" serial warm.Engine.scan)
+
+let suite =
+  ( "cache",
+    [
+      Alcotest.test_case "cell keys: deterministic and collision-free" `Quick
+        test_cell_key_distinct;
+      Alcotest.test_case "lockfile: acquire, release, re-acquire" `Quick
+        test_lockfile_roundtrip;
+      Alcotest.test_case "lockfile: excludes a contending process" `Quick
+        test_lockfile_excludes_across_processes;
+      Alcotest.test_case "index: publish/lookup/garbage/referenced" `Quick
+        test_publish_lookup_roundtrip;
+      Alcotest.test_case "memory-space hit is bit-identical" `Quick
+        test_memory_hit_bit_identical;
+      Alcotest.test_case "register-space hit is bit-identical" `Quick
+        test_register_hit_bit_identical;
+      Alcotest.test_case "warm run executes zero shards" `Quick
+        test_warm_run_executes_no_shards;
+      Alcotest.test_case "quarantined campaigns are never published" `Quick
+        test_quarantined_never_published;
+      Alcotest.test_case "policy-distinct cells never collide" `Quick
+        test_policy_keys_do_not_collide;
+      Alcotest.test_case "compaction protects cache-referenced journals"
+        `Quick test_compact_protects_cache_referenced_journals;
+      Alcotest.test_case "corrupt cached journal degrades to a miss" `Quick
+        test_corrupt_cached_journal_degrades_to_miss;
+    ] )

@@ -7,6 +7,7 @@
    and the journal is healed with --resume.  The slow/adversarial
    network crash matrix lives in torture.ml behind @torture. *)
 
+let contains = Astring_contains.contains
 let hi_golden = lazy (Golden.run (Hi.program ()))
 let hi_serial = lazy (Scan.pruned (Lazy.force hi_golden))
 let hi_regs = lazy (Regspace.analyze (Hi.program ()))
@@ -138,6 +139,94 @@ let test_frame_rejects_corruption () =
   Bytes.set_int32_be oversized 1 0x7fffffffl;
   expect_corrupt "oversized claim" (Bytes.to_string oversized)
 
+(* Fuzzing the incremental decoder.  Two properties:
+
+   1. Split-invariance: however a wire image is sliced into feed
+      chunks, the decoder yields exactly the one-shot frame sequence —
+      TCP segmentation can never change what is decoded.
+
+   2. Corruption safety: flip any one byte of the wire image and the
+      decoder either raises {!Frame.Corrupt} or yields a strict prefix
+      of the original frames (when the flip lands in a frame whose
+      header hasn't been consumed yet, everything before it already
+      decoded).  It must NEVER successfully decode a sequence that
+      differs from the original — that would be a mis-parse, the thing
+      the kind-covering CRC exists to rule out. *)
+let gen_frames =
+  QCheck.Gen.(
+    let kind =
+      oneofl
+        [ Frame.Hello; Frame.Job; Frame.Door; Frame.Seg; Frame.Err;
+          Frame.Submit; Frame.Stat; Frame.Prog; Frame.Res ]
+    in
+    let payload = string_size ~gen:char (int_bound 48) in
+    list_size (int_range 1 6) (pair kind payload))
+
+let decode_all wire ~cuts =
+  (* [cuts] positions split the wire into feed chunks. *)
+  let d = Frame.decoder () in
+  let got = ref [] in
+  let n = String.length wire in
+  let bounds = List.sort_uniq compare (0 :: n :: List.map (fun c -> c mod (n + 1)) cuts) in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        Frame.feed_string d (String.sub wire a (b - a));
+        let rec drain () =
+          match Frame.next d with
+          | Some f ->
+              got := f :: !got;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        pairs rest
+    | _ -> ()
+  in
+  pairs bounds;
+  (List.rev !got, Frame.buffered d)
+
+let qcheck_frame_split_invariance =
+  QCheck.Test.make ~name:"frame decode is feed-split invariant" ~count:300
+    QCheck.(
+      make
+        Gen.(pair gen_frames (list_size (int_bound 12) (int_bound 10_000))))
+    (fun (frames, cuts) ->
+      let wire =
+        String.concat "" (List.map (fun (k, p) -> Frame.encode k p) frames)
+      in
+      let got, buffered = decode_all wire ~cuts in
+      got = frames && buffered = 0)
+
+let qcheck_frame_mutation_never_misparses =
+  QCheck.Test.make
+    ~name:"one flipped byte: Corrupt or strict prefix, never a mis-parse"
+    ~count:500
+    QCheck.(
+      make Gen.(triple gen_frames (int_bound 100_000) (int_range 1 255)))
+    (fun (frames, pos_seed, flip) ->
+      let wire =
+        String.concat "" (List.map (fun (k, p) -> Frame.encode k p) frames)
+      in
+      let pos = pos_seed mod String.length wire in
+      let mutated =
+        String.mapi
+          (fun i c -> if i = pos then Char.chr (Char.code c lxor flip) else c)
+          wire
+      in
+      let rec prefix xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+        | _ -> false
+      in
+      match decode_all mutated ~cuts:[] with
+      | got, _ ->
+          (* Decoded without an alarm: only acceptable if it is a
+             strict prefix (the flip must be hiding in still-buffered
+             bytes — a header whose frame never completed). *)
+          prefix got frames && List.length got < List.length frames
+      | exception Frame.Corrupt _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Handshake                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -148,8 +237,8 @@ let test_handshake () =
   | Some h -> Alcotest.(check bool) "roundtrip" true (h = mine)
   | None -> Alcotest.fail "decode");
   Alcotest.(check bool) "self-check passes" true
-    (Handshake.check ~mine ~theirs:mine = Ok ());
-  (match Handshake.check ~mine ~theirs:{ mine with Handshake.version = 999 } with
+    (Handshake.check ~mine ~theirs:mine () = Ok ());
+  (match Handshake.check ~mine ~theirs:{ mine with Handshake.version = 999 } () with
   | Error msg ->
       Alcotest.(check bool) "names version" true
         (String.length msg > 0)
@@ -157,22 +246,130 @@ let test_handshake () =
   (match
      Handshake.check ~mine
        ~theirs:{ mine with Handshake.digest = String.make 32 '0' }
+       ()
    with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "digest mismatch accepted");
   (* Two unhashable binaries must not pass as identical: "unknown" on
      either side is a refusal, never a match. *)
   let unknown = { mine with Handshake.digest = "unknown" } in
-  (match Handshake.check ~mine:unknown ~theirs:unknown with
+  (match Handshake.check ~mine:unknown ~theirs:unknown () with
   | Error msg ->
       Alcotest.(check bool) "unknown = unknown refused" true
         (Astring_contains.contains msg "unavailable")
   | Ok () -> Alcotest.fail "two unknown digests accepted");
-  (match Handshake.check ~mine ~theirs:unknown with
+  (match Handshake.check ~mine ~theirs:unknown () with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "peer's unknown digest accepted");
   Alcotest.(check bool) "garbage rejected" true
     (Handshake.decode "fi-net hullo version=one" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Shared-secret authentication                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* HMAC-MD5 against the RFC 2202 test vectors: short key, text key, a
+   key longer than the 64-byte block (hashed first). *)
+let test_hmac_vectors () =
+  let check_vec name ~key msg expect =
+    Alcotest.(check string) name expect (Hmac.mac ~key msg)
+  in
+  check_vec "rfc2202 #1" ~key:(String.make 16 '\x0b') "Hi There"
+    "9294727a3638bb1c13f48ef8158bfc9d";
+  check_vec "rfc2202 #2" ~key:"Jefe" "what do ya want for nothing?"
+    "750c783e6ab0b503eaa86e310a5db738";
+  check_vec "rfc2202 #3" ~key:(String.make 16 '\xaa') (String.make 50 '\xdd')
+    "56be34521d144c88dbb8c733f0e8b3f6";
+  check_vec "rfc2202 #6 (key > block)" ~key:(String.make 80 '\xaa')
+    "Test Using Larger Than Block-Size Key - Hash Key First"
+    "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd";
+  Alcotest.(check bool) "verify accepts the right tag" true
+    (Hmac.verify ~key:"Jefe" "what do ya want for nothing?"
+       "750c783e6ab0b503eaa86e310a5db738");
+  Alcotest.(check bool) "verify rejects a wrong tag" false
+    (Hmac.verify ~key:"Jefe" "what do ya want for nothing?"
+       "750c783e6ab0b503eaa86e310a5db739")
+
+(* Each of the three auth failure modes has its own error, so the
+   operator knows which end to fix. *)
+let test_handshake_auth () =
+  let secret = "squeamish ossifrage" in
+  let armed = Handshake.hello ~secret () in
+  let bare = Handshake.hello () in
+  Alcotest.(check bool) "armed hello carries a tag" true
+    (armed.Handshake.mac <> "");
+  (match Handshake.decode (Handshake.encode armed) with
+  | Some h -> Alcotest.(check bool) "tag survives the wire" true (h = armed)
+  | None -> Alcotest.fail "armed hello does not decode");
+  Alcotest.(check bool) "both armed: accepted" true
+    (Handshake.check ~secret ~mine:armed ~theirs:armed () = Ok ());
+  (match Handshake.check ~secret ~mine:armed ~theirs:bare () with
+  | Error msg ->
+      Alcotest.(check bool) "unarmed peer: error says peer sent no tag" true
+        (contains msg "no auth tag")
+  | Ok () -> Alcotest.fail "unarmed peer accepted by armed end");
+  (match Handshake.check ~mine:bare ~theirs:armed () with
+  | Error msg ->
+      Alcotest.(check bool)
+        "armed peer, unarmed self: error says a secret is required" true
+        (contains msg "requires a shared secret")
+  | Ok () -> Alcotest.fail "armed peer accepted by unarmed end");
+  let wrong = Handshake.hello ~secret:"wrong" () in
+  (match Handshake.check ~secret ~mine:armed ~theirs:wrong () with
+  | Error msg ->
+      Alcotest.(check bool) "wrong secret: error says mismatch" true
+        (contains msg "mismatch")
+  | Ok () -> Alcotest.fail "wrong secret accepted");
+  (* A tag computed over a TAMPERED hello must not verify: the mac
+     covers the whole identity (version, digest, fingerprint). *)
+  let forged = { armed with Handshake.fingerprint = "beefbeef" } in
+  match Handshake.check ~secret ~mine:armed ~theirs:forged () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "tampered armed hello accepted"
+
+(* End-to-end: a worker daemon started with --secret refuses the
+   unarmed and mis-armed, conducts for the properly armed. *)
+let test_worker_daemon_auth () =
+  let secret_file = Filename.temp_file "finet" ".key" in
+  let oc = open_out secret_file in
+  output_string oc "  open sesame \n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove secret_file with Sys_error _ -> ())
+    (fun () ->
+      match Remote.spawn_daemon ~workers:2 ~secret_file () with
+      | Error e -> Alcotest.fail e
+      | Ok (pid, addr) ->
+          Fun.protect
+            ~finally:(fun () -> Remote.kill_daemon pid)
+            (fun () ->
+              (match Remote.probe addr with
+              | Error msg ->
+                  Alcotest.(check bool) "unarmed probe refused with reason"
+                    true
+                    (contains msg "secret")
+              | Ok _ -> Alcotest.fail "unarmed probe accepted");
+              (match Remote.probe ~secret:"wrong" addr with
+              | Error msg ->
+                  Alcotest.(check bool) "wrong-secret probe says mismatch"
+                    true (contains msg "mismatch")
+              | Ok _ -> Alcotest.fail "wrong-secret probe accepted");
+              (* load_secret trims whitespace: the armed probe and a
+                 whole campaign go through. *)
+              (match Hmac.load_secret secret_file with
+              | Error msg -> Alcotest.failf "load_secret failed: %s" msg
+              | Ok s -> Alcotest.(check string) "trimmed" "open sesame" s);
+              let secret = "open sesame" in
+              (match Remote.probe ~secret addr with
+              | Ok _ -> ()
+              | Error msg -> Alcotest.failf "armed probe refused: %s" msg);
+              let result =
+                Engine.run_spec_result ~backend:(sockets_of addr) ~jobs:2
+                  ~secret
+                  (Spec.of_golden (Lazy.force hi_golden))
+              in
+              check_scans_identical "authenticated campaign = serial"
+                (Lazy.force hi_serial) result.Engine.scan))
 
 (* ------------------------------------------------------------------ *)
 (* Wire job codec                                                     *)
@@ -263,11 +460,6 @@ let expect_probe_error what respond check_msg =
           Alcotest.(check bool)
             (Printf.sprintf "%s: error mentions it (%s)" what msg)
             true (check_msg msg))
-
-let contains hay needle =
-  let n = String.length needle and h = String.length hay in
-  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
-  n = 0 || go 0
 
 let test_probe_rejects_bad_peers () =
   let reply h conn =
@@ -458,7 +650,15 @@ let suite =
         test_frame_roundtrip;
       Alcotest.test_case "frames reject corruption" `Quick
         test_frame_rejects_corruption;
+      QCheck_alcotest.to_alcotest qcheck_frame_split_invariance;
+      QCheck_alcotest.to_alcotest qcheck_frame_mutation_never_misparses;
       Alcotest.test_case "handshake rejects mismatches" `Quick test_handshake;
+      Alcotest.test_case "hmac-md5 matches RFC 2202 vectors" `Quick
+        test_hmac_vectors;
+      Alcotest.test_case "handshake auth: distinct failure modes" `Quick
+        test_handshake_auth;
+      Alcotest.test_case "worker daemon --secret end-to-end" `Quick
+        test_worker_daemon_auth;
       Alcotest.test_case "wire jobs roundtrip without closures" `Quick
         test_wire_job;
       Alcotest.test_case "-j bounds per-host concurrency" `Quick

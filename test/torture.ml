@@ -18,6 +18,7 @@
 
 let () = Worker.guard ()
 let () = Remote.guard ()
+let () = Service.guard ()
 
 let smoke = Sys.getenv_opt "FI_TORTURE_SMOKE" = Some "1"
 
@@ -677,6 +678,69 @@ let test_net_daemon_vanishes_then_resume () =
       in
       check_scans_identical "vanished fleet + resume = serial" serial resumed)
 
+(* ------------------------------------------------------------------ *)
+(* Campaign service under adversity (DESIGN.md §12)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The service front door end to end, including its promise under the
+   rudest client behaviour: a submitter that vanishes mid-campaign must
+   not kill the campaign — the runner finishes, publishes to the result
+   store, and the next submitter gets a cache hit. *)
+let test_service_survives_disconnect () =
+  let dir = Filename.temp_file "fitorture" ".store" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun name -> Sys.remove (Filename.concat dir name))
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let config =
+        { Service.default_config with Service.artifacts = dir; jobs = 2 }
+      in
+      match Service.spawn_daemon ~config () with
+      | Error e -> Alcotest.fail e
+      | Ok (pid, addr) ->
+          Fun.protect
+            ~finally:(fun () -> Service.kill_daemon pid)
+            (fun () ->
+              let cell =
+                Service.cell_of_spec (Spec.of_golden (Lazy.force hi_golden))
+              in
+              (* A client that submits and slams the connection shut. *)
+              (match Transport.connect addr with
+              | Error e -> Alcotest.fail e
+              | Ok conn ->
+                  (match Remote.shake conn ~fingerprint:"" with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.fail e);
+                  Transport.send conn Frame.Submit
+                    (Service.encode_submission [ cell ]);
+                  Transport.close conn);
+              (* The abandoned campaign must still finish and publish. *)
+              let deadline = Unix.gettimeofday () +. 30. in
+              while
+                Cache.entries ~dir = []
+                && Unix.gettimeofday () < deadline
+              do
+                Unix.sleepf 0.1
+              done;
+              Alcotest.(check bool) "abandoned campaign was published" true
+                (Cache.entries ~dir <> []);
+              (* ...and the next submitter gets it for free, exactly. *)
+              match Service.submit ~addr [ cell ] with
+              | Ok [ r ] ->
+                  Alcotest.(check bool) "next submitter hits the store" true
+                    r.Service.r_cached;
+                  check_scans_identical "served scan = serial"
+                    (Lazy.force hi_serial) r.Service.r_scan
+              | Ok _ -> Alcotest.fail "unexpected result shape"
+              | Error msg -> Alcotest.failf "follow-up submit failed: %s" msg))
+
 let () =
   (* Each entry is [in_smoke_subset, test]: with FI_TORTURE_SMOKE=1
      (the @torture-smoke alias) only one fast representative per
@@ -740,6 +804,10 @@ let () =
       ( true,
         Alcotest.test_case "net daemon vanishes mid-campaign, resume heals"
           `Slow test_net_daemon_vanishes_then_resume );
+      ( true,
+        Alcotest.test_case
+          "service: client disconnect survived, next submit hits cache" `Slow
+          test_service_survives_disconnect );
       (false, QCheck_alcotest.to_alcotest qcheck_differential_memory);
       (false, QCheck_alcotest.to_alcotest qcheck_differential_registers);
       (false, QCheck_alcotest.to_alcotest qcheck_supervised_crash_heals);
