@@ -83,6 +83,7 @@ type engine_opts = {
   max_retries : int;
   no_quarantine : bool;
   no_cache : bool;
+  checkpoint_stride : int option;
   secret : string option;
 }
 
@@ -209,6 +210,23 @@ let engine_opts_term =
     in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
+  let checkpoint_stride =
+    let doc =
+      "Checkpoint ladder stride in cycles for the snapshot-accelerated \
+       injection hot path: the golden execution is checkpointed every \
+       $(docv) cycles and each experiment starts from the nearest \
+       checkpoint at or below its injection cycle (and stops as soon as \
+       it provably re-converges with the golden run).  0 disables the \
+       ladder (restart-from-reset reference semantics).  A pure \
+       performance knob: results are bit-identical at every stride, so \
+       it is not part of the campaign fingerprint and does not affect \
+       $(b,--resume) or the result cache."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-stride" ] ~docv:"CYCLES" ~doc)
+  in
   let secret =
     let doc =
       "Shared-secret file for fleet authentication: every handshake \
@@ -220,7 +238,8 @@ let engine_opts_term =
   in
   Term.(
     const (fun backend workers jobs journal resume shard_size weighted
-               shard_timeout max_retries no_quarantine no_cache secret ->
+               shard_timeout max_retries no_quarantine no_cache
+               checkpoint_stride secret ->
         {
           backend;
           workers;
@@ -233,24 +252,20 @@ let engine_opts_term =
           max_retries;
           no_quarantine;
           no_cache;
+          checkpoint_stride;
           secret;
         })
     $ backend $ workers $ jobs $ journal $ resume $ shard_size $ weighted
-    $ shard_timeout $ max_retries $ no_quarantine $ no_cache $ secret)
+    $ shard_timeout $ max_retries $ no_quarantine $ no_cache
+    $ checkpoint_stride $ secret)
 
 let policy_of opts =
-  {
-    Spec.shard_size = opts.shard_size;
-    weighted = opts.weighted;
-    journal = opts.journal;
-    resume = opts.resume;
-    catalogue = Some Catalog.default_dir;
-    shard_timeout = opts.shard_timeout;
-    max_retries = opts.max_retries;
-    quarantine = not opts.no_quarantine;
-    retry_backoff = Spec.default_policy.Spec.retry_backoff;
-    cache = (if opts.no_cache then None else Some Catalog.default_dir);
-  }
+  Spec.make_policy ?shard_size:opts.shard_size ~weighted:opts.weighted
+    ?journal:opts.journal ~resume:opts.resume ~catalogue:Catalog.default_dir
+    ?shard_timeout:opts.shard_timeout ~max_retries:opts.max_retries
+    ~quarantine:(not opts.no_quarantine)
+    ?cache:(if opts.no_cache then None else Some Catalog.default_dir)
+    ?checkpoint_stride:opts.checkpoint_stride ()
 
 let secret_of opts =
   match opts.secret with
@@ -526,7 +541,11 @@ let matrix_cmd =
              | Some stem ->
                  Spec.with_policy
                    { policy with
-                     Spec.journal = Some (stem ^ "." ^ sanitize (Spec.label s))
+                     Spec.durability =
+                       { policy.Spec.durability with
+                         Spec.journal =
+                           Some (stem ^ "." ^ sanitize (Spec.label s));
+                       };
                    }
                    s)
     in
@@ -674,7 +693,15 @@ let compare_cmd =
          catalogue keys each side by its own fingerprint anyway). *)
       let policy =
         let p = policy_of opts in
-        { p with Spec.journal = Option.map (fun stem -> stem ^ "." ^ name) p.Spec.journal }
+        { p with
+          Spec.durability =
+            { p.Spec.durability with
+              Spec.journal =
+                Option.map
+                  (fun stem -> stem ^ "." ^ name)
+                  p.Spec.durability.Spec.journal;
+            };
+        }
       in
       Spec.of_golden ~variant:name ~policy golden
     in

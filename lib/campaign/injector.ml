@@ -1,5 +1,3 @@
-type strategy = Restart | Checkpoint
-
 let check_coord golden coord =
   let total_cycles = golden.Golden.cycles in
   let ram_size = golden.Golden.program.Program.ram_size in
@@ -8,43 +6,454 @@ let check_coord golden coord =
       (Format.asprintf "Injector: coordinate %a outside fault space"
          Faultspace.pp_coord coord)
 
-let finish golden machine =
-  let stop = Machine.run machine ~limit:(Golden.timeout_limit golden) in
+let classify_stopped golden machine stop =
   Outcome.classify ~golden_output:golden.Golden.output
     ~golden_event_count:golden.Golden.event_count ~stop
     ~output:(Machine.serial_output machine)
-    ~event_count:(List.length (Machine.detection_events machine))
+    ~event_count:(Machine.event_count machine)
 
-let run_at golden coord =
-  check_coord golden coord;
+let finish golden machine =
+  let stop = Machine.run machine ~limit:(Golden.timeout_limit golden) in
+  classify_stopped golden machine stop
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint plans                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let default_stride = 128
+
+(* A checkpoint ladder over the golden execution, plus per-checkpoint
+   live-in masks that make convergence comparisons sound: a faulty run
+   that agrees with a golden checkpoint on pc, cycle count and every RAM
+   byte / register the golden tail still reads before overwriting
+   provably replays that tail, so its outcome is computable without
+   simulating it. *)
+(* A rendezvous anchor: the golden state just after emitting serial
+   byte [position], for catching cycle-shifted re-convergence.  A
+   faulty run that rejoins the golden instruction stream with a cycle
+   offset never satisfies [converges_with] (cycle counts differ at
+   every ladder entry), but when it emits output byte [n] it is — by
+   construction — about to replay golden's tail from golden's byte-[n]
+   state.  That emission is an exact, cheaply detectable rendezvous
+   point. *)
+type anchor = {
+  a_cycle : int; (* golden cycle just after emitting the byte *)
+  a_snap : Machine.Snapshot.t;
+  a_ram_live : int array;
+  a_reg_mask : int;
+}
+
+type plan = {
+  stride : int;
+  ladder : Machine.Snapshot.t array; (* ascending cycles, running states *)
+  ladder_cycles : int array;
+  ram_live : int array array; (* per ladder entry: live-in RAM bytes *)
+  reg_mask : int array; (* per ladder entry: live-in register bitmask *)
+  anchor_at : anchor option array; (* indexed by serial byte position *)
+  trap_bits : Bytes.t; (* anchored positions, as a Machine trap bitmap *)
+  shift_index : (int, int) Hashtbl.t;
+      (* golden {!Machine.state_hash} at every cycle -> that cycle, for
+         guessing the offset of cycle-shifted re-convergence *)
+}
+
+(* Walk one location's chronological access list ([(cycle, is_read)],
+   reads before writes within a cycle) against the ascending ladder
+   cycles: the location is live-in at checkpoint [c] iff its first
+   access after [c] is a read. *)
+let fold_live_in ~ladder_cycles accesses ~live =
+  let nl = Array.length ladder_cycles in
+  let rec fill i accesses =
+    if i < nl then
+      match accesses with
+      | [] -> () (* never accessed again: dead for every later entry *)
+      | (a, is_read) :: rest ->
+          if a <= ladder_cycles.(i) then fill i rest
+          else begin
+            if is_read then live i;
+            fill (i + 1) accesses
+          end
+  in
+  fill 0 accesses
+
+(* Replay the golden execution once more (plain compiled machine, no
+   tracer), picking serial anchor positions — the first byte emitted at
+   least [stride] cycles after the previous anchor, as
+   [(position, cycle, snapshot)] in ascending order — and indexing the
+   golden {!Machine.state_hash} of every cycle for shift guessing. *)
+let golden_survey golden ~stride =
+  let glen = String.length golden.Golden.output in
+  let shift_index = Hashtbl.create (2 * golden.Golden.cycles) in
   let machine = Machine.create golden.Golden.program in
-  Machine.run_until machine ~cycle:(coord.Faultspace.cycle - 1);
-  Machine.flip_bit machine coord.Faultspace.bit;
-  finish golden machine
+  let last = ref (-stride) in
+  let prev_len = ref 0 in
+  let points = ref [] in
+  while Machine.stopped machine = None do
+    Machine.step machine;
+    if Machine.stopped machine = None then
+      Hashtbl.add shift_index
+        (Machine.state_hash machine)
+        (Machine.cycle machine);
+    let n = Machine.serial_length machine in
+    if n > !prev_len then begin
+      prev_len := n;
+      let c = Machine.cycle machine in
+      if c >= !last + stride && n <= glen then begin
+        last := c;
+        points := (n - 1, c, Machine.Snapshot.capture machine) :: !points
+      end
+    end
+  done;
+  (List.rev !points, shift_index)
+
+let build_plan golden ~stride =
+  (* Replay the golden execution once, tracing register accesses for
+     the register live-in masks and capturing the checkpoint ladder. *)
+  let reg_acc = Array.make 16 [] in
+  let exec_tracer ~cycle instr =
+    let writes, reads = Isa.defs_uses instr in
+    List.iter
+      (fun r ->
+        let i = Isa.reg_index r in
+        reg_acc.(i) <- (cycle, true) :: reg_acc.(i))
+      reads;
+    List.iter
+      (fun r ->
+        let i = Isa.reg_index r in
+        reg_acc.(i) <- (cycle, false) :: reg_acc.(i))
+      writes
+  in
+  let machine = Machine.create ~exec_tracer golden.Golden.program in
+  let stop, ladder =
+    Machine.run_checkpointed machine ~stride
+      ~limit:(golden.Golden.cycles + 1)
+  in
+  (match stop with
+  | Machine.Halted -> ()
+  | reason ->
+      (* The machine is deterministic; a divergence here is a bug. *)
+      invalid_arg
+        (Format.asprintf "Injector: checkpoint replay stopped with %a"
+           Machine.pp_stop_reason reason));
+  let ladder_cycles = Array.map Machine.Snapshot.cycle ladder in
+  let nl = Array.length ladder_cycles in
+  let points, shift_index = golden_survey golden ~stride in
+  let anchor_cycles = Array.of_list (List.map (fun (_, c, _) -> c) points) in
+  let na = Array.length anchor_cycles in
+  let ram_size = golden.Golden.program.Program.ram_size in
+  let ram_acc = Array.make ram_size [] in
+  Trace.iter_byte_accesses golden.Golden.trace (fun ~byte ~cycle ~kind ->
+      ram_acc.(byte) <- (cycle, kind = Trace.Read) :: ram_acc.(byte));
+  let live_lists = Array.make nl [] in
+  let a_live_lists = Array.make na [] in
+  for b = ram_size - 1 downto 0 do
+    let accesses =
+      List.sort
+        (fun (c1, r1) (c2, r2) ->
+          if c1 <> c2 then compare c1 c2 else compare r2 r1 (* reads first *))
+        (List.rev ram_acc.(b))
+    in
+    fold_live_in ~ladder_cycles accesses ~live:(fun i ->
+        live_lists.(i) <- b :: live_lists.(i));
+    fold_live_in ~ladder_cycles:anchor_cycles accesses ~live:(fun i ->
+        a_live_lists.(i) <- b :: a_live_lists.(i))
+  done;
+  let reg_mask = Array.make nl 0 in
+  let a_reg_mask = Array.make na 0 in
+  for r = 1 to 15 do
+    let accesses = List.rev reg_acc.(r) in
+    fold_live_in ~ladder_cycles accesses ~live:(fun i ->
+        reg_mask.(i) <- reg_mask.(i) lor (1 lsl r));
+    fold_live_in ~ladder_cycles:anchor_cycles accesses ~live:(fun i ->
+        a_reg_mask.(i) <- a_reg_mask.(i) lor (1 lsl r))
+  done;
+  let glen = String.length golden.Golden.output in
+  let anchor_at = Array.make glen None in
+  let trap_bits =
+    if points = [] then Bytes.empty
+    else Bytes.make ((glen + 7) / 8) '\000'
+  in
+  List.iteri
+    (fun i (p, c, snap) ->
+      anchor_at.(p) <-
+        Some
+          {
+            a_cycle = c;
+            a_snap = snap;
+            a_ram_live = Array.of_list a_live_lists.(i);
+            a_reg_mask = a_reg_mask.(i);
+          };
+      Bytes.set trap_bits (p lsr 3)
+        (Char.chr (Char.code (Bytes.get trap_bits (p lsr 3)) lor (1 lsl (p land 7)))))
+    points;
+  {
+    stride;
+    ladder;
+    ladder_cycles;
+    ram_live = Array.map Array.of_list live_lists;
+    reg_mask;
+    anchor_at;
+    trap_bits;
+    shift_index;
+  }
+
+(* Outcome of a run that provably re-converged with the golden
+   execution at checkpoint [snap] (a ladder entry or a rendezvous
+   anchor): the tail replays golden, so splice the golden tail onto
+   what the faulty run emitted so far.  Serial output and events are
+   execution history, not machine state, so the splice is sound even
+   when the prefixes disagree — the run just carries its corrupted
+   prefix under the golden tail. *)
+let spliced_outcome golden machine (snap : Machine.Snapshot.t) =
+  let mark = Machine.Snapshot.serial_length snap in
+  let event_count =
+    Machine.event_count machine
+    + (golden.Golden.event_count - Machine.Snapshot.event_count snap)
+  in
+  let golden_output = golden.Golden.output in
+  let output =
+    if Machine.serial_agrees machine ~prefix:golden_output ~len:mark then
+      golden_output (* tail splice yields exactly the golden output *)
+    else
+      Machine.serial_output machine
+      ^ String.sub golden_output mark (String.length golden_output - mark)
+  in
+  Outcome.classify ~golden_output ~golden_event_count:golden.Golden.event_count
+    ~stop:Machine.Halted ~output ~event_count
+
+(* A repeated execution state proves an infinite loop (detected by the
+   machine's armed Brent hunter): classify as the watchdog would,
+   without simulating to the cycle limit. *)
+let timeout_outcome golden machine =
+  classify_stopped golden machine Machine.Cycle_limit
+
+(* A run that outlives the whole golden ladder can never converge any
+   more — it is either going to stop on its own or spin to the
+   watchdog.  Past that point, arm a cheap pc-recurrence probe: each
+   time it fires (the run revisits an instruction — it is looping),
+   attempt a {!Loopproof} non-termination proof.  Success classifies
+   the run as the watchdog would; failure widens the probe window
+   geometrically so analysis cost stays negligible even for loops the
+   prover cannot crack. *)
+let probe_window0 = 32
+
+(* Consecutive failed ladder-boundary convergence checks (with no live
+   shift hypothesis) before the pc-recurrence probe is armed early: a
+   run that has been divergent for this many strides is usually either
+   about to stop on its own or stuck in a loop, and the probe makes the
+   latter cheap to prove long before the ladder runs out. *)
+let probe_miss_arm = 6
+
+let finish_planned plan golden machine =
+  let limit = Golden.timeout_limit golden in
+  let nl = Array.length plan.ladder in
+  (* First ladder entry strictly ahead of the machine. *)
+  let start =
+    let cyc = Machine.cycle machine in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if plan.ladder_cycles.(mid) <= cyc then search (mid + 1) hi
+        else search lo mid
+    in
+    search 0 nl
+  in
+  let window = ref probe_window0 in
+  let armed = ref false in
+  let delta = ref 0 in
+  let dj = ref nl in (* next shifted ladder entry to test; [nl] = none *)
+  let dfail = ref 0 in (* consecutive failed rendezvous tests *)
+  let misses = ref 0 in
+  let rec go i =
+    (* Never arm while a shift hypothesis is live: a failed proof
+       attempt steps the machine thousands of cycles past the shifted
+       boundaries the hypothesis needs to test at.  Hypotheses are
+       short-lived (see [dfail]), so loop-bound runs still get the
+       probe promptly. *)
+    if (i >= nl || !misses >= probe_miss_arm) && !dj >= nl && not !armed
+    then begin
+      Machine.probe_pc_recurrence ~window0:!window machine;
+      armed := true
+    end;
+    let target =
+      let ntarget =
+        if i < nl then plan.ladder_cycles.(i)
+        else min (Machine.cycle machine + plan.stride) limit
+      in
+      if !dj < nl then min ntarget (plan.ladder_cycles.(!dj) + !delta)
+      else ntarget
+    in
+    Machine.run_until machine ~cycle:target;
+    match Machine.stopped machine with
+    | Some stop -> classify_stopped golden machine stop
+    | None ->
+        if Machine.take_serial_trap machine then begin
+          (* The trap displaced any armed probe; re-arm on resume. *)
+          armed := false;
+          let n = Machine.serial_length machine in
+          let hit =
+            if n >= 1 && n - 1 < Array.length plan.anchor_at then
+              match plan.anchor_at.(n - 1) with
+              | Some a
+                when Machine.rendezvous_with machine a.a_snap
+                       ~ram_live:a.a_ram_live ~reg_mask:a.a_reg_mask
+                     && Machine.cycle machine
+                        + (golden.Golden.cycles - a.a_cycle)
+                        <= limit ->
+                  (* The run replays golden's tail shifted in time, and
+                     the shifted finish still beats the watchdog. *)
+                  Some a.a_snap
+              | Some _ | None -> None
+            else None
+          in
+          match hit with
+          | Some snap -> spliced_outcome golden machine snap
+          | None -> go i
+        end
+        else if Machine.pc_recurrence machine <> None then begin
+          let proven = Loopproof.prove_no_halt machine ~limit in
+          if proven then timeout_outcome golden machine
+          else begin
+            (* Unprovable loop (or a false alarm): space probes out and
+               resume simulating — the proof attempt's steps were real
+               execution, so the machine is simply further along. *)
+            window := !window * 8;
+            Machine.probe_pc_recurrence ~window0:!window machine;
+            go i
+          end
+        end
+        else begin
+          let cyc = Machine.cycle machine in
+          if !dj < nl && cyc >= plan.ladder_cycles.(!dj) + !delta then begin
+            (* A shifted ladder boundary: test the shift hypothesis.
+               [rendezvous_with] is sound at any cycle, so a hit proves
+               the run replays golden's tail shifted by [delta]. *)
+            let j = !dj in
+            dj := j + 1;
+            if
+              Machine.rendezvous_with machine plan.ladder.(j)
+                ~ram_live:plan.ram_live.(j) ~reg_mask:plan.reg_mask.(j)
+              && cyc + (golden.Golden.cycles - plan.ladder_cycles.(j))
+                 <= limit
+            then spliced_outcome golden machine plan.ladder.(j)
+            else begin
+              incr dfail;
+              if !dfail >= 24 then dj := nl (* hypothesis refuted *);
+              go i
+            end
+          end
+          else if i < nl && cyc = plan.ladder_cycles.(i) then
+            if
+              Machine.converges_with machine plan.ladder.(i)
+                ~ram_live:plan.ram_live.(i) ~reg_mask:plan.reg_mask.(i)
+            then spliced_outcome golden machine plan.ladder.(i)
+            else begin
+              (* Missed.  Maybe the run re-converged with a cycle
+                 shift: a golden state-hash hit at another cycle names
+                 the candidate offset, and the rendezvous tests above
+                 verify or refute it soundly at shifted boundaries. *)
+              (match
+                 Hashtbl.find_opt plan.shift_index
+                   (Machine.state_hash machine)
+               with
+              | Some g when g <> cyc ->
+                  let d = cyc - g in
+                  if d <> !delta || !dj >= nl then begin
+                    dfail := 0;
+                    delta := d;
+                    (* First ladder entry whose shifted cycle is ahead. *)
+                    let rec search lo hi =
+                      if lo >= hi then lo
+                      else
+                        let mid = (lo + hi) / 2 in
+                        if plan.ladder_cycles.(mid) + d <= cyc then
+                          search (mid + 1) hi
+                        else search lo mid
+                    in
+                    dj := search 0 nl
+                  end
+              | Some _ | None -> incr misses);
+              go (i + 1)
+            end
+          else if cyc >= limit then timeout_outcome golden machine
+          else go (if i < nl && cyc >= plan.ladder_cycles.(i) then i + 1 else i)
+        end
+  in
+  go start
+
+(* ------------------------------------------------------------------ *)
+(* Session providers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type impl = Replay | Planned of plan
+type provider = { p_golden : Golden.t; impl : impl }
+
+let provider_golden p = p.p_golden
+let replay golden = { p_golden = golden; impl = Replay }
+
+let plan ?(stride = default_stride) golden =
+  if stride <= 0 then replay golden
+  else { p_golden = golden; impl = Planned (build_plan golden ~stride) }
 
 type session = {
-  golden : Golden.t;
-  pristine : Machine.t;
+  provider : provider;
+  mutable pristine : Machine.t;
   mutable at : int; (* cycles executed on the pristine machine *)
 }
 
-let session golden =
-  { golden; pristine = Machine.create golden.Golden.program; at = 0 }
+let session provider =
+  {
+    provider;
+    pristine = Machine.create provider.p_golden.Golden.program;
+    at = 0;
+  }
 
-let session_run_flip s ~cycle ~flip =
-  let target = cycle - 1 in
+(* Rolling [hop_min] cycles costs about as much as one checkpoint
+   restore; hop only when the restore actually skips work. *)
+let hop_min = 64
+
+let advance s target =
   if target < s.at then
     invalid_arg "Injector.session_run_at: injection cycles must not decrease";
+  (match s.provider.impl with
+  | Planned plan when target > s.at ->
+      (* Greatest ladder entry at or below [target]. *)
+      let cycles = plan.ladder_cycles in
+      let n = Array.length cycles in
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cycles.(mid) <= target then search (mid + 1) hi
+          else search lo mid
+      in
+      let i = search 0 n - 1 in
+      if i >= 0 && cycles.(i) >= s.at + hop_min then begin
+        s.pristine <- Machine.Snapshot.restore plan.ladder.(i) ~tracer:None;
+        s.at <- cycles.(i)
+      end
+  | Planned _ | Replay -> ());
   if target > s.at then begin
     Machine.run_until s.pristine ~cycle:target;
     s.at <- target
-  end;
-  let snapshot = Machine.Snapshot.capture s.pristine in
-  let machine = Machine.Snapshot.restore snapshot ~tracer:None in
+  end
+
+let session_run_flip s ~cycle ~flip =
+  advance s (cycle - 1);
+  let machine = Machine.fork s.pristine in
   flip machine;
-  finish s.golden machine
+  match s.provider.impl with
+  | Replay -> finish s.provider.p_golden machine
+  | Planned plan ->
+      Machine.trap_serial machine ~positions:plan.trap_bits;
+      finish_planned plan s.provider.p_golden machine
 
 let session_run_at s coord =
-  check_coord s.golden coord;
+  check_coord s.provider.p_golden coord;
   session_run_flip s ~cycle:coord.Faultspace.cycle ~flip:(fun machine ->
       Machine.flip_bit machine coord.Faultspace.bit)
+
+let run_at golden coord =
+  (* Plan-of-one: a throwaway replay session.  Building a ladder for a
+     single experiment would cost more than the experiment. *)
+  session_run_at (session (replay golden)) coord

@@ -1,37 +1,69 @@
 (** Single-experiment execution.
 
     One FI experiment: run the benchmark from reset until just before the
-    injection cycle, flip one RAM bit, resume to completion (or watchdog),
+    injection cycle, flip one bit, resume to completion (or watchdog),
     and classify the outcome against the golden run — the procedure of
     Section III-B of the paper.
 
-    Two execution strategies are provided.  [Restart] re-executes from
-    reset for every experiment (the textbook procedure).  [Checkpoint]
-    keeps a pristine machine advanced monotonically through injection
-    times and forks experiment runs from snapshots — observably identical
-    (the machine is deterministic; property-tested) but much faster for
-    campaigns with many injection points. *)
+    Experiments are conducted through a {e session provider}: the
+    per-campaign object that owns whatever acceleration state the
+    experiments share, and hands out independent {!session}s.  Serial
+    scans, samplers and every engine backend consume the same provider
+    abstraction, so they all share one conduction code path.
 
-type strategy = Restart | Checkpoint
+    Two providers exist.  {!replay} re-executes from reset for every
+    session (the textbook procedure; the reference semantics).  {!plan}
+    replays the golden execution once, capturing a {!Machine.Snapshot}
+    ladder every [stride] cycles, and then
 
-val run_at : Golden.t -> Faultspace.coord -> Outcome.t
-(** [run_at golden coord] conducts a single experiment at an arbitrary
-    fault-space coordinate (Restart strategy).
+    - starts each session's pristine machine from the nearest checkpoint
+      at or below its first injection cycle instead of from reset, and
+    - classifies a faulty run as soon as it provably re-converges with
+      the golden execution at a checkpoint (pc, cycle and every
+      still-live RAM byte and register agree — liveness comes from the
+      golden def/use trace), or provably diverges forever (its execution
+      state repeats, which on a deterministic machine is an infinite
+      loop), instead of simulating the remaining cycles.
 
-    @raise Invalid_argument if [coord] lies outside the fault space. *)
+    Both shortcuts are exact on the deterministic machine — outcomes are
+    bit-identical to {!replay} (property-tested differentially) — so the
+    checkpoint stride is a pure performance knob: it is deliberately
+    excluded from campaign fingerprints and result-cache keys. *)
+
+type provider
+(** A session provider for one golden run. *)
+
+val replay : Golden.t -> provider
+(** The restart-from-reset reference provider. *)
+
+val plan : ?stride:int -> Golden.t -> provider
+(** Checkpoint-plan provider with a ladder every [stride] cycles
+    (default {!default_stride}).  Costs one extra golden-speed replay
+    plus [cycles/stride] machine snapshots up front.  [stride <= 0]
+    degrades to {!replay}. *)
+
+val default_stride : int
+(** 128 — around a hundred checkpoints for the bundled kernels; memory
+    cost is [cycles/stride] RAM images. *)
+
+val provider_golden : provider -> Golden.t
+(** The golden run the provider was built over. *)
 
 type session
-(** Checkpointed injection session over monotonically non-decreasing
-    injection cycles. *)
+(** An injection session over monotonically non-decreasing injection
+    cycles: one pristine machine rolled forward (or hopped forward along
+    the provider's checkpoint ladder) between experiments. *)
 
-val session : Golden.t -> session
+val session : provider -> session
 (** Fresh session positioned at reset. *)
 
 val session_run_at : session -> Faultspace.coord -> Outcome.t
-(** Like {!run_at} but reusing the session's pristine machine.  Injection
-    cycles must be presented in non-decreasing order.
+(** Conduct one experiment at a fault-space coordinate on the session's
+    pristine machine.  Injection cycles must be presented in
+    non-decreasing order.
 
-    @raise Invalid_argument on a decreasing injection cycle. *)
+    @raise Invalid_argument if the coordinate lies outside the fault
+    space, or on a decreasing injection cycle. *)
 
 val session_run_flip :
   session -> cycle:int -> flip:(Machine.t -> unit) -> Outcome.t
@@ -41,3 +73,10 @@ val session_run_flip :
     requirement as {!session_run_at}.
 
     @raise Invalid_argument on a decreasing injection cycle. *)
+
+val run_at : Golden.t -> Faultspace.coord -> Outcome.t
+(** One-shot experiment at an arbitrary coordinate: a plan-of-one,
+    conducted on a throwaway {!replay} session (building a checkpoint
+    ladder for a single experiment would cost more than the experiment).
+
+    @raise Invalid_argument if [coord] lies outside the fault space. *)

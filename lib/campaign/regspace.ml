@@ -1,23 +1,7 @@
 let register_count = 15
 let pseudo_ram_bytes = 4 * register_count
 
-let non_zero r = Isa.reg_index r <> 0
-
-let defs_uses (instr : Isa.instr) =
-  let writes, reads =
-    match instr with
-    | Isa.Nop | Isa.Halt -> ([], [])
-    | Isa.Li (rd, _) -> ([ rd ], [])
-    | Isa.Alu (_, rd, rs1, rs2) -> ([ rd ], [ rs1; rs2 ])
-    | Isa.Alui (_, rd, rs1, _) -> ([ rd ], [ rs1 ])
-    | Isa.Lb (rd, rs, _) | Isa.Lw (rd, rs, _) -> ([ rd ], [ rs ])
-    | Isa.Sb (rv, rs, _) | Isa.Sw (rv, rs, _) -> ([], [ rv; rs ])
-    | Isa.Beq (rs1, rs2, _, _) -> ([], [ rs1; rs2 ])
-    | Isa.Jmp _ -> ([], [])
-    | Isa.Jal (rd, _) -> ([ rd ], [])
-    | Isa.Jr rs -> ([], [ rs ])
-  in
-  (List.filter non_zero writes, List.filter non_zero reads)
+let defs_uses = Isa.defs_uses
 
 type t = { golden : Golden.t; reg_defuse : Defuse.t }
 
@@ -63,13 +47,20 @@ let conduct session (c : Defuse.byte_class) ~bit_in_byte =
   Injector.session_run_flip session ~cycle:c.Defuse.t_end ~flip:(fun machine ->
       Machine.flip_reg_bit machine ~reg ~bit)
 
-let scan ?(variant = "registers") ?(progress = Scan.no_progress) t =
+let provider_for golden = function
+  | Some p ->
+      if Injector.provider_golden p != golden then
+        invalid_arg "Regspace: provider was built over a different golden run";
+      p
+  | None -> Injector.plan golden
+
+let scan ?(variant = "registers") ?provider ?(progress = Scan.no_progress) t =
   let classes = classes t in
   let order = Array.init (Array.length classes) (fun i -> i) in
   Array.sort
     (fun a b -> compare classes.(a).Defuse.t_end classes.(b).Defuse.t_end)
     order;
-  let session = Injector.session t.golden in
+  let session = Injector.session (provider_for t.golden provider) in
   let total = Array.length classes in
   let results = Array.make (8 * total) None in
   let tally = Outcome.tally_create () in

@@ -21,7 +21,8 @@ val pseudo_ram_bytes : int
 (** 60 — the pseudo-memory footprint (4 bytes per register). *)
 
 val defs_uses : Isa.instr -> Isa.reg list * Isa.reg list
-(** [(writes, reads)] of one instruction, [r0] excluded from both. *)
+(** [(writes, reads)] of one instruction, [r0] excluded from both
+    (an alias of {!Isa.defs_uses}, kept here for discoverability). *)
 
 type t = {
   golden : Golden.t;
@@ -52,10 +53,20 @@ val conduct :
     class's [t_end] on the session's machine — the single-experiment
     kernel shared by the serial {!scan} and the parallel engine. *)
 
-val scan : ?variant:string -> ?progress:Scan.progress -> t -> Scan.t
-(** Full pruned campaign over the register fault space.  The returned
-    scan's [ram_bytes] is the 60-byte pseudo-memory, so
-    [Scan.fault_space_size] and all metrics are consistent. *)
+val scan :
+  ?variant:string ->
+  ?provider:Injector.provider ->
+  ?progress:Scan.progress ->
+  t ->
+  Scan.t
+(** Full pruned campaign over the register fault space, conducted
+    through [provider] as in {!Scan.pruned} (default: a fresh checkpoint
+    plan over the shared golden run).  The returned scan's [ram_bytes]
+    is the 60-byte pseudo-memory, so [Scan.fault_space_size] and all
+    metrics are consistent.
+
+    @raise Invalid_argument if [provider] was built over a different
+    golden run. *)
 
 val coord_of_bit : int -> int * int
 (** Map a pseudo-memory bit index to [(register, bit-in-register)]. *)

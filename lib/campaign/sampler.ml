@@ -34,7 +34,14 @@ type sample_target =
   | Benign
   | Class of Defuse.byte_class * int (* bit_in_byte *)
 
-let resolve golden targets =
+let provider_for golden = function
+  | Some p ->
+      if Injector.provider_golden p != golden then
+        invalid_arg "Sampler: provider was built over a different golden run";
+      p
+  | None -> Injector.plan golden
+
+let resolve ?provider golden targets =
   (* Memoisation key: (byte, t_start, bit_in_byte) identifies a class-bit. *)
   let distinct = Hashtbl.create 256 in
   List.iter
@@ -54,7 +61,7 @@ let resolve golden targets =
       (fun (_, c1, _) (_, c2, _) -> compare c1.Defuse.t_end c2.Defuse.t_end)
       jobs
   in
-  let session = Injector.session golden in
+  let session = Injector.session (provider_for golden provider) in
   let results = Hashtbl.create (List.length jobs) in
   List.iter
     (fun (key, c, bit) ->
@@ -77,7 +84,7 @@ let make_estimate ~population ~samples outcomes conducted =
     conducted;
   }
 
-let uniform_raw rng ~samples golden =
+let uniform_raw ?provider rng ~samples golden =
   let defuse = golden.Golden.defuse in
   let total_cycles = golden.Golden.cycles in
   let ram_size = golden.Golden.program.Program.ram_size in
@@ -89,12 +96,12 @@ let uniform_raw rng ~samples golden =
         | Defuse.Experiment -> Class (cls, bit)
         | Defuse.Overwritten | Defuse.Dormant -> Benign)
   in
-  let outcomes, conducted = resolve golden targets in
+  let outcomes, conducted = resolve ?provider golden targets in
   make_estimate
     ~population:(Faultspace.size ~total_cycles ~ram_size)
     ~samples outcomes conducted
 
-let uniform_effective rng ~samples golden =
+let uniform_effective ?provider rng ~samples golden =
   let defuse = golden.Golden.defuse in
   let classes = Defuse.experiment_classes defuse in
   if Array.length classes = 0 then
@@ -123,7 +130,7 @@ let uniform_effective rng ~samples golden =
       Class (classes.(i), bit)
     in
     let targets = List.init samples (fun _ -> pick ()) in
-    let outcomes, conducted = resolve golden targets in
+    let outcomes, conducted = resolve ?provider golden targets in
     make_estimate ~population ~samples outcomes conducted
   end
 
@@ -164,7 +171,7 @@ let biased_per_class_oracle rng ~samples golden scan =
     ~population:(Faultspace.size ~total_cycles ~ram_size)
     ~samples outcomes 0
 
-let biased_per_class rng ~samples golden =
+let biased_per_class ?provider rng ~samples golden =
   let defuse = golden.Golden.defuse in
   let classes = Defuse.experiment_classes defuse in
   let total_cycles = golden.Golden.cycles in
@@ -176,7 +183,7 @@ let biased_per_class rng ~samples golden =
           let c = classes.(Prng.int rng (Array.length classes)) in
           Class (c, Prng.int rng 8))
   in
-  let outcomes, conducted = resolve golden targets in
+  let outcomes, conducted = resolve ?provider golden targets in
   make_estimate
     ~population:(Faultspace.size ~total_cycles ~ram_size)
     ~samples outcomes conducted

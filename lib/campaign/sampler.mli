@@ -29,14 +29,22 @@ type estimate = {
 val failure_fraction : estimate -> float
 (** F_sampled / N_sampled. *)
 
-val uniform_raw : Prng.t -> samples:int -> Golden.t -> estimate
-(** Correct raw-space sampling. *)
+val uniform_raw :
+  ?provider:Injector.provider -> Prng.t -> samples:int -> Golden.t -> estimate
+(** Correct raw-space sampling.  Distinct experiments behind the samples
+    are conducted through [provider] (default: a fresh checkpoint plan,
+    as in {!Scan.pruned}).
 
-val uniform_effective : Prng.t -> samples:int -> Golden.t -> estimate
+    @raise Invalid_argument if [provider] was built over a different
+    golden run. *)
+
+val uniform_effective :
+  ?provider:Injector.provider -> Prng.t -> samples:int -> Golden.t -> estimate
 (** Sampling restricted to the effective population w′ (experiment
     classes only), weighted by class size. *)
 
-val biased_per_class : Prng.t -> samples:int -> Golden.t -> estimate
+val biased_per_class :
+  ?provider:Injector.provider -> Prng.t -> samples:int -> Golden.t -> estimate
 (** Pitfall 2: classes drawn uniformly regardless of weight.  The
     [population] reported is w (what a naive evaluator would assume). *)
 

@@ -26,21 +26,23 @@ let no_progress ~done_:_ ~total:_ ~tally:_ = ()
 let conduct_class session (c : Defuse.byte_class) ~bit_in_byte =
   Injector.session_run_at session (Faultspace.canonical_injection c ~bit_in_byte)
 
-let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
-    ?(progress = no_progress) golden =
+let provider_for golden = function
+  | Some p ->
+      if Injector.provider_golden p != golden then
+        invalid_arg "Scan: provider was built over a different golden run";
+      p
+  | None -> Injector.plan golden
+
+let pruned ?(variant = "baseline") ?provider ?(progress = no_progress) golden =
   let defuse = golden.Golden.defuse in
   let classes = Defuse.experiment_classes defuse in
-  (* The checkpoint session requires non-decreasing injection cycles;
-     classes are sorted by (byte, t_start), so sort a copy by t_end. *)
+  (* Sessions require non-decreasing injection cycles; classes are
+     sorted by (byte, t_start), so sort a copy by t_end. *)
   let order = Array.init (Array.length classes) (fun i -> i) in
   Array.sort
     (fun a b -> compare classes.(a).Defuse.t_end classes.(b).Defuse.t_end)
     order;
-  let session =
-    match strategy with
-    | Injector.Checkpoint -> Some (Injector.session golden)
-    | Injector.Restart -> None
-  in
+  let session = Injector.session (provider_for golden provider) in
   let total = Array.length classes in
   let results = Array.make (8 * total) None in
   let tally = Outcome.tally_create () in
@@ -48,11 +50,7 @@ let pruned ?(variant = "baseline") ?(strategy = Injector.Checkpoint)
     (fun rank class_index ->
       let c = classes.(class_index) in
       for bit_in_byte = 0 to 7 do
-        let outcome =
-          match session with
-          | Some s -> conduct_class s c ~bit_in_byte
-          | None -> Injector.run_at golden (Faultspace.canonical_injection c ~bit_in_byte)
-        in
+        let outcome = conduct_class session c ~bit_in_byte in
         Outcome.tally_add tally outcome;
         results.((class_index * 8) + bit_in_byte) <-
           Some

@@ -50,7 +50,7 @@ val no_progress : progress
 val conduct_class :
   Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t
 (** Conduct the canonical memory-space experiment of one
-    (byte-class, bit) pair on a checkpoint session — the single-
+    (byte-class, bit) pair on an injection session — the single-
     experiment kernel shared by the serial {!pruned} and the parallel
     engine (which is what makes their results bit-identical).  Injection
     cycles must be presented in non-decreasing order per session
@@ -58,14 +58,18 @@ val conduct_class :
 
 val pruned :
   ?variant:string ->
-  ?strategy:Injector.strategy ->
+  ?provider:Injector.provider ->
   ?progress:progress ->
   Golden.t ->
   t
 (** [pruned golden] runs the complete pruned campaign: one experiment per
-    (experiment-class, bit).  Default strategy is [Checkpoint]; the
-    [Restart] strategy is observably identical but slower.  [progress] is
-    called after every class. *)
+    (experiment-class, bit), conducted through [provider] (default: a
+    fresh checkpoint plan at {!Injector.default_stride} — pass
+    {!Injector.replay} for the reference restart semantics; outcomes are
+    bit-identical either way).  [progress] is called after every class.
+
+    @raise Invalid_argument if [provider] was built over a different
+    golden run. *)
 
 val brute_force :
   ?variant:string -> Golden.t -> (Faultspace.coord * Outcome.t) array

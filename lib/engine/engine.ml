@@ -47,14 +47,14 @@ type result = {
 (* ------------------------------------------------------------------ *)
 
 let resolve_journal ~fingerprint (policy : Spec.policy) =
-  match policy.Spec.journal with
+  match policy.Spec.durability.Spec.journal with
   | Some path -> Some path
   | None -> (
-      match policy.Spec.catalogue with
+      match policy.Spec.durability.Spec.catalogue with
       | None -> None
       | Some dir ->
           Catalog.ensure_dir dir;
-          if policy.Spec.resume then
+          if policy.Spec.durability.Spec.resume then
             Some
               (match Catalog.lookup ~dir ~fingerprint with
               | Some path -> path
@@ -124,7 +124,7 @@ let setup cell ~progress =
      which lacks records for its quarantined shards. *)
   (* --------------------------------------------------------------- *)
   let cache_key =
-    match policy.Spec.cache with
+    match policy.Spec.acceleration.Spec.cache with
     | None -> None
     | Some _ ->
         let image =
@@ -136,10 +136,10 @@ let setup cell ~progress =
           (Cache.cell_key ~image
              ~space:(Spec.space_tag cell.Runcell.spec.Spec.space)
              ~limit:cell.Runcell.spec.Spec.limit
-             ~shard_size:policy.Spec.shard_size ~weighted:policy.Spec.weighted)
+             ~shard_size:policy.Spec.sharding.Spec.shard_size ~weighted:policy.Spec.sharding.Spec.weighted)
   in
   let cached_records =
-    match (policy.Spec.cache, cache_key) with
+    match (policy.Spec.acceleration.Spec.cache, cache_key) with
     | Some dir, Some key -> (
         match Cache.lookup ~dir key with
         | Some e when e.Cache.fingerprint = fp -> (
@@ -200,7 +200,7 @@ let setup cell ~progress =
     | None -> None
     | Some path ->
         let fresh () = Some (Journal.create path ~header) in
-        if not policy.Spec.resume then fresh ()
+        if not policy.Spec.durability.Spec.resume then fresh ()
         else (
           match Journal.replay path with
           | Some (_, _, Journal.Corrupt_record { line }) ->
@@ -400,7 +400,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
   List.iter
     (fun (s : Spec.t) ->
       let p = s.Spec.policy in
-      if p.Spec.resume && p.Spec.journal = None && p.Spec.catalogue = None then
+      if p.Spec.durability.Spec.resume && p.Spec.durability.Spec.journal = None && p.Spec.durability.Spec.catalogue = None then
         invalid_arg "Engine.run: ~resume requires ~journal")
     specs;
   let cells = List.map Runcell.analyse specs in
@@ -410,7 +410,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
       (fun rt ->
         Option.iter Journal.close rt.writer;
         match
-          (rt.journal_path, rt.cell.Runcell.spec.Spec.policy.Spec.catalogue)
+          (rt.journal_path, rt.cell.Runcell.spec.Spec.policy.Spec.durability.Spec.catalogue)
         with
         | Some path, Some dir -> (
             try Catalog.record ~dir ~fingerprint:rt.fp ~path
@@ -528,7 +528,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
         let deadline =
           List.fold_left
             (fun acc (s : Spec.t) ->
-              match (s.Spec.policy.Spec.shard_timeout, acc) with
+              match (s.Spec.policy.Spec.supervision.Spec.shard_timeout, acc) with
               | None, acc -> acc
               | Some t, None -> Some t
               | Some t, Some a -> Some (Float.min t a))
@@ -699,7 +699,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
       let run_cell mode rt failures =
         let policy = rt.cell.Runcell.spec.Spec.policy in
         let sup = Spec.supervised policy in
-        let max_retries = policy.Spec.max_retries in
+        let max_retries = policy.Spec.supervision.Spec.max_retries in
         let label = Spec.label rt.cell.Runcell.spec in
         let capacity =
           match mode with
@@ -859,7 +859,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
           let current_deadline () =
             if not sup then None
             else
-              match policy.Spec.shard_timeout with
+              match policy.Spec.supervision.Spec.shard_timeout with
               | Some t -> Some t
               | None ->
                   let completions = !agg_shards_done - agg_resumed_shards in
@@ -945,7 +945,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                       rt.retries.(first) <- rt.retries.(first) + 1;
                     let attempt = rt.retries.(first) in
                     if (not progressed) && attempt > max_retries then
-                      if policy.Spec.quarantine then begin
+                      if policy.Spec.supervision.Spec.quarantine then begin
                         rt.quarantined.(first) <- true;
                         rt.q_info <- (first, attempt, cause) :: rt.q_info;
                         incr agg_q_shards;
@@ -997,7 +997,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
                         | None -> ());
                       incr agg_retries;
                       let delay =
-                        policy.Spec.retry_backoff
+                        policy.Spec.supervision.Spec.retry_backoff
                         *. (2. ** float_of_int (max 0 (attempt - 1)))
                       in
                       requeue unfinished (Unix.gettimeofday () +. delay);
@@ -1269,7 +1269,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
              records, and serving it as a hit would launder a degraded
              run into a complete one. *)
           (match
-             (rt.cell.Runcell.spec.Spec.policy.Spec.cache, rt.cache_key,
+             (rt.cell.Runcell.spec.Spec.policy.Spec.acceleration.Spec.cache, rt.cache_key,
               rt.journal_path)
            with
           | Some dir, Some key, Some path
@@ -1329,6 +1329,6 @@ let run ?(variant = "baseline") ?backend ?jobs ?shard_size ?journal
     ?(resume = false) ?progress ?observe golden =
   if resume && journal = None then
     invalid_arg "Engine.run: ~resume requires ~journal";
-  let policy = { Spec.default_policy with shard_size; journal; resume } in
+  let policy = Spec.make_policy ?shard_size ?journal ~resume () in
   run_spec ?backend ?jobs ?progress ?observe
     (Spec.of_golden ~variant ~policy golden)

@@ -26,6 +26,9 @@ type wire_job = {
   limit : int option;
   shard_size : int option;
   weighted : bool;
+  stride : int option;
+      (* checkpoint stride — a pure perf knob the peer honours locally;
+         deliberately absent from the fingerprint it verifies. *)
   program : Program.t;
   fingerprint : int;
   shard_ids : int array;
@@ -50,15 +53,17 @@ let wire_of_spec (spec : Spec.t) ~program ~fingerprint ~shard_ids ~index =
     variant = spec.Spec.variant;
     space = spec.Spec.space;
     limit = spec.Spec.limit;
-    shard_size = spec.Spec.policy.Spec.shard_size;
-    weighted = spec.Spec.policy.Spec.weighted;
+    shard_size = spec.Spec.policy.Spec.sharding.Spec.shard_size;
+    weighted = spec.Spec.policy.Spec.sharding.Spec.weighted;
+    stride = spec.Spec.policy.Spec.acceleration.Spec.checkpoint_stride;
     program;
     fingerprint;
     shard_ids;
     index;
   }
 
-(* Only the plan-shaping policy fields cross the wire: journalling,
+(* Only the plan-shaping policy fields (plus the checkpoint stride, so
+   the peer accelerates the same way) cross the wire: journalling,
    resume and supervision belong to the conducting parent. *)
 let spec_of_wire (job : wire_job) =
   {
@@ -68,11 +73,8 @@ let spec_of_wire (job : wire_job) =
     source = Spec.Build (fun () -> job.program);
     limit = job.limit;
     policy =
-      {
-        Spec.default_policy with
-        Spec.shard_size = job.shard_size;
-        weighted = job.weighted;
-      };
+      Spec.make_policy ?shard_size:job.shard_size ~weighted:job.weighted
+        ?checkpoint_stride:job.stride ();
   }
 
 let program_of_spec (spec : Spec.t) =

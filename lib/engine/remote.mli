@@ -48,6 +48,11 @@ type wire_job = {
   limit : int option;
   shard_size : int option;
   weighted : bool;
+  stride : int option;
+      (** The conductor's checkpoint stride, honoured by the peer so both
+          ends accelerate identically.  A pure perf knob — not part of
+          the fingerprint the peer verifies (outcomes are bit-identical
+          at any stride). *)
   program : Program.t;  (** The assembled image — plain data. *)
   fingerprint : int;  (** Conductor's campaign fingerprint; verified. *)
   shard_ids : int array;

@@ -14,8 +14,33 @@ type cell = {
   golden : Golden.t;
   defuse : Defuse.t;
   ram_bytes : int;
+  provider : unit -> Injector.provider;
   conduct : Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t;
 }
+
+(* Deferred so that a parent process which only analyses (journals,
+   shards, dispatches) never pays for the checkpoint ladder — only a
+   process that actually conducts experiments builds it, exactly once.
+   A mutex-guarded once-cell rather than [Lazy.t]: the domains backend
+   forces it from several domains at once, which [Lazy] forbids. *)
+let provider_of_policy (policy : Spec.policy) golden =
+  let lock = Mutex.create () in
+  let built = ref None in
+  fun () ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match !built with
+        | Some p -> p
+        | None ->
+            let p =
+              match policy.Spec.acceleration.Spec.checkpoint_stride with
+              | Some stride -> Injector.plan ~stride golden
+              | None -> Injector.plan golden
+            in
+            built := Some p;
+            p)
 
 let memory_cell spec golden =
   {
@@ -23,6 +48,7 @@ let memory_cell spec golden =
     golden;
     defuse = golden.Golden.defuse;
     ram_bytes = golden.Golden.program.Program.ram_size;
+    provider = provider_of_policy spec.Spec.policy golden;
     conduct = Scan.conduct_class;
   }
 
@@ -32,6 +58,7 @@ let register_cell spec (r : Regspace.t) =
     golden = r.Regspace.golden;
     defuse = r.Regspace.reg_defuse;
     ram_bytes = Regspace.pseudo_ram_bytes;
+    provider = provider_of_policy spec.Spec.policy r.Regspace.golden;
     conduct = Regspace.conduct;
   }
 
@@ -76,8 +103,9 @@ let fingerprint_cell cell ~plan =
     ~plan
 
 let plan_of_policy (policy : Spec.policy) classes =
-  Shard.plan ?shard_size:policy.Spec.shard_size ~weighted:policy.Spec.weighted
-    classes
+  Shard.plan
+    ?shard_size:policy.Spec.sharding.Spec.shard_size
+    ~weighted:policy.Spec.sharding.Spec.weighted classes
 
 let header_payload cell ~(plan : Shard.plan) ~fp =
   Printf.sprintf
@@ -204,7 +232,7 @@ let journal_finished path =
 let conduct_shard ?(on_class = fun ~class_index:_ _ -> ()) cell
     ~(classes : Defuse.byte_class array) ~(plan : Shard.plan)
     (shard : Shard.t) =
-  let session = Injector.session cell.golden in
+  let session = Injector.session (cell.provider ()) in
   let n = Shard.classes_in shard in
   let buf = Bytes.create (8 * n) in
   for k = 0 to n - 1 do

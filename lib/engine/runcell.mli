@@ -20,6 +20,13 @@ type cell = {
   golden : Golden.t;
   defuse : Defuse.t;  (** The space's def/use partition. *)
   ram_bytes : int;  (** Real or pseudo (register-space) RAM size. *)
+  provider : unit -> Injector.provider;
+      (** The session provider every conductor of this cell draws from —
+          an [Injector.plan] at the policy's
+          [acceleration.checkpoint_stride].  Deferred and memoised
+          (domain-safely), so a parent process that only
+          analyses/schedules never builds the checkpoint ladder; the
+          first conducting caller builds it exactly once. *)
   conduct : Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t;
 }
 
@@ -93,8 +100,9 @@ val conduct_shard :
   plan:Shard.plan ->
   Shard.t ->
   Bytes.t
-(** Conduct every experiment of one shard on a fresh checkpoint session
-    (valid because injection cycles are non-decreasing within a shard)
-    and return the packed outcome characters.  [on_class] is called once
-    per completed class with its index and its 8 outcome characters —
-    the hook the in-process backend uses for live tallies/progress. *)
+(** Conduct every experiment of one shard on a fresh session from the
+    cell's provider (valid because injection cycles are non-decreasing
+    within a shard) and return the packed outcome characters.
+    [on_class] is called once per completed class with its index and its
+    8 outcome characters — the hook the in-process backend uses for live
+    tallies/progress. *)

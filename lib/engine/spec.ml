@@ -7,35 +7,61 @@ type source =
   | Analysed_memory of Golden.t
   | Analysed_registers of Regspace.t
 
-type policy = {
-  shard_size : int option;
-  weighted : bool;
+type sharding = { shard_size : int option; weighted : bool }
+
+type durability = {
   journal : string option;
   resume : bool;
   catalogue : string option;
+}
+
+type supervision = {
   shard_timeout : float option;
   max_retries : int;
   quarantine : bool;
   retry_backoff : float;
-  cache : string option;
 }
+
+type acceleration = { cache : string option; checkpoint_stride : int option }
+
+type policy = {
+  sharding : sharding;
+  durability : durability;
+  supervision : supervision;
+  acceleration : acceleration;
+}
+
+let default_sharding = { shard_size = None; weighted = false }
+let default_durability = { journal = None; resume = false; catalogue = None }
+
+let default_supervision =
+  { shard_timeout = None; max_retries = 0; quarantine = false;
+    retry_backoff = 0.05 }
+
+let default_acceleration = { cache = None; checkpoint_stride = None }
 
 let default_policy =
   {
-    shard_size = None;
-    weighted = false;
-    journal = None;
-    resume = false;
-    catalogue = None;
-    shard_timeout = None;
-    max_retries = 0;
-    quarantine = false;
-    retry_backoff = 0.05;
-    cache = None;
+    sharding = default_sharding;
+    durability = default_durability;
+    supervision = default_supervision;
+    acceleration = default_acceleration;
+  }
+
+let make_policy ?shard_size ?(weighted = false) ?journal ?(resume = false)
+    ?catalogue ?shard_timeout ?(max_retries = 0) ?(quarantine = false)
+    ?(retry_backoff = 0.05) ?cache ?checkpoint_stride () =
+  {
+    sharding = { shard_size; weighted };
+    durability = { journal; resume; catalogue };
+    supervision = { shard_timeout; max_retries; quarantine; retry_backoff };
+    acceleration = { cache; checkpoint_stride };
   }
 
 let supervised policy =
-  policy.shard_timeout <> None || policy.max_retries > 0 || policy.quarantine
+  policy.supervision.shard_timeout <> None
+  || policy.supervision.max_retries > 0
+  || policy.supervision.quarantine
 
 type t = {
   benchmark : string;

@@ -9,8 +9,12 @@
     - a {b program cell} — benchmark name, variant name, and either a
       build thunk (compiled and analysed lazily by the engine) or an
       already-analysed {!Golden.t} / {!Regspace.t};
-    - an {b execution policy} — shard geometry and sizing, journal path,
-      resume behaviour, and the journal catalogue directory.
+    - an {b execution policy} — four orthogonal concern groups:
+      {!sharding} (shard geometry and sizing — the only group that is
+      part of the campaign fingerprint), {!durability} (journal, resume,
+      catalogue), {!supervision} (timeouts, retries, quarantine) and
+      {!acceleration} (result cache, checkpoint stride) — pure
+      throughput/robustness knobs that never shape outcomes.
 
     Specs are plain values: build one per matrix cell (see
     [Suite.spec_matrix] / [Suite.paper_specs]) and hand the whole list to
@@ -31,11 +35,14 @@ type source =
   | Analysed_registers of Regspace.t
       (** Pre-analysed register-space cell. *)
 
-type policy = {
+type sharding = {
   shard_size : int option;  (** Classes per shard; [None] = default. *)
   weighted : bool;
       (** Size shards by estimated conducted cycles ([Shard.By_weight])
           instead of class count.  Part of the campaign fingerprint. *)
+}
+
+type durability = {
   journal : string option;  (** Explicit journal path. *)
   resume : bool;
       (** Recover completed shards from the journal (found at [journal],
@@ -46,6 +53,9 @@ type policy = {
           this directory and records [fingerprint → path] in
           [<dir>/journals.idx] on close, so a later [resume] needs no
           explicit path. *)
+}
+
+type supervision = {
   shard_timeout : float option;
       (** Supervision deadline, in seconds, for one worker to make shard
           progress.  [None] derives a deadline from the observed shard
@@ -69,6 +79,9 @@ type policy = {
   retry_backoff : float;
       (** Base, in seconds, of the exponential backoff before a shard's
           [n]-th retry dispatch: [retry_backoff *. 2. ** (n - 1)]. *)
+}
+
+type acceleration = {
   cache : string option;
       (** Result-cache directory ({!Cache}).  When set, the engine
           consults the content-addressed store before scheduling any
@@ -76,13 +89,52 @@ type policy = {
           results with zero shard executions — and publishes this
           cell's journal on clean completion.  [None] disables both
           directions.  Not part of the campaign fingerprint. *)
+  checkpoint_stride : int option;
+      (** Checkpoint ladder stride, in cycles, for the snapshot-
+          accelerated injection hot path ([Injector.plan]).  [None] uses
+          [Injector.default_stride]; [Some n] with [n <= 0] disables the
+          ladder entirely (restart-from-reset [Injector.replay]
+          semantics).  A pure performance knob: outcomes are
+          bit-identical at every stride, so it is deliberately excluded
+          from campaign fingerprints and result-cache keys. *)
 }
 
+type policy = {
+  sharding : sharding;
+  durability : durability;
+  supervision : supervision;
+  acceleration : acceleration;
+}
+
+val default_sharding : sharding
+val default_durability : durability
+val default_supervision : supervision
+val default_acceleration : acceleration
+
 val default_policy : policy
-(** No journal, no catalogue, no resume, count-sized default shards —
-    and no supervision: [shard_timeout = None], [max_retries = 0],
-    [quarantine = false], [retry_backoff = 0.05] (the seed engine's
-    exact behaviour). *)
+(** No journal, no catalogue, no resume, count-sized default shards, no
+    supervision ([shard_timeout = None], [max_retries = 0],
+    [quarantine = false], [retry_backoff = 0.05]), no result cache, and
+    the default checkpoint stride — outcome-wise, the seed engine's
+    exact behaviour. *)
+
+val make_policy :
+  ?shard_size:int ->
+  ?weighted:bool ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?catalogue:string ->
+  ?shard_timeout:float ->
+  ?max_retries:int ->
+  ?quarantine:bool ->
+  ?retry_backoff:float ->
+  ?cache:string ->
+  ?checkpoint_stride:int ->
+  unit ->
+  policy
+(** Smart constructor over the flat leaf fields — every omitted label
+    takes its {!default_policy} value, so call sites need not know the
+    grouping.  [make_policy ()] = {!default_policy}. *)
 
 val supervised : policy -> bool
 (** Whether any supervision feature is on: an explicit [shard_timeout],

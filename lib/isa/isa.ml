@@ -105,3 +105,20 @@ let branch_targets = function
   | Beq (_, _, t, _) -> [ t ]
   | Jmp t | Jal (_, t) -> [ t ]
   | Nop | Halt | Li _ | Alu _ | Alui _ | Lb _ | Lw _ | Sb _ | Sw _ | Jr _ -> []
+
+let defs_uses instr =
+  let writes, reads =
+    match instr with
+    | Nop | Halt -> ([], [])
+    | Li (rd, _) -> ([ rd ], [])
+    | Alu (_, rd, rs1, rs2) -> ([ rd ], [ rs1; rs2 ])
+    | Alui (_, rd, rs1, _) -> ([ rd ], [ rs1 ])
+    | Lb (rd, rs, _) | Lw (rd, rs, _) -> ([ rd ], [ rs ])
+    | Sb (rv, rs, _) | Sw (rv, rs, _) -> ([], [ rv; rs ])
+    | Beq (rs1, rs2, _, _) -> ([], [ rs1; rs2 ])
+    | Jmp _ -> ([], [])
+    | Jal (rd, _) -> ([ rd ], [])
+    | Jr rs -> ([], [ rs ])
+  in
+  let non_zero r = reg_index r <> 0 in
+  (List.filter non_zero writes, List.filter non_zero reads)

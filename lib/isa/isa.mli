@@ -96,3 +96,10 @@ val is_store : instr -> bool
 val branch_targets : instr -> int list
 (** Instruction indices this instruction can jump to (empty for
     fall-through-only instructions). *)
+
+val defs_uses : instr -> reg list * reg list
+(** [(writes, reads)] of one instruction — the registers it defines and
+    uses, [r0] excluded from both (it is hardwired to zero).  Within one
+    cycle, reads happen before the write.  Shared by the register
+    fault-space extension ({!Fi_campaign.Regspace}) and the checkpoint
+    plan's register-liveness masks ({!Fi_campaign.Injector}). *)

@@ -33,46 +33,89 @@ type exec_tracer = cycle:int -> Isa.instr -> unit
 type t = {
   prog : Program.t;
   code : Isa.instr array;
+  xcode : (t -> unit) array; (* closure-compiled code, shared by forks *)
   rom : bytes;
   ram : Bytes.t;
   regs : int array; (* values masked to 32 bits, unsigned representation *)
   mutable pc : int;
   mutable cyc : int;
-  serial : Buffer.t;
+  serial_pre : string; (* immutable serial prefix, shared across restores *)
+  serial_pre_len : int; (* live bytes of [serial_pre] *)
+  serial : Buffer.t; (* bytes emitted past the shared prefix *)
   mutable events : (int * int32) list; (* reversed *)
   mutable stop : stop_reason option;
+  mutable hunt : hunt option;
+  mutable serial_trap : Bytes.t;
+      (* bitmap over output byte positions; emitting a flagged byte
+         suspends the run for a rendezvous-anchor check (empty = off) *)
   tracer : tracer option;
   exec_tracer : exec_tracer option;
 }
 
-let create ?tracer ?exec_tracer prog =
-  let regs = Array.make 16 0 in
-  List.iter
-    (fun (r, v) ->
-      let i = Isa.reg_index r in
-      if i <> 0 then regs.(i) <- Int32.to_int v land 0xFFFFFFFF)
-    prog.Program.reg_init;
-  {
-    prog;
-    code = prog.Program.code;
-    rom = prog.Program.rom;
-    ram = Program.initial_ram prog;
-    regs;
-    pc = 0;
-    cyc = 0;
-    serial = Buffer.create 64;
-    events = [];
-    stop = None;
-    tracer;
-    exec_tracer;
-  }
+(* Brent-style recurrence detector: one tortoise state, recaptured with
+   exponentially growing windows.  The hot loop pays one [pc] compare
+   per cycle.  In full mode ([h_full]) a hit additionally compares the
+   complete execution state (pc, regs, RAM — everything the transition
+   function reads), short-circuiting on the first differing register; a
+   match proves the state recurred, which on this deterministic machine
+   proves the run can never halt.  In probe mode a bare pc revisit
+   suspends the run: it proves nothing by itself, but hands the caller
+   a loop-period candidate for deeper analysis (see {!Loopproof}). *)
+and hunt = {
+  h_full : bool; (* full-state proof mode vs. pc-recurrence probe *)
+  h_serial : bool; (* suspension raised by the serial-position trap *)
+  mutable h_pc : int;
+  h_regs : int array; (* empty in probe mode *)
+  h_ram : Bytes.t; (* empty in probe mode *)
+  mutable h_window : int; (* current Brent window, in cycles *)
+  mutable h_left : int; (* cycles left before the tortoise moves *)
+  mutable h_dist : int; (* cycles since the tortoise was (re)captured *)
+  mutable h_stop : bool; (* suspend the run loop *)
+}
 
 let program m = m.prog
 let cycle m = m.cyc
 let pc m = m.pc
 let stopped m = m.stop
-let serial_output m = Buffer.contents m.serial
+
+let serial_output m =
+  if m.serial_pre_len = 0 then Buffer.contents m.serial
+  else if
+    Buffer.length m.serial = 0 && m.serial_pre_len = String.length m.serial_pre
+  then m.serial_pre
+  else begin
+    let tail = Buffer.length m.serial in
+    let b = Bytes.create (m.serial_pre_len + tail) in
+    Bytes.blit_string m.serial_pre 0 b 0 m.serial_pre_len;
+    Buffer.blit m.serial 0 b m.serial_pre_len tail;
+    Bytes.unsafe_to_string b
+  end
+
+let serial_length m = m.serial_pre_len + Buffer.length m.serial
+
+let serial_agrees m ~prefix ~len =
+  serial_length m = len
+  && String.length prefix >= len
+  &&
+  if m.serial_pre == prefix then begin
+    (* Shared prefix: only the buffered tail needs comparing. *)
+    let tail = Buffer.length m.serial in
+    let off = m.serial_pre_len in
+    let rec go i =
+      i >= tail
+      || Char.equal (Buffer.nth m.serial i) (String.unsafe_get prefix (off + i))
+         && go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    let s = serial_output m in
+    if String.length prefix = len then String.equal s prefix
+    else String.equal s (String.sub prefix 0 len)
+  end
+
 let detection_events m = List.rev m.events
+let event_count m = List.length m.events
 
 let mask32 = 0xFFFFFFFF
 let to_u32 v = v land mask32
@@ -153,8 +196,32 @@ let load_word m addr =
   | Memmap.Unmapped -> raise (Stop (Trapped (Unmapped_access addr)))
 
 let mmio_store m addr value =
-  if addr = Memmap.serial_port then
-    Buffer.add_char m.serial (Char.chr (value land 0xFF))
+  if addr = Memmap.serial_port then begin
+    Buffer.add_char m.serial (Char.chr (value land 0xFF));
+    let bits = m.serial_trap in
+    if Bytes.length bits > 0 then begin
+      (* position of the byte just emitted *)
+      let n = m.serial_pre_len + Buffer.length m.serial - 1 in
+      if
+        n < 8 * Bytes.length bits
+        && Char.code (Bytes.unsafe_get bits (n lsr 3)) land (1 lsl (n land 7))
+           <> 0
+      then
+        m.hunt <-
+          Some
+            {
+              h_full = false;
+              h_serial = true;
+              h_pc = m.pc;
+              h_regs = [||];
+              h_ram = Bytes.empty;
+              h_window = 0;
+              h_left = max_int;
+              h_dist = 0;
+              h_stop = true;
+            }
+    end
+  end
   else if addr = Memmap.detect_port then
     m.events <- (m.cyc, Int32.of_int (signed value)) :: m.events
   else if addr = Memmap.panic_port then
@@ -275,82 +342,571 @@ let step m =
   | None ->
       if m.pc < 0 || m.pc >= Array.length m.code then
         m.stop <- Some (Trapped (Bad_pc m.pc))
-      else begin
-        let instr = Array.unsafe_get m.code m.pc in
-        m.cyc <- m.cyc + 1;
-        (match m.exec_tracer with
-        | Some f -> f ~cycle:m.cyc instr
-        | None -> ());
-        try execute m instr with Stop reason -> m.stop <- Some reason
-      end
+      else (
+        match m.exec_tracer with
+        | Some f ->
+            let instr = Array.unsafe_get m.code m.pc in
+            m.cyc <- m.cyc + 1;
+            f ~cycle:m.cyc instr;
+            (try execute m instr with Stop reason -> m.stop <- Some reason)
+        | None ->
+            (* untraced: dispatch through the compiled code, same as the
+               run loops (the closures are bit-identical to [execute]) *)
+            let f = Array.unsafe_get m.xcode m.pc in
+            m.cyc <- m.cyc + 1;
+            (try f m with Stop reason -> m.stop <- Some reason))
 
-(* Hot path for [run]: no per-step [m.stop] rebinding beyond the loop. *)
-let rec run_steps m limit =
-  if m.cyc >= limit then m.stop <- Some Cycle_limit
-  else if m.pc < 0 || m.pc >= Array.length m.code then
-    m.stop <- Some (Trapped (Bad_pc m.pc))
+(* ------------------------------------------------------------------ *)
+(* Closure compilation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The campaign hot path simulates hundreds of millions of cycles, so
+   per-cycle decode — the [Isa.instr] match, operand index lookups,
+   [int32] immediate conversions — is a measurable fraction of a whole
+   campaign.  Each instruction therefore compiles once, per program,
+   into a closure specialised on its operands: register indices,
+   immediates and branch targets are resolved at compile time, static
+   control transfers are bounds-checked at compile time, and RAM
+   loads/stores test the common in-RAM case inline before falling back
+   to the full memory system.  The closure observes exactly the
+   semantics of [execute] per instruction; [step] keeps the
+   interpretive path (it must consult the exec tracer anyway).
+
+   The closure array is indexed by pc and shared by every machine
+   forked from the same creation (safe: closures capture no machine).
+   A sentinel closure at index [length code] turns falling off the end
+   of the program into the same [Bad_pc] trap the stepper raises, so
+   the driver loop needs no per-cycle pc bounds check: every compiled
+   transfer either validates its target or leaves [pc <= length code],
+   and no other pc values are reachable while the machine runs. *)
+
+let compile_instr ~ram_size ~code_len instr =
+  let ri = Isa.reg_index in
+  let valid t = t >= 0 && t < code_len in
+  match (instr : Isa.instr) with
+  | Nop -> fun m -> m.pc <- m.pc + 1
+  | Halt -> fun _ -> raise (Stop Halted)
+  | Li (rd, imm) ->
+      let d = ri rd and v = imm32 imm in
+      fun m ->
+        set m d v;
+        m.pc <- m.pc + 1
+  | Alu (op, rd, rs1, rs2) -> (
+      let d = ri rd and a = ri rs1 and b = ri rs2 in
+      match (op : Isa.alu_op) with
+      | Add ->
+          fun m ->
+            set m d (to_u32 (get m a + get m b));
+            m.pc <- m.pc + 1
+      | Sub ->
+          fun m ->
+            set m d (to_u32 (get m a - get m b));
+            m.pc <- m.pc + 1
+      | And ->
+          fun m ->
+            set m d (get m a land get m b);
+            m.pc <- m.pc + 1
+      | Or ->
+          fun m ->
+            set m d (get m a lor get m b);
+            m.pc <- m.pc + 1
+      | Xor ->
+          fun m ->
+            set m d (get m a lxor get m b);
+            m.pc <- m.pc + 1
+      | op ->
+          fun m ->
+            set m d (alu_eval op (get m a) (get m b));
+            m.pc <- m.pc + 1)
+  | Alui (op, rd, rs1, imm) -> (
+      let d = ri rd and a = ri rs1 and v = imm32 imm in
+      match (op : Isa.alu_op) with
+      | Add ->
+          fun m ->
+            set m d (to_u32 (get m a + v));
+            m.pc <- m.pc + 1
+      | Sub ->
+          fun m ->
+            set m d (to_u32 (get m a - v));
+            m.pc <- m.pc + 1
+      | And ->
+          fun m ->
+            set m d (get m a land v);
+            m.pc <- m.pc + 1
+      | Or ->
+          fun m ->
+            set m d (get m a lor v);
+            m.pc <- m.pc + 1
+      | Xor ->
+          fun m ->
+            set m d (get m a lxor v);
+            m.pc <- m.pc + 1
+      | op ->
+          fun m ->
+            set m d (alu_eval op (get m a) v);
+            m.pc <- m.pc + 1)
+  | Lb (rd, rs, off) ->
+      let d = ri rd and s = ri rs and off = Int32.to_int off in
+      fun m ->
+        let addr = to_u32 (get m s + off) in
+        let v =
+          if addr < ram_size then begin
+            (match m.tracer with
+            | Some f -> f ~cycle:m.cyc ~addr ~width:1 ~kind:Read
+            | None -> ());
+            Char.code (Bytes.unsafe_get m.ram addr)
+          end
+          else load_byte m addr
+        in
+        set m d v;
+        m.pc <- m.pc + 1
+  | Lw (rd, rs, off) ->
+      let d = ri rd and s = ri rs and off = Int32.to_int off in
+      fun m ->
+        let addr = to_u32 (get m s + off) in
+        let v =
+          if addr land 3 = 0 && addr + 3 < ram_size then begin
+            (match m.tracer with
+            | Some f -> f ~cycle:m.cyc ~addr ~width:4 ~kind:Read
+            | None -> ());
+            let ram = m.ram in
+            Char.code (Bytes.unsafe_get ram addr)
+            lor (Char.code (Bytes.unsafe_get ram (addr + 1)) lsl 8)
+            lor (Char.code (Bytes.unsafe_get ram (addr + 2)) lsl 16)
+            lor (Char.code (Bytes.unsafe_get ram (addr + 3)) lsl 24)
+          end
+          else load_word m addr
+        in
+        set m d v;
+        m.pc <- m.pc + 1
+  | Sb (rd, rs, off) ->
+      let d = ri rd and s = ri rs and off = Int32.to_int off in
+      fun m ->
+        let addr = to_u32 (get m s + off) in
+        (if addr < ram_size then begin
+           (match m.tracer with
+           | Some f -> f ~cycle:m.cyc ~addr ~width:1 ~kind:Write
+           | None -> ());
+           Bytes.unsafe_set m.ram addr (Char.unsafe_chr (get m d land 0xFF))
+         end
+         else store_byte m addr (get m d));
+        m.pc <- m.pc + 1
+  | Sw (rd, rs, off) ->
+      let d = ri rd and s = ri rs and off = Int32.to_int off in
+      fun m ->
+        let addr = to_u32 (get m s + off) in
+        (if addr land 3 = 0 && addr + 3 < ram_size then begin
+           (match m.tracer with
+           | Some f -> f ~cycle:m.cyc ~addr ~width:4 ~kind:Write
+           | None -> ());
+           let v = get m d and ram = m.ram in
+           Bytes.unsafe_set ram addr (Char.unsafe_chr (v land 0xFF));
+           Bytes.unsafe_set ram (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+           Bytes.unsafe_set ram (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+           Bytes.unsafe_set ram (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+         end
+         else store_word m addr (get m d));
+        m.pc <- m.pc + 1
+  | Beq (rs1, rs2, target, c) ->
+      let a = ri rs1 and b = ri rs2 in
+      let taken : t -> unit =
+        if valid target then fun m -> m.pc <- target
+        else fun _ -> raise (Stop (Trapped (Bad_pc target)))
+      in
+      (match (c : Isa.cond) with
+      | Eq -> fun m -> if get m a = get m b then taken m else m.pc <- m.pc + 1
+      | Ne -> fun m -> if get m a <> get m b then taken m else m.pc <- m.pc + 1
+      | Lt ->
+          fun m ->
+            if signed (get m a) < signed (get m b) then taken m
+            else m.pc <- m.pc + 1
+      | Ge ->
+          fun m ->
+            if signed (get m a) >= signed (get m b) then taken m
+            else m.pc <- m.pc + 1
+      | Ltu -> fun m -> if get m a < get m b then taken m else m.pc <- m.pc + 1
+      | Geu -> fun m -> if get m a >= get m b then taken m else m.pc <- m.pc + 1)
+  | Jmp target ->
+      if valid target then fun m -> m.pc <- target
+      else fun _ -> raise (Stop (Trapped (Bad_pc target)))
+  | Jal (rd, target) ->
+      let d = ri rd in
+      if valid target then fun m ->
+        set m d (m.pc + 1);
+        m.pc <- target
+      else fun m ->
+        set m d (m.pc + 1);
+        raise (Stop (Trapped (Bad_pc target)))
+  | Jr rs ->
+      let s = ri rs in
+      fun m ->
+        let target = get m s in
+        if target >= code_len then raise (Stop (Trapped (Bad_pc target)))
+        else m.pc <- target
+
+let compile_program (prog : Program.t) =
+  let code = prog.Program.code in
+  let code_len = Array.length code in
+  let ram_size = prog.Program.ram_size in
+  Array.init (code_len + 1) (fun i ->
+      if i = code_len then fun _ -> raise (Stop (Trapped (Bad_pc code_len)))
+      else compile_instr ~ram_size ~code_len code.(i))
+
+let create ?tracer ?exec_tracer prog =
+  let regs = Array.make 16 0 in
+  List.iter
+    (fun (r, v) ->
+      let i = Isa.reg_index r in
+      if i <> 0 then regs.(i) <- Int32.to_int v land 0xFFFFFFFF)
+    prog.Program.reg_init;
+  {
+    prog;
+    code = prog.Program.code;
+    xcode = compile_program prog;
+    rom = prog.Program.rom;
+    ram = Program.initial_ram prog;
+    regs;
+    pc = 0;
+    cyc = 0;
+    serial_pre = "";
+    serial_pre_len = 0;
+    serial = Buffer.create 64;
+    events = [];
+    stop = None;
+    hunt = None;
+    serial_trap = Bytes.empty;
+    tracer;
+    exec_tracer;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Recurrence detection                                               *)
+(* ------------------------------------------------------------------ *)
+
+let hunt_window0 = 32
+
+let arm_hunt m ~full ~window0 =
+  m.hunt <-
+    Some
+      {
+        h_full = full;
+        h_serial = false;
+        h_pc = m.pc;
+        h_regs = (if full then Array.copy m.regs else [||]);
+        h_ram = (if full then Bytes.copy m.ram else Bytes.empty);
+        h_window = window0;
+        h_left = window0;
+        h_dist = 0;
+        h_stop = false;
+      }
+
+(* Bulk stepping for loop analysis: the per-step [try]/bounds overhead
+   of [step] is hoisted out, like the run loops do, with the observed
+   pc sequence landing in [buf].  Loop detectors are deliberately not
+   consulted — the caller is already past detection. *)
+let scan_pcs m buf =
+  let n = Array.length buf in
+  let i = ref 0 in
+  (match (m.stop, m.exec_tracer) with
+  | Some _, _ -> ()
+  | None, Some _ ->
+      (* traced machines are off the hot path: plain stepping *)
+      while !i < n && m.stop == None do
+        buf.(!i) <- m.pc;
+        step m;
+        incr i
+      done
+  | None, None -> (
+      let xcode = m.xcode in
+      try
+        while !i < n do
+          buf.(!i) <- m.pc;
+          let f = Array.unsafe_get xcode m.pc in
+          m.cyc <- m.cyc + 1;
+          f m;
+          incr i
+        done
+      with Stop reason ->
+        m.stop <- Some reason;
+        incr i));
+  !i
+
+let hunt_loops m = arm_hunt m ~full:true ~window0:hunt_window0
+
+let probe_pc_recurrence ?(window0 = hunt_window0) m =
+  arm_hunt m ~full:false ~window0:(max 1 window0)
+
+let loop_proven m =
+  match m.hunt with Some h -> h.h_full && h.h_stop | None -> false
+
+let pc_recurrence m =
+  match m.hunt with
+  | Some h when (not h.h_full) && (not h.h_serial) && h.h_stop -> Some h.h_dist
+  | Some _ | None -> None
+
+let state_hash m =
+  let h = ref (m.pc + 0x9E3779B9) in
+  let regs = m.regs in
+  for i = 1 to 15 do
+    h := (!h lxor Array.unsafe_get regs i) * 0x01000193 land max_int
+  done;
+  !h
+
+let trap_serial m ~positions = m.serial_trap <- positions
+
+let take_serial_trap m =
+  match m.hunt with
+  | Some h when h.h_serial && h.h_stop ->
+      m.hunt <- None;
+      true
+  | Some _ | None -> false
+
+let hunt_step m h =
+  if h.h_stop then ()
+  else if h.h_left = 0 then begin
+    h.h_pc <- m.pc;
+    if h.h_full then begin
+      Array.blit m.regs 0 h.h_regs 0 16;
+      Bytes.blit m.ram 0 h.h_ram 0 (Bytes.length m.ram)
+    end;
+    h.h_window <- h.h_window * 2;
+    h.h_left <- h.h_window;
+    h.h_dist <- 0
+  end
   else begin
-    let instr = Array.unsafe_get m.code m.pc in
-    m.cyc <- m.cyc + 1;
-    (match m.exec_tracer with
-    | Some f -> f ~cycle:m.cyc instr
-    | None -> ());
-    (try execute m instr with Stop reason -> m.stop <- Some reason);
-    if m.stop == None then run_steps m limit
+    h.h_left <- h.h_left - 1;
+    h.h_dist <- h.h_dist + 1;
+    if m.pc = h.h_pc then
+      if h.h_full then begin
+        let regs = m.regs and tregs = h.h_regs in
+        let rec eq i =
+          i >= 16
+          || (Array.unsafe_get regs i = Array.unsafe_get tregs i && eq (i + 1))
+        in
+        if eq 0 && Bytes.equal m.ram h.h_ram then h.h_stop <- true
+      end
+      else h.h_stop <- true
   end
 
+(* ------------------------------------------------------------------ *)
+(* Run loops                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled hot loop.  The pc is always within [0, length code]
+   while the machine is unstopped (see [compile_instr]), so the
+   closure fetch needs no bounds check; the [Stop] handler is hoisted
+   into [run_to] — one handler per span instead of one per cycle. *)
+let rec exec_loop m xcode stop_at =
+  if m.cyc < stop_at then begin
+    let f = Array.unsafe_get xcode m.pc in
+    m.cyc <- m.cyc + 1;
+    f m;
+    match m.hunt with
+    | None -> exec_loop m xcode stop_at
+    | Some h ->
+        hunt_step m h;
+        if not h.h_stop then exec_loop m xcode stop_at
+  end
+
+(* Machines with an exec tracer (golden analysis) take the stepper so
+   the tracer observes every instruction; they run exactly once per
+   campaign, off the hot path. *)
+let rec traced_loop m stop_at =
+  if m.cyc < stop_at && m.stop == None then begin
+    step m;
+    if m.stop == None then
+      match m.hunt with
+      | None -> traced_loop m stop_at
+      | Some h ->
+          hunt_step m h;
+          if not h.h_stop then traced_loop m stop_at
+  end
+
+let run_to m stop_at =
+  match m.stop with
+  | Some _ -> ()
+  | None -> (
+      match m.exec_tracer with
+      | None -> (
+          try exec_loop m m.xcode stop_at
+          with Stop reason -> m.stop <- Some reason)
+      | Some _ -> traced_loop m stop_at)
+
 let run m ~limit =
-  (match m.stop with None -> run_steps m limit | Some _ -> ());
+  (* [run] ignores an armed recurrence detector: the detector's clients
+     drive bounded spans with [run_until] (see the .mli contract). *)
+  let saved = m.hunt in
+  m.hunt <- None;
+  run_to m limit;
+  m.hunt <- saved;
   match m.stop with
   | Some reason -> reason
-  | None -> assert false (* run_steps only returns once stopped *)
+  | None ->
+      m.stop <- Some Cycle_limit;
+      Cycle_limit
 
-let run_until m ~cycle =
-  while m.stop = None && m.cyc < cycle do
-    step m
-  done
+let run_until m ~cycle = run_to m cycle
+
+let fork ?tracer m =
+  let serial = Buffer.create (Buffer.length m.serial + 64) in
+  Buffer.add_buffer serial m.serial;
+  {
+    m with
+    ram = Bytes.copy m.ram;
+    regs = Array.copy m.regs;
+    serial;
+    hunt = None;
+    serial_trap = Bytes.empty;
+    tracer;
+    exec_tracer = None;
+  }
+
 
 module Snapshot = struct
   type machine = t
 
   type t = {
     s_prog : Program.t;
+    s_xcode : (machine -> unit) array; (* shared, compiled once per program *)
     s_ram : bytes;
     s_regs : int array;
     s_pc : int;
     s_cyc : int;
-    s_serial : string;
+    s_serial_pre : string; (* immutable shared prefix *)
+    s_serial_pre_len : int; (* live bytes of [s_serial_pre] *)
+    s_serial_tail : string; (* bytes past the prefix at capture time *)
     s_events : (int * int32) list;
+    s_event_count : int;
     s_stop : stop_reason option;
   }
 
   let capture (m : machine) =
     {
       s_prog = m.prog;
+      s_xcode = m.xcode;
       s_ram = Bytes.copy m.ram;
       s_regs = Array.copy m.regs;
       s_pc = m.pc;
       s_cyc = m.cyc;
-      s_serial = Buffer.contents m.serial;
+      s_serial_pre = m.serial_pre;
+      s_serial_pre_len = m.serial_pre_len;
+      s_serial_tail = Buffer.contents m.serial;
       s_events = m.events;
+      s_event_count = List.length m.events;
       s_stop = m.stop;
     }
 
   let restore s ~tracer : machine =
-    let serial = Buffer.create (String.length s.s_serial + 64) in
-    Buffer.add_string serial s.s_serial;
+    let serial = Buffer.create (String.length s.s_serial_tail + 64) in
+    Buffer.add_string serial s.s_serial_tail;
     {
       prog = s.s_prog;
       code = s.s_prog.Program.code;
+      xcode = s.s_xcode;
       rom = s.s_prog.Program.rom;
       ram = Bytes.copy s.s_ram;
       regs = Array.copy s.s_regs;
       pc = s.s_pc;
       cyc = s.s_cyc;
+      serial_pre = s.s_serial_pre;
+      serial_pre_len = s.s_serial_pre_len;
       serial;
       events = s.s_events;
       stop = s.s_stop;
+      hunt = None;
+      serial_trap = Bytes.empty;
       tracer;
       exec_tracer = None;
     }
+
+  let cycle s = s.s_cyc
+  let serial_length s = s.s_serial_pre_len + String.length s.s_serial_tail
+  let event_count s = s.s_event_count
 end
+
+let run_checkpointed m ~stride ~limit =
+  if stride <= 0 then
+    invalid_arg "Machine.run_checkpointed: stride must be positive";
+  let marks = ref [] in
+  let rec go () =
+    let next = m.cyc + stride in
+    if next >= limit then run m ~limit
+    else begin
+      run_until m ~cycle:next;
+      match m.stop with
+      | Some r -> r
+      | None ->
+          marks :=
+            ( Bytes.copy m.ram,
+              Array.copy m.regs,
+              m.pc,
+              m.cyc,
+              serial_length m,
+              m.events,
+              List.length m.events )
+            :: !marks;
+          go ()
+    end
+  in
+  let stop = go () in
+  (* Serial state was recorded as a length watermark; resolve every
+     checkpoint against the run's final output (serial output is
+     append-only, so the first [mark] bytes are the capture-time
+     content), sharing one string across the whole ladder. *)
+  let full = serial_output m in
+  let snaps =
+    List.rev_map
+      (fun (ram, regs, pc, cyc, mark, events, evn) ->
+        {
+          Snapshot.s_prog = m.prog;
+          s_xcode = m.xcode;
+          s_ram = ram;
+          s_regs = regs;
+          s_pc = pc;
+          s_cyc = cyc;
+          s_serial_pre = full;
+          s_serial_pre_len = mark;
+          s_serial_tail = "";
+          s_events = events;
+          s_event_count = evn;
+          s_stop = None;
+        })
+      !marks
+  in
+  (stop, Array.of_list snaps)
+
+(* Shared by [converges_with] (which additionally requires equal cycle
+   counts) and [rendezvous_with] (which deliberately does not: a
+   cycle-shifted run replays the golden tail just the same — only its
+   cycle numbering differs). *)
+let state_agrees m (s : Snapshot.t) ~ram_live ~reg_mask =
+  m.pc = s.Snapshot.s_pc
+  && (match (m.stop, s.Snapshot.s_stop) with
+     | None, None -> true
+     | _, _ -> false)
+  && (let sregs = s.Snapshot.s_regs in
+      let regs = m.regs in
+      let rec go r =
+        r >= 16
+        || ((reg_mask land (1 lsl r) = 0
+            || Array.unsafe_get regs r = Array.unsafe_get sregs r)
+           && go (r + 1))
+      in
+      go 1)
+  &&
+  let sram = s.Snapshot.s_ram in
+  let ram = m.ram in
+  let n = Array.length ram_live in
+  let rec go i =
+    i >= n
+    ||
+    let b = Array.unsafe_get ram_live i in
+    Char.equal (Bytes.unsafe_get ram b) (Bytes.unsafe_get sram b) && go (i + 1)
+  in
+  go 0
+
+let converges_with m (s : Snapshot.t) ~ram_live ~reg_mask =
+  m.cyc = s.Snapshot.s_cyc && state_agrees m s ~ram_live ~reg_mask
+
+let rendezvous_with m (s : Snapshot.t) ~ram_live ~reg_mask =
+  state_agrees m s ~ram_live ~reg_mask

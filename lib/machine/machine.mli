@@ -60,13 +60,30 @@ val cycle : t -> int
 val pc : t -> int
 val stopped : t -> stop_reason option
 val serial_output : t -> string
-(** Bytes written to the serial port so far. *)
+(** Bytes written to the serial port so far.  Machines restored from a
+    {!Snapshot} share their pre-restore serial history as an immutable
+    prefix, so this materialises a fresh string; call it once per
+    classification, not per cycle. *)
+
+val serial_length : t -> int
+(** [String.length (serial_output m)], without materialising the
+    output. *)
+
+val serial_agrees : t -> prefix:string -> len:int -> bool
+(** [serial_agrees m ~prefix ~len] is
+    [String.equal (serial_output m) (String.sub prefix 0 len)], computed
+    without materialising the output when the machine's shared serial
+    prefix is physically [prefix] (the common case for machines restored
+    from a golden checkpoint ladder). *)
 
 val detection_events : t -> (int * int32) list
 (** Detection events [(cycle, code)] recorded through the detect port, in
     chronological order.  By convention the kernel writes
     {!Event_codes.corrected} when a fault-tolerance mechanism repaired an error
     and {!Event_codes.detected} when it only detected one. *)
+
+val event_count : t -> int
+(** [List.length (detection_events m)], without the reversal copy. *)
 
 val reg : t -> Isa.reg -> int32
 (** Current register value ([r0] always reads 0). *)
@@ -99,6 +116,14 @@ val flip_reg_bit : t -> reg:int -> bit:int -> unit
 val step : t -> unit
 (** Execute one instruction (no-op if the machine has stopped). *)
 
+val scan_pcs : t -> int array -> int
+(** [scan_pcs m buf] executes up to [Array.length buf] instructions,
+    recording in [buf.(i)] the pc {e before} the [i]-th one, and
+    returns the number of steps taken (short only if the machine
+    stopped).  Equivalent to calling {!step} in a loop but at the run
+    loops' per-cycle cost.  Armed loop detectors are not consulted —
+    the caller ({!Loopproof}) is already past detection. *)
+
 val run : t -> limit:int -> stop_reason
 (** [run m ~limit] executes until the machine stops or [limit] total
     cycles have been executed; in the latter case the machine is stopped
@@ -109,8 +134,16 @@ val run_until : t -> cycle:int -> unit
     [cycle] instructions have executed) or the machine stops earlier.
     Used to position the machine just before a fault-injection point. *)
 
+val fork : ?tracer:tracer -> t -> t
+(** [fork m] is an independent machine with identical state — the
+    one-copy fusion of {!Snapshot.capture} followed by
+    {!Snapshot.restore}.  The fork does not inherit [m]'s tracers. *)
+
 (** Deep-copyable machine state, for checkpoint-based campaign
-    acceleration. *)
+    acceleration.  Serial output is stored as an immutable shared prefix
+    plus the bytes buffered past it, so capturing and restoring machines
+    that descend from a common checkpoint ladder never copies the full
+    output. *)
 module Snapshot : sig
   type machine := t
   type t
@@ -121,4 +154,112 @@ module Snapshot : sig
   val restore : t -> tracer:tracer option -> machine
   (** Materialise a fresh machine from the snapshot; the new machine is
       independent of both the snapshot and the original. *)
+
+  val cycle : t -> int
+  (** Cycle count at capture. *)
+
+  val serial_length : t -> int
+  (** Serial bytes emitted at capture — the length watermark. *)
+
+  val event_count : t -> int
+  (** Detection events recorded at capture. *)
 end
+
+val run_checkpointed :
+  t -> stride:int -> limit:int -> stop_reason * Snapshot.t array
+(** Interval-checkpointing driver: run [m] to completion (or [limit],
+    as {!run}) capturing a snapshot after every [stride] executed cycles
+    while the machine is still running.  Serial state is recorded per
+    checkpoint as a length watermark and resolved against the run's
+    final output once it stops, so the whole ladder shares one string —
+    no per-checkpoint output copies.  Snapshots are returned in
+    ascending cycle order.
+
+    @raise Invalid_argument if [stride <= 0]. *)
+
+val converges_with :
+  t -> Snapshot.t -> ram_live:int array -> reg_mask:int -> bool
+(** [converges_with m snap ~ram_live ~reg_mask]: does running machine
+    [m] agree with checkpoint [snap] on everything that can influence
+    future execution — pc, cycle count, the registers whose bit is set
+    in [reg_mask] and the RAM bytes listed in [ram_live]?  The masks
+    must name (at least) every location the checkpoint's run still
+    {e reads before overwriting} — its live-in set; locations the run
+    overwrites first, or never touches again, may disagree freely.  On
+    a deterministic machine, agreement then proves both executions
+    evolve identically from this point on: every future read sees the
+    same value (live-in locations agree now; everything else is
+    rewritten — identically, by induction — before being read), so the
+    same instructions run with the same operands.  Serial output and
+    detection events are deliberately not compared — they record the
+    past, not the future. *)
+
+val rendezvous_with :
+  t -> Snapshot.t -> ram_live:int array -> reg_mask:int -> bool
+(** {!converges_with} without the cycle-count conjunct.  Sound for the
+    same reason — the machine has no way to observe its own cycle
+    counter, so two states agreeing on pc and live-ins evolve
+    identically even when their cycle numbering differs — but the
+    conclusions differ: the run replays the checkpoint's {e tail of
+    instructions}, shifted in time, rather than finishing at the
+    checkpoint run's cycle count.  The caller must separately check
+    that the shifted finish still beats the watchdog. *)
+
+val state_hash : t -> int
+(** A cheap fingerprint of the machine's register state and pc (RAM is
+    deliberately excluded — hashing it would cost more than it saves).
+    Two machines executing the same instruction stream hash equal at
+    corresponding points; the converse does not hold, so a hash match
+    is a {e hypothesis} to be verified with {!rendezvous_with}, never a
+    proof. *)
+
+val trap_serial : t -> positions:Bytes.t -> unit
+(** Arm the serial rendezvous trap: [positions] is a bitmap over
+    serial-output byte positions (bit [n] of byte [n/8]); when the
+    machine emits the byte at a flagged position, the run suspends
+    right after the emitting instruction ({!stopped} stays [None]).
+    Emitting a serial byte is the one hot-path event that pins a
+    cycle-shifted run to a known golden position, so it is the natural
+    trigger for a {!rendezvous_with} check.  The empty bitmap (the
+    default; never inherited by {!fork} or restored machines) disarms
+    the trap at zero per-cycle cost. *)
+
+val take_serial_trap : t -> bool
+(** Consume a pending serial-trap suspension: [true] iff the trap
+    fired, in which case the suspension is cleared and the run can be
+    resumed.  The caller should check this before {!pc_recurrence} —
+    a firing trap displaces an armed probe, which then needs
+    re-arming. *)
+
+val hunt_loops : t -> unit
+(** Arm the livelock detector on [m]: subsequent {!run_until} spans
+    watch for a recurrence of the execution state (pc, registers, RAM —
+    everything the transition function reads) via Brent's algorithm —
+    one tortoise state, recaptured with exponentially growing windows,
+    compared against the hare at one [pc] equality per cycle.  When a
+    recurrence is found the run suspends ({!loop_proven} becomes true,
+    {!stopped} stays [None]): on a deterministic machine a repeated
+    state proves the run can never halt, so the caller may classify it
+    as the watchdog would without simulating up to the cycle limit.
+    Forked and restored machines never inherit an armed detector. *)
+
+val loop_proven : t -> bool
+(** Whether the armed detector has proven an infinite loop ([false] if
+    {!hunt_loops} was never called). *)
+
+val probe_pc_recurrence : ?window0:int -> t -> unit
+(** Arm the detector in {e probe} mode: the same Brent tortoise as
+    {!hunt_loops}, but a bare [pc] revisit suspends the run without
+    comparing (or copying) any state.  A pc recurrence proves nothing
+    by itself — it is a cheap trigger for deeper loop analysis
+    ({!Loopproof}): the suspension hands the caller a machine parked at
+    a loop head together with a period candidate.  [window0] sets the
+    initial Brent window (default 32); re-arming with a larger window
+    spaces successive triggers out geometrically.  Replaces any
+    previously armed detector. *)
+
+val pc_recurrence : t -> int option
+(** [Some d] iff an armed {!probe_pc_recurrence} detector suspended the
+    run: the current [pc] was last visited [d] cycles ago ([d] is a
+    loop-period candidate, possibly a multiple or fraction of the true
+    period).  [None] for full-mode detectors and unarmed machines. *)

@@ -63,8 +63,8 @@ let cell_of_spec (spec : Spec.t) =
     c_variant = spec.Spec.variant;
     c_space = spec.Spec.space;
     c_limit = spec.Spec.limit;
-    c_shard_size = spec.Spec.policy.Spec.shard_size;
-    c_weighted = spec.Spec.policy.Spec.weighted;
+    c_shard_size = spec.Spec.policy.Spec.sharding.Spec.shard_size;
+    c_weighted = spec.Spec.policy.Spec.sharding.Spec.weighted;
     c_program = Remote.program_of_spec spec;
   }
 
@@ -78,7 +78,11 @@ let spec_of_cell ~policy (c : wire_cell) =
     source = Spec.Build (fun () -> c.c_program);
     limit = c.c_limit;
     policy =
-      { policy with Spec.shard_size = c.c_shard_size; weighted = c.c_weighted };
+      {
+        policy with
+        Spec.sharding =
+          { Spec.shard_size = c.c_shard_size; weighted = c.c_weighted };
+      };
   }
 
 (* The same key the engine will derive in [setup] — consulted by the
@@ -154,13 +158,8 @@ let parse_announce line =
    submitter. *)
 let run_job ~cfg ~secret conn cells =
   let policy =
-    {
-      Spec.default_policy with
-      Spec.catalogue = Some cfg.artifacts;
-      cache = Some cfg.artifacts;
-      max_retries = 2;
-      quarantine = true;
-    }
+    Spec.make_policy ~catalogue:cfg.artifacts ~cache:cfg.artifacts
+      ~max_retries:2 ~quarantine:true ()
   in
   let specs = List.map (spec_of_cell ~policy) cells in
   let lost = ref false in

@@ -19,6 +19,7 @@ let () =
       Test_machine.suite;
       Test_trace.suite;
       Test_campaign.suite;
+      Test_checkpoint.suite;
       Test_engine.suite;
       Test_matrix.suite;
       Test_process.suite;

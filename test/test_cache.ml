@@ -63,14 +63,7 @@ let spawn_helper var value =
     Unix.stdin Unix.stdout Unix.stderr
 
 let cache_policy ?journal ?shard_size ?(weighted = false) dir =
-  {
-    Spec.default_policy with
-    Spec.journal;
-    shard_size;
-    weighted;
-    catalogue = Some dir;
-    cache = Some dir;
-  }
+  Spec.make_policy ?journal ?shard_size ~weighted ~catalogue:dir ~cache:dir ()
 
 (* ------------------------------------------------------------------ *)
 (* Keying                                                             *)
@@ -271,8 +264,8 @@ let test_quarantined_never_published () =
       let policy =
         {
           (cache_policy ~shard_size:1 dir) with
-          Spec.max_retries = 0;
-          quarantine = true;
+          Spec.supervision =
+            { Spec.default_supervision with Spec.quarantine = true };
         }
       in
       let degraded =

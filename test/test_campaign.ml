@@ -112,7 +112,7 @@ let test_hi_failure_coordinates () =
 
 let test_session_matches_restart () =
   let g = Lazy.force hi_golden in
-  let session = Injector.session g in
+  let session = Injector.session (Injector.plan g) in
   (* Visit coordinates in non-decreasing cycle order. *)
   for cycle = 1 to 8 do
     for bit = 0 to 15 do
@@ -126,7 +126,7 @@ let test_session_matches_restart () =
 
 let test_session_monotonic () =
   let g = Lazy.force hi_golden in
-  let session = Injector.session g in
+  let session = Injector.session (Injector.replay g) in
   ignore (Injector.session_run_at session { Faultspace.cycle = 5; bit = 0 });
   Alcotest.check_raises "decreasing cycle"
     (Invalid_argument "Injector.session_run_at: injection cycles must not decrease")
@@ -166,8 +166,8 @@ let test_hi_brute_force_equivalence () =
 
 let test_scan_strategies_agree () =
   let g = Lazy.force hi_golden in
-  let a = Scan.pruned ~strategy:Injector.Checkpoint g in
-  let b = Scan.pruned ~strategy:Injector.Restart g in
+  let a = Scan.pruned ~provider:(Injector.plan g) g in
+  let b = Scan.pruned ~provider:(Injector.replay g) g in
   let key (e : Scan.experiment) =
     (e.Scan.byte, e.Scan.t_start, e.Scan.bit_in_byte, e.Scan.outcome)
   in

@@ -1,0 +1,307 @@
+(* Tests for the snapshot-accelerated injection hot path: the serial
+   watermark scheme of Machine.run_checkpointed, and the central
+   bit-identity theorem of Injector.plan — the checkpoint stride is a
+   pure performance knob, so every stride (including degenerate ones)
+   must reproduce the replay provider's outcomes exactly, on both fault
+   spaces, on fixed fixtures and qcheck-random programs, and across a
+   journal resume whose two halves ran with different strides. *)
+
+let check_scans_identical msg reference scan =
+  Alcotest.(check bool) (msg ^ " (structural)") true (reference = scan);
+  Alcotest.(check string)
+    (msg ^ " (serialised)")
+    (Csv_io.to_string reference)
+    (Csv_io.to_string scan)
+
+(* A small kernel whose fault space provokes every interesting shape of
+   faulty run: a RAM-resident loop bound (bit flips yield watchdog
+   timeouts for the ladder's loop-proof shortcut to classify), serial
+   output spread over the run (rendezvous anchors), and enough data flow
+   that some faults converge back onto the golden trace mid-run. *)
+let looper () =
+  let open Builder in
+  prog ~name:"looper" ~stack:64
+    [
+      global "acc" ~init:[ 3 ];
+      global "n" ~init:[ 9 ];
+      array "buf" 4 ~init:[ 1; 2; 3; 4 ];
+    ]
+    [
+      func "main" ~locals:[ "i" ]
+        (for_ "i" ~from:(i 0) ~below:(g "n")
+           [
+             out (g "acc" &: i 255);
+             setg "acc" (g "acc" +: elem "buf" (l "i" %: i 4));
+             set_elem "buf" (l "i" %: i 4) (g "acc" ^: i 5);
+           ]
+        @ [ out (g "acc" &: i 255); ret_unit ]);
+    ]
+
+let looper_golden = lazy (Golden.run (Codegen.compile (looper ())))
+
+let looper_replay =
+  lazy
+    (let golden = Lazy.force looper_golden in
+     Scan.pruned ~provider:(Injector.replay golden) golden)
+
+let outcome_count scan o =
+  Array.fold_left
+    (fun n e -> if e.Scan.outcome = o then n + 1 else n)
+    0 scan.Scan.experiments
+
+(* ------------------------------------------------------------------ *)
+(* Serial watermarks on the checkpoint ladder                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ladder_watermarks () =
+  let stride = 64 in
+  let m = Machine.create (Mbox1.baseline ~items:3 ()) in
+  let reason, snaps = Machine.run_checkpointed m ~stride ~limit:100_000 in
+  Alcotest.(check bool) "golden run halted" true (reason = Machine.Halted);
+  let output = Machine.serial_output m in
+  Alcotest.(check bool) "has checkpoints" true (Array.length snaps > 2);
+  Array.iteri
+    (fun idx snap ->
+      (* The ladder is captured after every [stride] executed cycles. *)
+      Alcotest.(check int)
+        (Printf.sprintf "snap %d cycle" idx)
+        ((idx + 1) * stride)
+        (Machine.Snapshot.cycle snap);
+      let r = Machine.Snapshot.restore snap ~tracer:None in
+      (* The length watermark was resolved against the final output:
+         a restored machine reports exactly the prefix emitted by
+         capture time, without ever having copied it per checkpoint. *)
+      let len = Machine.Snapshot.serial_length snap in
+      Alcotest.(check int)
+        (Printf.sprintf "snap %d serial watermark" idx)
+        len (Machine.serial_length r);
+      Alcotest.(check string)
+        (Printf.sprintf "snap %d serial prefix" idx)
+        (String.sub output 0 len) (Machine.serial_output r);
+      Alcotest.(check int)
+        (Printf.sprintf "snap %d event watermark" idx)
+        (Machine.Snapshot.event_count snap)
+        (Machine.event_count r);
+      (* Resuming any rung replays the rest of the run exactly. *)
+      let tail = Machine.run r ~limit:100_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "snap %d resumes to halt" idx)
+        true (tail = Machine.Halted);
+      Alcotest.(check int)
+        (Printf.sprintf "snap %d resumed cycles" idx)
+        (Machine.cycle m) (Machine.cycle r);
+      Alcotest.(check string)
+        (Printf.sprintf "snap %d resumed output" idx)
+        output (Machine.serial_output r))
+    snaps
+
+(* ------------------------------------------------------------------ *)
+(* Stride sweep: plan = replay, bit for bit, on both fault spaces     *)
+(* ------------------------------------------------------------------ *)
+
+(* Strides deliberately include the degenerate ends: 1 (a checkpoint
+   every cycle), 0 (plan degrades to replay), and one far beyond the
+   benchmark runtime (an empty ladder: every session starts at reset
+   but still classifies through the convergence shortcuts). *)
+let strides golden = [ 0; 1; 7; 64; golden.Golden.cycles + 50 ]
+
+let test_stride_identity_memory () =
+  let golden = Lazy.force looper_golden in
+  let reference = Lazy.force looper_replay in
+  (* The fixture must actually exercise the watchdog path. *)
+  Alcotest.(check bool) "fixture has timeouts" true
+    (outcome_count reference Outcome.Timeout > 0);
+  Alcotest.(check bool) "fixture has failures" true
+    (Array.exists
+       (fun e -> Outcome.is_failure e.Scan.outcome)
+       reference.Scan.experiments);
+  List.iter
+    (fun stride ->
+      check_scans_identical
+        (Printf.sprintf "memory stride %d" stride)
+        reference
+        (Scan.pruned ~provider:(Injector.plan ~stride golden) golden))
+    (strides golden)
+
+let test_stride_identity_registers () =
+  let rt = Regspace.analyze (Codegen.compile (looper ())) in
+  let rgolden = rt.Regspace.golden in
+  let reference = Regspace.scan ~provider:(Injector.replay rgolden) rt in
+  Alcotest.(check bool) "register fixture has timeouts" true
+    (outcome_count reference Outcome.Timeout > 0);
+  List.iter
+    (fun stride ->
+      check_scans_identical
+        (Printf.sprintf "registers stride %d" stride)
+        reference
+        (Regspace.scan ~provider:(Injector.plan ~stride rgolden) rt))
+    (strides rgolden)
+
+(* ------------------------------------------------------------------ *)
+(* run_at / session equivalence on ladder sessions                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_at_matches_planned_session () =
+  let golden = Lazy.force looper_golden in
+  let w_bits = golden.Golden.program.Program.ram_size * 8 in
+  let coords =
+    (* Edge cycles (first and last) and a spread in between, on a few
+       different bits. *)
+    [
+      (1, 0);
+      (1, w_bits - 1);
+      (golden.Golden.cycles / 3, 17 mod w_bits);
+      ((2 * golden.Golden.cycles / 3) + 1, 42 mod w_bits);
+      (golden.Golden.cycles, w_bits / 2);
+    ]
+  in
+  List.iter
+    (fun stride ->
+      let session = Injector.session (Injector.plan ~stride golden) in
+      List.iter
+        (fun (cycle, bit) ->
+          let coord = { Faultspace.cycle; bit } in
+          Alcotest.(check bool)
+            (Printf.sprintf "stride %d @ (%d,%d)" stride cycle bit)
+            true
+            (Injector.session_run_at session coord
+            = Injector.run_at golden coord))
+        coords)
+    [ 1; Injector.default_stride; golden.Golden.cycles + 50 ]
+
+(* ------------------------------------------------------------------ *)
+(* The stride is not part of the campaign identity                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_ignores_stride () =
+  let golden = Lazy.force looper_golden in
+  let spec stride =
+    Spec.of_golden
+      ~policy:(Spec.make_policy ~checkpoint_stride:stride ())
+      golden
+  in
+  let reference = Engine.fingerprint_spec (spec Injector.default_stride) in
+  List.iter
+    (fun stride ->
+      Alcotest.(check int)
+        (Printf.sprintf "fingerprint at stride %d" stride)
+        reference
+        (Engine.fingerprint_spec (spec stride)))
+    [ 0; 1; 7; 64; 100_000 ];
+  Alcotest.(check int) "fingerprint with default policy" reference
+    (Engine.fingerprint_spec (Spec.of_golden golden))
+
+(* ------------------------------------------------------------------ *)
+(* Journal resume across a stride change                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Killed
+
+let test_resume_stride_churn () =
+  (* A campaign journaled at one stride, killed partway, must resume at
+     a different stride (including stride 0 = replay semantics) to the
+     bit-identical result: the journal fingerprint cannot see the
+     stride, and shards conducted by the two providers agree exactly. *)
+  let golden = Lazy.force looper_golden in
+  let reference = Lazy.force looper_replay in
+  let path = Filename.temp_file "ficheckpoint" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let spec ~resume ~stride =
+        Spec.of_golden
+          ~policy:
+            (Spec.make_policy ~journal:path ~resume ~shard_size:1
+               ~checkpoint_stride:stride ())
+          golden
+      in
+      (match
+         Engine.run_spec ~jobs:1
+           ~progress:(fun ~done_ ~total ~tally:_ ->
+             if done_ > total / 3 then raise Killed)
+           (spec ~resume:false ~stride:8)
+       with
+      | _ -> Alcotest.fail "expected the campaign to be killed"
+      | exception Killed -> ());
+      let snap = ref None in
+      let resumed =
+        Engine.run_spec ~jobs:1
+          ~observe:(fun s -> snap := Some s)
+          (spec ~resume:true ~stride:512)
+      in
+      check_scans_identical "resumed at a different stride" reference resumed;
+      (match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check bool) "recovered shards without re-conducting" true
+            (s.Progress.resumed_classes > 0));
+      (* Once complete, a replay-semantics resume conducts nothing. *)
+      let snap = ref None in
+      let again =
+        Engine.run_spec ~jobs:1
+          ~observe:(fun s -> snap := Some s)
+          (spec ~resume:true ~stride:0)
+      in
+      check_scans_identical "replay-stride rerun" reference again;
+      match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check int) "zero conducted on complete journal"
+            s.Progress.classes_total s.Progress.resumed_classes)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random programs, random strides                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_program seed =
+  let open Builder in
+  let k = 3 + (seed mod 7) in
+  prog ~name:(Printf.sprintf "ckrand%d" seed) ~stack:64
+    [
+      global "acc" ~init:[ seed mod 11 ];
+      global "n" ~init:[ k ];
+      array "buf" 3 ~init:[ 1; 2; 3 ];
+    ]
+    [
+      func "main" ~locals:[ "i" ]
+        (for_ "i" ~from:(i 0) ~below:(g "n")
+           [
+             setg "acc" (g "acc" +: elem "buf" (l "i" %: i 3));
+             set_elem "buf" (l "i" %: i 3) (g "acc" ^: i seed);
+           ]
+        @ [ out (g "acc" &: i 255); ret_unit ]);
+    ]
+
+let qcheck_plan_equals_replay =
+  QCheck.Test.make ~name:"checkpoint plan equals replay on random programs"
+    ~count:8
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (seed, stride_seed) ->
+      let golden = Golden.run (Codegen.compile (random_program seed)) in
+      (* Cover tiny, mid and beyond-runtime strides. *)
+      let stride =
+        match stride_seed mod 3 with
+        | 0 -> 1 + (stride_seed mod 13)
+        | 1 -> 1 + (stride_seed mod golden.Golden.cycles)
+        | _ -> golden.Golden.cycles + 1 + stride_seed
+      in
+      Scan.pruned ~provider:(Injector.plan ~stride golden) golden
+      = Scan.pruned ~provider:(Injector.replay golden) golden)
+
+let suite =
+  ( "checkpoint",
+    [
+      Alcotest.test_case "ladder serial watermarks" `Quick
+        test_ladder_watermarks;
+      Alcotest.test_case "stride sweep bit-identity (memory)" `Quick
+        test_stride_identity_memory;
+      Alcotest.test_case "stride sweep bit-identity (registers)" `Quick
+        test_stride_identity_registers;
+      Alcotest.test_case "run_at matches planned sessions" `Quick
+        test_run_at_matches_planned_session;
+      Alcotest.test_case "fingerprint ignores stride" `Quick
+        test_fingerprint_ignores_stride;
+      Alcotest.test_case "journal resume across stride change" `Quick
+        test_resume_stride_churn;
+      QCheck_alcotest.to_alcotest qcheck_plan_equals_replay;
+    ] )

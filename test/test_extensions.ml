@@ -207,7 +207,7 @@ let qcheck_session_equals_restart =
        let c1 = 1 + (a mod w_cycles) and c2 = 1 + (b mod w_cycles) in
        let lo, hi = if c1 <= c2 then (c1, c2) else (c2, c1) in
        let bit1 = a mod w_bits and bit2 = b mod w_bits in
-       let session = Injector.session golden in
+       let session = Injector.session (Injector.plan ~stride:64 golden) in
        let s1 =
          Injector.session_run_at session { Faultspace.cycle = lo; bit = bit1 }
        in

@@ -95,7 +95,7 @@ let test_weighted_plan_invariants () =
 
 let test_weighted_engine_equals_serial () =
   let golden = Lazy.force hi_golden in
-  let policy = { Spec.default_policy with weighted = true } in
+  let policy = Spec.make_policy ~weighted:true () in
   check_scans_identical "hi weighted shards"
     (Lazy.force hi_serial)
     (Engine.run_spec ~jobs:2 (Spec.of_golden ~policy golden))
@@ -109,7 +109,7 @@ let test_fingerprints_distinguish () =
   let mem = Spec.of_golden golden in
   let reg = Spec.of_regspace (Lazy.force hi_regspace) in
   let weighted =
-    Spec.of_golden ~policy:{ Spec.default_policy with weighted = true } golden
+    Spec.of_golden ~policy:(Spec.make_policy ~weighted:true ()) golden
   in
   let fp_mem = Engine.fingerprint_spec mem in
   Alcotest.(check bool) "mem <> reg" true
@@ -157,16 +157,14 @@ let qcheck_register_engine_equals_scan =
           ]
       in
       let r = Regspace.analyze (Codegen.compile source) in
-      let policy = { Spec.default_policy with shard_size = Some shard_size } in
+      let policy = Spec.make_policy ~shard_size () in
       Regspace.scan r = Engine.run_spec ~jobs (Spec.of_regspace ~policy r))
 
 let test_register_journal_resume () =
   let r = Lazy.force hi_regspace in
   let serial = Lazy.force hi_reg_serial in
   with_temp_file (fun path ->
-      let policy =
-        { Spec.default_policy with shard_size = Some 4; journal = Some path }
-      in
+      let policy = Spec.make_policy ~shard_size:4 ~journal:path () in
       let full = Engine.run_spec ~jobs:2 (Spec.of_regspace ~policy r) in
       check_scans_identical "journaled register run" serial full;
       let total_shards =
@@ -181,7 +179,11 @@ let test_register_journal_resume () =
         Engine.run_spec ~jobs:2
           ~observe:(fun s -> snap := Some s)
           (Spec.of_regspace
-             ~policy:{ policy with Spec.resume = true }
+             ~policy:
+               { policy with
+                 Spec.durability =
+                   { policy.Spec.durability with Spec.resume = true };
+               }
              r)
       in
       check_scans_identical "resumed = uninterrupted" serial resumed;
@@ -201,8 +203,7 @@ let test_cross_space_resume_rejected () =
       ignore (Engine.run ~jobs:1 ~journal:path golden);
       let reg_resume =
         Spec.of_regspace
-          ~policy:
-            { Spec.default_policy with journal = Some path; resume = true }
+          ~policy:(Spec.make_policy ~journal:path ~resume:true ())
           r
       in
       (match Engine.run_spec ~jobs:1 reg_resume with
@@ -212,12 +213,11 @@ let test_cross_space_resume_rejected () =
       ignore
         (Engine.run_spec ~jobs:1
            (Spec.of_regspace
-              ~policy:{ Spec.default_policy with journal = Some path }
+              ~policy:(Spec.make_policy ~journal:path ())
               r));
       let mem_resume =
         Spec.of_golden
-          ~policy:
-            { Spec.default_policy with journal = Some path; resume = true }
+          ~policy:(Spec.make_policy ~journal:path ~resume:true ())
           golden
       in
       match Engine.run_spec ~jobs:1 mem_resume with
@@ -288,12 +288,7 @@ let test_matrix_partial_journals () =
   with_temp_file (fun path ->
       let journaled resume =
         Spec.of_golden
-          ~policy:
-            { Spec.default_policy with
-              shard_size = Some 1;
-              journal = Some path;
-              resume
-            }
+          ~policy:(Spec.make_policy ~shard_size:1 ~journal:path ~resume ())
           (Lazy.force flag1_golden)
       in
       let bare = Spec.of_golden (Lazy.force hi_golden) in
@@ -361,8 +356,7 @@ let test_catalogue_resume_by_fingerprint () =
   with_temp_dir (fun dir ->
       let spec resume =
         Spec.of_golden
-          ~policy:
-            { Spec.default_policy with catalogue = Some dir; resume }
+          ~policy:(Spec.make_policy ~catalogue:dir ~resume ())
           (Lazy.force hi_golden)
       in
       let first = Engine.run_spec ~jobs:2 (spec false) in
@@ -390,7 +384,7 @@ let test_catalogue_resume_by_fingerprint () =
 let test_resume_needs_journal_or_catalogue () =
   let spec =
     Spec.of_golden
-      ~policy:{ Spec.default_policy with resume = true }
+      ~policy:(Spec.make_policy ~resume:true ())
       (Lazy.force hi_golden)
   in
   Alcotest.check_raises "resume without journal or catalogue"

@@ -609,13 +609,7 @@ let test_remote_crash_and_resume () =
   with_temp_file (fun path ->
       let spec resume =
         Spec.of_golden
-          ~policy:
-            {
-              Spec.default_policy with
-              Spec.journal = Some path;
-              resume;
-              shard_size = Some 1;
-            }
+          ~policy:(Spec.make_policy ~journal:path ~resume ~shard_size:1 ())
           golden
       in
       (* The daemon inherits the torture env: remote worker 0 dies

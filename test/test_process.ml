@@ -157,7 +157,7 @@ let qcheck_processes_equal_serial =
 (* ------------------------------------------------------------------ *)
 
 let policy ~journal ?(resume = false) ?shard_size () =
-  { Spec.default_policy with Spec.journal = Some journal; resume; shard_size }
+  Spec.make_policy ~journal ~resume ?shard_size ()
 
 let test_processes_resume () =
   let serial = Lazy.force flag1_serial in

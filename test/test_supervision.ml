@@ -41,15 +41,8 @@ let with_torture value f =
    experiment classes, so [shard_size = 1] yields shards 0 and 1. *)
 let sup_policy ?journal ?(resume = false) ?shard_timeout ?(max_retries = 2)
     ?(quarantine = false) () =
-  {
-    Spec.default_policy with
-    Spec.journal;
-    resume;
-    shard_size = Some 1;
-    shard_timeout;
-    max_retries;
-    quarantine;
-  }
+  Spec.make_policy ?journal ~resume ~shard_size:1 ?shard_timeout ~max_retries
+    ~quarantine ()
 
 (* ------------------------------------------------------------------ *)
 (* Supervision journal records                                        *)
@@ -249,12 +242,7 @@ let test_journal_finished () =
       ignore
         (Engine.run_spec ~jobs:1
            (Spec.of_golden
-              ~policy:
-                {
-                  Spec.default_policy with
-                  Spec.journal = Some path;
-                  shard_size = Some 1;
-                }
+              ~policy:(Spec.make_policy ~journal:path ~shard_size:1 ())
               golden));
       Alcotest.(check bool) "complete journal finished" true
         (Runcell.journal_finished path);

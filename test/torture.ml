@@ -48,7 +48,7 @@ let with_torture value f =
   Fun.protect ~finally:(fun () -> Unix.putenv Worker.torture_var "") f
 
 let policy ~journal ?(resume = false) ?shard_size () =
-  { Spec.default_policy with Spec.journal = Some journal; resume; shard_size }
+  Spec.make_policy ~journal ~resume ?shard_size ()
 
 (* ------------------------------------------------------------------ *)
 (* Differential: Processes = serial on the fixtures, any -j           *)
@@ -147,6 +147,43 @@ let test_crash_immediately () =
       in
       check_scans_identical "immediate kill + resume" serial resumed)
 
+(* Stride churn across a crash: the checkpoint stride is excluded from
+   the journal fingerprint, so a campaign whose workers were SIGKILLed
+   under one snapshot-ladder stride must --resume under a different one
+   (here: fine ladder before the crash, replay semantics after) without
+   Journal_mismatch and to the bit-identical result. *)
+let test_crash_stride_churn () =
+  let serial = Lazy.force flag1_serial in
+  let golden = Lazy.force flag1_golden in
+  with_temp_file (fun path ->
+      let spec ~resume ~stride =
+        Spec.of_golden
+          ~policy:
+            (Spec.make_policy ~journal:path ~resume ~shard_size:1
+               ~checkpoint_stride:stride ())
+          golden
+      in
+      (match
+         with_torture "sigkill:1" (fun () ->
+             Engine.run_spec ~backend:Pool.Processes ~jobs:2
+               (spec ~resume:false ~stride:8))
+       with
+      | _ -> Alcotest.fail "expected Worker_failed"
+      | exception Engine.Worker_failed _ -> ());
+      let snap = ref None in
+      let resumed =
+        Engine.run_spec ~backend:Pool.Processes ~jobs:2
+          ~observe:(fun s -> snap := Some s)
+          (spec ~resume:true ~stride:0)
+      in
+      check_scans_identical "crash at stride 8, resume at stride 0" serial
+        resumed;
+      match !snap with
+      | None -> Alcotest.fail "observe never called"
+      | Some s ->
+          Alcotest.(check bool) "kept the pre-crash shards" true
+            (s.Progress.resumed_classes > 0))
+
 (* ------------------------------------------------------------------ *)
 (* qcheck: random programs under the crash matrix                     *)
 (* ------------------------------------------------------------------ *)
@@ -206,15 +243,8 @@ let qcheck_differential_registers =
 
 let sup_policy ?journal ?(resume = false) ?shard_size ?shard_timeout
     ?(max_retries = 2) ?(quarantine = false) () =
-  {
-    Spec.default_policy with
-    Spec.journal;
-    resume;
-    shard_size;
-    shard_timeout;
-    max_retries;
-    quarantine;
-  }
+  Spec.make_policy ?journal ~resume ?shard_size ?shard_timeout ~max_retries
+    ~quarantine ()
 
 (* Every worker wedges (silently, or chattily for [stall]) after its
    first completed shard — including retry workers.  Supervision must
@@ -762,6 +792,9 @@ let () =
       ( false,
         Alcotest.test_case "crash: killed before any shard" `Slow
           test_crash_immediately );
+      ( true,
+        Alcotest.test_case "crash then resume across a stride change" `Slow
+          test_crash_stride_churn );
       (true, Alcotest.test_case "supervision heals hangs" `Slow test_heal_hang);
       ( false,
         Alcotest.test_case "supervision heals stalls" `Slow test_heal_stall );
