@@ -506,6 +506,127 @@ let run_engine_checkpoint () =
     Printf.printf "spliced checkpoint into BENCH_engine.json\n"
   end
 
+let run_engine_fuzz () =
+  section
+    "ENGF | Susceptibility fuzzer throughput: programs/s and campaigns/s, \
+     domains vs processes (splices \"fuzz\" into BENCH_engine.json)";
+  let smoke = Sys.getenv_opt "FI_BENCH_SMOKE" <> None in
+  let budget = if smoke then 4 else 24 in
+  let variants = [ Delta.Sum_dmr; Delta.Dft 16 ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Generation throughput: seeded program construction through the
+     Mir.Check validity gate and a golden run, no campaigns. *)
+  let (), t_gen =
+    time (fun () ->
+        let master = Prng.create ~seed:2024L in
+        for _ = 1 to budget do
+          let prog = Gen.program (Prng.create ~seed:(Prng.next_int64 master)) in
+          ignore (Golden.run (Codegen.compile prog))
+        done)
+  in
+  (* Differential-hunt throughput: each program is one baseline campaign
+     plus one per variant, so the hunt conducts budget*(1+|variants|)
+     campaigns.  Shrinking is off: it measures the shrinker, not the
+     engine. *)
+  let hunt backend =
+    time (fun () ->
+        Delta.run ~backend ~jobs:2 ~variants ~shrink_budget:0 ~seed:2024L
+          ~budget ())
+  in
+  let h_dom, t_dom = hunt Pool.Domains in
+  let h_proc, t_proc = hunt Pool.Processes in
+  let campaigns = budget * (1 + List.length variants) in
+  let identical = h_dom.Delta.findings = h_proc.Delta.findings in
+  Printf.printf "programs generated  : %d  (%.1f programs/s)\n" budget
+    (float_of_int budget /. t_gen);
+  Printf.printf "campaigns per hunt  : %d\n" campaigns;
+  Printf.printf
+    "domains   -j 2      : %6.2f s  (%.1f campaigns/s, %d findings)\n" t_dom
+    (float_of_int campaigns /. t_dom)
+    (List.length h_dom.Delta.findings);
+  Printf.printf
+    "processes -j 2      : %6.2f s  (%.1f campaigns/s, %d findings)\n" t_proc
+    (float_of_int campaigns /. t_proc)
+    (List.length h_proc.Delta.findings);
+  Printf.printf "identical findings  : %b\n" identical;
+  if not identical then begin
+    Printf.eprintf
+      "engine-fuzz: domains and processes hunts disagree on findings\n";
+    exit 1
+  end;
+  if smoke then
+    Printf.printf
+      "smoke mode: backend agreement verified; BENCH_engine.json left \
+       untouched\n"
+  else begin
+    (* Same idempotent splice discipline as the checkpoint section. *)
+    let path = "BENCH_engine.json" in
+    let base =
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        text
+      end
+      else "{\n  \"benchmark\": \"bin_sem2/baseline\"\n}\n"
+    in
+    let find_sub hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec scan i =
+        if i + nn > nh then None
+        else if String.sub hay i nn = needle then Some i
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let fz_json =
+      Printf.sprintf
+        "{\n\
+        \    \"budget\": %d,\n\
+        \    \"programs_per_sec\": %.1f,\n\
+        \    \"campaigns\": %d,\n\
+        \    \"domains\": {\"seconds\": %.3f, \"campaigns_per_sec\": %.1f, \
+         \"findings\": %d},\n\
+        \    \"processes\": {\"seconds\": %.3f, \"campaigns_per_sec\": %.1f, \
+         \"findings\": %d},\n\
+        \    \"identical_findings\": %b\n\
+        \  }"
+        budget
+        (float_of_int budget /. t_gen)
+        campaigns t_dom
+        (float_of_int campaigns /. t_dom)
+        (List.length h_dom.Delta.findings)
+        t_proc
+        (float_of_int campaigns /. t_proc)
+        (List.length h_proc.Delta.findings)
+        identical
+    in
+    let trim_tail s =
+      let n = ref (String.length s) in
+      while !n > 0 && (s.[!n - 1] = '\n' || s.[!n - 1] = ' ') do
+        decr n
+      done;
+      String.sub s 0 !n
+    in
+    let body =
+      match find_sub base ",\n  \"fuzz\":" with
+      | Some i -> String.sub base 0 i
+      | None ->
+          let t = trim_tail base in
+          let n = String.length t in
+          if n > 0 && t.[n - 1] = '}' then trim_tail (String.sub t 0 (n - 1))
+          else t
+    in
+    let oc = open_out path in
+    output_string oc (body ^ ",\n  \"fuzz\": " ^ fz_json ^ "\n}\n");
+    close_out oc;
+    Printf.printf "spliced fuzz into BENCH_engine.json\n"
+  end
+
 let run_engine_supervision () =
   section
     "ENGS | Supervision overhead and healing cost: undisturbed vs crashing \
@@ -1036,6 +1157,7 @@ let artifacts =
     ("engine", run_engine);
     ("engine-parallel", run_engine_parallel);
     ("engine-checkpoint", run_engine_checkpoint);
+    ("engine-fuzz", run_engine_fuzz);
     ("engine-supervision", run_engine_supervision);
     ("engine-net", run_engine_net);
     ("engine-cache", run_engine_cache);

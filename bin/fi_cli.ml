@@ -1174,6 +1174,156 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List built-in benchmarks and variants.")
     Term.(const action $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_corpus_arg =
+  let doc =
+    "Corpus directory: mined counterexamples are stored here as \
+     content-addressed text entries, and $(b,fuzz replay) re-verifies \
+     every entry found here."
+  in
+  Arg.(
+    value
+    & opt string Corpus.default_dir
+    & info [ "o"; "corpus" ] ~docv:"DIR" ~doc)
+
+let fuzz_cmd =
+  let hunt_term =
+    let budget =
+      let doc = "Random programs to generate and evaluate." in
+      Arg.(value & opt int 8 & info [ "budget" ] ~docv:"N" ~doc)
+    in
+    let seed =
+      let doc =
+        "Master PRNG seed.  The whole hunt — programs, campaigns, \
+         shrinking — is a pure function of this value, so a corpus mined \
+         on one host reproduces anywhere."
+      in
+      Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+    in
+    let variants =
+      let doc =
+        "Comma-separated hardening variants to pit against the baseline: \
+         $(b,sumdmr), $(b,tmr), $(b,dft:N) (N NOP cycles prepended).  \
+         Default: sumdmr,tmr,dft:4,dft:16."
+      in
+      Arg.(value & opt (some string) None & info [ "variants" ] ~docv:"LIST" ~doc)
+    in
+    let samples =
+      let doc =
+        "Also draw an N-sample uniform raw-space estimate per cell \
+         (reported as the sampled extrapolation ratio; the predicate \
+         always uses the exact full scans)."
+      in
+      Arg.(value & opt (some int) None & info [ "samples" ] ~docv:"N" ~doc)
+    in
+    let min_found =
+      let doc =
+        "Exit nonzero unless at least $(docv) dilution-delusion findings \
+         were mined (CI gate)."
+      in
+      Arg.(value & opt int 0 & info [ "min-found" ] ~docv:"N" ~doc)
+    in
+    let shrink_budget =
+      let doc = "Campaign-pair evaluations the shrinker may spend per finding." in
+      Arg.(value & opt int 200 & info [ "shrink-budget" ] ~docv:"N" ~doc)
+    in
+    let action budget seed variants samples min_found shrink_budget dir opts =
+      let backend = backend_of opts in
+      let variants =
+        match variants with
+        | None -> Delta.default_variants
+        | Some s ->
+            List.map
+              (fun v -> or_die (Delta.variant_of_string (String.trim v)))
+              (String.split_on_char ',' s)
+      in
+      let hunt =
+        Delta.run ~backend ~jobs:opts.jobs ~variants ?samples
+          ~shrink_budget
+          ~log:(fun line -> Printf.eprintf "%s\n%!" line)
+          ~seed:(Int64.of_int seed) ~budget ()
+      in
+      List.iter
+        (fun f ->
+          let path = Corpus.store ~dir (Corpus.of_finding f) in
+          Format.printf "%s %s %a%s@." path
+            (Delta.variant_to_string f.Delta.variant)
+            Pitfalls.pp_dilution
+            {
+              Pitfalls.baseline_failures = f.Delta.baseline.Delta.failures;
+              hardened_failures = f.Delta.hardened.Delta.failures;
+              baseline_space = f.Delta.baseline.Delta.space;
+              hardened_space = f.Delta.hardened.Delta.space;
+            }
+            (match f.Delta.sampled_failure_ratio with
+            | None -> ""
+            | Some r -> Printf.sprintf " (sampled ratio %.3f)" r))
+        hunt.Delta.findings;
+      let found = List.length hunt.Delta.findings in
+      Printf.printf
+        "%d programs evaluated, %d dilution-delusion findings stored under %s\n"
+        hunt.Delta.tried found dir;
+      if found < min_found then begin
+        Printf.eprintf "fi-cli: fuzz found %d < --min-found %d\n" found
+          min_found;
+        exit 1
+      end
+    in
+    Term.(
+      const action $ budget $ seed $ variants $ samples $ min_found
+      $ shrink_budget $ fuzz_corpus_arg $ engine_opts_term)
+  in
+  let replay_cmd =
+    let action dir opts =
+      let backend = backend_of opts in
+      let paths = Corpus.list ~dir in
+      if paths = [] then
+        or_die (Error (Printf.sprintf "no corpus entries under %s" dir));
+      let failed = ref 0 in
+      List.iter
+        (fun path ->
+          match Corpus.load_file path with
+          | Error msg ->
+              incr failed;
+              Printf.printf "FAIL %s: %s\n%!" path msg
+          | Ok e -> (
+              match Corpus.verify ~backend ~jobs:opts.jobs e with
+              | Ok () ->
+                  Printf.printf "ok   %s (%s, F %d/%d -> %d/%d)\n%!" path
+                    (Delta.variant_to_string e.Corpus.variant)
+                    e.Corpus.baseline.Delta.failures
+                    e.Corpus.baseline.Delta.space
+                    e.Corpus.hardened.Delta.failures
+                    e.Corpus.hardened.Delta.space
+              | Error msg ->
+                  incr failed;
+                  Printf.printf "FAIL %s: %s\n%!" path msg))
+        paths;
+      Printf.printf "%d/%d corpus entries verified\n" (List.length paths - !failed)
+        (List.length paths);
+      if !failed > 0 then exit 1
+    in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:"Re-verify every corpus entry bit-identically: recompile each \
+               program from its stored text, re-conduct both campaigns on \
+               the chosen backend, and require the stored tallies exactly \
+               plus the coverage-vs-failures inversion.  Nonzero exit on \
+               any mismatch.")
+      Term.(const action $ fuzz_corpus_arg $ engine_opts_term)
+  in
+  Cmd.group
+    (Cmd.info "fuzz"
+       ~doc:"Mine dilution-delusion counterexamples: generate random MIR \
+             programs, campaign them against SUM+DMR/TMR/DFT hardened \
+             variants on any backend, flag cells where fault coverage \
+             improves while extrapolated absolute failures rise, shrink \
+             each finding, and store it in a replayable regression corpus.")
+    ~default:hunt_term [ replay_cmd ]
+
 let () =
   (* Must run before anything else: a process exec'd with
      FI_ENGINE_WORKER=1 is a campaign worker, not a CLI, one exec'd
@@ -1190,4 +1340,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
     [ run_cmd; trace_cmd; campaign_cmd; matrix_cmd; sample_cmd; compare_cmd;
       asm_cmd; poisson_cmd; report_cmd; journal_cmd; list_cmd; worker_cmd;
-      serve_cmd; submit_cmd; status_cmd ]))
+      serve_cmd; submit_cmd; status_cmd; fuzz_cmd ]))

@@ -1322,6 +1322,16 @@ let run_spec ?backend ?jobs ?progress ?observe spec =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* Sampled-campaign helper: full scan + oracle estimate                *)
+(* ------------------------------------------------------------------ *)
+
+let run_sampled ?backend ?jobs ?progress ~seed ~samples spec =
+  if samples <= 0 then invalid_arg "Engine.run_sampled: samples must be > 0";
+  let scan = run_spec ?backend ?jobs ?progress spec in
+  let rng = Prng.create ~seed in
+  (scan, Sampler.uniform_raw_oracle rng ~samples scan)
+
+(* ------------------------------------------------------------------ *)
 (* Compatibility wrapper: the PR-1 single-campaign entry point         *)
 (* ------------------------------------------------------------------ *)
 

@@ -249,6 +249,28 @@ val run_spec :
 (** The single-cell matrix: [run_spec spec = List.hd (run_matrix [spec])]
     with a plain {!Scan.progress} callback. *)
 
+val run_sampled :
+  ?backend:Pool.backend ->
+  ?jobs:int ->
+  ?progress:Scan.progress ->
+  seed:int64 ->
+  samples:int ->
+  Spec.t ->
+  Scan.t * Sampler.estimate
+(** [run_sampled ~seed ~samples spec] conducts the cell's full campaign
+    through {!run_spec} (any backend, bit-identical as always) and then
+    draws a {!Sampler.uniform_raw_oracle} estimate of [samples]
+    coordinates against the completed scan, from a fresh
+    [Prng.create ~seed].  Because the oracle sampler is property-tested
+    identical to its conducting counterpart, the estimate is exactly what
+    a sampled campaign with that PRNG state would have produced — while
+    the full scan stays available for exact metrics.  This is the
+    fuzzer's sampled-campaign path: the differential driver decides the
+    dilution predicate on the exact scans and reports the sampled
+    extrapolations alongside.
+
+    @raise Invalid_argument if [samples <= 0]. *)
+
 val run :
   ?variant:string ->
   ?backend:Pool.backend ->

@@ -1,0 +1,541 @@
+open Mir
+
+type cfg = {
+  max_scalars : int;
+  max_arrays : int;
+  max_array_len : int;
+  max_block : int;
+  max_iters : int;
+  max_depth : int;
+}
+
+let default_cfg =
+  {
+    max_scalars = 4;
+    max_arrays = 2;
+    max_array_len = 4;
+    max_block = 4;
+    max_iters = 8;
+    max_depth = 2;
+  }
+
+(* All drawing goes through explicit sequential [let]s: OCaml evaluates
+   constructor arguments right-to-left, which would make the stream
+   order (and thus the corpus) compiler-dependent otherwise. *)
+
+(* [w_scalars]/[w_arrays] are the globals the function under
+   construction may WRITE; reads draw from the full [scalars]/[arrays].
+   GOP weaving updates replicas only at function exit, so a write to a
+   protected object followed by a call would present a stale checksum
+   to the callee's entry check, which would "correct" the value back
+   and change golden behaviour.  Confining protected writes to [tick]
+   (which makes no calls) keeps all variants output-identical. *)
+type ctx = {
+  cfg : cfg;
+  rng : Prng.t;
+  scalars : string array;
+  arrays : (string * int) array;  (* name, length in words *)
+  w_scalars : string array;
+  w_arrays : (string * int) array;
+  locals : string array;  (* value locals, always declared *)
+}
+
+let counted_loop var bound body =
+  [
+    Set_local (var, Int 0l);
+    While
+      ( Cmp (Lt, Local var, Int (Int32.of_int bound)),
+        body @ [ Set_local (var, Bin (Add, Local var, Int 1l)) ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let small_const rng =
+  match Prng.int rng 5 with
+  | 0 -> Int32.of_int (Prng.int rng 8)
+  | 1 -> Int32.of_int (Prng.int rng 256)
+  | 2 -> Int32.of_int (1 + Prng.int rng 65535)
+  | 3 -> Int32.lognot (Int32.of_int (Prng.int rng 255)) (* negative *)
+  | _ -> Int32.of_int (1 + Prng.int rng 9)
+
+let rec leaf ctx =
+  match Prng.int ctx.rng 8 with
+  | 0 | 1 -> Int (small_const ctx.rng)
+  | 2 | 3 | 4 ->
+      let s = Prng.choose ctx.rng ctx.scalars in
+      Global s
+  | 5 | 6 -> Local (Prng.choose ctx.rng ctx.locals)
+  | _ ->
+      if Array.length ctx.arrays = 0 then Local (Prng.choose ctx.rng ctx.locals)
+      else
+        let a, len = Prng.choose ctx.rng ctx.arrays in
+        let idx = masked_index ctx (a, len) in
+        Elem (a, idx)
+
+(* Indices are always [e % len]: Remu is unsigned, the divisor is a
+   positive constant, so the access is in bounds and trap-free. *)
+and masked_index ctx (_, len) =
+  let e = leaf ctx in
+  Bin (Remu, e, Int (Int32.of_int len))
+
+let rec expr ctx depth =
+  if depth = 0 || Prng.int ctx.rng 3 = 0 then leaf ctx
+  else
+    match Prng.int ctx.rng 10 with
+    | 0 ->
+        let a = expr ctx (depth - 1) in
+        let b = expr ctx (depth - 1) in
+        Bin (Add, a, b)
+    | 1 ->
+        let a = expr ctx (depth - 1) in
+        let b = expr ctx (depth - 1) in
+        Bin (Sub, a, b)
+    | 2 ->
+        let a = expr ctx (depth - 1) in
+        let b = expr ctx (depth - 1) in
+        Bin (Mul, a, b)
+    | 3 ->
+        let a = expr ctx (depth - 1) in
+        let b = expr ctx (depth - 1) in
+        Bin (Xor, a, b)
+    | 4 ->
+        let a = expr ctx (depth - 1) in
+        let b = expr ctx (depth - 1) in
+        Bin (And, a, b)
+    | 5 ->
+        let a = expr ctx (depth - 1) in
+        let b = expr ctx (depth - 1) in
+        Bin (Or, a, b)
+    | 6 ->
+        let a = expr ctx (depth - 1) in
+        let sh = Prng.int ctx.rng 16 in
+        Bin ((if Prng.bool ctx.rng then Shl else Shr), a, Int (Int32.of_int sh))
+    | 7 ->
+        (* Division/remainder only by nonzero constants: trap-free. *)
+        let a = expr ctx (depth - 1) in
+        let d = 1 + Prng.int ctx.rng 9 in
+        Bin ((if Prng.bool ctx.rng then Divu else Remu), a, Int (Int32.of_int d))
+    | _ ->
+        let ops = [| Eq; Ne; Lt; Ge; Ltu; Geu |] in
+        let op = Prng.choose ctx.rng ops in
+        let a = expr ctx (depth - 1) in
+        let b = expr ctx (depth - 1) in
+        Cmp (op, a, b)
+
+let condition ctx =
+  let op = Prng.choose ctx.rng [| Eq; Ne; Lt; Geu |] in
+  let a = expr ctx 1 in
+  let b = expr ctx 1 in
+  Cmp (op, a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [loop_depth] indexes the dedicated loop counters i0/i1, so nested
+   loops never clobber each other's counter; value locals are separate. *)
+let rec stmt ctx ~depth ~loop_depth ~allow_call : stmt list =
+  match Prng.int ctx.rng 12 with
+  | 0 | 1 ->
+      let l = Prng.choose ctx.rng ctx.locals in
+      let e = expr ctx ctx.cfg.max_depth in
+      [ Set_local (l, e) ]
+  | 2 | 3 when Array.length ctx.w_scalars > 0 ->
+      let s = Prng.choose ctx.rng ctx.w_scalars in
+      let e = expr ctx ctx.cfg.max_depth in
+      [ Set_global (s, e) ]
+  | 4 when Array.length ctx.w_arrays > 0 ->
+      let a, len = Prng.choose ctx.rng ctx.w_arrays in
+      let idx = masked_index ctx (a, len) in
+      let v = expr ctx (ctx.cfg.max_depth - 1) in
+      [ Set_elem (a, idx, v) ]
+  | 5 ->
+      let e = expr ctx 1 in
+      [ Out e ]
+  | 6 | 7 when depth > 0 ->
+      let c = condition ctx in
+      let t = block ctx ~depth:(depth - 1) ~loop_depth ~allow_call in
+      let e =
+        if Prng.bool ctx.rng then
+          block ctx ~depth:(depth - 1) ~loop_depth ~allow_call
+        else []
+      in
+      [ If (c, t, e) ]
+  | 8 when depth > 0 && loop_depth < 2 ->
+      let bound = 1 + Prng.int ctx.rng ctx.cfg.max_iters in
+      let body =
+        block ctx ~depth:(depth - 1) ~loop_depth:(loop_depth + 1) ~allow_call
+      in
+      counted_loop (Printf.sprintf "i%d" loop_depth) bound body
+  | 9 when allow_call -> [ Do_call ("tick", []) ]
+  | _ ->
+      (* Hot accumulator: the local state the dilution argument needs
+         live through the middle of the run. *)
+      let l = Prng.choose ctx.rng ctx.locals in
+      let e = expr ctx (ctx.cfg.max_depth - 1) in
+      [ Set_local (l, Bin (Add, Local l, e)) ]
+
+and block ctx ~depth ~loop_depth ~allow_call =
+  let n = 1 + Prng.int ctx.rng ctx.cfg.max_block in
+  List.concat
+    (List.init n (fun _ -> stmt ctx ~depth ~loop_depth ~allow_call))
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let loop_locals = [ "i0"; "i1" ]
+let value_locals = [ "v0"; "v1"; "v2" ]
+
+(* Generated code reads value locals freely, so they must be written
+   first: locals live in stack slots, and the hardened variants' helper
+   functions leave different residue at the addresses a later frame
+   overlaps.  An uninitialized read would make golden behaviour differ
+   across variants (and depend on call history in general). *)
+let init_locals = List.map (fun l -> Set_local (l, Int 0l)) value_locals
+
+(* Print every byte lane of an expression, so any surviving corruption
+   of the value becomes an output difference (SDC). *)
+let emit_lanes e =
+  [
+    Out e;
+    Out (Bin (Shr, e, Int 8l));
+    Out (Bin (Shr, e, Int 16l));
+    Out (Bin (Shr, e, Int 24l));
+  ]
+
+let scalar_name specs k =
+  let n, _, _ = List.nth specs k in
+  n
+
+let program ?(cfg = default_cfg) rng =
+  let n_scalars = 1 + Prng.int rng cfg.max_scalars in
+  let scalar_specs =
+    List.init n_scalars (fun k ->
+        let name = Printf.sprintf "s%d" k in
+        let init = small_const rng in
+        let protected = k = 0 || Prng.int rng 2 = 0 in
+        (name, init, protected))
+  in
+  let n_arrays = Prng.int rng (cfg.max_arrays + 1) in
+  let array_specs =
+    List.init n_arrays (fun k ->
+        let name = Printf.sprintf "a%d" k in
+        let len = 2 + Prng.int rng (cfg.max_array_len - 1) in
+        let init = List.init len (fun _ -> small_const rng) in
+        let protected = Prng.int rng 3 = 0 in
+        (name, len, init, protected))
+  in
+  let globals =
+    List.map
+      (fun (name, init, protected) ->
+        { g_name = name; g_ty = I32; g_init = [ init ]; g_protected = protected })
+      scalar_specs
+    @ List.map
+        (fun (name, len, init, protected) ->
+          { g_name = name; g_ty = Words len; g_init = init; g_protected = protected })
+        array_specs
+  in
+  let protected_names =
+    List.filter_map
+      (fun g -> if g.g_protected then Some g.g_name else None)
+      globals
+  in
+  let all_scalars = Array.of_list (List.map (fun (n, _, _) -> n) scalar_specs) in
+  let all_arrays =
+    Array.of_list (List.map (fun (n, len, _, _) -> (n, len)) array_specs)
+  in
+  (* tick may write anything; main only unprotected globals (see [ctx]). *)
+  let ctx =
+    {
+      cfg;
+      rng;
+      scalars = all_scalars;
+      arrays = all_arrays;
+      w_scalars = all_scalars;
+      w_arrays = all_arrays;
+      locals = Array.of_list value_locals;
+    }
+  in
+  let main_ctx =
+    {
+      ctx with
+      w_scalars =
+        Array.of_list
+          (List.filter_map
+             (fun (n, _, protected) -> if protected then None else Some n)
+             scalar_specs);
+      w_arrays =
+        Array.of_list
+          (List.filter_map
+             (fun (n, len, _, protected) ->
+               if protected then None else Some (n, len))
+             array_specs);
+    }
+  in
+  (* tick: the instrumented worker (its protects trigger GOP weaving in
+     the hardened variants).  No loops, no calls: termination is main's
+     loop bounds alone. *)
+  let tick_writes =
+    let p = List.nth protected_names (Prng.int rng (List.length protected_names)) in
+    match List.find (fun g -> g.g_name = p) globals with
+    | { g_ty = I32; _ } ->
+        let e = expr ctx cfg.max_depth in
+        [ Set_global (p, e) ]
+    | { g_ty = Words len; _ } ->
+        let idx = masked_index ctx (p, len) in
+        let e = expr ctx (cfg.max_depth - 1) in
+        [ Set_elem (p, idx, e) ]
+    | { g_ty = Byte_array _; _ } -> assert false (* never generated *)
+  in
+  let tick_body =
+    init_locals
+    @ block ctx ~depth:1 ~loop_depth:2 ~allow_call:false
+    @ tick_writes
+    @ [ Return None ]
+  in
+  let tick =
+    {
+      f_name = "tick";
+      f_params = [];
+      f_locals = value_locals;
+      f_body = tick_body;
+      f_protects = protected_names;
+    }
+  in
+  (* Overwrite phase: each unprotected scalar except one survivor is
+     clobbered with a constant with probability 1/2, killing its initial
+     value (the cycle-0 fault-space columns over it turn a-priori
+     benign).  Protected scalars are spared: main must not write them
+     (see [ctx]). *)
+  let survivor = Prng.int rng n_scalars in
+  let overwrites =
+    List.concat
+      (List.mapi
+         (fun k (name, _, protected) ->
+           if k <> survivor && (not protected) && Prng.bool rng then
+             let c = small_const rng in
+             [ Set_global (name, Int c) ]
+           else [])
+         scalar_specs)
+  in
+  let main_mid = block main_ctx ~depth:2 ~loop_depth:0 ~allow_call:true in
+  let hot_bound = 2 + Prng.int rng cfg.max_iters in
+  let hot_body =
+    block main_ctx ~depth:1 ~loop_depth:1 ~allow_call:true
+    @ [
+        Set_local
+          ("v0", Bin (Add, Local "v0", Global (scalar_name scalar_specs survivor)));
+      ]
+  in
+  let hot_loop = counted_loop "i0" hot_bound hot_body in
+  let emission =
+    List.concat_map (fun (name, _, _) -> emit_lanes (Global name)) scalar_specs
+    @ List.concat_map
+        (fun (name, len, _, _) ->
+          List.concat (List.init len (fun k ->
+              emit_lanes (Elem (name, Int (Int32.of_int k))))))
+        array_specs
+    @ List.concat_map (fun l -> emit_lanes (Local l)) value_locals
+  in
+  let main =
+    {
+      f_name = "main";
+      f_params = [];
+      f_locals = value_locals @ loop_locals;
+      f_body =
+        init_locals @ overwrites @ main_mid @ hot_loop @ emission
+        @ [ Return None ];
+      (* main reads protected state, so it gets the check-only "get"
+         weaving; listing the names is required for the entry check. *)
+      f_protects = protected_names;
+    }
+  in
+  let prog =
+    {
+      p_name = "fuzz";
+      p_globals = globals;
+      p_funcs = [ tick; main ];
+      p_stack_bytes = 192;
+    }
+  in
+  Check.check_exn prog;
+  prog
+
+let rename name p = { p with p_name = name }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec shrink_expr = function
+  | Int 0l -> []
+  | Int n -> [ Int 0l ] @ (if n <> Int32.div n 2l then [ Int (Int32.div n 2l) ] else [])
+  | Global _ | Local _ -> [ Int 0l ]
+  | Elem (_, idx) | Byte (_, idx) -> [ idx; Int 0l ]
+  | Bin (op, a, b) ->
+      let keep_rhs = match op with Divu | Remu -> true | _ -> false in
+      [ a ]
+      @ (if keep_rhs then [] else [ b ])
+      @ List.map (fun a' -> Bin (op, a', b)) (shrink_expr a)
+      @
+      if keep_rhs then []
+      else List.map (fun b' -> Bin (op, a, b')) (shrink_expr b)
+  | Cmp (op, a, b) ->
+      [ Int 0l; Int 1l; a; b ]
+      @ List.map (fun a' -> Cmp (op, a', b)) (shrink_expr a)
+      @ List.map (fun b' -> Cmp (op, a, b')) (shrink_expr b)
+  | Call _ -> []
+
+(* Replacements for one statement: each candidate is a statement list
+   spliced in place of the original. *)
+let rec shrink_stmt = function
+  | If (c, t, e) ->
+      [ t; e ]
+      @ List.map (fun c' -> [ If (c', t, e) ]) (shrink_expr c)
+      @ List.map (fun t' -> [ If (c, t', e) ]) (shrink_stmts t)
+      @ List.map (fun e' -> [ If (c, t, e') ]) (shrink_stmts e)
+  | While (c, b) ->
+      [ b ] (* run the body once: terminating by construction *)
+      @ List.map (fun b' -> [ While (c, b') ]) (shrink_stmts b)
+      @ List.map (fun c' -> [ While (c', b) ]) (shrink_expr c)
+  | Set_global (g, e) -> List.map (fun e' -> [ Set_global (g, e') ]) (shrink_expr e)
+  | Set_local (l, e) -> List.map (fun e' -> [ Set_local (l, e') ]) (shrink_expr e)
+  | Set_elem (a, i, v) ->
+      List.map (fun v' -> [ Set_elem (a, i, v') ]) (shrink_expr v)
+  | Set_byte (a, i, v) ->
+      List.map (fun v' -> [ Set_byte (a, i, v') ]) (shrink_expr v)
+  | Out e -> List.map (fun e' -> [ Out e' ]) (shrink_expr e)
+  | Do_call _ | Return _ | Out_str _ | Detect _ | Panic _ -> []
+
+(* All one-edit variants of a statement list: one deletion or one
+   in-place replacement. *)
+and shrink_stmts (ss : Mir.stmt list) : Mir.stmt list list =
+  let rec go prefix = function
+    | [] -> []
+    | s :: rest ->
+        let deleted = List.rev_append prefix rest in
+        let replaced =
+          List.map
+            (fun repl -> List.rev_append prefix (repl @ rest))
+            (shrink_stmt s)
+        in
+        (deleted :: replaced) @ go (s :: prefix) rest
+  in
+  go [] ss
+
+let used_names prog =
+  let tbl = Hashtbl.create 16 in
+  let mark n = Hashtbl.replace tbl n () in
+  let rec expr_uses = function
+    | Int _ -> ()
+    | Global g -> mark g
+    | Elem (a, e) | Byte (a, e) ->
+        mark a;
+        expr_uses e
+    | Local _ -> ()
+    | Bin (_, a, b) | Cmp (_, a, b) ->
+        expr_uses a;
+        expr_uses b
+    | Call (f, args) ->
+        mark f;
+        List.iter expr_uses args
+  in
+  let rec stmt_uses = function
+    | Set_global (g, e) ->
+        mark g;
+        expr_uses e
+    | Set_elem (a, i, v) | Set_byte (a, i, v) ->
+        mark a;
+        expr_uses i;
+        expr_uses v
+    | Set_local (_, e) | Out e -> expr_uses e
+    | If (c, t, e) ->
+        expr_uses c;
+        List.iter stmt_uses t;
+        List.iter stmt_uses e
+    | While (c, b) ->
+        expr_uses c;
+        List.iter stmt_uses b
+    | Do_call (f, args) ->
+        mark f;
+        List.iter expr_uses args
+    | Return (Some e) -> expr_uses e
+    | Return None | Out_str _ | Detect _ | Panic _ -> ()
+  in
+  List.iter (fun f -> List.iter stmt_uses f.f_body) prog.p_funcs;
+  tbl
+
+let shrink prog =
+  let body_edits =
+    List.concat_map
+      (fun f ->
+        List.map
+          (fun body' ->
+            {
+              prog with
+              p_funcs =
+                List.map
+                  (fun f' -> if f'.f_name = f.f_name then { f' with f_body = body' } else f')
+                  prog.p_funcs;
+            })
+          (shrink_stmts f.f_body))
+      prog.p_funcs
+  in
+  let used = used_names prog in
+  let drop_globals =
+    List.filter_map
+      (fun g ->
+        if Hashtbl.mem used g.g_name then None
+        else
+          Some
+            {
+              prog with
+              p_globals = List.filter (fun g' -> g'.g_name <> g.g_name) prog.p_globals;
+              p_funcs =
+                List.map
+                  (fun f ->
+                    {
+                      f with
+                      f_protects = List.filter (fun n -> n <> g.g_name) f.f_protects;
+                    })
+                  prog.p_funcs;
+            })
+      prog.p_globals
+  in
+  let drop_funcs =
+    List.filter_map
+      (fun f ->
+        if f.f_name = "main" || Hashtbl.mem used f.f_name then None
+        else
+          Some
+            { prog with p_funcs = List.filter (fun f' -> f'.f_name <> f.f_name) prog.p_funcs })
+      prog.p_funcs
+  in
+  let unprotect =
+    List.filter_map
+      (fun g ->
+        if not g.g_protected then None
+        else
+          Some
+            {
+              prog with
+              p_globals =
+                List.map
+                  (fun g' ->
+                    if g'.g_name = g.g_name then { g' with g_protected = false } else g')
+                  prog.p_globals;
+              p_funcs =
+                List.map
+                  (fun f ->
+                    {
+                      f with
+                      f_protects = List.filter (fun n -> n <> g.g_name) f.f_protects;
+                    })
+                  prog.p_funcs;
+            })
+      prog.p_globals
+  in
+  drop_funcs @ drop_globals @ body_edits @ unprotect

@@ -1,0 +1,45 @@
+(** Random MIR program generation for the susceptibility fuzzer.
+
+    The generator emits programs that are {e valid by construction}
+    (every output passes {!Check.check} — property-tested) and
+    {e terminate by construction}: the only loops are counted loops with
+    constant bounds, division and remainder take nonzero constant
+    divisors, array indices are masked into bounds with [Remu], and the
+    call graph is [main → tick] with no recursion.  All randomness flows
+    through {!Prng}, so a corpus seed reproduces the identical program
+    on every host.
+
+    The shape is tuned to make dilution-delusion instances reachable:
+    initialised globals (some protected, so SUM+DMR/TMR have something
+    to weave around), an overwrite phase that kills part of the initial
+    state, hot accumulator loops that keep mid-run state live, and an
+    emission epilogue that prints every byte lane of the final state —
+    so most surviving corruptions classify as SDC. *)
+
+type cfg = {
+  max_scalars : int;  (** Scalar globals, [1 ..] this. *)
+  max_arrays : int;  (** Word arrays, [0 ..] this. *)
+  max_array_len : int;  (** Words per array, [2 ..] this. *)
+  max_block : int;  (** Statements per generated block. *)
+  max_iters : int;  (** Constant loop bound, [1 ..] this. *)
+  max_depth : int;  (** Expression nesting depth. *)
+}
+
+val default_cfg : cfg
+(** Sized for CI: golden runtimes of a few thousand cycles, full pruned
+    campaigns well under a second per variant. *)
+
+val program : ?cfg:cfg -> Prng.t -> Mir.prog
+(** Draw one program.  The name encodes nothing; callers rename via
+    {!rename} to tie a program to its seed. *)
+
+val rename : string -> Mir.prog -> Mir.prog
+
+val shrink : Mir.prog -> Mir.prog list
+(** QCheck-style shrink candidates, most aggressive first: statement
+    deletions, branch/loop body promotion, expression simplification,
+    unused-global and unused-function removal.  Candidates are {e not}
+    guaranteed valid or terminating — the caller re-checks and
+    re-evaluates its predicate on each (a candidate whose golden run
+    fails is simply rejected), which is exactly the shrinker-soundness
+    contract the test suite enforces. *)

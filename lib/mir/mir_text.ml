@@ -1,0 +1,406 @@
+(* Versioned s-expression round-trip for MIR programs.
+
+   The encoder quotes every string (names may collide with keywords,
+   Out_str payloads are arbitrary bytes); the decoder accepts bare atoms
+   and quoted strings interchangeably, so hand-edited corpus entries
+   stay parseable. *)
+
+let version = "mir-v1"
+
+(* ------------------------------------------------------------------ *)
+(* S-expressions                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+let is_bare = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '+' | '_' | '\'' | '.' ->
+      true
+  | _ -> false
+
+let quote b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+          Buffer.add_string b (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec render b = function
+  | Atom s ->
+      if s <> "" && String.for_all is_bare s then Buffer.add_string b s
+      else quote b s
+  | List items ->
+      Buffer.add_char b '(';
+      List.iteri
+        (fun k item ->
+          if k > 0 then Buffer.add_char b ' ';
+          render b item)
+        items;
+      Buffer.add_char b ')'
+
+(* One token / sexp reader over a string with a mutable cursor. *)
+let parse_sexps text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    let continue_ = ref true in
+    while !continue_ do
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr pos;
+          continue_ := true
+      | Some ';' ->
+          (* comment to end of line *)
+          while !pos < n && text.[!pos] <> '\n' do
+            incr pos
+          done
+      | _ -> continue_ := false
+    done
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad hex digit %C" c
+  in
+  let read_quoted () =
+    incr pos (* opening quote *);
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match text.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          if !pos + 1 >= n then fail "unterminated escape";
+          (match text.[!pos + 1] with
+          | '"' -> Buffer.add_char b '"'; pos := !pos + 2
+          | '\\' -> Buffer.add_char b '\\'; pos := !pos + 2
+          | 'n' -> Buffer.add_char b '\n'; pos := !pos + 2
+          | 'r' -> Buffer.add_char b '\r'; pos := !pos + 2
+          | 't' -> Buffer.add_char b '\t'; pos := !pos + 2
+          | 'x' ->
+              if !pos + 3 >= n then fail "unterminated \\x escape";
+              Buffer.add_char b
+                (Char.chr
+                   ((16 * hex_digit text.[!pos + 2]) + hex_digit text.[!pos + 3]));
+              pos := !pos + 4
+          | c -> fail "unknown escape \\%C" c);
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let read_bare () =
+    let start = !pos in
+    while !pos < n && is_bare text.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "unexpected character %C" text.[!pos];
+    String.sub text start (!pos - start)
+  in
+  let rec read_sexp () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+        incr pos;
+        let items = ref [] in
+        let rec items_loop () =
+          skip_ws ();
+          match peek () with
+          | None -> fail "unterminated list"
+          | Some ')' -> incr pos
+          | Some _ ->
+              items := read_sexp () :: !items;
+              items_loop ()
+        in
+        items_loop ();
+        List (List.rev !items)
+    | Some ')' -> fail "unexpected ')'"
+    | Some '"' -> Atom (read_quoted ())
+    | Some _ -> Atom (read_bare ())
+  in
+  let sexps = ref [] in
+  skip_ws ();
+  while !pos < n do
+    sexps := read_sexp () :: !sexps;
+    skip_ws ()
+  done;
+  List.rev !sexps
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let atom s = Atom s
+let str s = Atom s (* rendered quoted unless it is a bare identifier *)
+let int_atom n = Atom (string_of_int n)
+let i32_atom v = Atom (Int32.to_string v)
+
+let binop_name = function
+  | Mir.Add -> "add"
+  | Mir.Sub -> "sub"
+  | Mir.Mul -> "mul"
+  | Mir.Divu -> "divu"
+  | Mir.Remu -> "remu"
+  | Mir.And -> "and"
+  | Mir.Or -> "or"
+  | Mir.Xor -> "xor"
+  | Mir.Shl -> "shl"
+  | Mir.Shr -> "shr"
+
+let cmpop_name = function
+  | Mir.Eq -> "eq"
+  | Mir.Ne -> "ne"
+  | Mir.Lt -> "lt"
+  | Mir.Ge -> "ge"
+  | Mir.Ltu -> "ltu"
+  | Mir.Geu -> "geu"
+
+let rec sexp_of_expr = function
+  | Mir.Int v -> List [ atom "i"; i32_atom v ]
+  | Mir.Global g -> List [ atom "g"; str g ]
+  | Mir.Elem (a, e) -> List [ atom "elem"; str a; sexp_of_expr e ]
+  | Mir.Byte (a, e) -> List [ atom "byte"; str a; sexp_of_expr e ]
+  | Mir.Local l -> List [ atom "l"; str l ]
+  | Mir.Bin (op, a, b) ->
+      List [ atom (binop_name op); sexp_of_expr a; sexp_of_expr b ]
+  | Mir.Cmp (op, a, b) ->
+      List [ atom (cmpop_name op); sexp_of_expr a; sexp_of_expr b ]
+  | Mir.Call (f, args) ->
+      List (atom "call" :: str f :: List.map sexp_of_expr args)
+
+let rec sexp_of_stmt = function
+  | Mir.Set_global (g, e) -> List [ atom "setg"; str g; sexp_of_expr e ]
+  | Mir.Set_elem (a, i, v) ->
+      List [ atom "sete"; str a; sexp_of_expr i; sexp_of_expr v ]
+  | Mir.Set_byte (a, i, v) ->
+      List [ atom "setb"; str a; sexp_of_expr i; sexp_of_expr v ]
+  | Mir.Set_local (l, e) -> List [ atom "setl"; str l; sexp_of_expr e ]
+  | Mir.If (c, t, e) ->
+      List
+        [
+          atom "if"; sexp_of_expr c;
+          List (atom "then" :: List.map sexp_of_stmt t);
+          List (atom "else" :: List.map sexp_of_stmt e);
+        ]
+  | Mir.While (c, body) ->
+      List (atom "while" :: sexp_of_expr c :: List.map sexp_of_stmt body)
+  | Mir.Do_call (f, args) ->
+      List (atom "docall" :: str f :: List.map sexp_of_expr args)
+  | Mir.Return None -> List [ atom "ret" ]
+  | Mir.Return (Some e) -> List [ atom "ret"; sexp_of_expr e ]
+  | Mir.Out e -> List [ atom "out"; sexp_of_expr e ]
+  | Mir.Out_str s -> List [ atom "outstr"; str s ]
+  | Mir.Detect v -> List [ atom "detect"; i32_atom v ]
+  | Mir.Panic v -> List [ atom "panic"; i32_atom v ]
+
+let sexp_of_ty = function
+  | Mir.I32 -> atom "i32"
+  | Mir.Words n -> List [ atom "words"; int_atom n ]
+  | Mir.Byte_array n -> List [ atom "bytes"; int_atom n ]
+
+let sexp_of_global (g : Mir.global) =
+  List
+    (atom "global" :: str g.Mir.g_name :: sexp_of_ty g.Mir.g_ty
+    :: (if g.Mir.g_protected then [ atom "protected" ] else [])
+    @ [ List (atom "init" :: List.map i32_atom g.Mir.g_init) ])
+
+let sexp_of_func (f : Mir.func) =
+  List
+    (atom "func" :: str f.Mir.f_name
+    :: List (atom "params" :: List.map str f.Mir.f_params)
+    :: List (atom "locals" :: List.map str f.Mir.f_locals)
+    :: List (atom "protects" :: List.map str f.Mir.f_protects)
+    :: List.map sexp_of_stmt f.Mir.f_body)
+
+let to_string (p : Mir.prog) =
+  let b = Buffer.create 1024 in
+  let line sexp =
+    render b sexp;
+    Buffer.add_char b '\n'
+  in
+  line (Atom version);
+  line (List [ atom "name"; str p.Mir.p_name ]);
+  line (List [ atom "stack"; int_atom p.Mir.p_stack_bytes ]);
+  List.iter (fun g -> line (sexp_of_global g)) p.Mir.p_globals;
+  List.iter (fun f -> line (sexp_of_func f)) p.Mir.p_funcs;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let as_string = function
+  | Atom s -> s
+  | List _ -> fail "expected a string, got a list"
+
+let as_int sexp =
+  match int_of_string_opt (as_string sexp) with
+  | Some n -> n
+  | None -> fail "expected an integer, got %S" (as_string sexp)
+
+let as_i32 sexp =
+  match Int32.of_string_opt (as_string sexp) with
+  | Some v -> v
+  | None -> fail "expected an int32, got %S" (as_string sexp)
+
+let binop_of_name = function
+  | "add" -> Some Mir.Add
+  | "sub" -> Some Mir.Sub
+  | "mul" -> Some Mir.Mul
+  | "divu" -> Some Mir.Divu
+  | "remu" -> Some Mir.Remu
+  | "and" -> Some Mir.And
+  | "or" -> Some Mir.Or
+  | "xor" -> Some Mir.Xor
+  | "shl" -> Some Mir.Shl
+  | "shr" -> Some Mir.Shr
+  | _ -> None
+
+let cmpop_of_name = function
+  | "eq" -> Some Mir.Eq
+  | "ne" -> Some Mir.Ne
+  | "lt" -> Some Mir.Lt
+  | "ge" -> Some Mir.Ge
+  | "ltu" -> Some Mir.Ltu
+  | "geu" -> Some Mir.Geu
+  | _ -> None
+
+let rec expr_of_sexp = function
+  | Atom s -> fail "bare atom %S where an expression was expected" s
+  | List (Atom "i" :: [ v ]) -> Mir.Int (as_i32 v)
+  | List (Atom "g" :: [ g ]) -> Mir.Global (as_string g)
+  | List (Atom "elem" :: [ a; e ]) -> Mir.Elem (as_string a, expr_of_sexp e)
+  | List (Atom "byte" :: [ a; e ]) -> Mir.Byte (as_string a, expr_of_sexp e)
+  | List (Atom "l" :: [ l ]) -> Mir.Local (as_string l)
+  | List (Atom "call" :: f :: args) ->
+      Mir.Call (as_string f, List.map expr_of_sexp args)
+  | List [ Atom op; a; b ] -> (
+      match (binop_of_name op, cmpop_of_name op) with
+      | Some bop, _ -> Mir.Bin (bop, expr_of_sexp a, expr_of_sexp b)
+      | None, Some cop -> Mir.Cmp (cop, expr_of_sexp a, expr_of_sexp b)
+      | None, None -> fail "unknown operator %S" op)
+  | List _ -> fail "malformed expression"
+
+let rec stmt_of_sexp = function
+  | Atom s -> fail "bare atom %S where a statement was expected" s
+  | List (Atom "setg" :: [ g; e ]) ->
+      Mir.Set_global (as_string g, expr_of_sexp e)
+  | List (Atom "sete" :: [ a; i; v ]) ->
+      Mir.Set_elem (as_string a, expr_of_sexp i, expr_of_sexp v)
+  | List (Atom "setb" :: [ a; i; v ]) ->
+      Mir.Set_byte (as_string a, expr_of_sexp i, expr_of_sexp v)
+  | List (Atom "setl" :: [ l; e ]) ->
+      Mir.Set_local (as_string l, expr_of_sexp e)
+  | List (Atom "if" :: [ c; List (Atom "then" :: t); List (Atom "else" :: e) ])
+    ->
+      Mir.If (expr_of_sexp c, List.map stmt_of_sexp t, List.map stmt_of_sexp e)
+  | List (Atom "while" :: c :: body) ->
+      Mir.While (expr_of_sexp c, List.map stmt_of_sexp body)
+  | List (Atom "docall" :: f :: args) ->
+      Mir.Do_call (as_string f, List.map expr_of_sexp args)
+  | List [ Atom "ret" ] -> Mir.Return None
+  | List (Atom "ret" :: [ e ]) -> Mir.Return (Some (expr_of_sexp e))
+  | List (Atom "out" :: [ e ]) -> Mir.Out (expr_of_sexp e)
+  | List (Atom "outstr" :: [ s ]) -> Mir.Out_str (as_string s)
+  | List (Atom "detect" :: [ v ]) -> Mir.Detect (as_i32 v)
+  | List (Atom "panic" :: [ v ]) -> Mir.Panic (as_i32 v)
+  | List (Atom kw :: _) -> fail "unknown statement %S" kw
+  | List _ -> fail "malformed statement"
+
+let ty_of_sexp = function
+  | Atom "i32" -> Mir.I32
+  | List [ Atom "words"; n ] -> Mir.Words (as_int n)
+  | List [ Atom "bytes"; n ] -> Mir.Byte_array (as_int n)
+  | Atom s -> fail "unknown type %S" s
+  | List _ -> fail "malformed type"
+
+let global_of_sexp = function
+  | List (Atom "global" :: name :: ty :: rest) ->
+      let protected, rest =
+        match rest with
+        | Atom "protected" :: rest -> (true, rest)
+        | rest -> (false, rest)
+      in
+      let init =
+        match rest with
+        | [ List (Atom "init" :: vs) ] -> List.map as_i32 vs
+        | [] -> []
+        | _ -> fail "malformed global %S" (as_string name)
+      in
+      {
+        Mir.g_name = as_string name;
+        g_ty = ty_of_sexp ty;
+        g_init = init;
+        g_protected = protected;
+      }
+  | _ -> fail "expected (global ...)"
+
+let func_of_sexp = function
+  | List
+      (Atom "func" :: name
+      :: List (Atom "params" :: params)
+      :: List (Atom "locals" :: locals)
+      :: List (Atom "protects" :: protects)
+      :: body) ->
+      {
+        Mir.f_name = as_string name;
+        f_params = List.map as_string params;
+        f_locals = List.map as_string locals;
+        f_protects = List.map as_string protects;
+        f_body = List.map stmt_of_sexp body;
+      }
+  | _ -> fail "expected (func ...)"
+
+let of_string text =
+  match parse_sexps text with
+  | exception Parse msg -> Error ("mir-text: " ^ msg)
+  | Atom v :: items when v = version -> (
+      try
+        let name = ref None and stack = ref None in
+        let globals = ref [] and funcs = ref [] in
+        List.iter
+          (fun item ->
+            match item with
+            | List [ Atom "name"; n ] -> name := Some (as_string n)
+            | List [ Atom "stack"; n ] -> stack := Some (as_int n)
+            | List (Atom "global" :: _) ->
+                globals := global_of_sexp item :: !globals
+            | List (Atom "func" :: _) -> funcs := func_of_sexp item :: !funcs
+            | List (Atom kw :: _) -> fail "unknown section %S" kw
+            | _ -> fail "malformed section")
+          items;
+        match (!name, !stack) with
+        | Some p_name, Some p_stack_bytes ->
+            Ok
+              {
+                Mir.p_name;
+                p_globals = List.rev !globals;
+                p_funcs = List.rev !funcs;
+                p_stack_bytes;
+              }
+        | None, _ -> Error "mir-text: missing (name ...)"
+        | _, None -> Error "mir-text: missing (stack ...)"
+      with Parse msg -> Error ("mir-text: " ^ msg))
+  | Atom v :: _ -> Error (Printf.sprintf "mir-text: version %S, want %S" v version)
+  | _ -> Error "mir-text: missing version header"

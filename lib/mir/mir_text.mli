@@ -1,0 +1,19 @@
+(** Textual serialization of MIR programs.
+
+    Corpus entries mined by the susceptibility fuzzer ({!Fi_fuzz}) are
+    checked into version control and replayed across hosts and OCaml
+    versions, so they cannot rely on [Marshal]: this module renders a
+    {!Mir.prog} as a stable s-expression text and parses it back to a
+    structurally identical value.
+
+    The format is versioned by the leading atom ([mir-v1]); any future
+    change to the MIR surface bumps it, so stale corpus entries fail
+    loudly at parse time instead of silently re-interpreting. *)
+
+val to_string : Mir.prog -> string
+(** Render a program.  [of_string (to_string p) = Ok p] for every
+    checkable program (property-tested on fuzzer-generated programs). *)
+
+val of_string : string -> (Mir.prog, string) result
+(** Parse a rendered program.  The result is {e not} re-checked — run
+    {!Check.check} before compiling untrusted text. *)

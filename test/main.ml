@@ -36,4 +36,5 @@ let () =
       Test_breakdown.suite;
       Test_cache.suite;
       Test_service.suite;
+      Test_fuzz.suite;
     ]
