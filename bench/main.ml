@@ -971,6 +971,98 @@ let run_engine_cache () =
       close_out oc;
       Printf.printf "spliced cache into BENCH_engine.json\n")
 
+let run_engine_faultspace () =
+  section
+    "ENGM | Fault-model throughput: experiments/second per pluggable model \
+     through the shared engine (splices \"faultspace\" into \
+     BENCH_engine.json)";
+  let smoke = Sys.getenv_opt "FI_BENCH_SMOKE" <> None in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let program = if smoke then Mbox1.baseline () else Bin_sem2.baseline () in
+  let golden = Golden.run program in
+  let rt = Regspace.analyze program in
+  let models =
+    [ Faultspace.Bitflip_mem; Faultspace.Bitflip_reg; Faultspace.burst 3;
+      Faultspace.burst ~row:2 3; Faultspace.Skip ]
+  in
+  let measured =
+    List.map
+      (fun model ->
+        let spec =
+          match model with
+          | Faultspace.Bitflip_reg -> Spec.of_regspace rt
+          | m -> Spec.of_golden ~model:m golden
+        in
+        let scan, seconds = time (fun () -> Engine.run_spec ~jobs:0 spec) in
+        let experiments = Array.length scan.Scan.experiments in
+        let rate = if seconds > 0. then float experiments /. seconds else 0. in
+        Printf.printf "%-10s : %7d experiments  %6.2f s  %9.0f exp/s\n"
+          (Faultspace.tag model) experiments seconds rate;
+        (Faultspace.tag model, experiments, seconds, rate))
+      models
+  in
+  if smoke then
+    Printf.printf
+      "smoke mode: per-model throughput measured; BENCH_engine.json left \
+       untouched\n"
+  else begin
+    (* Same idempotent splice discipline as the other engine sections. *)
+    let path = "BENCH_engine.json" in
+    let base =
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        text
+      end
+      else "{\n  \"benchmark\": \"bin_sem2/baseline\"\n}\n"
+    in
+    let find_sub hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec scan i =
+        if i + nn > nh then None
+        else if String.sub hay i nn = needle then Some i
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let trim_tail s =
+      let n = ref (String.length s) in
+      while !n > 0 && (s.[!n - 1] = '\n' || s.[!n - 1] = ' ') do
+        decr n
+      done;
+      String.sub s 0 !n
+    in
+    let fs_json =
+      Printf.sprintf "{\n%s\n  }"
+        (String.concat ",\n"
+           (List.map
+              (fun (tag, experiments, seconds, rate) ->
+                Printf.sprintf
+                  "    \"%s\": {\"experiments\": %d, \"seconds\": %.3f, \
+                   \"per_second\": %.0f}"
+                  tag experiments seconds rate)
+              measured))
+    in
+    let body =
+      match find_sub base ",\n  \"faultspace\":" with
+      | Some i -> String.sub base 0 i
+      | None ->
+          let t = trim_tail base in
+          let n = String.length t in
+          if n > 0 && t.[n - 1] = '}' then trim_tail (String.sub t 0 (n - 1))
+          else t
+    in
+    let oc = open_out path in
+    output_string oc (body ^ ",\n  \"faultspace\": " ^ fs_json ^ "\n}\n");
+    close_out oc;
+    Printf.printf "spliced faultspace into BENCH_engine.json\n"
+  end
+
 let run_matrix_parallel () =
   section
     "ENGM | Matrix engine: paper pairs back-to-back serial vs one \
@@ -1073,7 +1165,7 @@ let perf_tests () =
     Test.make ~name:"F2-one-experiment"
       (Staged.stage
          (let coord =
-            { Faultspace.cycle = bin_golden.Golden.cycles / 2; bit = 64 }
+            { Coordspace.cycle = bin_golden.Golden.cycles / 2; bit = 64 }
           in
           fun () -> ignore (Injector.run_at bin_golden coord)));
     Test.make ~name:"P2-sampling-256"
@@ -1161,6 +1253,7 @@ let artifacts =
     ("engine-supervision", run_engine_supervision);
     ("engine-net", run_engine_net);
     ("engine-cache", run_engine_cache);
+    ("engine-faultspace", run_engine_faultspace);
     ("matrix-parallel", run_matrix_parallel);
     ("optimization", run_optimization);
     ("perf", run_perf);

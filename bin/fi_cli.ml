@@ -85,7 +85,42 @@ type engine_opts = {
   no_cache : bool;
   checkpoint_stride : int option;
   secret : string option;
+  fault_model : Faultspace.model;
 }
+
+let fault_model_conv =
+  let parse s =
+    match Faultspace.of_tag s with Ok m -> Ok m | Error e -> Error (`Msg e)
+  in
+  let print ppf m = Format.pp_print_string ppf (Faultspace.tag m) in
+  Arg.conv (parse, print)
+
+let fault_model_arg =
+  let doc =
+    Printf.sprintf
+      "Fault model of the campaign: %s.  Every model shards, journals,        resumes, caches and distributes identically; the model tag is part        of the campaign fingerprint, so journals and cache entries never        cross models."
+      (String.concat "; "
+         (List.map
+            (fun (t, d) -> Printf.sprintf "$(b,%s) (%s)" t d)
+            Faultspace.known))
+  in
+  Arg.(
+    value
+    & opt fault_model_conv Faultspace.Bitflip_mem
+    & info [ "fault-model" ] ~docv:"MODEL" ~doc)
+
+(* The legacy --registers flag is an alias for --fault-model reg; naming
+   both (with different models) is a contradiction, not a preference. *)
+let model_of ~registers (fault_model : Faultspace.model) =
+  match (registers, fault_model) with
+  | false, m -> m
+  | true, (Faultspace.Bitflip_mem | Faultspace.Bitflip_reg) ->
+      Faultspace.Bitflip_reg
+  | true, m ->
+      or_die
+        (Error
+           (Printf.sprintf "--registers conflicts with --fault-model %s"
+              (Faultspace.tag m)))
 
 let engine_opts_term =
   let backend =
@@ -239,7 +274,7 @@ let engine_opts_term =
   Term.(
     const (fun backend workers jobs journal resume shard_size weighted
                shard_timeout max_retries no_quarantine no_cache
-               checkpoint_stride secret ->
+               checkpoint_stride secret fault_model ->
         {
           backend;
           workers;
@@ -254,10 +289,11 @@ let engine_opts_term =
           no_cache;
           checkpoint_stride;
           secret;
+          fault_model;
         })
     $ backend $ workers $ jobs $ journal $ resume $ shard_size $ weighted
     $ shard_timeout $ max_retries $ no_quarantine $ no_cache
-    $ checkpoint_stride $ secret)
+    $ checkpoint_stride $ secret $ fault_model_arg)
 
 let policy_of opts =
   Spec.make_policy ?shard_size:opts.shard_size ~weighted:opts.weighted
@@ -332,7 +368,34 @@ let report_quarantine results =
        chance.\n%!"
   end
 
+(* An existing journal written under a different fault model is a user
+   error, not a fresh campaign: refuse loudly up front instead of
+   truncating the file (without --resume) or surfacing a bare
+   fingerprint mismatch (with --resume). *)
+let check_journal_models specs =
+  List.iter
+    (fun (s : Spec.t) ->
+      match s.Spec.policy.Spec.durability.Spec.journal with
+      | Some path when Sys.file_exists path -> (
+          let want = Faultspace.tag s.Spec.model in
+          match Runcell.journal_model_tag path with
+          | Some have when have <> want ->
+              or_die
+                (Error
+                   (Printf.sprintf
+                      "journal %s was written under fault model %s, but this \
+                       run requests --fault-model %s for %s; refusing to %s \
+                       it — pass a different --journal or delete the file"
+                      path have want (Spec.label s)
+                      (if s.Spec.policy.Spec.durability.Spec.resume then
+                         "resume"
+                       else "overwrite")))
+          | Some _ | None -> ())
+      | Some _ | None -> ())
+    specs
+
 let engine_matrix ~opts ~quiet specs =
+  check_journal_models specs;
   let backend = backend_of opts in
   match
     Engine.run_matrix_results ~backend
@@ -422,6 +485,17 @@ let trace_cmd =
 (* campaign                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Suite builder specs are "bench/variant"; carrying the real hardening
+   variant into the spec keeps register/burst/skip cells honestly
+   labelled in reports (hardening does not rename the program, so the
+   image name alone cannot distinguish baseline from SUM+DMR). *)
+let variant_of_program_spec spec =
+  if List.mem_assoc spec builders then
+    match String.index_opt spec '/' with
+    | Some i -> String.sub spec (i + 1) (String.length spec - i - 1)
+    | None -> "baseline"
+  else "baseline"
+
 let campaign_cmd =
   let out =
     Arg.(
@@ -435,7 +509,7 @@ let campaign_cmd =
       & info [ "registers" ]
           ~doc:
             "Campaign over the register fault space (Section VI-B) instead \
-             of main memory.")
+             of main memory — an alias for $(b,--fault-model reg).")
   in
   let breakdown =
     Arg.(
@@ -445,20 +519,29 @@ let campaign_cmd =
   in
   let action spec out quiet registers breakdown opts =
     let image = or_die (load_program spec) in
+    let model = model_of ~registers opts.fault_model in
     let policy = policy_of opts in
+    let variant = variant_of_program_spec spec in
     let campaign_spec =
-      if registers then Spec.of_regspace ~policy (Regspace.analyze image)
-      else Spec.of_golden ~policy (Golden.run image)
+      match model with
+      | Faultspace.Bitflip_reg ->
+          Spec.of_regspace ~variant ~policy (Regspace.analyze image)
+      | m -> Spec.of_golden ~variant ~policy ~model:m (Golden.run image)
     in
     (match campaign_spec.Spec.source with
     | Spec.Analysed_memory g | Spec.Analysed_registers { Regspace.golden = g; _ }
       ->
         Format.printf "%a@." Golden.pp_summary g
     | Spec.Build _ -> ());
+    (match model with
+    | Faultspace.Bitflip_mem -> ()
+    | m -> Format.printf "fault model: %s@." (Faultspace.describe m));
     let scan = engine_spec ~opts ~quiet campaign_spec in
-    if registers then
-      Format.printf "register fault space: w = %d bit-cycles@."
-        (Scan.fault_space_size scan);
+    (match model with
+    | Faultspace.Bitflip_reg ->
+        Format.printf "register fault space: w = %d bit-cycles@."
+          (Scan.fault_space_size scan)
+    | _ -> ());
     let t =
       Table.create
         ~columns:
@@ -483,8 +566,13 @@ let campaign_cmd =
     List.iter
       (fun (o, n) -> Format.printf "  %-20s %12d@." (Outcome.to_string o) n)
       (Metrics.outcome_histogram scan);
-    if breakdown && not registers then
-      print_string (Figures.breakdown scan image);
+    (* The region breakdown attributes failure mass to RAM data regions,
+       which only makes sense for models whose rows are real memory
+       bytes. *)
+    (match model with
+    | (Faultspace.Bitflip_mem | Faultspace.Burst _) when breakdown ->
+        print_string (Figures.breakdown scan image)
+    | _ -> ());
     match out with
     | Some path ->
         Csv_io.save path scan;
@@ -515,7 +603,8 @@ let matrix_cmd =
       value & flag
       & info [ "registers" ]
           ~doc:"Campaign every cell over the register fault space \
-                (Section VI-B) instead of main memory.")
+                (Section VI-B) instead of main memory — an alias for \
+                $(b,--fault-model reg).")
   in
   let outdir =
     Arg.(
@@ -529,11 +618,11 @@ let matrix_cmd =
     String.map (function '/' | '@' -> '-' | c -> c) label
   in
   let action pairs registers outdir quiet opts =
-    let space = if registers then Spec.Registers else Spec.Memory in
+    let model = model_of ~registers opts.fault_model in
     let policy = policy_of opts in
     let specs =
-      (if pairs then Suite.paper_specs ~space ~policy ()
-       else Suite.spec_matrix ~space ~policy ())
+      (if pairs then Suite.paper_specs ~model ~policy ()
+       else Suite.spec_matrix ~model ~policy ())
       |> List.map (fun s ->
              (* An explicit --journal is a stem: one journal per cell. *)
              match opts.journal with
@@ -622,24 +711,54 @@ let sample_cmd =
   in
   let action spec samples seed biased opts =
     let image = or_die (load_program spec) in
+    let model = opts.fault_model in
+    (* Sampling draws from the raw (row × cycle × bit) grid, which the
+       skip model's synthetic cycle-indexed classes do not cover. *)
+    (match model with
+    | Faultspace.Skip ->
+        or_die
+          (Error
+             "the skip model has no raw-coordinate fault-space geometry to \
+              sample; run a full campaign instead (fi-cli campaign \
+              --fault-model skip)")
+    | _ -> ());
+    (match (biased, model) with
+    | true, Faultspace.Bitflip_mem -> ()
+    | true, m ->
+        or_die
+          (Error
+             (Printf.sprintf
+                "--biased needs the memory def/use class inventory and is \
+                 only defined for --fault-model mem (got %s)"
+                (Faultspace.tag m)))
+    | false, _ -> ());
     let golden = Golden.run image in
     Format.printf "%a@." Golden.pp_summary golden;
     let rng = Prng.create ~seed:(Int64.of_int seed) in
-    (* With engine options, conduct (or resume) the full pruned campaign
-       in parallel once and answer every sample from that oracle — the
-       estimates are identical to conducting each sample (deterministic
-       machine, lossless pruning), but the heavy lifting shards, runs on
-       all requested domains, and survives crashes. *)
+    let variant = variant_of_program_spec spec in
+    (* With engine options — or any non-memory model, whose direct
+       samplers do not exist — conduct (or resume) the full pruned
+       campaign in parallel once and answer every sample from that
+       oracle — the estimates are identical to conducting each sample
+       (deterministic machine, lossless pruning), but the heavy lifting
+       shards, runs on all requested domains, and survives crashes. *)
     let oracle =
       if
-        opts.jobs <> 1 || opts.backend <> Pool.Domains
+        model <> Faultspace.Bitflip_mem
+        || opts.jobs <> 1 || opts.backend <> Pool.Domains
         || opts.workers <> None || opts.journal <> None
         || opts.resume || opts.shard_size <> None || opts.weighted
         || opts.shard_timeout <> None
       then
-        Some
-          (engine_spec ~opts ~quiet:false
-             (Spec.of_golden ~policy:(policy_of opts) golden))
+        let spec =
+          match model with
+          | Faultspace.Bitflip_reg ->
+              Spec.of_regspace ~variant ~policy:(policy_of opts)
+                (Regspace.analyze image)
+          | m ->
+              Spec.of_golden ~variant ~policy:(policy_of opts) ~model:m golden
+        in
+        Some (engine_spec ~opts ~quiet:false spec)
       else None
     in
     let est =
@@ -687,8 +806,11 @@ let compare_cmd =
     let hard = or_die (load_program hard_spec) in
     let spec_of name image =
       let golden = Golden.run image in
-      Printf.eprintf "[%s] %d experiments...\n%!" name
-        (Defuse.experiment_count golden.Golden.defuse);
+      (match opts.fault_model with
+      | Faultspace.Bitflip_reg -> ()
+      | m ->
+          Printf.eprintf "[%s] %d experiments...\n%!" name
+            (Faultspace.experiments (Faultspace.of_golden m golden)));
       (* One journal per side, derived from the --journal stem (the
          catalogue keys each side by its own fingerprint anyway). *)
       let policy =
@@ -703,7 +825,10 @@ let compare_cmd =
             };
         }
       in
-      Spec.of_golden ~variant:name ~policy golden
+      match opts.fault_model with
+      | Faultspace.Bitflip_reg ->
+          Spec.of_regspace ~variant:name ~policy (Regspace.analyze image)
+      | m -> Spec.of_golden ~variant:name ~policy ~model:m golden
     in
     (* Both sides share one worker pool: the hardened cell's shards start
        as soon as baseline shards stop saturating it. *)
@@ -1089,16 +1214,16 @@ let submit_cmd =
       value & flag
       & info [ "registers" ]
           ~doc:"Campaign over the register fault space instead of main \
-                memory.")
+                memory — an alias for $(b,--fault-model reg).")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress.") in
-  let action addr pairs registers quiet secret_file =
+  let action addr pairs registers quiet secret_file fault_model =
     let addr = or_die (Addr.parse addr) in
     let secret = svc_secret_of secret_file in
-    let space = if registers then Spec.Registers else Spec.Memory in
+    let model = model_of ~registers fault_model in
     let specs =
-      if pairs then Suite.paper_specs ~space ()
-      else Suite.spec_matrix ~space ()
+      if pairs then Suite.paper_specs ~model ()
+      else Suite.spec_matrix ~model ()
     in
     let cells = List.map Service.cell_of_spec specs in
     if not quiet then
@@ -1147,7 +1272,7 @@ let submit_cmd =
           origin column.")
     Term.(
       const action $ svc_addr_arg $ pairs $ registers $ quiet
-      $ svc_secret_arg)
+      $ svc_secret_arg $ fault_model_arg)
 
 let status_cmd =
   let action addr secret_file =

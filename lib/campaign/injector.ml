@@ -1,10 +1,10 @@
 let check_coord golden coord =
   let total_cycles = golden.Golden.cycles in
   let ram_size = golden.Golden.program.Program.ram_size in
-  if not (Faultspace.contains ~total_cycles ~ram_size coord) then
+  if not (Coordspace.contains ~total_cycles ~ram_size coord) then
     invalid_arg
       (Format.asprintf "Injector: coordinate %a outside fault space"
-         Faultspace.pp_coord coord)
+         Coordspace.pp_coord coord)
 
 let classify_stopped golden machine stop =
   Outcome.classify ~golden_output:golden.Golden.output
@@ -450,8 +450,8 @@ let session_run_flip s ~cycle ~flip =
 
 let session_run_at s coord =
   check_coord s.provider.p_golden coord;
-  session_run_flip s ~cycle:coord.Faultspace.cycle ~flip:(fun machine ->
-      Machine.flip_bit machine coord.Faultspace.bit)
+  session_run_flip s ~cycle:coord.Coordspace.cycle ~flip:(fun machine ->
+      Machine.flip_bit machine coord.Coordspace.bit)
 
 let run_at golden coord =
   (* Plan-of-one: a throwaway replay session.  Building a ladder for a

@@ -57,7 +57,7 @@ type session
 val session : provider -> session
 (** Fresh session positioned at reset. *)
 
-val session_run_at : session -> Faultspace.coord -> Outcome.t
+val session_run_at : session -> Coordspace.coord -> Outcome.t
 (** Conduct one experiment at a fault-space coordinate on the session's
     pristine machine.  Injection cycles must be presented in
     non-decreasing order.
@@ -74,7 +74,7 @@ val session_run_flip :
 
     @raise Invalid_argument on a decreasing injection cycle. *)
 
-val run_at : Golden.t -> Faultspace.coord -> Outcome.t
+val run_at : Golden.t -> Coordspace.coord -> Outcome.t
 (** One-shot experiment at an arbitrary coordinate: a plan-of-one,
     conducted on a throwaway {!replay} session (building a checkpoint
     ladder for a single experiment would cost more than the experiment).

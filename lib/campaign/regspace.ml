@@ -54,7 +54,7 @@ let provider_for golden = function
       p
   | None -> Injector.plan golden
 
-let scan ?(variant = "registers") ?provider ?(progress = Scan.no_progress) t =
+let scan ?(variant = "baseline") ?provider ?(progress = Scan.no_progress) t =
   let classes = classes t in
   let order = Array.init (Array.length classes) (fun i -> i) in
   Array.sort

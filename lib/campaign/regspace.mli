@@ -63,7 +63,10 @@ val scan :
     through [provider] as in {!Scan.pruned} (default: a fresh checkpoint
     plan over the shared golden run).  The returned scan's [ram_bytes]
     is the 60-byte pseudo-memory, so [Scan.fault_space_size] and all
-    metrics are consistent.
+    metrics are consistent.  [variant] is the program's {e hardening}
+    variant (default ["baseline"]) — the fault space is already in the
+    scan's identity, so labelling register scans ["registers"] only
+    mislabelled hardened cells in matrix reports.
 
     @raise Invalid_argument if [provider] was built over a different
     golden run. *)

@@ -65,7 +65,7 @@ let resolve ?provider golden targets =
   let results = Hashtbl.create (List.length jobs) in
   List.iter
     (fun (key, c, bit) ->
-      let coord = Faultspace.canonical_injection c ~bit_in_byte:bit in
+      let coord = Coordspace.canonical_injection c ~bit_in_byte:bit in
       Hashtbl.replace results key (Injector.session_run_at session coord))
     jobs;
   let outcome_of = function
@@ -90,15 +90,15 @@ let uniform_raw ?provider rng ~samples golden =
   let ram_size = golden.Golden.program.Program.ram_size in
   let targets =
     List.init samples (fun _ ->
-        let coord = Faultspace.sample_uniform rng ~total_cycles ~ram_size in
-        let cls, bit = Faultspace.class_and_bit defuse coord in
+        let coord = Coordspace.sample_uniform rng ~total_cycles ~ram_size in
+        let cls, bit = Coordspace.class_and_bit defuse coord in
         match cls.Defuse.kind with
         | Defuse.Experiment -> Class (cls, bit)
         | Defuse.Overwritten | Defuse.Dormant -> Benign)
   in
   let outcomes, conducted = resolve ?provider golden targets in
   make_estimate
-    ~population:(Faultspace.size ~total_cycles ~ram_size)
+    ~population:(Coordspace.size ~total_cycles ~ram_size)
     ~samples outcomes conducted
 
 let uniform_effective ?provider rng ~samples golden =
@@ -147,10 +147,10 @@ let uniform_raw_oracle rng ~samples scan =
   let ram_size = scan.Scan.ram_bytes in
   let outcomes =
     List.init samples (fun _ ->
-        expand (Faultspace.sample_uniform rng ~total_cycles ~ram_size))
+        expand (Coordspace.sample_uniform rng ~total_cycles ~ram_size))
   in
   make_estimate
-    ~population:(Faultspace.size ~total_cycles ~ram_size)
+    ~population:(Coordspace.size ~total_cycles ~ram_size)
     ~samples outcomes 0
 
 let biased_per_class_oracle rng ~samples golden scan =
@@ -165,10 +165,10 @@ let biased_per_class_oracle rng ~samples golden scan =
       List.init samples (fun _ ->
           let c = classes.(Prng.int rng (Array.length classes)) in
           let bit_in_byte = Prng.int rng 8 in
-          expand (Faultspace.canonical_injection c ~bit_in_byte))
+          expand (Coordspace.canonical_injection c ~bit_in_byte))
   in
   make_estimate
-    ~population:(Faultspace.size ~total_cycles ~ram_size)
+    ~population:(Coordspace.size ~total_cycles ~ram_size)
     ~samples outcomes 0
 
 let biased_per_class ?provider rng ~samples golden =
@@ -185,5 +185,5 @@ let biased_per_class ?provider rng ~samples golden =
   in
   let outcomes, conducted = resolve ?provider golden targets in
   make_estimate
-    ~population:(Faultspace.size ~total_cycles ~ram_size)
+    ~population:(Coordspace.size ~total_cycles ~ram_size)
     ~samples outcomes conducted

@@ -24,7 +24,7 @@ type progress = done_:int -> total:int -> tally:Outcome.tally -> unit
 let no_progress ~done_:_ ~total:_ ~tally:_ = ()
 
 let conduct_class session (c : Defuse.byte_class) ~bit_in_byte =
-  Injector.session_run_at session (Faultspace.canonical_injection c ~bit_in_byte)
+  Injector.session_run_at session (Coordspace.canonical_injection c ~bit_in_byte)
 
 let provider_for golden = function
   | Some p ->
@@ -84,7 +84,7 @@ let brute_force ?variant:_ golden =
   let total_cycles = golden.Golden.cycles in
   let ram_size = golden.Golden.program.Program.ram_size in
   let out = ref [] in
-  Faultspace.iter ~total_cycles ~ram_size (fun coord ->
+  Coordspace.iter ~total_cycles ~ram_size (fun coord ->
       out := (coord, Injector.run_at golden coord) :: !out);
   Array.of_list (List.rev !out)
 
@@ -104,10 +104,10 @@ let expander t =
       Array.sort (fun a b -> compare a.t_start b.t_start) arr;
       Hashtbl.replace sorted key arr)
     per_byte;
-  fun (coord : Faultspace.coord) ->
-    let byte = coord.Faultspace.bit / 8 in
-    let bit_in_byte = coord.Faultspace.bit mod 8 in
-    let cycle = coord.Faultspace.cycle in
+  fun (coord : Coordspace.coord) ->
+    let byte = coord.Coordspace.bit / 8 in
+    let bit_in_byte = coord.Coordspace.bit mod 8 in
+    let cycle = coord.Coordspace.cycle in
     match Hashtbl.find_opt sorted (byte, bit_in_byte) with
     | None -> Outcome.No_effect
     | Some arr ->

@@ -72,15 +72,15 @@ val pruned :
     golden run. *)
 
 val brute_force :
-  ?variant:string -> Golden.t -> (Faultspace.coord * Outcome.t) array
+  ?variant:string -> Golden.t -> (Coordspace.coord * Outcome.t) array
 (** One experiment per raw coordinate, cycle-major.  Cost is
     [w] full machine runs — only for tiny validation programs. *)
 
-val outcome_at : t -> Faultspace.coord -> Outcome.t
+val outcome_at : t -> Coordspace.coord -> Outcome.t
 (** Expand pruned results back over the raw fault space: the outcome at
     any coordinate (a-priori-benign coordinates yield [No_effect]).
     Builds a lookup table on first use per call — for repeated queries use
     {!expander}. *)
 
-val expander : t -> Faultspace.coord -> Outcome.t
+val expander : t -> Coordspace.coord -> Outcome.t
 (** Pre-indexed version of {!outcome_at} for bulk queries. *)

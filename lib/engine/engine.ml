@@ -9,7 +9,7 @@ let mismatch = Runcell.mismatch
 (* ------------------------------------------------------------------ *)
 
 let fingerprint golden ~(plan : Shard.plan) =
-  Runcell.fingerprint_of ~space:Spec.Memory
+  Runcell.fingerprint_of ~tag:(Faultspace.tag Faultspace.Bitflip_mem)
     ~name:golden.Golden.program.Program.name ~cycles:golden.Golden.cycles
     ~ram_bytes:golden.Golden.program.Program.ram_size
     ~classes:(Defuse.experiment_classes golden.Golden.defuse)
@@ -18,8 +18,7 @@ let fingerprint golden ~(plan : Shard.plan) =
 let fingerprint_spec spec =
   let cell = Runcell.analyse spec in
   let plan =
-    Runcell.plan_of_policy spec.Spec.policy
-      (Defuse.experiment_classes cell.Runcell.defuse)
+    Runcell.plan_of_policy spec.Spec.policy cell.Runcell.classes
   in
   Runcell.fingerprint_cell cell ~plan
 
@@ -88,7 +87,7 @@ type runtime = {
 }
 
 let setup cell ~progress =
-  let classes = Defuse.experiment_classes cell.Runcell.defuse in
+  let classes = cell.Runcell.classes in
   let policy = cell.Runcell.spec.Spec.policy in
   let plan = Runcell.plan_of_policy policy classes in
   let fp = Runcell.fingerprint_cell cell ~plan in
@@ -134,7 +133,7 @@ let setup cell ~progress =
         in
         Some
           (Cache.cell_key ~image
-             ~space:(Spec.space_tag cell.Runcell.spec.Spec.space)
+             ~space:(Faultspace.tag cell.Runcell.spec.Spec.model)
              ~limit:cell.Runcell.spec.Spec.limit
              ~shard_size:policy.Spec.sharding.Spec.shard_size ~weighted:policy.Spec.sharding.Spec.weighted)
   in
@@ -1242,8 +1241,7 @@ let run_matrix_results ?(backend = Pool.Domains) ?jobs ?progress
               cycles = rt.cell.Runcell.golden.Golden.cycles;
               ram_bytes = rt.cell.Runcell.ram_bytes;
               experiments;
-              benign_weight =
-                Defuse.known_benign_weight rt.cell.Runcell.defuse;
+              benign_weight = rt.cell.Runcell.benign_weight;
             }
           in
           let quarantined =

@@ -22,7 +22,7 @@ let handshake_timeout = ref 10.
 type wire_job = {
   benchmark : string;
   variant : string;
-  space : Spec.space;
+  model : Faultspace.model;
   limit : int option;
   shard_size : int option;
   weighted : bool;
@@ -51,7 +51,7 @@ let wire_of_spec (spec : Spec.t) ~program ~fingerprint ~shard_ids ~index =
   {
     benchmark = spec.Spec.benchmark;
     variant = spec.Spec.variant;
-    space = spec.Spec.space;
+    model = spec.Spec.model;
     limit = spec.Spec.limit;
     shard_size = spec.Spec.policy.Spec.sharding.Spec.shard_size;
     weighted = spec.Spec.policy.Spec.sharding.Spec.weighted;
@@ -69,7 +69,7 @@ let spec_of_wire (job : wire_job) =
   {
     Spec.benchmark = job.benchmark;
     variant = job.variant;
-    space = job.space;
+    model = job.model;
     source = Spec.Build (fun () -> job.program);
     limit = job.limit;
     policy =
@@ -201,7 +201,7 @@ let net_poison (torture : Worker.torture option) ~index ~shard_id =
 let conduct conn (job : wire_job) =
   let spec = spec_of_wire job in
   let cell = Runcell.analyse spec in
-  let classes = Defuse.experiment_classes cell.Runcell.defuse in
+  let classes = cell.Runcell.classes in
   let plan = Runcell.plan_of_policy spec.Spec.policy classes in
   let fp = Runcell.fingerprint_cell cell ~plan in
   if fp <> job.fingerprint then

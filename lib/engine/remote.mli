@@ -44,7 +44,7 @@ val handshake_timeout : float ref
 type wire_job = {
   benchmark : string;
   variant : string;
-  space : Spec.space;
+  model : Faultspace.model;
   limit : int option;
   shard_size : int option;
   weighted : bool;

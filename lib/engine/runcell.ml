@@ -7,12 +7,13 @@ let mismatch fmt = Printf.ksprintf (fun s -> raise (Journal_mismatch s)) fmt
 (* ------------------------------------------------------------------ *)
 
 (* A spec resolved to everything a conductor needs: the session base
-   (golden run), the fault-space partition, and the per-experiment
-   conductor of its space. *)
+   (golden run), the fault model's class partition, and the
+   per-experiment conductor of its space. *)
 type cell = {
   spec : Spec.t;
   golden : Golden.t;
-  defuse : Defuse.t;
+  classes : Defuse.byte_class array;
+  benign_weight : int;
   ram_bytes : int;
   provider : unit -> Injector.provider;
   conduct : Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t;
@@ -42,46 +43,44 @@ let provider_of_policy (policy : Spec.policy) golden =
             built := Some p;
             p)
 
-let memory_cell spec golden =
+let cell_of spec (fc : Faultspace.cell) =
   {
     spec;
-    golden;
-    defuse = golden.Golden.defuse;
-    ram_bytes = golden.Golden.program.Program.ram_size;
-    provider = provider_of_policy spec.Spec.policy golden;
-    conduct = Scan.conduct_class;
-  }
-
-let register_cell spec (r : Regspace.t) =
-  {
-    spec;
-    golden = r.Regspace.golden;
-    defuse = r.Regspace.reg_defuse;
-    ram_bytes = Regspace.pseudo_ram_bytes;
-    provider = provider_of_policy spec.Spec.policy r.Regspace.golden;
-    conduct = Regspace.conduct;
+    golden = fc.Faultspace.golden;
+    classes = fc.Faultspace.classes;
+    benign_weight = fc.Faultspace.benign_weight;
+    ram_bytes = fc.Faultspace.ram_bytes;
+    provider = provider_of_policy spec.Spec.policy fc.Faultspace.golden;
+    conduct = fc.Faultspace.conduct;
   }
 
 let analyse (spec : Spec.t) =
-  match (spec.Spec.space, spec.Spec.source) with
-  | Spec.Memory, Spec.Analysed_memory golden -> memory_cell spec golden
-  | Spec.Memory, Spec.Build build ->
-      memory_cell spec (Golden.run ?limit:spec.Spec.limit (build ()))
-  | Spec.Registers, Spec.Analysed_registers r -> register_cell spec r
-  | Spec.Registers, Spec.Build build ->
-      register_cell spec (Regspace.analyze ?limit:spec.Spec.limit (build ()))
-  | Spec.Memory, Spec.Analysed_registers _
-  | Spec.Registers, Spec.Analysed_memory _ ->
-      invalid_arg "Engine: spec space contradicts its analysed source"
+  let model = spec.Spec.model in
+  match (model, spec.Spec.source) with
+  | Faultspace.Bitflip_reg, Spec.Analysed_registers r ->
+      cell_of spec (Faultspace.of_regspace r)
+  | (Faultspace.Bitflip_mem | Faultspace.Burst _ | Faultspace.Skip),
+      Spec.Analysed_memory golden ->
+      cell_of spec (Faultspace.of_golden model golden)
+  | _, Spec.Build build ->
+      cell_of spec (Faultspace.analyse ?limit:spec.Spec.limit model (build ()))
+  | Faultspace.Bitflip_reg, Spec.Analysed_memory _
+  | (Faultspace.Bitflip_mem | Faultspace.Burst _ | Faultspace.Skip),
+      Spec.Analysed_registers _ ->
+      invalid_arg "Engine: spec fault model contradicts its analysed source"
 
 (* ------------------------------------------------------------------ *)
 (* Campaign identity and journal payloads                             *)
 (* ------------------------------------------------------------------ *)
 
-let fingerprint_of ~space ~name ~cycles ~ram_bytes
+(* [tag] is the fault model's [Faultspace.tag].  The legacy models keep
+   their pre-subsystem tags ("mem"/"reg"), so every fingerprint — and
+   therefore every journal and cache key — they ever produced stays
+   byte-identical. *)
+let fingerprint_of ~tag ~name ~cycles ~ram_bytes
     ~(classes : Defuse.byte_class array) ~(plan : Shard.plan) =
   let buf = Buffer.create (64 + (Array.length classes * 12)) in
-  Buffer.add_string buf (Spec.space_tag space);
+  Buffer.add_string buf tag;
   Buffer.add_char buf '|';
   Buffer.add_string buf name;
   Buffer.add_string buf
@@ -96,22 +95,27 @@ let fingerprint_of ~space ~name ~cycles ~ram_bytes
   Crc32.string (Buffer.contents buf)
 
 let fingerprint_cell cell ~plan =
-  fingerprint_of ~space:cell.spec.Spec.space
+  fingerprint_of
+    ~tag:(Faultspace.tag cell.spec.Spec.model)
     ~name:cell.golden.Golden.program.Program.name ~cycles:cell.golden.Golden.cycles
-    ~ram_bytes:cell.ram_bytes
-    ~classes:(Defuse.experiment_classes cell.defuse)
-    ~plan
+    ~ram_bytes:cell.ram_bytes ~classes:cell.classes ~plan
 
 let plan_of_policy (policy : Spec.policy) classes =
   Shard.plan
     ?shard_size:policy.Spec.sharding.Spec.shard_size
     ~weighted:policy.Spec.sharding.Spec.weighted classes
 
+(* The header's version string is "v2" for the two legacy models —
+   keeping their journals byte-identical to pre-subsystem runs — and
+   "v3" for every model added by the Faultspace subsystem.  The field
+   layout is identical either way; the [space=] value is the model tag. *)
 let header_payload cell ~(plan : Shard.plan) ~fp =
+  let model = cell.spec.Spec.model in
   Printf.sprintf
-    "fi-engine v2 space=%s sizing=%s cycles=%d ram_bytes=%d classes=%d \
+    "fi-engine %s space=%s sizing=%s cycles=%d ram_bytes=%d classes=%d \
      shard_size=%d shards=%d fingerprint=%s name=%s"
-    (Spec.space_tag cell.spec.Spec.space)
+    (if Faultspace.legacy model then "v2" else "v3")
+    (Faultspace.tag model)
     (Shard.sizing_tag plan.Shard.sizing)
     cell.golden.Golden.cycles cell.ram_bytes plan.Shard.classes_total
     plan.Shard.shard_size
@@ -126,8 +130,26 @@ let key_int key tok =
   else None
 
 let header_shard_count header =
-  (* "... shards=N ..." somewhere in a v2 header payload. *)
+  (* "... shards=N ..." somewhere in a v2/v3 header payload. *)
   List.find_map (key_int "shards") (String.split_on_char ' ' header)
+
+let header_model_tag header =
+  (* "... space=<tag> ..." of an engine campaign header — [None] for
+     anything that is not one (worker segments, foreign files). *)
+  if String.length header < 10 || String.sub header 0 10 <> "fi-engine " then
+    None
+  else
+    List.find_map
+      (fun tok ->
+        if String.length tok > 6 && String.sub tok 0 6 = "space=" then
+          Some (String.sub tok 6 (String.length tok - 6))
+        else None)
+      (String.split_on_char ' ' header)
+
+let journal_model_tag path =
+  match Journal.replay path with
+  | Some (header, _, _) -> header_model_tag header
+  | None -> None
 
 let record_payload (shard : Shard.t) outcomes_buf =
   Printf.sprintf "shard=%d outcomes=%s" shard.Shard.id

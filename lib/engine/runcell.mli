@@ -18,8 +18,12 @@ val mismatch : ('a, unit, string, 'b) format4 -> 'a
 type cell = {
   spec : Spec.t;
   golden : Golden.t;
-  defuse : Defuse.t;  (** The space's def/use partition. *)
-  ram_bytes : int;  (** Real or pseudo (register-space) RAM size. *)
+  classes : Defuse.byte_class array;
+      (** The fault model's experiment classes ([Faultspace.cell]'s),
+          [t_end]-sorted. *)
+  benign_weight : int;
+      (** A-priori-benign fault-space weight of the model. *)
+  ram_bytes : int;  (** Real, pseudo or synthetic row footprint. *)
   provider : unit -> Injector.provider;
       (** The session provider every conductor of this cell draws from —
           an [Injector.plan] at the policy's
@@ -31,21 +35,26 @@ type cell = {
 }
 
 val analyse : Spec.t -> cell
-(** Resolve a spec: run the golden (and, for register cells, the
-    register-trace) analysis if the source is a build thunk.
-    @raise Invalid_argument if the spec's space contradicts its analysed
+(** Resolve a spec through its fault model ({!Faultspace.analyse} /
+    {!Faultspace.of_golden} / {!Faultspace.of_regspace}), running the
+    golden (and, for register cells, the register-trace) analysis if the
+    source is a build thunk.
+    @raise Invalid_argument if the spec's model contradicts its analysed
     source. *)
 
 val fingerprint_of :
-  space:Spec.space ->
+  tag:string ->
   name:string ->
   cycles:int ->
   ram_bytes:int ->
   classes:Defuse.byte_class array ->
   plan:Shard.plan ->
   int
-(** CRC-32 campaign identity over the space tag, program name, golden
-    runtime, memory size, shard geometry/sizing and full class list. *)
+(** CRC-32 campaign identity over the fault-model tag
+    ({!Faultspace.tag}), program name, golden runtime, row footprint,
+    shard geometry/sizing and full class list.  The legacy models keep
+    their pre-subsystem tags, so their fingerprints are byte-identical
+    to before. *)
 
 val fingerprint_cell : cell -> plan:Shard.plan -> int
 
@@ -67,6 +76,16 @@ val parse_record : Shard.plan -> string -> (Shard.t * string) option
 val header_shard_count : string -> int option
 (** The [shards=N] token of a {!header_payload} ([None] for anything
     else, e.g. a worker segment header). *)
+
+val header_model_tag : string -> string option
+(** The [space=<tag>] token of a {!header_payload} — the fault model the
+    journal was written under ([None] for non-engine headers).  Lets the
+    CLI refuse a [--fault-model] that disagrees with an existing journal
+    instead of silently truncating it. *)
+
+val journal_model_tag : string -> string option
+(** {!header_model_tag} of the journal at a path ([None] when the file
+    is missing, unreadable or headerless). *)
 
 type supervision =
   | Retry of { shard : int; attempt : int; cause : string }

@@ -1,7 +1,3 @@
-type space = Memory | Registers
-
-let space_tag = function Memory -> "mem" | Registers -> "reg"
-
 type source =
   | Build of (unit -> Program.t)
   | Analysed_memory of Golden.t
@@ -66,40 +62,49 @@ let supervised policy =
 type t = {
   benchmark : string;
   variant : string;
-  space : space;
+  model : Faultspace.model;
   source : source;
   limit : int option;
   policy : policy;
 }
 
 let label t =
-  match t.space with
-  | Memory -> Printf.sprintf "%s/%s" t.benchmark t.variant
-  | Registers -> Printf.sprintf "%s/%s@registers" t.benchmark t.variant
+  match t.model with
+  | Faultspace.Bitflip_mem -> Printf.sprintf "%s/%s" t.benchmark t.variant
+  | Faultspace.Bitflip_reg ->
+      Printf.sprintf "%s/%s@registers" t.benchmark t.variant
+  | m -> Printf.sprintf "%s/%s@%s" t.benchmark t.variant (Faultspace.tag m)
 
-let memory ?(variant = "baseline") ?limit ?(policy = default_policy) ~benchmark
-    build =
-  { benchmark; variant; space = Memory; source = Build build; limit; policy }
-
-let registers ?(variant = "registers") ?limit ?(policy = default_policy)
+let build ?(variant = "baseline") ?limit ?(policy = default_policy) ~model
     ~benchmark build =
-  { benchmark; variant; space = Registers; source = Build build; limit; policy }
+  { benchmark; variant; model; source = Build build; limit; policy }
 
-let of_golden ?(variant = "baseline") ?(policy = default_policy) golden =
+let memory ?variant ?limit ?policy ~benchmark b =
+  build ?variant ?limit ?policy ~model:Faultspace.Bitflip_mem ~benchmark b
+
+let registers ?variant ?limit ?policy ~benchmark b =
+  build ?variant ?limit ?policy ~model:Faultspace.Bitflip_reg ~benchmark b
+
+let of_golden ?(variant = "baseline") ?(policy = default_policy)
+    ?(model = Faultspace.Bitflip_mem) golden =
+  (match model with
+  | Faultspace.Bitflip_reg ->
+      invalid_arg "Spec.of_golden: Bitflip_reg needs of_regspace"
+  | _ -> ());
   {
     benchmark = golden.Golden.program.Program.name;
     variant;
-    space = Memory;
+    model;
     source = Analysed_memory golden;
     limit = None;
     policy;
   }
 
-let of_regspace ?(variant = "registers") ?(policy = default_policy) r =
+let of_regspace ?(variant = "baseline") ?(policy = default_policy) r =
   {
     benchmark = r.Regspace.golden.Golden.program.Program.name;
     variant;
-    space = Registers;
+    model = Faultspace.Bitflip_reg;
     source = Analysed_registers r;
     limit = None;
     policy;

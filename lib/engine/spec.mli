@@ -3,9 +3,11 @@
     A [Spec.t] names everything the campaign engine needs to conduct one
     {e cell} of an experiment matrix:
 
-    - a {b fault space} — the def/use-pruned main memory of a golden run
-      ({!Memory}) or the register file's [(cycle, register, bit)] space
-      ({!Registers}, the paper's Section VI-B extension);
+    - a {b fault model} — a pluggable {!Faultspace.model} value: the
+      def/use-pruned memory bitflips of the paper ({!Faultspace.Bitflip_mem}),
+      the register-file space of Section VI-B ({!Faultspace.Bitflip_reg}),
+      multi-bit bursts ({!Faultspace.Burst}) or instruction skip
+      ({!Faultspace.Skip});
     - a {b program cell} — benchmark name, variant name, and either a
       build thunk (compiled and analysed lazily by the engine) or an
       already-analysed {!Golden.t} / {!Regspace.t};
@@ -21,19 +23,17 @@
     [Engine.run_matrix], which schedules every cell's shards over one
     shared worker pool. *)
 
-type space = Memory | Registers
-
-val space_tag : space -> string
-(** ["mem"] / ["reg"] — the tag recorded in journal fingerprints, which
-    is what makes memory and register journals never cross-resumable. *)
-
 type source =
   | Build of (unit -> Program.t)
-      (** Compile on demand; the engine runs the golden (and, for
-          {!Registers}, the register-trace) analysis itself. *)
-  | Analysed_memory of Golden.t  (** Pre-analysed memory-space cell. *)
+      (** Compile on demand; the engine runs the model's analysis
+          itself. *)
+  | Analysed_memory of Golden.t
+      (** Pre-analysed golden run, for the memory-indexed models
+          ({!Faultspace.Bitflip_mem}, {!Faultspace.Burst},
+          {!Faultspace.Skip}). *)
   | Analysed_registers of Regspace.t
-      (** Pre-analysed register-space cell. *)
+      (** Pre-analysed register-space cell
+          ({!Faultspace.Bitflip_reg}). *)
 
 type sharding = {
   shard_size : int option;  (** Classes per shard; [None] = default. *)
@@ -143,14 +143,28 @@ val supervised : policy -> bool
 type t = {
   benchmark : string;  (** e.g. ["bin_sem2"]. *)
   variant : string;  (** e.g. ["baseline"] or ["sum+dmr"]. *)
-  space : space;
-  source : source;  (** Must agree with [space] (constructors do). *)
+  model : Faultspace.model;
+  source : source;  (** Must agree with [model] (constructors do). *)
   limit : int option;  (** Golden-run watchdog for [Build] sources. *)
   policy : policy;
 }
 
 val label : t -> string
-(** ["bench/variant"], with ["@registers"] appended for register cells. *)
+(** ["bench/variant"] for {!Faultspace.Bitflip_mem}, with
+    ["@registers"] appended for register cells and ["@<tag>"] for every
+    other model — so each model gets its own per-cell journal under a
+    matrix journal stem. *)
+
+val build :
+  ?variant:string ->
+  ?limit:int ->
+  ?policy:policy ->
+  model:Faultspace.model ->
+  benchmark:string ->
+  (unit -> Program.t) ->
+  t
+(** Cell of an arbitrary fault model from a build thunk (default
+    variant ["baseline"]). *)
 
 val memory :
   ?variant:string ->
@@ -159,8 +173,7 @@ val memory :
   benchmark:string ->
   (unit -> Program.t) ->
   t
-(** Memory-space cell from a build thunk (default variant
-    ["baseline"]). *)
+(** [build ~model:Faultspace.Bitflip_mem]. *)
 
 val registers :
   ?variant:string ->
@@ -169,14 +182,23 @@ val registers :
   benchmark:string ->
   (unit -> Program.t) ->
   t
-(** Register-space cell from a build thunk (default variant
-    ["registers"], matching {!Regspace.scan}). *)
+(** [build ~model:Faultspace.Bitflip_reg].  The default variant is
+    ["baseline"], like every other constructor: the register-ness is the
+    {e model}'s business and shows up in {!label}'s ["@registers"]
+    suffix — callers pass the actual hardening variant so matrix
+    reports never mislabel register cells. *)
 
-val of_golden : ?variant:string -> ?policy:policy -> Golden.t -> t
-(** Memory-space cell from an existing golden run; [benchmark] is the
-    program name. *)
+val of_golden :
+  ?variant:string -> ?policy:policy -> ?model:Faultspace.model -> Golden.t -> t
+(** Cell from an existing golden run; [benchmark] is the program name.
+    [model] (default {!Faultspace.Bitflip_mem}) may be any
+    memory-indexed model.
+    @raise Invalid_argument for {!Faultspace.Bitflip_reg} — a register
+    cell needs the register analysis, use {!of_regspace}. *)
 
 val of_regspace : ?variant:string -> ?policy:policy -> Regspace.t -> t
-(** Register-space cell from an existing register analysis. *)
+(** Register-space cell from an existing register analysis.  The
+    default variant is ["baseline"] — pass the actual hardening variant
+    (the analysis itself cannot know it). *)
 
 val with_policy : policy -> t -> t

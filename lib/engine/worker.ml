@@ -114,7 +114,7 @@ let serve ~input ~output =
   if seen <> magic then failwith "worker: bad job magic on stdin";
   let job : job = Marshal.from_channel input in
   let cell = Runcell.analyse job.spec in
-  let classes = Defuse.experiment_classes cell.Runcell.defuse in
+  let classes = cell.Runcell.classes in
   let plan = Runcell.plan_of_policy job.spec.Spec.policy classes in
   let fp = Runcell.fingerprint_cell cell ~plan in
   if fp <> job.fingerprint then

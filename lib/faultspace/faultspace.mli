@@ -1,0 +1,125 @@
+(** Pluggable fault models.
+
+    The paper's pitfalls (result dilution, biased sampling, unfair
+    cross-layer comparison) are all stated over a {e fault space}, yet
+    until this module the reproduction hard-coded exactly two — single-bit
+    memory flips and single-bit register flips.  A {!model} is a
+    first-class value describing {e which} faults a campaign injects; a
+    {!cell} is that model analysed against one program: the experiment
+    equivalence classes to shard, the a-priori-benign weight, and the
+    per-experiment conductor over the {!Injector.provider} session API.
+
+    Every model reuses the engine's whole execution stack unchanged —
+    sharding, journaling, [--resume], the result cache, and all four
+    backends — because each one presents its space as an array of
+    {!Defuse.byte_class}es (8 experiment slots per class, the journal's
+    record granularity) whose canonical injection cycles are
+    non-decreasing in [t_end] order, the only invariant the engine's
+    per-shard sessions require.
+
+    The four models:
+
+    - {!Bitflip_mem} — the paper's model: one bit of data memory, def/use
+      pruned ({!Scan.pruned}).  Bit-identical to the legacy memory path.
+    - {!Bitflip_reg} — the Section VI-B register file space
+      ({!Regspace.scan}).  Bit-identical to the legacy register path.
+    - {!Burst} — [width] bits of one data byte flip together, adjacent or
+      interleaved by a row stride, modelling the spatially-correlated
+      multi-bit upsets observed in undervolted SRAMs (Soyturk et al.).
+      Def/use pruning stays sound because the burst never leaves the
+      addressed byte: equivalence intervals are per-byte access
+      boundaries, independent of how many bits flip inside the byte.
+    - {!Skip} — instruction skip (InjectV-style, Lentini et al.): a
+      cycle-indexed space where the instruction fetched at the injection
+      cycle executes as a no-op ({!Machine.skip_next}).  Cycles are packed
+      8 per synthetic class to fit the journal's 8-slots-per-class record
+      format; see {!of_golden}. *)
+
+type burst_pattern =
+  | Adjacent  (** Bits [b, b+1, …] (mod 8) flip together. *)
+  | Row of int
+      (** Bits [b, b+s, b+2s, …] (mod 8) for row stride [s] — the
+          bit-interleaved physical-row adjacency of real SRAM arrays,
+          where logically distant bits are physical neighbours. *)
+
+type model =
+  | Bitflip_mem  (** Single-bit memory flips (the paper's model). *)
+  | Bitflip_reg  (** Single-bit register-file flips (Section VI-B). *)
+  | Burst of { width : int; pattern : burst_pattern }
+      (** [width]-bit multi-bit upset within one byte (2–8 bits). *)
+  | Skip  (** One-cycle instruction skip. *)
+
+val burst : ?row:int -> int -> model
+(** [burst width] is [Burst {width; pattern = Adjacent}]; [burst ~row:s
+    width] uses [Row s].  @raise Invalid_argument unless [2 <= width <= 8]
+    and [2 <= s <= 7]. *)
+
+val tag : model -> string
+(** The stable fingerprint tag: ["mem"], ["reg"], ["burst<w>"],
+    ["burst<w>r<s>"], ["skip"].  Recorded in journal fingerprints,
+    journal headers and result-cache keys — two campaigns with different
+    tags never cross-resume and never share cache entries.  The legacy
+    models keep their pre-subsystem tags, so their fingerprints, journals
+    and cache keys are byte-identical to before. *)
+
+val of_tag : string -> (model, string) result
+(** Parse a {!tag} back (the CLI's [--fault-model] parser); [Error]
+    carries a human-readable message listing the known forms. *)
+
+val describe : model -> string
+(** One-line human description, for reports and [--help]. *)
+
+val legacy : model -> bool
+(** [true] for {!Bitflip_mem}/{!Bitflip_reg} — the models whose journal
+    headers keep the pre-subsystem ["fi-engine v2"] version string (new
+    models write ["fi-engine v3"], see {!DESIGN.md} §15). *)
+
+val known : (string * string) list
+(** [(tag form, description)] pairs for help output. *)
+
+type cell = {
+  golden : Golden.t;  (** The shared fault-free reference run. *)
+  classes : Defuse.byte_class array;
+      (** Experiment equivalence classes, [t_end]-sorted by construction
+          (the engine's shard-contiguity invariant).  8 experiment slots
+          per class. *)
+  ram_bytes : int;
+      (** Real ({!Bitflip_mem}/{!Burst}), pseudo ({!Bitflip_reg}: 60) or
+          synthetic ({!Skip}: class count) row footprint — the
+          fingerprint's and {!Scan.t}'s [ram_bytes]. *)
+  benign_weight : int;
+      (** Fault-space coordinates known benign a priori (overwritten or
+          dormant classes); [0] for {!Skip}, whose space has no pruning. *)
+  conduct :
+    Injector.session -> Defuse.byte_class -> bit_in_byte:int -> Outcome.t;
+      (** Conduct one experiment slot on a session over [golden]'s
+          provider.  Injection cycles are non-decreasing when classes are
+          visited in [t_end] order with ascending slots. *)
+}
+
+val of_golden : model -> Golden.t -> cell
+(** Analyse a memory-indexed model against an existing golden run.
+
+    {!Bitflip_mem} and {!Burst} share the def/use partition (classes,
+    weights and benign weight are identical — a burst only widens what
+    flips {e inside} the addressed byte).  {!Skip} builds a synthetic
+    partition over the cycle axis: class [i] covers cycles
+    [8i+1 … 8i+8], encoded as [{byte = i; t_start = t_end = 8i+1}] so
+    each slot's {!Defuse.weight}-derived experiment weight is 1 (every
+    cycle is its own equivalence class — no pruning), and slot [s]
+    injects at cycle [8i+1+s].  Trailing slots of the last class that
+    fall beyond the golden runtime are conducted as {!Outcome.No_effect}
+    without running the machine.
+
+    @raise Invalid_argument for {!Bitflip_reg} (use {!of_regspace}) or a
+    malformed {!Burst}. *)
+
+val of_regspace : Regspace.t -> cell
+(** The {!Bitflip_reg} cell of an existing register analysis. *)
+
+val analyse : ?limit:int -> model -> Program.t -> cell
+(** Analyse from scratch: {!Golden.run} (plus {!Regspace.analyze} for
+    {!Bitflip_reg}) and dispatch to {!of_golden}/{!of_regspace}. *)
+
+val experiments : cell -> int
+(** [8 × Array.length classes] — the campaign's experiment count. *)

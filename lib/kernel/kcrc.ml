@@ -1,0 +1,49 @@
+(* CRC compute kernel for the model × kernel × hardening matrix:
+   bitwise CRC-16/CCITT over a protected message table.  The message is
+   read-only after initialisation (check-only under SUM+DMR, like
+   bin_sem2's parameter table) while the running checksum is a hot
+   read-modify-write scalar — the two extremes of data lifetime in one
+   kernel, which is exactly what the burst and skip models stress
+   differently than single-bit flips. *)
+
+let words_default = 16
+
+let build words =
+  let open Builder in
+  let msg_init = List.init words (fun k -> ((k * 53) + 29) land 0xFF) in
+  let globals =
+    [
+      array ~protected:true "msg" words ~init:msg_init;
+      global ~protected:true "crc";
+    ]
+  in
+  (* Fold one message byte into the checksum: 8 shift/xor rounds of the
+     CCITT polynomial 0x1021. *)
+  let step =
+    func "crc_step" ~params:[ "b" ] ~locals:[ "k" ] ~protects:[ "crc" ]
+      ([ setg "crc" ((g "crc" ^: (l "b" <<: i 8)) &: i 0xFFFF) ]
+      @ for_ "k" ~from:(i 0) ~below:(i 8)
+          (if_else
+             ((g "crc" &: i 0x8000) <>: i 0)
+             [ setg "crc" (((g "crc" <<: i 1) ^: i 0x1021) &: i 0xFFFF) ]
+             [ setg "crc" ((g "crc" <<: i 1) &: i 0xFFFF) ])
+      @ [ ret_unit ])
+  in
+  let main =
+    func "main" ~locals:[ "j" ] ~protects:[ "msg" ]
+      ([ setg "crc" (i 0xFFFF) ]
+      @ for_ "j" ~from:(i 0) ~below:(i words)
+          [ call_ "crc_step" [ elem "msg" (l "j") ] ]
+      @ [
+          out_str "crc ";
+          call_ out_dec [ g "crc" ];
+          out_str " done\n";
+          ret_unit;
+        ])
+  in
+  prog ~name:"crc" ~stack:128 globals ([ step; main ] @ stdlib)
+
+let program ?(words = words_default) () = build words
+let baseline ?words () = Codegen.compile (program ?words ())
+let sum_dmr ?words () = Codegen.compile (Harden.sum_dmr (program ?words ()))
+let tmr ?words () = Codegen.compile (Harden.tmr (program ?words ()))

@@ -1,0 +1,68 @@
+(* A compute kernel for the model × kernel × hardening matrix: in-place
+   selection sort of a protected word table.  Unlike the OS-object
+   benchmarks, the long-lived critical data here is the {e payload}
+   itself — every element is read and rewritten many times across the
+   run, so the def/use profile (and therefore the dilution behaviour)
+   is very different from bin_sem2-style idle-object kernels. *)
+
+let words_default = 10
+
+let build words =
+  let open Builder in
+  (* A fixed pseudo-random permutation seed — deterministic, unsorted. *)
+  let data_init = List.init words (fun k -> ((k * 37) + 11) mod 97) in
+  let globals =
+    [
+      array ~protected:true "data" words ~init:data_init;
+      global ~protected:true "chk";
+    ]
+  in
+  (* One outer selection step: find the minimum of data[i..] and swap it
+     into slot i.  Declared over the protected table so SUM+DMR checks
+     at entry and updates replicas at exit, exactly like the OS kernels'
+     critical sections. *)
+  let select =
+    func "select_min" ~params:[ "lo" ] ~locals:[ "m"; "j"; "t" ]
+      ~protects:[ "data" ]
+      ([ set "m" (l "lo") ]
+      @ for_ "j" ~from:(l "lo" +: i 1) ~below:(i words)
+          (if_ (elem "data" (l "j") <: elem "data" (l "m"))
+             [ set "m" (l "j") ])
+      @ [
+          set "t" (elem "data" (l "lo"));
+          set_elem "data" (l "lo") (elem "data" (l "m"));
+          set_elem "data" (l "m") (l "t");
+          ret_unit;
+        ])
+  in
+  (* Fold the sorted table into a checksum the output depends on — an
+     SDC anywhere in the table surfaces in the serial output. *)
+  let checksum =
+    func "checksum" ~locals:[ "j" ] ~protects:[ "data"; "chk" ]
+      ([ setg "chk" (i 0) ]
+      @ for_ "j" ~from:(i 0) ~below:(i words)
+          [ setg "chk" (((g "chk" *: i 31) +: elem "data" (l "j")) &: i 0xFFFF) ]
+      @ [ ret_unit ])
+  in
+  let main =
+    func "main" ~locals:[ "k" ]
+      (for_ "k" ~from:(i 0) ~below:(i (words - 1))
+         [ call_ "select_min" [ l "k" ] ]
+      @ [
+          call_ "checksum" [];
+          out_str "sort ";
+          call_ out_dec [ elem "data" (i 0) ];
+          out (i 32);
+          call_ out_dec [ elem "data" (i (words - 1)) ];
+          out (i 32);
+          call_ out_dec [ g "chk" ];
+          out_str " done\n";
+          ret_unit;
+        ])
+  in
+  prog ~name:"sort" ~stack:128 globals ([ select; checksum; main ] @ stdlib)
+
+let program ?(words = words_default) () = build words
+let baseline ?words () = Codegen.compile (program ?words ())
+let sum_dmr ?words () = Codegen.compile (Harden.sum_dmr (program ?words ()))
+let tmr ?words () = Codegen.compile (Harden.tmr (program ?words ()))

@@ -40,6 +40,16 @@ let all =
     { benchmark = "mbox1"; variant = Sum_dmr;
       build = (fun () -> Mbox1.sum_dmr ()) };
     { benchmark = "mbox1"; variant = Tmr; build = (fun () -> Mbox1.tmr ()) };
+    { benchmark = "sort"; variant = Baseline;
+      build = (fun () -> Ksort.baseline ()) };
+    { benchmark = "sort"; variant = Sum_dmr;
+      build = (fun () -> Ksort.sum_dmr ()) };
+    { benchmark = "sort"; variant = Tmr; build = (fun () -> Ksort.tmr ()) };
+    { benchmark = "crc"; variant = Baseline;
+      build = (fun () -> Kcrc.baseline ()) };
+    { benchmark = "crc"; variant = Sum_dmr;
+      build = (fun () -> Kcrc.sum_dmr ()) };
+    { benchmark = "crc"; variant = Tmr; build = (fun () -> Kcrc.tmr ()) };
   ]
 
 let paper_pairs =
@@ -57,26 +67,18 @@ let find ~benchmark ~variant =
 (* Campaign specs over the suite                                      *)
 (* ------------------------------------------------------------------ *)
 
-let spec_of ?(space = Spec.Memory) ?policy entry =
-  let mk =
-    match space with Spec.Memory -> Spec.memory | Spec.Registers -> Spec.registers
-  in
-  mk ~variant:(variant_name entry.variant) ?policy ~benchmark:entry.benchmark
-    entry.build
+let spec_of ?(model = Faultspace.Bitflip_mem) ?policy entry =
+  Spec.build ~model ~variant:(variant_name entry.variant) ?policy
+    ~benchmark:entry.benchmark entry.build
 
-let spec_matrix ?space ?policy () =
-  List.map (fun e -> spec_of ?space ?policy e) all
+let spec_matrix ?model ?policy () =
+  List.map (fun e -> spec_of ?model ?policy e) all
 
-let paper_specs ?(space = Spec.Memory) ?policy () =
+let paper_specs ?(model = Faultspace.Bitflip_mem) ?policy () =
   List.concat_map
     (fun (benchmark, baseline, sum_dmr) ->
-      let mk =
-        match space with
-        | Spec.Memory -> Spec.memory
-        | Spec.Registers -> Spec.registers
-      in
       [
-        mk ~variant:"baseline" ?policy ~benchmark baseline;
-        mk ~variant:"sum+dmr" ?policy ~benchmark sum_dmr;
+        Spec.build ~model ~variant:"baseline" ?policy ~benchmark baseline;
+        Spec.build ~model ~variant:"sum+dmr" ?policy ~benchmark sum_dmr;
       ])
     paper_pairs

@@ -356,6 +356,18 @@ let step m =
             m.cyc <- m.cyc + 1;
             (try f m with Stop reason -> m.stop <- Some reason))
 
+let skip_next m =
+  match m.stop with
+  | Some _ -> ()
+  | None ->
+      if m.pc < 0 || m.pc >= Array.length m.code then
+        m.stop <- Some (Trapped (Bad_pc m.pc))
+      else (
+        (* the fetched instruction executes as [Nop]: one cycle elapses,
+           pc advances, no architectural state changes *)
+        m.cyc <- m.cyc + 1;
+        m.pc <- m.pc + 1)
+
 (* ------------------------------------------------------------------ *)
 (* Closure compilation                                                *)
 (* ------------------------------------------------------------------ *)

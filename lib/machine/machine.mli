@@ -11,7 +11,7 @@
     Cycle numbering: the [t]-th executed instruction (1-indexed) executes
     *at* cycle [t].  A fault at coordinate [(t, bit)] is injected after
     [t−1] instructions have executed, i.e. immediately before instruction
-    [t]; see {!Fi_trace.Faultspace} for the geometry. *)
+    [t]; see {!Fi_trace.Coordspace} for the geometry. *)
 
 (** CPU traps (abnormal termination causes). *)
 type trap =
@@ -115,6 +115,15 @@ val flip_reg_bit : t -> reg:int -> bit:int -> unit
 
 val step : t -> unit
 (** Execute one instruction (no-op if the machine has stopped). *)
+
+val skip_next : t -> unit
+(** Execute the next fetched instruction as if it were [Nop]: one cycle
+    elapses and pc advances, but no architectural state changes — the
+    instruction-skip fault-injection primitive ([Faultspace.Skip]).
+    Subsequent instructions shift one slot earlier in time, exactly the
+    divergent control flow the replay/convergence machinery already
+    handles for register faults.  No-op if the machine has stopped; an
+    out-of-range pc stops with [Bad_pc], as {!step} would. *)
 
 val scan_pcs : t -> int array -> int
 (** [scan_pcs m buf] executes up to [Array.length buf] instructions,

@@ -54,7 +54,7 @@ let outcome_map (golden : Golden.t) scan =
       for t = 0 to cycles - 1 do
         match line.(t) with
         | '.' ->
-            let outcome = expand { Faultspace.cycle = t + 1; bit = row } in
+            let outcome = expand { Coordspace.cycle = t + 1; bit = row } in
             line.(t) <- (if Outcome.is_failure outcome then 'X' else 'o')
         | 'R' | 'W' | ' ' | _ -> ()
       done)

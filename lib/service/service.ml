@@ -15,7 +15,7 @@ let handshake_timeout = ref 10.
 type wire_cell = {
   c_benchmark : string;
   c_variant : string;
-  c_space : Spec.space;
+  c_model : Faultspace.model;
   c_limit : int option;
   c_shard_size : int option;
   c_weighted : bool;
@@ -61,7 +61,7 @@ let cell_of_spec (spec : Spec.t) =
   {
     c_benchmark = spec.Spec.benchmark;
     c_variant = spec.Spec.variant;
-    c_space = spec.Spec.space;
+    c_model = spec.Spec.model;
     c_limit = spec.Spec.limit;
     c_shard_size = spec.Spec.policy.Spec.sharding.Spec.shard_size;
     c_weighted = spec.Spec.policy.Spec.sharding.Spec.weighted;
@@ -74,7 +74,7 @@ let spec_of_cell ~policy (c : wire_cell) =
   {
     Spec.benchmark = c.c_benchmark;
     variant = c.c_variant;
-    space = c.c_space;
+    model = c.c_model;
     source = Spec.Build (fun () -> c.c_program);
     limit = c.c_limit;
     policy =
@@ -91,7 +91,7 @@ let spec_of_cell ~policy (c : wire_cell) =
 let cell_key ~dir:_ (c : wire_cell) =
   let image = Digest.to_hex (Digest.string (Marshal.to_string c.c_program [])) in
   Cache.cell_key ~image
-    ~space:(Spec.space_tag c.c_space)
+    ~space:(Faultspace.tag c.c_model)
     ~limit:c.c_limit ~shard_size:c.c_shard_size ~weighted:c.c_weighted
 
 let fully_cached ~dir cells =

@@ -36,7 +36,7 @@ val handshake_timeout : float ref
 type wire_cell = {
   c_benchmark : string;
   c_variant : string;
-  c_space : Spec.space;
+  c_model : Faultspace.model;
   c_limit : int option;
   c_shard_size : int option;
   c_weighted : bool;

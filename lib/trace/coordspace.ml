@@ -28,5 +28,5 @@ let class_and_bit defuse { cycle; bit } =
 
 let canonical_injection (c : Defuse.byte_class) ~bit_in_byte =
   if bit_in_byte < 0 || bit_in_byte > 7 then
-    invalid_arg "Faultspace.canonical_injection: bit outside byte";
+    invalid_arg "Coordspace.canonical_injection: bit outside byte";
   { cycle = c.Defuse.t_end; bit = (c.Defuse.byte * 8) + bit_in_byte }

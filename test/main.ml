@@ -22,6 +22,7 @@ let () =
       Test_checkpoint.suite;
       Test_engine.suite;
       Test_matrix.suite;
+      Test_faultspace.suite;
       Test_process.suite;
       Test_net.suite;
       Test_supervision.suite;

@@ -101,12 +101,12 @@ let test_hi_failure_coordinates () =
     if byte = 0 then cycle >= 2 && cycle <= 4 else cycle >= 4 && cycle <= 6
   in
   let failures = ref 0 in
-  Faultspace.iter ~total_cycles:8 ~ram_size:2 (fun coord ->
+  Coordspace.iter ~total_cycles:8 ~ram_size:2 (fun coord ->
       let o = Injector.run_at g coord in
-      let expected = expected_failure coord.Faultspace.cycle coord.Faultspace.bit in
+      let expected = expected_failure coord.Coordspace.cycle coord.Coordspace.bit in
       if Outcome.is_failure o <> expected then
         Alcotest.failf "coordinate %a: got %a"
-          Faultspace.pp_coord coord Outcome.pp o;
+          Coordspace.pp_coord coord Outcome.pp o;
       if Outcome.is_failure o then incr failures);
   Alcotest.(check int) "F = 48 (paper)" 48 !failures
 
@@ -116,28 +116,28 @@ let test_session_matches_restart () =
   (* Visit coordinates in non-decreasing cycle order. *)
   for cycle = 1 to 8 do
     for bit = 0 to 15 do
-      let coord = { Faultspace.cycle; bit } in
+      let coord = { Coordspace.cycle; bit } in
       let a = Injector.run_at g coord in
       let b = Injector.session_run_at session coord in
       if a <> b then
-        Alcotest.failf "mismatch at %a" Faultspace.pp_coord coord
+        Alcotest.failf "mismatch at %a" Coordspace.pp_coord coord
     done
   done
 
 let test_session_monotonic () =
   let g = Lazy.force hi_golden in
   let session = Injector.session (Injector.replay g) in
-  ignore (Injector.session_run_at session { Faultspace.cycle = 5; bit = 0 });
+  ignore (Injector.session_run_at session { Coordspace.cycle = 5; bit = 0 });
   Alcotest.check_raises "decreasing cycle"
     (Invalid_argument "Injector.session_run_at: injection cycles must not decrease")
     (fun () ->
-      ignore (Injector.session_run_at session { Faultspace.cycle = 3; bit = 0 }))
+      ignore (Injector.session_run_at session { Coordspace.cycle = 3; bit = 0 }))
 
 let test_injector_bad_coord () =
   let g = Lazy.force hi_golden in
   Alcotest.check_raises "outside space"
     (Invalid_argument "Injector: coordinate (9, 0) outside fault space")
-    (fun () -> ignore (Injector.run_at g { Faultspace.cycle = 9; bit = 0 }))
+    (fun () -> ignore (Injector.run_at g { Coordspace.cycle = 9; bit = 0 }))
 
 (* ------------------------------------------------------------------ *)
 (* Scans                                                              *)
@@ -161,7 +161,7 @@ let test_hi_brute_force_equivalence () =
   Array.iter
     (fun (coord, o) ->
       if expand coord <> o then
-        Alcotest.failf "pruned/brute mismatch at %a" Faultspace.pp_coord coord)
+        Alcotest.failf "pruned/brute mismatch at %a" Coordspace.pp_coord coord)
     brute
 
 let test_scan_strategies_agree () =

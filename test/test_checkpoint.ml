@@ -160,7 +160,7 @@ let test_run_at_matches_planned_session () =
       let session = Injector.session (Injector.plan ~stride golden) in
       List.iter
         (fun (cycle, bit) ->
-          let coord = { Faultspace.cycle; bit } in
+          let coord = { Coordspace.cycle; bit } in
           Alcotest.(check bool)
             (Printf.sprintf "stride %d @ (%d,%d)" stride cycle bit)
             true

@@ -209,13 +209,13 @@ let qcheck_session_equals_restart =
        let bit1 = a mod w_bits and bit2 = b mod w_bits in
        let session = Injector.session (Injector.plan ~stride:64 golden) in
        let s1 =
-         Injector.session_run_at session { Faultspace.cycle = lo; bit = bit1 }
+         Injector.session_run_at session { Coordspace.cycle = lo; bit = bit1 }
        in
        let s2 =
-         Injector.session_run_at session { Faultspace.cycle = hi; bit = bit2 }
+         Injector.session_run_at session { Coordspace.cycle = hi; bit = bit2 }
        in
-       let r1 = Injector.run_at golden { Faultspace.cycle = lo; bit = bit1 } in
-       let r2 = Injector.run_at golden { Faultspace.cycle = hi; bit = bit2 } in
+       let r1 = Injector.run_at golden { Coordspace.cycle = lo; bit = bit1 } in
+       let r2 = Injector.run_at golden { Coordspace.cycle = hi; bit = bit2 } in
        s1 = r1 && s2 = r2)
 
 let suite =

@@ -1,0 +1,288 @@
+(* Tests for the pluggable fault-model subsystem (lib/faultspace): tag
+   codec stability, the legacy models re-homed behind the Faultspace API
+   (differential against Scan.pruned / Regspace.scan on fixed and random
+   programs, across backends and worker counts), burst/skip determinism,
+   and fingerprint separation between models. *)
+
+let hi_image = lazy (Hi.program ())
+let hi_golden = lazy (Golden.run (Lazy.force hi_image))
+
+let check_scans_identical msg serial parallel =
+  Alcotest.(check bool) (msg ^ " (structural)") true (serial = parallel);
+  Alcotest.(check string)
+    (msg ^ " (serialised)")
+    (Csv_io.to_string serial)
+    (Csv_io.to_string parallel)
+
+(* ------------------------------------------------------------------ *)
+(* Tags: the stable campaign-identity codec                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_tags () =
+  let roundtrip m =
+    match Faultspace.of_tag (Faultspace.tag m) with
+    | Ok m' -> Alcotest.(check bool) (Faultspace.tag m) true (m = m')
+    | Error e -> Alcotest.failf "tag %s does not parse: %s" (Faultspace.tag m) e
+  in
+  List.iter roundtrip
+    [ Faultspace.Bitflip_mem; Faultspace.Bitflip_reg; Faultspace.burst 2;
+      Faultspace.burst 8; Faultspace.burst ~row:2 3; Faultspace.burst ~row:7 4;
+      Faultspace.Skip ];
+  (* The legacy tags are load-bearing: journal fingerprints and cache
+     keys of pre-subsystem campaigns must stay byte-identical. *)
+  Alcotest.(check string) "mem tag" "mem" (Faultspace.tag Faultspace.Bitflip_mem);
+  Alcotest.(check string) "reg tag" "reg" (Faultspace.tag Faultspace.Bitflip_reg);
+  Alcotest.(check string) "burst tag" "burst3r2"
+    (Faultspace.tag (Faultspace.burst ~row:2 3));
+  Alcotest.(check bool) "legacy split" true
+    (Faultspace.legacy Faultspace.Bitflip_mem
+    && Faultspace.legacy Faultspace.Bitflip_reg
+    && (not (Faultspace.legacy (Faultspace.burst 2)))
+    && not (Faultspace.legacy Faultspace.Skip));
+  List.iter
+    (fun bad ->
+      match Faultspace.of_tag bad with
+      | Ok _ -> Alcotest.failf "tag %S must not parse" bad
+      | Error _ -> ())
+    [ ""; "memory"; "burst"; "burst1"; "burst9"; "burst4r1"; "burst4r9";
+      "burst4r"; "burstxr2"; "skipper" ];
+  List.iter
+    (fun f -> try ignore (f ()); Alcotest.fail "must raise" with
+       Invalid_argument _ -> ())
+    [ (fun () -> Faultspace.burst 1); (fun () -> Faultspace.burst 9);
+      (fun () -> Faultspace.burst ~row:1 4);
+      (fun () -> Faultspace.burst ~row:8 4) ]
+
+(* ------------------------------------------------------------------ *)
+(* Legacy models behind the new API: bit-identical re-homing          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_cell_matches_legacy () =
+  let golden = Lazy.force hi_golden in
+  let cell = Faultspace.of_golden Faultspace.Bitflip_mem golden in
+  Alcotest.(check bool) "classes are the def/use partition" true
+    (cell.Faultspace.classes = Defuse.experiment_classes golden.Golden.defuse);
+  Alcotest.(check int) "benign weight"
+    (Defuse.known_benign_weight golden.Golden.defuse)
+    cell.Faultspace.benign_weight;
+  Alcotest.(check int) "ram bytes"
+    golden.Golden.program.Program.ram_size cell.Faultspace.ram_bytes;
+  Alcotest.(check int) "experiments"
+    (Defuse.experiment_count golden.Golden.defuse)
+    (Faultspace.experiments cell)
+
+let test_burst_shares_mem_partition () =
+  (* A burst never leaves the addressed byte, so the def/use pruning —
+     classes, weights, benign weight — is exactly the memory model's. *)
+  let golden = Lazy.force hi_golden in
+  let mem = Faultspace.of_golden Faultspace.Bitflip_mem golden in
+  let b = Faultspace.of_golden (Faultspace.burst ~row:2 3) golden in
+  Alcotest.(check bool) "same classes" true
+    (mem.Faultspace.classes = b.Faultspace.classes);
+  Alcotest.(check int) "same benign weight" mem.Faultspace.benign_weight
+    b.Faultspace.benign_weight;
+  Alcotest.(check int) "same ram bytes" mem.Faultspace.ram_bytes
+    b.Faultspace.ram_bytes
+
+(* Legacy spaces through the Faultspace-powered engine == the serial
+   legacy conductors, on random compiled MIR programs, across worker
+   counts and the in-process/fork-exec backends. *)
+let qcheck_legacy_models_differential =
+  QCheck.Test.make
+    ~name:"faultspace mem/reg = legacy serial scans on random programs"
+    ~count:3
+    QCheck.(triple (int_bound 1000) (int_range 1 4) (int_range 1 9))
+    (fun (seed, jobs, shard_size) ->
+      let open Builder in
+      let k = 1 + (seed mod 5) in
+      let source =
+        prog
+          ~name:(Printf.sprintf "fsrand%d" seed)
+          [ global "acc" ~init:[ seed mod 7 ]; array "buf" 3 ~init:[ 1; 2; 3 ] ]
+          [
+            func "main" ~locals:[ "i" ]
+              (for_ "i" ~from:(i 0) ~below:(i k)
+                 [
+                   setg "acc" (g "acc" +: elem "buf" (l "i" %: i 3));
+                   set_elem "buf" (l "i" %: i 3) (g "acc" ^: i seed);
+                 ]
+              @ [ out (g "acc" &: i 255); ret_unit ]);
+          ]
+      in
+      let image = Codegen.compile source in
+      let golden = Golden.run image in
+      let r = Regspace.analyze image in
+      let policy = Spec.make_policy ~shard_size () in
+      let mem_serial = Scan.pruned golden in
+      let reg_serial = Regspace.scan r in
+      List.for_all
+        (fun backend ->
+          mem_serial
+          = Engine.run_spec ~backend ~jobs
+              (Spec.of_golden ~policy ~model:Faultspace.Bitflip_mem golden)
+          && reg_serial
+             = Engine.run_spec ~backend ~jobs (Spec.of_regspace ~policy r))
+        [ Pool.Domains; Pool.Processes ])
+
+(* ------------------------------------------------------------------ *)
+(* Instruction skip: machine-level semantics                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_skip_next_semantics () =
+  let image = Lazy.force hi_image in
+  let m = Machine.create image in
+  (* Skipping the first instruction must advance pc and cycle without
+     executing it: no register writes, no stores, no output. *)
+  let pc0 = Machine.pc m and cyc0 = Machine.cycle m in
+  let regs0 = Array.init 16 (fun r -> Machine.reg m (Isa.reg r)) in
+  Machine.skip_next m;
+  Alcotest.(check int) "pc advanced" (pc0 + 1) (Machine.pc m);
+  Alcotest.(check int) "cycle burned" (cyc0 + 1) (Machine.cycle m);
+  Array.iteri
+    (fun r v ->
+      Alcotest.(check int32)
+        (Printf.sprintf "r%d untouched" r)
+        v
+        (Machine.reg m (Isa.reg r)))
+    regs0;
+  Alcotest.(check string) "no output" "" (Machine.serial_output m);
+  (* The skipped program still terminates (the machine keeps stepping
+     from the next instruction). *)
+  ignore (Machine.run m ~limit:100_000);
+  Alcotest.(check bool) "terminates" true (Machine.stopped m <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Skip and burst through the engine: geometry and determinism        *)
+(* ------------------------------------------------------------------ *)
+
+let test_skip_cell_geometry () =
+  let golden = Lazy.force hi_golden in
+  let cell = Faultspace.of_golden Faultspace.Skip golden in
+  let cycles = golden.Golden.cycles in
+  let n = Array.length cell.Faultspace.classes in
+  Alcotest.(check int) "ceil(cycles/8) classes" ((cycles + 7) / 8) n;
+  Alcotest.(check int) "synthetic row footprint" n cell.Faultspace.ram_bytes;
+  Alcotest.(check int) "no a-priori pruning" 0 cell.Faultspace.benign_weight;
+  Alcotest.(check int) "8 slots per class" (8 * n)
+    (Faultspace.experiments cell);
+  Array.iteri
+    (fun i (c : Defuse.byte_class) ->
+      if not (c.Defuse.byte = i && c.Defuse.t_start = (8 * i) + 1
+              && c.Defuse.t_end = c.Defuse.t_start
+              && c.Defuse.kind = Defuse.Experiment) then
+        Alcotest.failf "class %d malformed" i)
+    cell.Faultspace.classes
+
+let skip_scan_serial = lazy
+  (Engine.run_spec ~jobs:1 (Spec.of_golden ~model:Faultspace.Skip (Lazy.force hi_golden)))
+
+let test_skip_campaign () =
+  let golden = Lazy.force hi_golden in
+  let serial = Lazy.force skip_scan_serial in
+  let cycles = golden.Golden.cycles in
+  let padding = (8 * ((cycles + 7) / 8)) - cycles in
+  Alcotest.(check int) "one experiment per cycle (plus padding)"
+    (cycles + padding)
+    (Array.length serial.Scan.experiments);
+  (* Padding slots past the golden runtime are benign by construction. *)
+  let no_effect =
+    Array.fold_left
+      (fun n (e : Scan.experiment) ->
+        if e.Scan.outcome = Outcome.No_effect then n + 1 else n)
+      0 serial.Scan.experiments
+  in
+  Alcotest.(check bool) "padding is No_effect" true (no_effect >= padding);
+  (* Skipping instructions of a working program must break something —
+     an all-benign skip campaign would mean the conductor never actually
+     skipped. *)
+  Alcotest.(check bool) "some skips matter" true
+    (Array.exists
+       (fun (e : Scan.experiment) -> e.Scan.outcome <> Outcome.No_effect)
+       serial.Scan.experiments)
+
+let test_new_models_deterministic () =
+  (* Burst and skip campaigns must be bit-identical across worker counts
+     and across the in-process and fork/exec backends. *)
+  let golden = Lazy.force hi_golden in
+  List.iter
+    (fun model ->
+      let spec () =
+        Spec.of_golden ~policy:(Spec.make_policy ~shard_size:4 ()) ~model
+          golden
+      in
+      let tag = Faultspace.tag model in
+      let serial = Engine.run_spec ~jobs:1 (spec ()) in
+      List.iter
+        (fun jobs ->
+          check_scans_identical
+            (Printf.sprintf "%s domains -j %d" tag jobs)
+            serial
+            (Engine.run_spec ~jobs (spec ())))
+        [ 2; 4 ];
+      check_scans_identical
+        (Printf.sprintf "%s processes -j 2" tag)
+        serial
+        (Engine.run_spec ~backend:Pool.Processes ~jobs:2 (spec ())))
+    [ Faultspace.burst 2; Faultspace.burst ~row:2 3; Faultspace.Skip ]
+
+let test_new_models_over_sockets () =
+  (* One remote round per new model: the wire job carries the model, the
+     daemon re-analyses and must agree bit-for-bit. *)
+  match Remote.spawn_daemon ~workers:2 () with
+  | Error e -> Alcotest.fail e
+  | Ok (pid, addr) ->
+      Fun.protect
+        ~finally:(fun () -> Remote.kill_daemon pid)
+        (fun () ->
+          let golden = Lazy.force hi_golden in
+          List.iter
+            (fun model ->
+              let spec () =
+                Spec.of_golden ~policy:(Spec.make_policy ~shard_size:4 ())
+                  ~model golden
+              in
+              check_scans_identical
+                (Printf.sprintf "%s sockets" (Faultspace.tag model))
+                (Engine.run_spec ~jobs:1 (spec ()))
+                (Engine.run_spec
+                   ~backend:(Pool.Sockets [ Addr.to_string addr ])
+                   ~jobs:2 (spec ())))
+            [ Faultspace.burst 2; Faultspace.Skip ])
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints: the model is part of the campaign identity           *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_fingerprints_distinct () =
+  let golden = Lazy.force hi_golden in
+  let fp model = Engine.fingerprint_spec (Spec.of_golden ~model golden) in
+  let fps =
+    List.map fp
+      [ Faultspace.Bitflip_mem; Faultspace.burst 2; Faultspace.burst 3;
+        Faultspace.burst ~row:2 3; Faultspace.Skip ]
+  in
+  let distinct = List.sort_uniq compare fps in
+  Alcotest.(check int) "all models fingerprint apart" (List.length fps)
+    (List.length distinct)
+
+let suite =
+  ( "faultspace",
+    [
+      Alcotest.test_case "model tags roundtrip and validate" `Quick test_tags;
+      Alcotest.test_case "mem cell = legacy def/use partition" `Quick
+        test_mem_cell_matches_legacy;
+      Alcotest.test_case "burst shares the mem partition" `Quick
+        test_burst_shares_mem_partition;
+      QCheck_alcotest.to_alcotest qcheck_legacy_models_differential;
+      Alcotest.test_case "skip_next machine semantics" `Quick
+        test_skip_next_semantics;
+      Alcotest.test_case "skip cell geometry" `Quick test_skip_cell_geometry;
+      Alcotest.test_case "skip campaign conducts every cycle" `Quick
+        test_skip_campaign;
+      Alcotest.test_case "burst/skip deterministic across backends" `Slow
+        test_new_models_deterministic;
+      Alcotest.test_case "burst/skip over the sockets backend" `Slow
+        test_new_models_over_sockets;
+      Alcotest.test_case "model fingerprints distinct" `Quick
+        test_model_fingerprints_distinct;
+    ] )

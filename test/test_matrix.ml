@@ -269,7 +269,7 @@ let test_matrix_aggregate_progress () =
       specs
   in
   Alcotest.(check (list string))
-    "per-cell progress factory sees every spec" [ "hi/baseline"; "hi/registers@registers" ]
+    "per-cell progress factory sees every spec" [ "hi/baseline"; "hi/baseline@registers" ]
     (List.rev !seen);
   let cell_classes scan = Array.length scan.Scan.experiments / 8 in
   match !final with

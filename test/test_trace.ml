@@ -194,11 +194,11 @@ let qcheck_partition_exact =
 (* ------------------------------------------------------------------ *)
 
 let test_faultspace_size () =
-  Alcotest.(check int) "w" (12 * 16) (Faultspace.size ~total_cycles:12 ~ram_size:2)
+  Alcotest.(check int) "w" (12 * 16) (Coordspace.size ~total_cycles:12 ~ram_size:2)
 
 let test_faultspace_contains () =
   let c total_cycles ram_size cycle bit =
-    Faultspace.contains ~total_cycles ~ram_size { Faultspace.cycle; bit }
+    Coordspace.contains ~total_cycles ~ram_size { Coordspace.cycle; bit }
   in
   Alcotest.(check bool) "inside" true (c 10 2 1 0);
   Alcotest.(check bool) "last" true (c 10 2 10 15);
@@ -208,30 +208,30 @@ let test_faultspace_contains () =
 
 let test_faultspace_iter_count () =
   let n = ref 0 in
-  Faultspace.iter ~total_cycles:7 ~ram_size:3 (fun _ -> incr n);
+  Coordspace.iter ~total_cycles:7 ~ram_size:3 (fun _ -> incr n);
   Alcotest.(check int) "count" (7 * 24) !n
 
 let test_faultspace_sampling () =
   let rng = Prng.create ~seed:1L in
   for _ = 1 to 1000 do
-    let c = Faultspace.sample_uniform rng ~total_cycles:9 ~ram_size:2 in
-    if not (Faultspace.contains ~total_cycles:9 ~ram_size:2 c) then
+    let c = Coordspace.sample_uniform rng ~total_cycles:9 ~ram_size:2 in
+    if not (Coordspace.contains ~total_cycles:9 ~ram_size:2 c) then
       Alcotest.fail "sampled coordinate outside space"
   done
 
 let test_canonical_injection () =
   let d = figure1_defuse () in
   let cls = (Defuse.experiment_classes d).(0) in
-  let coord = Faultspace.canonical_injection cls ~bit_in_byte:3 in
-  Alcotest.(check int) "at the read cycle" 11 coord.Faultspace.cycle;
-  Alcotest.(check int) "right bit" 3 coord.Faultspace.bit;
+  let coord = Coordspace.canonical_injection cls ~bit_in_byte:3 in
+  Alcotest.(check int) "at the read cycle" 11 coord.Coordspace.cycle;
+  Alcotest.(check int) "right bit" 3 coord.Coordspace.bit;
   Alcotest.check_raises "bad bit"
-    (Invalid_argument "Faultspace.canonical_injection: bit outside byte")
-    (fun () -> ignore (Faultspace.canonical_injection cls ~bit_in_byte:8))
+    (Invalid_argument "Coordspace.canonical_injection: bit outside byte")
+    (fun () -> ignore (Coordspace.canonical_injection cls ~bit_in_byte:8))
 
 let test_class_and_bit () =
   let d = figure1_defuse () in
-  let cls, bit = Faultspace.class_and_bit d { Faultspace.cycle = 7; bit = 5 } in
+  let cls, bit = Coordspace.class_and_bit d { Coordspace.cycle = 7; bit = 5 } in
   Alcotest.(check int) "bit in byte" 5 bit;
   Alcotest.(check bool) "the experiment class" true
     (cls.Defuse.kind = Defuse.Experiment && cls.Defuse.t_start = 5)
